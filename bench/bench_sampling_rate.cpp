@@ -1,0 +1,93 @@
+// E6 — sampling-rate sweep for the constant-speed stage.
+//
+// Section III: "The first step introduces only error when interpolating new
+// points between known ones. If the sampling rate is high enough, this
+// interpolation should be precise enough to introduce almost no spatial
+// inaccuracy." This bench degrades the input sampling rate from 15 s to
+// 300 s and measures the geometry-only (path) distortion of the published
+// constant-speed traces, plus a spacing ablation at fixed rate.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "mechanisms/speed_smoothing.h"
+#include "metrics/spatial_distortion.h"
+#include "model/filters.h"
+#include "synth/population.h"
+#include "util/string_utils.h"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 60221;
+
+mobipriv::model::Dataset ResampleDataset(const mobipriv::model::Dataset& in,
+                                         mobipriv::util::Timestamp step) {
+  mobipriv::model::Dataset out;
+  for (mobipriv::model::UserId id = 0; id < in.UserCount(); ++id) {
+    out.InternUser(in.UserName(id));
+  }
+  for (const auto& trace : in.traces()) {
+    out.AddTrace(mobipriv::model::ResampleTime(trace, step));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mobipriv;
+
+  std::cout << "=== E6: input sampling rate vs interpolation error ===\n\n";
+  synth::PopulationConfig population;
+  population.agents = 20;
+  population.days = 1;
+  population.seed = kSeed;
+  population.simulator.sampling_interval_s = 15;  // dense reference
+  const synth::SyntheticWorld world(population);
+  const model::Dataset& reference = world.dataset();
+
+  const mech::SpeedSmoothing smoothing;  // default 100 m spacing
+  core::Table table({"input period (s)", "path err mean (m)",
+                     "path err p95 (m)", "path err max (m)"});
+  for (const util::Timestamp period : {15L, 30L, 60L, 120L, 300L}) {
+    const model::Dataset degraded = ResampleDataset(reference, period);
+    util::Rng rng(kSeed + 1);
+    const model::Dataset published = smoothing.Apply(degraded, rng);
+    // Error against the dense reference: geometry-only view isolates the
+    // interpolation error the paper reasons about.
+    const auto distortion = metrics::MeasureDistortion(reference, published);
+    table.AddRow({std::to_string(period),
+                  util::FormatDouble(distortion.path_m.mean, 1),
+                  util::FormatDouble(distortion.path_m.p95, 1),
+                  util::FormatDouble(distortion.path_m.max, 1)});
+  }
+  std::cout << table.ToString() << "\n";
+
+  // ---- Spacing ablation at the dense rate. ----
+  std::cout << "--- spacing epsilon ablation (dense input) ---\n";
+  core::Table ablation({"spacing (m)", "path err mean (m)",
+                        "published events", "events ratio"});
+  const double raw_events = static_cast<double>(reference.EventCount());
+  for (const double spacing : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    mech::SpeedSmoothingConfig config;
+    config.spacing_m = spacing;
+    const mech::SpeedSmoothing mechanism(config);
+    util::Rng rng(kSeed + 2);
+    const model::Dataset published = mechanism.Apply(reference, rng);
+    const auto distortion = metrics::MeasureDistortion(reference, published);
+    ablation.AddRow({util::FormatDouble(spacing, 0),
+                     util::FormatDouble(distortion.path_m.mean, 1),
+                     std::to_string(published.EventCount()),
+                     util::FormatDouble(
+                         static_cast<double>(published.EventCount()) /
+                             raw_events,
+                         3)});
+  }
+  std::cout << ablation.ToString()
+            << "\nexpected shape: path error grows slowly with the input "
+               "period (linear interpolation between sparser fixes strays "
+               "from the road) and roughly linearly with the spacing "
+               "epsilon (chord stepping cuts corners by up to epsilon) — "
+               "both stay at metres-to-tens-of-metres, far below noise "
+               "mechanisms.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E8 — throughput of every mechanism and attack (google-benchmark).
+//
+// Publication pipelines run offline, but a practical tool must process
+// metropolitan datasets in minutes. These microbenchmarks measure events/s
+// for each mechanism, the POI attack, the mix-zone detector and the core
+// geometric kernels, over growing dataset sizes.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "attacks/poi_extraction.h"
+#include "core/anonymizer.h"
+#include "geo/polyline.h"
+#include "mechanisms/cloaking.h"
+#include "mechanisms/geo_indistinguishability.h"
+#include "mechanisms/mixzone.h"
+#include "mechanisms/speed_smoothing.h"
+#include "mechanisms/wait4me.h"
+#include "synth/population.h"
+
+namespace {
+
+using namespace mobipriv;
+
+/// Shared worlds, built once per size (agents = size, 1 day).
+const synth::SyntheticWorld& WorldOfSize(std::size_t agents) {
+  static std::map<std::size_t, std::unique_ptr<synth::SyntheticWorld>> cache;
+  auto it = cache.find(agents);
+  if (it == cache.end()) {
+    synth::PopulationConfig config;
+    config.agents = agents;
+    config.days = 1;
+    config.seed = 9000 + agents;
+    it = cache.emplace(agents,
+                       std::make_unique<synth::SyntheticWorld>(config))
+             .first;
+  }
+  return *it->second;
+}
+
+template <typename MechanismT>
+void RunMechanism(benchmark::State& state, const MechanismT& mechanism) {
+  const auto& world = WorldOfSize(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(1);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const model::Dataset out = mechanism.Apply(world.dataset(), rng);
+    benchmark::DoNotOptimize(out.EventCount());
+    events += world.dataset().EventCount();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_SpeedSmoothing(benchmark::State& state) {
+  RunMechanism(state, mech::SpeedSmoothing{});
+}
+BENCHMARK(BM_SpeedSmoothing)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_MixZone(benchmark::State& state) {
+  RunMechanism(state, mech::MixZone{});
+}
+BENCHMARK(BM_MixZone)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  RunMechanism(state, core::Anonymizer{});
+}
+BENCHMARK(BM_FullPipeline)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_GeoInd(benchmark::State& state) {
+  RunMechanism(state, mech::GeoIndistinguishability{});
+}
+BENCHMARK(BM_GeoInd)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_Cloaking(benchmark::State& state) {
+  RunMechanism(state, mech::Cloaking{});
+}
+BENCHMARK(BM_Cloaking)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_Wait4Me(benchmark::State& state) {
+  RunMechanism(state, mech::Wait4Me{});
+}
+BENCHMARK(BM_Wait4Me)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_PoiExtraction(benchmark::State& state) {
+  const auto& world = WorldOfSize(static_cast<std::size_t>(state.range(0)));
+  const attacks::PoiExtractor extractor;
+  const geo::LocalProjection frame =
+      attacks::DatasetProjection(world.dataset());
+  std::size_t events = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(world.dataset(), frame));
+    events += world.dataset().EventCount();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PoiExtraction)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_ResampleUniform(benchmark::State& state) {
+  // A 1000-vertex zig-zag path resampled at 10 m.
+  std::vector<geo::Point2> path;
+  for (int i = 0; i < 1000; ++i) {
+    path.push_back({static_cast<double>(i) * 37.0,
+                    (i % 2 == 0) ? 0.0 : 25.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::ResampleUniform(path, 10.0));
+  }
+}
+BENCHMARK(BM_ResampleUniform);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::PopulationConfig config;
+    config.agents = static_cast<std::size_t>(state.range(0));
+    config.days = 1;
+    config.seed = 1;
+    const synth::SyntheticWorld world(config);
+    benchmark::DoNotOptimize(world.dataset().EventCount());
+  }
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

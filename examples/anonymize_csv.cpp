@@ -1,0 +1,82 @@
+// Command-line anonymizer for real datasets: reads the native CSV format
+// (user,lat,lng,timestamp), applies the paper's pipeline, writes the
+// sanitized CSV. This is the tool a data publisher would actually run.
+//
+//   $ ./anonymize_csv --input raw.csv --output published.csv
+//         [--spacing 100] [--zone-radius 150] [--window 600]
+//         [--no-mixzones] [--no-smoothing] [--seed 1]
+//
+// With --demo (no input file), generates a synthetic dataset, writes it to
+// --output-raw, anonymizes it, and writes the result — a self-contained
+// demonstration of the file workflow.
+#include <iostream>
+
+#include "core/anonymizer.h"
+#include "model/io.h"
+#include "model/stats.h"
+#include "synth/population.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace mobipriv;
+
+  util::CliParser cli("mobipriv CSV anonymizer");
+  cli.AddOption("input", "input CSV (user,lat,lng,timestamp)", "");
+  cli.AddOption("output", "output CSV path", "published.csv");
+  cli.AddOption("output-raw", "where --demo writes the raw input",
+                "raw.csv");
+  cli.AddOption("spacing", "constant-speed spacing epsilon, metres", "100");
+  cli.AddOption("zone-radius", "mix-zone radius, metres", "150");
+  cli.AddOption("window", "mix-zone time window, seconds", "600");
+  cli.AddOption("seed", "random seed", "1");
+  cli.AddFlag("no-mixzones", "disable stage 2 (swapping)");
+  cli.AddFlag("no-smoothing", "disable stage 1 (constant speed)");
+  cli.AddFlag("demo", "generate a synthetic input instead of reading one");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  model::Dataset input;
+  try {
+    if (cli.GetBool("demo") || cli.GetString("input").empty()) {
+      std::cout << "No --input given: generating a demo dataset...\n";
+      synth::PopulationConfig population;
+      population.agents = 10;
+      population.days = 1;
+      const synth::SyntheticWorld world(population);
+      input = world.dataset().Clone();
+      model::WriteCsvFile(input, cli.GetString("output-raw"));
+      std::cout << "Raw data written to " << cli.GetString("output-raw")
+                << "\n";
+    } else {
+      input = model::ReadCsvFile(cli.GetString("input"));
+    }
+  } catch (const model::IoError& e) {
+    std::cerr << "I/O error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "Input:\n"
+            << model::ComputeDatasetStats(input).ToString() << "\n";
+
+  core::AnonymizerConfig config;
+  config.enable_speed_smoothing = !cli.GetBool("no-smoothing");
+  config.enable_mixzones = !cli.GetBool("no-mixzones");
+  config.speed.spacing_m = cli.GetDouble("spacing");
+  config.mixzone.zone_radius_m = cli.GetDouble("zone-radius");
+  config.mixzone.time_window_s = cli.GetInt("window");
+  const core::Anonymizer anonymizer(config);
+
+  util::Rng rng(static_cast<std::uint64_t>(cli.GetInt("seed")));
+  core::PipelineReport report;
+  const model::Dataset published =
+      anonymizer.ApplyWithReport(input, rng, report);
+  std::cout << "\n" << anonymizer.Name() << ":\n" << report.ToString() << "\n";
+
+  try {
+    model::WriteCsvFile(published, cli.GetString("output"));
+  } catch (const model::IoError& e) {
+    std::cerr << "I/O error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "\nPublished dataset written to " << cli.GetString("output")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Mix-zone anatomy: reproduce the Figure-1 two-user crossing, show the
+// detected zones, the identity swap, and what the multi-target tracker sees.
+// Demonstrates the MixZone and MultiTargetTracker APIs.
+//
+//   $ ./mixzone_study [--seed 7] [--radius 150] [--window 600]
+#include <iostream>
+
+#include "attacks/tracker.h"
+#include "mechanisms/mixzone.h"
+#include "mechanisms/speed_smoothing.h"
+#include "synth/population.h"
+#include "util/cli.h"
+#include "util/string_utils.h"
+
+int main(int argc, char** argv) {
+  using namespace mobipriv;
+
+  util::CliParser cli("mobipriv mix-zone study (Figure 1 scenario)");
+  cli.AddOption("seed", "scenario seed", "7");
+  cli.AddOption("radius", "zone radius, metres", "150");
+  cli.AddOption("window", "encounter time window, seconds", "600");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  const auto world = synth::MakeCrossingPairScenario(
+      static_cast<std::uint64_t>(cli.GetInt("seed")));
+  std::cout << "Scenario: 2 users commuting through a shared transit hub\n";
+  for (const auto& trace : world.dataset().traces()) {
+    std::cout << "  " << world.dataset().UserName(trace.user()) << ": "
+              << trace.size() << " fixes, "
+              << util::FormatDouble(trace.LengthMeters() / 1000.0, 1)
+              << " km\n";
+  }
+
+  // Stage 1 first (as in the paper's pipeline), then the mix-zone stage.
+  const mech::SpeedSmoothing smoothing;
+  mech::MixZoneConfig zone_config;
+  zone_config.zone_radius_m = cli.GetDouble("radius");
+  zone_config.time_window_s = cli.GetInt("window");
+  const mech::MixZone mixzone(zone_config);
+
+  util::Rng rng(99);
+  const model::Dataset smoothed = smoothing.Apply(world.dataset(), rng);
+  mech::MixZoneReport report;
+  const model::Dataset published =
+      mixzone.ApplyWithReport(smoothed, rng, report);
+
+  std::cout << "\nMix-zone detection on the constant-speed traces:\n  "
+            << report.ToString() << "\n";
+  for (std::size_t i = 0; i < report.zones.size(); ++i) {
+    const auto& zone = report.zones[i];
+    std::cout << "  zone " << i << ": center=("
+              << util::FormatDouble(zone.center.x, 0) << ", "
+              << util::FormatDouble(zone.center.y, 0) << ") m, occurrences="
+              << zone.occurrences
+              << ", max anonymity set=" << zone.max_anonymity_set << "\n";
+  }
+
+  if (!report.zones.empty()) {
+    // What does a tracking adversary see at the first zone?
+    const attacks::MultiTargetTracker tracker;
+    // The zone report's planar frame is the dataset projection.
+    const geo::LocalProjection frame(smoothed.BoundingBox().Center());
+    const auto outcomes = tracker.TrackThroughZone(
+        smoothed, published, frame, report.zones.front().center,
+        zone_config.zone_radius_m);
+    std::cout << "\nTracker at zone 0:\n";
+    for (const auto& o : outcomes) {
+      std::cout << "  target=" << world.dataset().UserName(o.target)
+                << " truth_exit=" << world.dataset().UserName(o.truth)
+                << " tracker_followed="
+                << (o.lost ? "(lost)" : world.dataset().UserName(o.followed))
+                << " err=" << util::FormatDouble(o.error_m, 0) << "m\n";
+    }
+    std::cout << "  confusion rate: "
+              << util::FormatDouble(
+                     attacks::MultiTargetTracker::ConfusionRate(outcomes), 2)
+              << "\n";
+  } else {
+    std::cout << "\nNo zone detected — try a larger --radius/--window.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Adversary's view: run the POI-extraction and re-identification attacks
+// against several publication mechanisms and watch the attacks degrade.
+// Demonstrates the attack-side API (PoiExtractor, ReidentificationAttack).
+//
+//   $ ./poi_attack_demo [--agents 30] [--seed 9]
+#include <iostream>
+#include <memory>
+
+#include "attacks/poi_extraction.h"
+#include "attacks/reident.h"
+#include "core/anonymizer.h"
+#include "core/experiment.h"
+#include "mechanisms/geo_indistinguishability.h"
+#include "mechanisms/identity.h"
+#include "metrics/poi_metrics.h"
+#include "metrics/reident_metrics.h"
+#include "synth/population.h"
+#include "util/cli.h"
+#include "util/string_utils.h"
+
+int main(int argc, char** argv) {
+  using namespace mobipriv;
+
+  util::CliParser cli("mobipriv attack demo: POI extraction + linkage");
+  cli.AddOption("agents", "number of simulated users", "30");
+  cli.AddOption("seed", "random seed", "9");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  synth::PopulationConfig population;
+  population.agents = static_cast<std::size_t>(cli.GetInt("agents"));
+  population.days = 2;
+  population.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+  const synth::SyntheticWorld world(population);
+
+  // Mechanisms under attack.
+  std::vector<std::unique_ptr<mech::Mechanism>> mechanisms;
+  mechanisms.push_back(std::make_unique<mech::Identity>());
+  mechanisms.push_back(std::make_unique<mech::GeoIndistinguishability>(
+      mech::GeoIndConfig{0.01}));
+  mechanisms.push_back(std::make_unique<core::Anonymizer>());
+
+  // Attack frame shared by everything below.
+  const geo::LocalProjection frame =
+      attacks::DatasetProjection(world.dataset());
+  const auto truth = metrics::DistinctTruePlaces(
+      world.ground_truth(), world.projection(), frame);
+
+  const attacks::PoiExtractor extractor;
+  const attacks::ReidentificationAttack linkage;
+  // The adversary trains on identified day 0 and attacks published day 1.
+  const model::Dataset train = world.DatasetForDays({0});
+  const model::Dataset test = world.DatasetForDays({1});
+  const auto profiles = linkage.BuildProfiles(train, frame);
+
+  core::Table table({"mechanism", "POIs extracted", "POI recall",
+                     "reident accuracy"});
+  for (const auto& mechanism : mechanisms) {
+    util::Rng rng(population.seed + 1);
+    const model::Dataset published = mechanism->Apply(test, rng);
+    const auto pois = extractor.Extract(published, frame);
+    const auto score = metrics::ScorePoiExtraction(pois, truth);
+    const auto links = linkage.Attack(profiles, published, frame);
+    const auto reident = metrics::SummarizeReident(links);
+    table.AddRow({mechanism->Name(), std::to_string(pois.size()),
+                  util::FormatDouble(score.Recall(), 3),
+                  util::FormatDouble(reident.accuracy_all, 3)});
+  }
+  std::cout << "Attacks against " << population.agents
+            << " users (train day 0, attack day 1):\n\n"
+            << table.ToString()
+            << "\nNote: POI recall is computed against all-days ground "
+               "truth, so even identity stays below 1.0; what matters is "
+               "the drop across mechanisms.\n";
+  return 0;
+}

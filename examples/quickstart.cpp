@@ -1,0 +1,54 @@
+// Quickstart: generate a small synthetic city, anonymize it with the paper's
+// full pipeline (constant-speed time distortion + mix-zone swapping), and
+// print the before/after privacy and utility numbers.
+//
+//   $ ./quickstart [--agents 20] [--days 2] [--seed 42]
+#include <iostream>
+
+#include "core/anonymizer.h"
+#include "core/report.h"
+#include "model/stats.h"
+#include "synth/population.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace mobipriv;
+
+  util::CliParser cli(
+      "mobipriv quickstart: anonymize a synthetic mobility dataset");
+  cli.AddOption("agents", "number of simulated users", "20");
+  cli.AddOption("days", "number of simulated days", "2");
+  cli.AddOption("seed", "random seed", "42");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  // 1. Generate a city's worth of mobility data (substitute for a real
+  //    dataset; comes with ground truth).
+  synth::PopulationConfig population;
+  population.agents = static_cast<std::size_t>(cli.GetInt("agents"));
+  population.days = static_cast<std::size_t>(cli.GetInt("days"));
+  population.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+  std::cout << "Generating " << population.agents << " agents x "
+            << population.days << " days...\n";
+  const synth::SyntheticWorld world(population);
+  std::cout << "Raw dataset:\n"
+            << model::ComputeDatasetStats(world.dataset()).ToString() << "\n\n";
+
+  // 2. Anonymize with the paper's full pipeline.
+  core::Anonymizer anonymizer;  // default config: both stages on
+  util::Rng rng(population.seed);
+  core::PipelineReport pipeline_report;
+  const model::Dataset published =
+      anonymizer.ApplyWithReport(world.dataset(), rng, pipeline_report);
+  std::cout << "Pipeline (" << anonymizer.Name() << "):\n"
+            << pipeline_report.ToString() << "\n\n";
+
+  // 3. Evaluate: POI attack vs ground truth + utility metrics.
+  const core::EvaluationReport eval =
+      core::Evaluate(world, published, anonymizer.Name());
+  std::cout << "Evaluation:\n" << eval.ToString() << "\n";
+
+  std::cout << "\nPOI retrieval rate on published data: "
+            << eval.poi.Recall() * 100.0 << "% (raw data had "
+            << eval.extracted_pois_raw << " extractable POIs)\n";
+  return 0;
+}

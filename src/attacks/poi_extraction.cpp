@@ -1,0 +1,115 @@
+#include "attacks/poi_extraction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace mobipriv::attacks {
+
+geo::LocalProjection DatasetProjection(const model::Dataset& dataset) {
+  const geo::GeoBoundingBox bbox = dataset.BoundingBox();
+  return geo::LocalProjection(bbox.IsEmpty() ? geo::LatLng{0.0, 0.0}
+                                             : bbox.Center());
+}
+
+PoiExtractor::PoiExtractor(PoiExtractionConfig config) : config_(config) {
+  assert(config_.max_diameter_m > 0.0);
+  assert(config_.min_duration_s > 0);
+  assert(config_.merge_radius_m >= 0.0);
+}
+
+std::vector<StayPoint> PoiExtractor::ExtractStays(
+    const model::Trace& trace, const geo::LocalProjection& projection) const {
+  std::vector<StayPoint> stays;
+  const std::size_t n = trace.size();
+  if (n == 0) return stays;
+  std::vector<geo::Point2> points;
+  points.reserve(n);
+  for (const auto& event : trace) {
+    points.push_back(projection.Project(event.position));
+  }
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Extend j while every fix stays within `max_diameter_m` of fix i.
+    std::size_t j = i + 1;
+    while (j < n &&
+           geo::Distance(points[i], points[j]) <= config_.max_diameter_m) {
+      ++j;
+    }
+    // Fixes [i, j) form a spatially bounded run; is it long enough in time?
+    const util::Timestamp dwell = trace[j - 1].time - trace[i].time;
+    if (dwell >= config_.min_duration_s) {
+      geo::Point2 centroid{};
+      for (std::size_t k = i; k < j; ++k) centroid = centroid + points[k];
+      centroid = centroid / static_cast<double>(j - i);
+      stays.push_back(StayPoint{trace.user(), centroid, trace[i].time,
+                                trace[j - 1].time, j - i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+std::vector<ExtractedPoi> PoiExtractor::Extract(
+    const model::Dataset& dataset,
+    const geo::LocalProjection& projection) const {
+  // 1. Stays per user, pooled over all of the user's traces.
+  std::map<model::UserId, std::vector<StayPoint>> stays_by_user;
+  for (const auto& trace : dataset.traces()) {
+    for (auto& stay : ExtractStays(trace, projection)) {
+      stays_by_user[trace.user()].push_back(stay);
+    }
+  }
+
+  // 2. Greedy agglomeration of each user's stays into POIs.
+  std::vector<ExtractedPoi> pois;
+  for (auto& [user, stays] : stays_by_user) {
+    // Longest-dwell stays become cluster seeds first (stable anchors).
+    std::sort(stays.begin(), stays.end(),
+              [](const StayPoint& a, const StayPoint& b) {
+                return (a.departure - a.arrival) > (b.departure - b.arrival);
+              });
+    struct Cluster {
+      geo::Point2 weighted_sum{};
+      double weight = 0.0;
+      std::size_t visits = 0;
+      util::Timestamp dwell = 0;
+      geo::Point2 Centroid() const { return weighted_sum / weight; }
+    };
+    std::vector<Cluster> clusters;
+    for (const StayPoint& stay : stays) {
+      const double w = static_cast<double>(stay.support);
+      Cluster* target = nullptr;
+      for (auto& cluster : clusters) {
+        if (geo::Distance(cluster.Centroid(), stay.centroid) <=
+            config_.merge_radius_m) {
+          target = &cluster;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        clusters.emplace_back();
+        target = &clusters.back();
+      }
+      target->weighted_sum = target->weighted_sum + stay.centroid * w;
+      target->weight += w;
+      target->visits += 1;
+      target->dwell += stay.departure - stay.arrival;
+    }
+    for (const auto& cluster : clusters) {
+      pois.push_back(ExtractedPoi{user, cluster.Centroid(), cluster.visits,
+                                  cluster.dwell});
+    }
+  }
+  return pois;
+}
+
+std::vector<ExtractedPoi> PoiExtractor::Extract(
+    const model::Dataset& dataset) const {
+  return Extract(dataset, DatasetProjection(dataset));
+}
+
+}  // namespace mobipriv::attacks

@@ -1,0 +1,118 @@
+#include "attacks/reident.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mobipriv::attacks {
+namespace {
+
+/// Mean distance from each point of `from` to its nearest point of `to`,
+/// weighted by `from_weights`. Infinity when either side is empty.
+double DirectedMeanNearest(const std::vector<geo::Point2>& from,
+                           const std::vector<double>& from_weights,
+                           const std::vector<geo::Point2>& to) {
+  if (from.empty() || to.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double weighted_sum = 0.0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& q : to) {
+      best = std::min(best, geo::Distance(from[i], q));
+    }
+    const double w = from_weights.empty() ? 1.0 : from_weights[i];
+    weighted_sum += best * w;
+    total_weight += w;
+  }
+  return total_weight > 0.0 ? weighted_sum / total_weight
+                            : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+ReidentificationAttack::ReidentificationAttack(ReidentConfig config)
+    : config_(config) {}
+
+std::vector<MobilityProfile> ReidentificationAttack::BuildProfiles(
+    const model::Dataset& training,
+    const geo::LocalProjection& projection) const {
+  const PoiExtractor extractor(config_.poi);
+  const auto pois = extractor.Extract(training, projection);
+  std::map<model::UserId, MobilityProfile> by_user;
+  for (const auto& poi : pois) {
+    auto& profile = by_user[poi.user];
+    profile.user = poi.user;
+    profile.pois.push_back(poi.centroid);
+    profile.weights.push_back(static_cast<double>(poi.total_dwell_s));
+  }
+  std::vector<MobilityProfile> out;
+  out.reserve(by_user.size());
+  for (auto& [user, profile] : by_user) out.push_back(std::move(profile));
+  return out;
+}
+
+double ReidentificationAttack::ProfileDistance(const MobilityProfile& a,
+                                               const MobilityProfile& b) {
+  const double ab = DirectedMeanNearest(a.pois, a.weights, b.pois);
+  const double ba = DirectedMeanNearest(b.pois, b.weights, a.pois);
+  return 0.5 * (ab + ba);
+}
+
+std::vector<LinkResult> ReidentificationAttack::Attack(
+    const std::vector<MobilityProfile>& profiles,
+    const model::Dataset& anonymized,
+    const geo::LocalProjection& projection) const {
+  const PoiExtractor extractor(config_.poi);
+  std::vector<LinkResult> results;
+  results.reserve(anonymized.traces().size());
+  for (const auto& trace : anonymized.traces()) {
+    LinkResult result;
+    result.true_user = trace.user();
+    // Build the pseudonymous trace's own profile.
+    MobilityProfile target;
+    for (const auto& stay : extractor.ExtractStays(trace, projection)) {
+      target.pois.push_back(stay.centroid);
+      target.weights.push_back(
+          static_cast<double>(stay.departure - stay.arrival));
+    }
+    if (target.pois.empty()) {
+      result.linkable = false;
+      results.push_back(result);
+      continue;
+    }
+    result.linkable = true;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& profile : profiles) {
+      const double d = ProfileDistance(target, profile);
+      if (d < best) {
+        best = d;
+        result.predicted_user = profile.user;
+      }
+    }
+    result.distance = best;
+    results.push_back(result);
+  }
+  return results;
+}
+
+double ReidentificationAttack::Accuracy(const std::vector<LinkResult>& results,
+                                        bool count_unlinkable_as_failure) {
+  if (results.empty()) return 0.0;
+  std::size_t correct = 0;
+  std::size_t considered = 0;
+  for (const auto& r : results) {
+    if (!r.linkable) {
+      if (count_unlinkable_as_failure) ++considered;
+      continue;
+    }
+    ++considered;
+    if (r.predicted_user == r.true_user) ++correct;
+  }
+  return considered == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(considered);
+}
+
+}  // namespace mobipriv::attacks

@@ -1,0 +1,54 @@
+#include "core/anonymizer.h"
+
+#include <sstream>
+
+namespace mobipriv::core {
+
+std::string PipelineReport::ToString() const {
+  std::ostringstream os;
+  os << "events: in=" << input_events
+     << " after_smoothing=" << after_smoothing_events
+     << " out=" << output_events << "\ntraces: in=" << input_traces
+     << " dropped=" << dropped_traces << "\nmixzone: " << mixzone.ToString();
+  return os.str();
+}
+
+Anonymizer::Anonymizer(AnonymizerConfig config)
+    : config_(config), speed_(config.speed), mixzone_(config.mixzone) {}
+
+std::string Anonymizer::Name() const {
+  std::string name = "ours[";
+  if (config_.enable_speed_smoothing) name += "speed";
+  if (config_.enable_speed_smoothing && config_.enable_mixzones) name += "+";
+  if (config_.enable_mixzones) name += "mix";
+  name += "]";
+  return name;
+}
+
+model::Dataset Anonymizer::Apply(const model::Dataset& input,
+                                 util::Rng& rng) const {
+  PipelineReport report;
+  return ApplyWithReport(input, rng, report);
+}
+
+model::Dataset Anonymizer::ApplyWithReport(const model::Dataset& input,
+                                           util::Rng& rng,
+                                           PipelineReport& report) const {
+  report = PipelineReport{};
+  report.input_events = input.EventCount();
+  report.input_traces = input.TraceCount();
+
+  model::Dataset current =
+      config_.enable_speed_smoothing ? speed_.Apply(input, rng)
+                                     : input.Clone();
+  report.after_smoothing_events = current.EventCount();
+  report.dropped_traces = report.input_traces - current.TraceCount();
+
+  if (config_.enable_mixzones) {
+    current = mixzone_.ApplyWithReport(current, rng, report.mixzone);
+  }
+  report.output_events = current.EventCount();
+  return current;
+}
+
+}  // namespace mobipriv::core

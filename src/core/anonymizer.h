@@ -1,0 +1,58 @@
+// The paper's complete solution as a single publication pipeline:
+//   raw dataset -> [stage 1: constant-speed time distortion]
+//               -> [stage 2: mix-zone trajectory swapping]
+//               -> published dataset
+// Either stage can be disabled for ablations (benches E2-E5 compare
+// stage 1 alone, stage 2 alone and the full pipeline).
+#pragma once
+
+#include <memory>
+
+#include "mechanisms/mechanism.h"
+#include "mechanisms/mixzone.h"
+#include "mechanisms/speed_smoothing.h"
+
+namespace mobipriv::core {
+
+struct AnonymizerConfig {
+  bool enable_speed_smoothing = true;
+  bool enable_mixzones = true;
+  mech::SpeedSmoothingConfig speed;
+  mech::MixZoneConfig mixzone;
+};
+
+/// Per-run pipeline outcome (stage reports + event accounting).
+struct PipelineReport {
+  std::size_t input_events = 0;
+  std::size_t after_smoothing_events = 0;
+  std::size_t output_events = 0;
+  std::size_t input_traces = 0;
+  std::size_t dropped_traces = 0;  ///< suppressed by the min-length rule
+  mech::MixZoneReport mixzone;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+class Anonymizer final : public mech::Mechanism {
+ public:
+  explicit Anonymizer(AnonymizerConfig config = {});
+
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] const AnonymizerConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] model::Dataset Apply(const model::Dataset& input,
+                                     util::Rng& rng) const override;
+
+  [[nodiscard]] model::Dataset ApplyWithReport(const model::Dataset& input,
+                                               util::Rng& rng,
+                                               PipelineReport& report) const;
+
+ private:
+  AnonymizerConfig config_;
+  mech::SpeedSmoothing speed_;
+  mech::MixZone mixzone_;
+};
+
+}  // namespace mobipriv::core

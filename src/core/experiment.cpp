@@ -1,0 +1,96 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/anonymizer.h"
+#include "mechanisms/cloaking.h"
+#include "mechanisms/downsampling.h"
+#include "mechanisms/gaussian_noise.h"
+#include "mechanisms/geo_indistinguishability.h"
+#include "mechanisms/identity.h"
+#include "mechanisms/wait4me.h"
+
+namespace mobipriv::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  for (const auto w : widths) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+std::vector<std::unique_ptr<mech::Mechanism>> StandardRoster(
+    const std::vector<double>& geo_ind_epsilons) {
+  std::vector<std::unique_ptr<mech::Mechanism>> roster;
+  roster.push_back(std::make_unique<mech::Identity>());
+
+  // Ours: full pipeline and each stage alone.
+  AnonymizerConfig full;
+  roster.push_back(std::make_unique<Anonymizer>(full));
+  AnonymizerConfig speed_only;
+  speed_only.enable_mixzones = false;
+  roster.push_back(std::make_unique<Anonymizer>(speed_only));
+  AnonymizerConfig mix_only;
+  mix_only.enable_speed_smoothing = false;
+  roster.push_back(std::make_unique<Anonymizer>(mix_only));
+
+  for (const double eps : geo_ind_epsilons) {
+    roster.push_back(std::make_unique<mech::GeoIndistinguishability>(
+        mech::GeoIndConfig{eps}));
+  }
+  roster.push_back(std::make_unique<mech::Wait4Me>());
+  roster.push_back(std::make_unique<mech::Cloaking>());
+  roster.push_back(std::make_unique<mech::GaussianNoise>());
+  roster.push_back(std::make_unique<mech::Downsampling>());
+  return roster;
+}
+
+}  // namespace mobipriv::core

@@ -1,0 +1,66 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::core {
+
+std::string EvaluationReport::ToString() const {
+  std::ostringstream os;
+  os << mechanism << "\n  privacy: poi " << poi.ToString()
+     << "\n  utility: sync_err_mean="
+     << util::FormatDouble(distortion.synchronized_m.mean, 1)
+     << "m path_err_mean=" << util::FormatDouble(distortion.path_m.mean, 1)
+     << "m coverage=" << util::FormatDouble(coverage_jaccard, 3)
+     << " heatmap=" << util::FormatDouble(heatmap_cosine, 3)
+     << " range_err_med="
+     << util::FormatDouble(range_queries.relative_error.median, 3)
+     << " retention=" << util::FormatDouble(event_retention, 3);
+  return os.str();
+}
+
+EvaluationReport Evaluate(const synth::SyntheticWorld& world,
+                          const model::Dataset& published,
+                          const std::string& mechanism_name,
+                          const EvaluationConfig& config) {
+  EvaluationReport report;
+  report.mechanism = mechanism_name;
+  const model::Dataset& original = world.dataset();
+
+  // --- Privacy: POI extraction scored against ground truth. ---
+  // The attack frame must be shared between published-data extraction and
+  // the ground-truth conversion: use the original dataset's projection for
+  // both (the published bounding box can shrink when points are dropped).
+  const geo::LocalProjection attack_frame =
+      attacks::DatasetProjection(original);
+  const attacks::PoiExtractor extractor(config.poi_attack);
+  const auto extracted = extractor.Extract(published, attack_frame);
+  const auto truth = metrics::DistinctTruePlaces(
+      world.ground_truth(), world.projection(), attack_frame);
+  report.poi = metrics::ScorePoiExtraction(extracted, truth,
+                                           config.poi_match);
+  report.extracted_pois_raw =
+      extractor.Extract(original, attack_frame).size();
+
+  // --- Utility. ---
+  report.distortion = metrics::MeasureDistortion(original, published);
+  report.coverage_jaccard =
+      metrics::CoverageJaccard(original, published, config.coverage);
+  report.heatmap_cosine =
+      metrics::HeatmapSimilarity(original, published, config.heatmap);
+  util::Rng query_rng(config.query_seed);
+  const auto queries =
+      metrics::SampleQueries(original, config.range_queries, query_rng);
+  report.range_queries =
+      metrics::MeasureRangeQueryError(original, published, queries);
+  const auto original_events = original.EventCount();
+  report.event_retention =
+      original_events == 0
+          ? 0.0
+          : static_cast<double>(published.EventCount()) /
+                static_cast<double>(original_events);
+  return report;
+}
+
+}  // namespace mobipriv::core

@@ -1,0 +1,54 @@
+// One-call evaluation: runs the privacy attacks and utility metrics against
+// an (original, published) dataset pair and assembles the numbers every
+// bench table reports. This is the library's "evaluation harness in a box"
+// for downstream users.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "attacks/poi_extraction.h"
+#include "attacks/reident.h"
+#include "metrics/coverage.h"
+#include "metrics/heatmap.h"
+#include "metrics/poi_metrics.h"
+#include "metrics/range_queries.h"
+#include "metrics/reident_metrics.h"
+#include "metrics/spatial_distortion.h"
+#include "synth/population.h"
+
+namespace mobipriv::core {
+
+struct EvaluationConfig {
+  attacks::PoiExtractionConfig poi_attack;
+  metrics::PoiMatchConfig poi_match;
+  metrics::CoverageConfig coverage;
+  metrics::HeatmapConfig heatmap;
+  metrics::RangeQueryConfig range_queries;
+  std::uint64_t query_seed = 1234;
+};
+
+/// Everything measured about one publication.
+struct EvaluationReport {
+  std::string mechanism;
+  // Privacy.
+  metrics::PoiScore poi;               ///< attack vs ground truth
+  std::size_t extracted_pois_raw = 0;  ///< attack on the raw data (reference)
+  // Utility.
+  metrics::DistortionSummary distortion;
+  double coverage_jaccard = 0.0;
+  double heatmap_cosine = 0.0;
+  metrics::RangeQueryReport range_queries;
+  double event_retention = 0.0;  ///< published events / original events
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Runs the full evaluation of `published` against the world's original
+/// dataset and ground truth.
+[[nodiscard]] EvaluationReport Evaluate(const synth::SyntheticWorld& world,
+                                        const model::Dataset& published,
+                                        const std::string& mechanism_name,
+                                        const EvaluationConfig& config = {});
+
+}  // namespace mobipriv::core

@@ -1,0 +1,31 @@
+#include "geo/distance.h"
+
+#include <vector>
+
+namespace mobipriv::geo {
+
+GeoDistanceFn DefaultGeoDistance() {
+  return [](LatLng a, LatLng b) { return HaversineDistance(a, b); };
+}
+
+GeoDistanceFn FastGeoDistance() {
+  return [](LatLng a, LatLng b) { return EquirectangularDistance(a, b); };
+}
+
+double PathLength(const std::vector<LatLng>& path) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    total += HaversineDistance(path[i - 1], path[i]);
+  }
+  return total;
+}
+
+double PathLength(const std::vector<Point2>& path) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    total += Distance(path[i - 1], path[i]);
+  }
+  return total;
+}
+
+}  // namespace mobipriv::geo

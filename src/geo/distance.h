@@ -1,0 +1,30 @@
+// Distance-function abstraction. Algorithms that must run both on raw
+// geographic coordinates and on projected planar points (clustering, the
+// tracker, mix-zone detection) take a DistanceFn so tests can exercise them
+// in exact planar space while production paths use geographic distance.
+#pragma once
+
+#include <functional>
+
+#include "geo/latlng.h"
+#include "geo/point2.h"
+
+namespace mobipriv::geo {
+
+/// Metric on WGS84 coordinates, metres.
+using GeoDistanceFn = std::function<double(LatLng, LatLng)>;
+
+/// Default geographic metric (haversine).
+[[nodiscard]] GeoDistanceFn DefaultGeoDistance();
+
+/// Fast approximate metric (equirectangular), for hot loops over
+/// city-scale data.
+[[nodiscard]] GeoDistanceFn FastGeoDistance();
+
+/// Length in metres of a geographic path given as consecutive coordinates.
+[[nodiscard]] double PathLength(const std::vector<LatLng>& path) noexcept;
+
+/// Length in metres of a planar path.
+[[nodiscard]] double PathLength(const std::vector<Point2>& path) noexcept;
+
+}  // namespace mobipriv::geo

@@ -1,0 +1,66 @@
+#include "geo/grid_index.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mobipriv::geo {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
+  assert(cell_size > 0.0);
+}
+
+GridIndex::CellKey GridIndex::KeyFor(Point2 p) const noexcept {
+  return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+void GridIndex::Insert(Point2 p, std::uint64_t id) {
+  cells_[KeyFor(p)].push_back(Entry{p, id});
+  ++count_;
+}
+
+std::vector<std::uint64_t> GridIndex::QueryRadius(Point2 center,
+                                                  double radius) const {
+  assert(radius >= 0.0);
+  std::vector<std::uint64_t> out;
+  const double r_sq = radius * radius;
+  // Number of cells the radius spans (>=1 so the 3x3 case stays fast).
+  const auto span =
+      static_cast<std::int64_t>(std::ceil(radius / cell_size_));
+  const CellKey center_key = KeyFor(center);
+  for (std::int64_t dx = -span; dx <= span; ++dx) {
+    for (std::int64_t dy = -span; dy <= span; ++dy) {
+      const auto it =
+          cells_.find(CellKey{center_key.cx + dx, center_key.cy + dy});
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (DistanceSquared(e.point, center) <= r_sq) out.push_back(e.id);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, Point2>> GridIndex::QueryBoxCandidates(
+    Point2 center, double radius) const {
+  std::vector<std::pair<std::uint64_t, Point2>> out;
+  const auto span =
+      static_cast<std::int64_t>(std::ceil(radius / cell_size_));
+  const CellKey center_key = KeyFor(center);
+  for (std::int64_t dx = -span; dx <= span; ++dx) {
+    for (std::int64_t dy = -span; dy <= span; ++dy) {
+      const auto it =
+          cells_.find(CellKey{center_key.cx + dx, center_key.cy + dy});
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) out.emplace_back(e.id, e.point);
+    }
+  }
+  return out;
+}
+
+void GridIndex::Clear() {
+  cells_.clear();
+  count_ = 0;
+}
+
+}  // namespace mobipriv::geo

@@ -1,0 +1,70 @@
+// Uniform-grid spatial index over planar points. Used by the mix-zone
+// detector (find co-located users fast), the POI clustering attack and the
+// heatmap metric. Cell size should be >= the query radius for the classic
+// 3x3-neighbourhood query to be exact.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point2.h"
+
+namespace mobipriv::geo {
+
+/// Maps points (with caller-supplied payload ids) to grid cells and answers
+/// radius queries by scanning the 3x3 cell neighbourhood (exact when
+/// cell_size >= radius; the index verifies candidates with a true distance
+/// test so results are always exact, the cell size only affects speed).
+class GridIndex {
+ public:
+  explicit GridIndex(double cell_size);
+
+  /// Inserts a point with an opaque id (e.g. event index).
+  void Insert(Point2 p, std::uint64_t id);
+
+  /// Ids of all inserted points within `radius` of `center` (inclusive).
+  [[nodiscard]] std::vector<std::uint64_t> QueryRadius(Point2 center,
+                                                       double radius) const;
+
+  /// All (id, point) pairs sharing cells intersecting the axis-aligned
+  /// square of half-width `radius` around `center` (superset of the true
+  /// radius query; cheap pre-filter for custom predicates).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Point2>> QueryBoxCandidates(
+      Point2 center, double radius) const;
+
+  [[nodiscard]] std::size_t Size() const noexcept { return count_; }
+  [[nodiscard]] double CellSize() const noexcept { return cell_size_; }
+  void Clear();
+
+ private:
+  struct CellKey {
+    std::int64_t cx;
+    std::int64_t cy;
+    friend bool operator==(CellKey a, CellKey b) noexcept {
+      return a.cx == b.cx && a.cy == b.cy;
+    }
+  };
+  struct CellKeyHash {
+    std::size_t operator()(CellKey k) const noexcept {
+      // 2-D -> 1-D mix (large odd constants, xor-fold).
+      const auto ux = static_cast<std::uint64_t>(k.cx);
+      const auto uy = static_cast<std::uint64_t>(k.cy);
+      std::uint64_t h = ux * 0x9E3779B97F4A7C15ULL;
+      h ^= uy * 0xC2B2AE3D27D4EB4FULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    Point2 point;
+    std::uint64_t id;
+  };
+
+  [[nodiscard]] CellKey KeyFor(Point2 p) const noexcept;
+
+  double cell_size_;
+  std::size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
+};
+
+}  // namespace mobipriv::geo

@@ -1,0 +1,65 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::geo {
+
+std::string LatLng::ToString() const {
+  return util::FormatDouble(lat, 6) + "," + util::FormatDouble(lng, 6);
+}
+
+double HaversineDistance(LatLng a, LatLng b) noexcept {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dphi = (b.lat - a.lat) * kDegToRad;
+  const double dlambda = (b.lng - a.lng) * kDegToRad;
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlambda = std::sin(dlambda / 2.0);
+  const double h = sin_dphi * sin_dphi +
+                   std::cos(phi1) * std::cos(phi2) * sin_dlambda * sin_dlambda;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double EquirectangularDistance(LatLng a, LatLng b) noexcept {
+  const double mean_lat = (a.lat + b.lat) * 0.5 * kDegToRad;
+  const double dx = (b.lng - a.lng) * kDegToRad * std::cos(mean_lat);
+  const double dy = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::hypot(dx, dy);
+}
+
+double InitialBearing(LatLng a, LatLng b) noexcept {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dlambda = (b.lng - a.lng) * kDegToRad;
+  const double y = std::sin(dlambda) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlambda);
+  double bearing = std::atan2(y, x);
+  if (bearing < 0.0) bearing += 2.0 * std::numbers::pi;
+  return bearing;
+}
+
+LatLng Destination(LatLng origin, double bearing_rad,
+                   double distance_m) noexcept {
+  const double delta = distance_m / kEarthRadiusMeters;  // angular distance
+  const double phi1 = origin.lat * kDegToRad;
+  const double lambda1 = origin.lng * kDegToRad;
+  const double sin_phi2 =
+      std::sin(phi1) * std::cos(delta) +
+      std::cos(phi1) * std::sin(delta) * std::cos(bearing_rad);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(bearing_rad) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  double lambda2 = lambda1 + std::atan2(y, x);
+  // Normalise longitude to [-180, 180).
+  double lng = lambda2 * kRadToDeg;
+  while (lng >= 180.0) lng -= 360.0;
+  while (lng < -180.0) lng += 360.0;
+  return LatLng{phi2 * kRadToDeg, lng};
+}
+
+}  // namespace mobipriv::geo

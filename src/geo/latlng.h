@@ -1,0 +1,48 @@
+// WGS84 geographic coordinate. Datasets are ingested and published in
+// lat/lng degrees; all geometric computation happens after projection to a
+// local tangent plane (see geo/projection.h).
+#pragma once
+
+#include <string>
+
+namespace mobipriv::geo {
+
+inline constexpr double kEarthRadiusMeters = 6371008.8;  // IUGG mean radius
+inline constexpr double kDegToRad = 0.017453292519943295;
+inline constexpr double kRadToDeg = 57.29577951308232;
+
+struct LatLng {
+  double lat = 0.0;  ///< degrees, [-90, 90]
+  double lng = 0.0;  ///< degrees, [-180, 180]
+
+  friend constexpr bool operator==(LatLng a, LatLng b) noexcept {
+    return a.lat == b.lat && a.lng == b.lng;
+  }
+
+  /// True if the coordinate lies in the valid WGS84 range.
+  [[nodiscard]] constexpr bool IsValid() const noexcept {
+    return lat >= -90.0 && lat <= 90.0 && lng >= -180.0 && lng <= 180.0;
+  }
+
+  /// "lat,lng" with 6 decimals (~0.1 m resolution) for CSV output.
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Great-circle distance in metres (haversine formula). Numerically robust
+/// for both antipodal and very close points.
+[[nodiscard]] double HaversineDistance(LatLng a, LatLng b) noexcept;
+
+/// Fast flat-earth approximation of the distance in metres; accurate to
+/// <0.5 % for points within a few tens of kilometres, which is the scale of
+/// every mobility dataset we process. Used on hot paths (clustering).
+[[nodiscard]] double EquirectangularDistance(LatLng a, LatLng b) noexcept;
+
+/// Initial great-circle bearing from a to b, radians in [0, 2*pi).
+[[nodiscard]] double InitialBearing(LatLng a, LatLng b) noexcept;
+
+/// Destination point at `distance_m` metres from `origin` along `bearing_rad`
+/// (great-circle). Inverse of InitialBearing/HaversineDistance.
+[[nodiscard]] LatLng Destination(LatLng origin, double bearing_rad,
+                                 double distance_m) noexcept;
+
+}  // namespace mobipriv::geo

@@ -1,0 +1,85 @@
+// Planar 2-D point/vector in metres, used after projecting WGS84 coordinates
+// to a local tangent plane. Header-only value type with the usual vector
+// algebra; every geometric routine in the library (resampling, clustering,
+// mix-zone detection) works in this metric space.
+#pragma once
+
+#include <cmath>
+
+namespace mobipriv::geo {
+
+struct Point2 {
+  double x = 0.0;  ///< metres east of the projection origin
+  double y = 0.0;  ///< metres north of the projection origin
+
+  friend constexpr Point2 operator+(Point2 a, Point2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point2 operator-(Point2 a, Point2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point2 operator*(Point2 p, double s) noexcept {
+    return {p.x * s, p.y * s};
+  }
+  friend constexpr Point2 operator*(double s, Point2 p) noexcept {
+    return p * s;
+  }
+  friend constexpr Point2 operator/(Point2 p, double s) noexcept {
+    return {p.x / s, p.y / s};
+  }
+  friend constexpr bool operator==(Point2 a, Point2 b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  [[nodiscard]] constexpr double Dot(Point2 other) const noexcept {
+    return x * other.x + y * other.y;
+  }
+  /// 2-D cross product (z-component); sign gives turn direction.
+  [[nodiscard]] constexpr double Cross(Point2 other) const noexcept {
+    return x * other.y - y * other.x;
+  }
+  [[nodiscard]] constexpr double NormSquared() const noexcept {
+    return x * x + y * y;
+  }
+  [[nodiscard]] double Norm() const noexcept { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction; the zero vector is returned as-is.
+  [[nodiscard]] Point2 Normalized() const noexcept {
+    const double n = Norm();
+    return n > 0.0 ? Point2{x / n, y / n} : Point2{};
+  }
+};
+
+/// Euclidean distance in metres.
+[[nodiscard]] inline double Distance(Point2 a, Point2 b) noexcept {
+  return (a - b).Norm();
+}
+
+[[nodiscard]] inline constexpr double DistanceSquared(Point2 a,
+                                                      Point2 b) noexcept {
+  return (a - b).NormSquared();
+}
+
+/// Linear interpolation: t=0 -> a, t=1 -> b (t may lie outside [0,1]).
+[[nodiscard]] inline constexpr Point2 Lerp(Point2 a, Point2 b,
+                                           double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Midpoint of the segment ab.
+[[nodiscard]] inline constexpr Point2 Midpoint(Point2 a, Point2 b) noexcept {
+  return Lerp(a, b, 0.5);
+}
+
+/// Distance from p to the *segment* [a, b] (not the infinite line).
+[[nodiscard]] inline double DistanceToSegment(Point2 p, Point2 a,
+                                              Point2 b) noexcept {
+  const Point2 ab = b - a;
+  const double len_sq = ab.NormSquared();
+  if (len_sq == 0.0) return Distance(p, a);
+  double t = (p - a).Dot(ab) / len_sq;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return Distance(p, a + ab * t);
+}
+
+}  // namespace mobipriv::geo

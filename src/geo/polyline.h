@@ -1,0 +1,88 @@
+// Polyline algebra on planar paths. This module carries the geometric core
+// of the paper's first stage: ResampleUniform() places points at *equal
+// spatial spacing* along a path, which combined with equally-spaced
+// timestamps yields the constant-speed trace of Section III.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/point2.h"
+
+namespace mobipriv::geo {
+
+/// Total arc length (metres) of the path; 0 for fewer than 2 points.
+[[nodiscard]] double PolylineLength(const std::vector<Point2>& path) noexcept;
+
+/// Cumulative arc length at every vertex: out[0] = 0, out.back() = length.
+/// Empty input yields an empty vector.
+[[nodiscard]] std::vector<double> CumulativeLengths(
+    const std::vector<Point2>& path);
+
+/// Point at arc length `s` along the path (clamped to [0, length]).
+/// Requires a non-empty path.
+[[nodiscard]] Point2 PointAtLength(const std::vector<Point2>& path,
+                                   const std::vector<double>& cumulative,
+                                   double s) noexcept;
+
+/// Convenience overload that recomputes the cumulative lengths.
+[[nodiscard]] Point2 PointAtLength(const std::vector<Point2>& path, double s);
+
+/// Resamples the path at uniform arc-length spacing.
+///
+/// The output always contains the first and last input vertices. Interior
+/// output points lie exactly on the input polyline at arc lengths
+/// k * L/(n-1) where L is the total length and n the output size chosen so
+/// the realized spacing is the largest value <= `spacing` that divides L
+/// evenly (so spacing is *exactly* uniform, which the constant-speed
+/// guarantee requires). Degenerate inputs:
+///   - empty path          -> empty output
+///   - single point        -> that point
+///   - zero-length path    -> {first, last}
+/// Requires spacing > 0.
+[[nodiscard]] std::vector<Point2> ResampleUniform(
+    const std::vector<Point2>& path, double spacing);
+
+/// Resamples to exactly `count` >= 2 points at uniform spacing (first and
+/// last preserved). Used when the caller wants to keep the original point
+/// count rather than a target spacing.
+[[nodiscard]] std::vector<Point2> ResampleCount(const std::vector<Point2>& path,
+                                                std::size_t count);
+
+/// Resamples the path at uniform *chord* spacing: every consecutive pair of
+/// output points is exactly `spacing` metres apart in straight-line
+/// (Euclidean) distance — except the final pair, which may be closer.
+///
+/// The walk keeps the last emitted point as an anchor and advances through
+/// the input vertices until the straight-line distance from the anchor
+/// exceeds `spacing`, emitting the crossing point of the `spacing`-circle
+/// with the current segment. Consequences that make this the right
+/// primitive for the paper's constant-speed stage (see
+/// mechanisms/speed_smoothing.h):
+///   - "equal distance between two consecutive points" holds *exactly*;
+///   - excursions that stay within `spacing` of the anchor are absorbed:
+///     GPS jitter while the user dwells at a POI — kilometres of wiggly
+///     polyline inside a few metres — contributes no output points at all,
+///     so stops become invisible;
+///   - corners are cut by at most `spacing`.
+/// Degenerate inputs behave like ResampleUniform. Requires spacing > 0.
+[[nodiscard]] std::vector<Point2> ChordResample(
+    const std::vector<Point2>& path, double spacing);
+
+/// Ramer–Douglas–Peucker simplification with tolerance `epsilon` metres.
+/// Keeps endpoints; removes interior vertices whose removal changes the path
+/// by less than epsilon. Used by the synthetic generator to keep road paths
+/// compact and by ablation benches.
+[[nodiscard]] std::vector<Point2> SimplifyRdp(const std::vector<Point2>& path,
+                                              double epsilon);
+
+/// Index of the path vertex nearest to `p` (nullopt for an empty path).
+[[nodiscard]] std::optional<std::size_t> NearestVertex(
+    const std::vector<Point2>& path, Point2 p) noexcept;
+
+/// Minimum distance from `p` to the polyline (segments, not just vertices).
+/// Requires a non-empty path.
+[[nodiscard]] double DistanceToPolyline(const std::vector<Point2>& path,
+                                        Point2 p) noexcept;
+
+}  // namespace mobipriv::geo

@@ -1,0 +1,40 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace mobipriv::geo {
+
+LocalProjection::LocalProjection(LatLng origin) noexcept
+    : origin_(origin), cos_lat_(std::cos(origin.lat * kDegToRad)) {}
+
+Point2 LocalProjection::Project(LatLng p) const noexcept {
+  const double x = (p.lng - origin_.lng) * kDegToRad * cos_lat_ *
+                   kEarthRadiusMeters;
+  const double y = (p.lat - origin_.lat) * kDegToRad * kEarthRadiusMeters;
+  return {x, y};
+}
+
+LatLng LocalProjection::Unproject(Point2 p) const noexcept {
+  const double lat = origin_.lat + (p.y / kEarthRadiusMeters) * kRadToDeg;
+  const double lng =
+      origin_.lng + (p.x / (kEarthRadiusMeters * cos_lat_)) * kRadToDeg;
+  return {lat, lng};
+}
+
+std::vector<Point2> LocalProjection::Project(
+    const std::vector<LatLng>& path) const {
+  std::vector<Point2> out;
+  out.reserve(path.size());
+  for (const auto& p : path) out.push_back(Project(p));
+  return out;
+}
+
+std::vector<LatLng> LocalProjection::Unproject(
+    const std::vector<Point2>& path) const {
+  std::vector<LatLng> out;
+  out.reserve(path.size());
+  for (const auto& p : path) out.push_back(Unproject(p));
+  return out;
+}
+
+}  // namespace mobipriv::geo

@@ -1,0 +1,41 @@
+// Local tangent-plane projection (azimuthal equirectangular around a chosen
+// origin). Mobility datasets cover a single metropolitan area, where this
+// projection is accurate to centimetres; it gives us a Euclidean space in
+// which segment lengths, interpolation and clustering are exact and cheap.
+//
+// The projection is invertible: Unproject(Project(p)) == p up to floating
+// point rounding, a property the round-trip tests assert.
+#pragma once
+
+#include "geo/latlng.h"
+#include "geo/point2.h"
+
+#include <vector>
+
+namespace mobipriv::geo {
+
+class LocalProjection {
+ public:
+  /// `origin` becomes planar (0, 0). Typically the dataset's bounding-box
+  /// centre.
+  explicit LocalProjection(LatLng origin) noexcept;
+
+  [[nodiscard]] LatLng Origin() const noexcept { return origin_; }
+
+  /// WGS84 -> metres east/north of the origin.
+  [[nodiscard]] Point2 Project(LatLng p) const noexcept;
+
+  /// Metres east/north of the origin -> WGS84.
+  [[nodiscard]] LatLng Unproject(Point2 p) const noexcept;
+
+  [[nodiscard]] std::vector<Point2> Project(
+      const std::vector<LatLng>& path) const;
+  [[nodiscard]] std::vector<LatLng> Unproject(
+      const std::vector<Point2>& path) const;
+
+ private:
+  LatLng origin_;
+  double cos_lat_;  // cached scale factor for the longitude axis
+};
+
+}  // namespace mobipriv::geo

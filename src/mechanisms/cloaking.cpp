@@ -1,0 +1,37 @@
+#include "mechanisms/cloaking.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "geo/projection.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::mech {
+
+Cloaking::Cloaking(CloakingConfig config) : config_(config) {
+  assert(config_.cell_size_m > 0.0);
+}
+
+std::string Cloaking::Name() const {
+  return "cloaking[cell=" + util::FormatDouble(config_.cell_size_m, 0) + "m]";
+}
+
+model::Trace Cloaking::ApplyToTrace(const model::Trace& trace,
+                                    util::Rng& rng) const {
+  (void)rng;
+  model::Trace out;
+  out.set_user(trace.user());
+  if (trace.empty()) return out;
+  const geo::LocalProjection projection(trace.BoundingBox().Center());
+  const double cell = config_.cell_size_m;
+  for (const auto& event : trace) {
+    const geo::Point2 p = projection.Project(event.position);
+    const geo::Point2 snapped{
+        (std::floor(p.x / cell) + 0.5) * cell,
+        (std::floor(p.y / cell) + 0.5) * cell};
+    out.Append(model::Event{projection.Unproject(snapped), event.time});
+  }
+  return out;
+}
+
+}  // namespace mobipriv::mech

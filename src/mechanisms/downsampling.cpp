@@ -1,0 +1,29 @@
+#include "mechanisms/downsampling.h"
+
+#include <cassert>
+
+namespace mobipriv::mech {
+
+Downsampling::Downsampling(DownsamplingConfig config) : config_(config) {
+  assert(config_.min_interval_s > 0);
+}
+
+std::string Downsampling::Name() const {
+  return "downsampling[dt=" + std::to_string(config_.min_interval_s) + "s]";
+}
+
+model::Trace Downsampling::ApplyToTrace(const model::Trace& trace,
+                                        util::Rng& rng) const {
+  (void)rng;
+  model::Trace out;
+  out.set_user(trace.user());
+  for (const auto& event : trace) {
+    if (out.empty() ||
+        event.time - out.back().time >= config_.min_interval_s) {
+      out.Append(event);
+    }
+  }
+  return out;
+}
+
+}  // namespace mobipriv::mech

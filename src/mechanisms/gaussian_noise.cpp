@@ -1,0 +1,33 @@
+#include "mechanisms/gaussian_noise.h"
+
+#include <cassert>
+
+#include "geo/projection.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::mech {
+
+GaussianNoise::GaussianNoise(GaussianNoiseConfig config) : config_(config) {
+  assert(config_.sigma_m >= 0.0);
+}
+
+std::string GaussianNoise::Name() const {
+  return "gaussian[sigma=" + util::FormatDouble(config_.sigma_m, 0) + "m]";
+}
+
+model::Trace GaussianNoise::ApplyToTrace(const model::Trace& trace,
+                                         util::Rng& rng) const {
+  model::Trace out;
+  out.set_user(trace.user());
+  if (trace.empty()) return out;
+  const geo::LocalProjection projection(trace.BoundingBox().Center());
+  for (const auto& event : trace) {
+    geo::Point2 p = projection.Project(event.position);
+    p.x += rng.Gaussian(0.0, config_.sigma_m);
+    p.y += rng.Gaussian(0.0, config_.sigma_m);
+    out.Append(model::Event{projection.Unproject(p), event.time});
+  }
+  return out;
+}
+
+}  // namespace mobipriv::mech

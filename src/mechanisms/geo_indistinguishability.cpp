@@ -1,0 +1,83 @@
+#include "mechanisms/geo_indistinguishability.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "geo/projection.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::mech {
+
+double LambertWMinus1(double x) {
+  assert(x >= -1.0 / std::numbers::e_v<double> && x < 0.0);
+  // Initial guess (Barry et al. 2000): accurate near the branch point and
+  // for x -> 0^- where W_{-1} -> -inf like ln(-x).
+  double w;
+  if (x < -0.25) {
+    // Near the branch point -1/e: series in sqrt(2(1 + e*x)). The max()
+    // guards the exact branch point, where rounding can push the radicand
+    // infinitesimally negative.
+    const double sigma = std::sqrt(
+        std::max(0.0, 2.0 * (1.0 + std::numbers::e_v<double> * x)));
+    w = -1.0 - sigma + sigma * sigma / 3.0;
+  } else {
+    // Asymptotic: W_{-1}(x) ~ ln(-x) - ln(-ln(-x)).
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  // Halley refinement of f(w) = w*e^w - x.
+  for (int iter = 0; iter < 32; ++iter) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double fp = ew * (w + 1.0);
+    if (fp == 0.0) break;  // exactly at the branch point w = -1
+    const double fpp = ew * (w + 2.0);
+    const double denom = fp - 0.5 * f * fpp / fp;
+    if (denom == 0.0) break;
+    const double delta = f / denom;
+    w -= delta;
+    if (std::abs(delta) <= 1e-14 * std::max(1.0, std::abs(w))) break;
+  }
+  return w;
+}
+
+double SamplePlanarLaplaceRadius(double epsilon, util::Rng& rng) {
+  assert(epsilon > 0.0);
+  // p uniform in (0, 1); r = -(1/eps) * (W_{-1}((p-1)/e) + 1).
+  double p = rng.NextDouble();
+  if (p <= 0.0) p = std::numeric_limits<double>::min();
+  if (p >= 1.0) p = 1.0 - 1e-16;
+  const double arg = (p - 1.0) / std::numbers::e_v<double>;
+  return -(LambertWMinus1(arg) + 1.0) / epsilon;
+}
+
+GeoIndistinguishability::GeoIndistinguishability(GeoIndConfig config)
+    : config_(config) {
+  assert(config_.epsilon > 0.0);
+}
+
+std::string GeoIndistinguishability::Name() const {
+  return "geo_ind[eps=" + util::FormatDouble(config_.epsilon, 4) + "]";
+}
+
+model::Trace GeoIndistinguishability::ApplyToTrace(const model::Trace& trace,
+                                                   util::Rng& rng) const {
+  model::Trace out;
+  out.set_user(trace.user());
+  if (trace.empty()) return out;
+  const geo::LocalProjection projection(trace.BoundingBox().Center());
+  for (const auto& event : trace) {
+    const double r = SamplePlanarLaplaceRadius(config_.epsilon, rng);
+    const double theta = rng.Angle();
+    geo::Point2 p = projection.Project(event.position);
+    p.x += r * std::cos(theta);
+    p.y += r * std::sin(theta);
+    out.Append(model::Event{projection.Unproject(p), event.time});
+  }
+  return out;
+}
+
+}  // namespace mobipriv::mech

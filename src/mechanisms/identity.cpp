@@ -1,0 +1,11 @@
+#include "mechanisms/identity.h"
+
+namespace mobipriv::mech {
+
+model::Dataset Identity::Apply(const model::Dataset& input,
+                               util::Rng& rng) const {
+  (void)rng;
+  return input.Clone();
+}
+
+}  // namespace mobipriv::mech

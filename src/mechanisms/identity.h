@@ -1,0 +1,16 @@
+// The no-op mechanism: publishes the dataset unchanged. Baseline row of
+// every experiment table (maximum utility, zero privacy).
+#pragma once
+
+#include "mechanisms/mechanism.h"
+
+namespace mobipriv::mech {
+
+class Identity final : public Mechanism {
+ public:
+  [[nodiscard]] std::string Name() const override { return "identity"; }
+  [[nodiscard]] model::Dataset Apply(const model::Dataset& input,
+                                     util::Rng& rng) const override;
+};
+
+}  // namespace mobipriv::mech

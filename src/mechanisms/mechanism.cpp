@@ -1,0 +1,21 @@
+#include "mechanisms/mechanism.h"
+
+namespace mobipriv::mech {
+
+model::Dataset PerTraceMechanism::Apply(const model::Dataset& input,
+                                        util::Rng& rng) const {
+  model::Dataset output;
+  // Re-intern users in id order so ids are identical in input and output.
+  for (model::UserId id = 0; id < input.UserCount(); ++id) {
+    output.InternUser(input.UserName(id));
+  }
+  for (const auto& trace : input.traces()) {
+    model::Trace transformed = ApplyToTrace(trace, rng);
+    if (transformed.empty()) continue;  // mechanism suppressed the trace
+    transformed.set_user(trace.user());
+    output.AddTrace(std::move(transformed));
+  }
+  return output;
+}
+
+}  // namespace mobipriv::mech

@@ -1,0 +1,41 @@
+// Common interface of all publication mechanisms (the paper's solution and
+// every baseline). A mechanism maps a raw dataset to a sanitized dataset;
+// randomness is supplied by the caller so runs are reproducible.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/dataset.h"
+#include "util/rng.h"
+
+namespace mobipriv::mech {
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Stable identifier used in benchmark tables ("speed_smoothing",
+  /// "geo_ind[eps=0.01]", ...).
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Produces the sanitized dataset. Implementations must not mutate the
+  /// input and must leave `rng` in a valid (advanced) state.
+  [[nodiscard]] virtual model::Dataset Apply(const model::Dataset& input,
+                                             util::Rng& rng) const = 0;
+};
+
+/// Helper base for mechanisms that transform each trace independently.
+class PerTraceMechanism : public Mechanism {
+ public:
+  [[nodiscard]] model::Dataset Apply(const model::Dataset& input,
+                                     util::Rng& rng) const final;
+
+ protected:
+  /// Transforms one trace. The returned trace keeps the input's user id.
+  [[nodiscard]] virtual model::Trace ApplyToTrace(const model::Trace& trace,
+                                                  util::Rng& rng) const = 0;
+};
+
+}  // namespace mobipriv::mech

@@ -1,0 +1,386 @@
+#include "mechanisms/mixzone.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "geo/grid_index.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::mech {
+namespace {
+
+/// Flattened event reference used during detection.
+struct FlatEvent {
+  std::uint32_t trace = 0;
+  std::uint32_t index = 0;  // within the trace
+  geo::Point2 position;
+  util::Timestamp time = 0;
+  model::UserId user = model::kInvalidUser;
+};
+
+/// A raw co-location of two distinct users.
+struct Encounter {
+  geo::Point2 midpoint;
+  util::Timestamp time = 0;
+};
+
+/// A maximal in-zone run of one trace.
+struct ZonePassage {
+  std::uint32_t trace = 0;
+  model::UserId user = model::kInvalidUser;
+  util::Timestamp enter = 0;
+  util::Timestamp exit = 0;
+  std::uint32_t first_event = 0;
+  std::uint32_t last_event = 0;  // inclusive
+};
+
+}  // namespace
+
+std::string MixZoneReport::ToString() const {
+  std::ostringstream os;
+  os << "zones=" << zones.size() << " occurrences=" << occurrences
+     << " encounters=" << encounters << " swaps=" << swaps_applied
+     << " suppressed=" << suppressed_events << "/" << total_events << " ("
+     << util::FormatDouble(100.0 * SuppressionRatio(), 2) << "%)";
+  return os.str();
+}
+
+MixZone::MixZone(MixZoneConfig config) : config_(config) {
+  assert(config_.zone_radius_m > 0.0);
+  assert(config_.time_window_s > 0);
+  assert(config_.min_users >= 2);
+}
+
+std::string MixZone::Name() const {
+  return "mixzone[r=" + util::FormatDouble(config_.zone_radius_m, 0) +
+         "m,w=" + std::to_string(config_.time_window_s) + "s]";
+}
+
+model::Dataset MixZone::Apply(const model::Dataset& input,
+                              util::Rng& rng) const {
+  MixZoneReport report;
+  return ApplyWithReport(input, rng, report);
+}
+
+model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
+                                        util::Rng& rng,
+                                        MixZoneReport& report) const {
+  report = MixZoneReport{};
+  report.total_events = input.EventCount();
+
+  // ---- 0. Project everything onto one dataset-wide tangent plane. ----
+  const geo::GeoBoundingBox bbox = input.BoundingBox();
+  const geo::LocalProjection projection(
+      bbox.IsEmpty() ? geo::LatLng{0.0, 0.0} : bbox.Center());
+  const auto& traces = input.traces();
+
+  std::vector<FlatEvent> flat;
+  flat.reserve(report.total_events);
+  std::vector<std::vector<geo::Point2>> planar(traces.size());
+  for (std::uint32_t t = 0; t < traces.size(); ++t) {
+    planar[t].reserve(traces[t].size());
+    for (std::uint32_t i = 0; i < traces[t].size(); ++i) {
+      const geo::Point2 p = projection.Project(traces[t][i].position);
+      planar[t].push_back(p);
+      flat.push_back(FlatEvent{t, i, p, traces[t][i].time,
+                               traces[t].user()});
+    }
+  }
+
+  // ---- 1. Encounter detection via the spatial grid. ----
+  geo::GridIndex index(config_.zone_radius_m);
+  for (std::uint64_t id = 0; id < flat.size(); ++id) {
+    index.Insert(flat[id].position, id);
+  }
+  std::vector<Encounter> encounters;
+  for (std::uint64_t id = 0; id < flat.size(); ++id) {
+    const FlatEvent& a = flat[id];
+    for (const std::uint64_t other :
+         index.QueryRadius(a.position, config_.zone_radius_m)) {
+      if (other <= id) continue;  // each unordered pair once
+      const FlatEvent& b = flat[other];
+      if (a.user == b.user) continue;
+      if (std::abs(a.time - b.time) > config_.time_window_s) continue;
+      encounters.push_back(Encounter{geo::Midpoint(a.position, b.position),
+                                     std::min(a.time, b.time)});
+    }
+  }
+  report.encounters = encounters.size();
+
+  // ---- 2. Greedy zone clustering (first-fit by centre distance). ----
+  std::vector<geo::Point2> zone_centers;
+  for (const Encounter& e : encounters) {
+    bool assigned = false;
+    for (const geo::Point2& center : zone_centers) {
+      if (geo::Distance(center, e.midpoint) <= config_.zone_radius_m) {
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) zone_centers.push_back(e.midpoint);
+  }
+
+  // ---- 3 & 4. Per-zone passages and occurrence grouping. ----
+  struct Occurrence {
+    std::size_t zone = 0;
+    std::vector<ZonePassage> passages;
+    util::Timestamp end = 0;  // latest exit among passages
+  };
+  std::vector<Occurrence> occurrences;
+  report.zones.reserve(zone_centers.size());
+  // zone_centers index -> index in report.zones (only mixing zones appear).
+  std::vector<std::ptrdiff_t> zone_report_index(zone_centers.size(), -1);
+
+  for (std::size_t z = 0; z < zone_centers.size(); ++z) {
+    const geo::Point2 center = zone_centers[z];
+    std::vector<ZonePassage> passages;
+    for (std::uint32_t t = 0; t < traces.size(); ++t) {
+      const auto& points = planar[t];
+      std::uint32_t i = 0;
+      while (i < points.size()) {
+        if (geo::Distance(points[i], center) > config_.zone_radius_m) {
+          ++i;
+          continue;
+        }
+        std::uint32_t j = i;
+        while (j + 1 < points.size() &&
+               geo::Distance(points[j + 1], center) <=
+                   config_.zone_radius_m) {
+          ++j;
+        }
+        passages.push_back(ZonePassage{t, traces[t].user(),
+                                       traces[t][i].time, traces[t][j].time,
+                                       i, j});
+        i = j + 1;
+      }
+    }
+    // Group passages whose intervals (dilated by the time window) overlap.
+    std::sort(passages.begin(), passages.end(),
+              [](const ZonePassage& a, const ZonePassage& b) {
+                return a.enter < b.enter;
+              });
+    MixZoneInfo info;
+    info.center = center;
+    info.radius_m = config_.zone_radius_m;
+    std::size_t group_start = 0;
+    util::Timestamp group_end = std::numeric_limits<util::Timestamp>::min();
+    const auto flush_group = [&](std::size_t first, std::size_t last) {
+      if (first >= last) return;
+      Occurrence occ;
+      occ.zone = z;
+      occ.passages.assign(passages.begin() + static_cast<std::ptrdiff_t>(first),
+                          passages.begin() + static_cast<std::ptrdiff_t>(last));
+      std::size_t distinct_users = 0;
+      {
+        std::vector<model::UserId> users;
+        for (const auto& p : occ.passages) users.push_back(p.user);
+        std::sort(users.begin(), users.end());
+        distinct_users = static_cast<std::size_t>(
+            std::unique(users.begin(), users.end()) - users.begin());
+      }
+      if (distinct_users < config_.min_users) return;
+      occ.end = 0;
+      for (const auto& p : occ.passages) occ.end = std::max(occ.end, p.exit);
+      ++info.occurrences;
+      info.max_anonymity_set =
+          std::max(info.max_anonymity_set, occ.passages.size());
+      report.anonymity_set_sizes.push_back(occ.passages.size());
+      occurrences.push_back(std::move(occ));
+    };
+    for (std::size_t k = 0; k < passages.size(); ++k) {
+      if (k == group_start) {
+        group_end = passages[k].exit;
+        continue;
+      }
+      if (passages[k].enter <= group_end + config_.time_window_s) {
+        group_end = std::max(group_end, passages[k].exit);
+      } else {
+        flush_group(group_start, k);
+        group_start = k;
+        group_end = passages[k].exit;
+      }
+    }
+    flush_group(group_start, passages.size());
+    if (info.occurrences > 0) {
+      zone_report_index[z] =
+          static_cast<std::ptrdiff_t>(report.zones.size());
+      report.zones.push_back(info);
+    }
+  }
+  report.occurrences = occurrences.size();
+
+  // ---- 5. Chronological identity permutation + suppression marking. ----
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const Occurrence& a, const Occurrence& b) {
+              return a.end < b.end;
+            });
+  std::vector<model::UserId> owner(traces.size());
+  for (std::uint32_t t = 0; t < traces.size(); ++t) {
+    owner[t] = traces[t].user();
+  }
+  std::vector<std::vector<bool>> suppressed(traces.size());
+  for (std::uint32_t t = 0; t < traces.size(); ++t) {
+    suppressed[t].assign(traces[t].size(), false);
+  }
+  // Per trace: (time, owner-from-then-on), appended in chronological order.
+  std::vector<std::vector<std::pair<util::Timestamp, model::UserId>>>
+      switches(traces.size());
+
+  for (const Occurrence& occ : occurrences) {
+    if (config_.suppress_zone_points) {
+      for (const ZonePassage& p : occ.passages) {
+        for (std::uint32_t i = p.first_event; i <= p.last_event; ++i) {
+          if (!suppressed[p.trace][i]) {
+            suppressed[p.trace][i] = true;
+            ++report.suppressed_events;
+          }
+        }
+      }
+    }
+    // Unique participating traces (a trace can pass the zone twice within
+    // one occurrence; it gets a single identity slot).
+    std::vector<std::uint32_t> participants;
+    for (const ZonePassage& p : occ.passages) participants.push_back(p.trace);
+    std::sort(participants.begin(), participants.end());
+    participants.erase(
+        std::unique(participants.begin(), participants.end()),
+        participants.end());
+    if (participants.size() < 2) continue;
+
+    OccurrenceInfo detail;
+    detail.zone_index = static_cast<std::size_t>(
+        zone_report_index[occ.zone] < 0 ? 0 : zone_report_index[occ.zone]);
+    for (const std::uint32_t trace_idx : participants) {
+      detail.users.push_back(traces[trace_idx].user());
+    }
+    std::sort(detail.users.begin(), detail.users.end());
+    detail.users.erase(
+        std::unique(detail.users.begin(), detail.users.end()),
+        detail.users.end());
+
+    std::vector<std::size_t> perm(participants.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(std::span<std::size_t>(perm));
+    bool is_identity = true;
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      if (perm[k] != k) {
+        is_identity = false;
+        break;
+      }
+    }
+    detail.swapped = !is_identity;
+    report.occurrence_details.push_back(detail);
+    if (is_identity) continue;  // drew the identity permutation: no swap
+    ++report.swaps_applied;
+
+    std::vector<model::UserId> old_owners(participants.size());
+    for (std::size_t k = 0; k < participants.size(); ++k) {
+      old_owners[k] = owner[participants[k]];
+    }
+    for (std::size_t k = 0; k < participants.size(); ++k) {
+      const model::UserId new_owner = old_owners[perm[k]];
+      const std::uint32_t trace_idx = participants[k];
+      if (owner[trace_idx] == new_owner) continue;
+      owner[trace_idx] = new_owner;
+      // The identity changes from this trace's own exit time onwards.
+      util::Timestamp exit_time = occ.end;
+      for (const ZonePassage& p : occ.passages) {
+        if (p.trace == trace_idx) exit_time = p.exit;
+      }
+      switches[trace_idx].emplace_back(exit_time, new_owner);
+    }
+  }
+
+  // Within one trace, apply identity switches in time order regardless of
+  // the (occurrence-end) order they were generated in.
+  for (auto& sw : switches) {
+    std::stable_sort(sw.begin(), sw.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+  }
+
+  // ---- 6. Reassemble output traces under final identities. ----
+  // Each input trace is cut into segments at its identity switches; the
+  // segments of one identity are then stitched back together only when
+  // temporally adjacent (gap <= time window, i.e. the same mixing episode).
+  // Pooling an identity's whole day into one trace would fabricate
+  // continuity across recording sessions — and the session gap at a POI
+  // would hand the attacker exactly the dwell the mechanism hides.
+  model::Dataset output;
+  for (model::UserId id = 0; id < input.UserCount(); ++id) {
+    output.InternUser(input.UserName(id));
+  }
+  // A segment remembers whether it was severed by a zone (an identity
+  // switch), as opposed to simply being the start/end of a recording
+  // session. Only zone-severed ends may be stitched to zone-severed starts:
+  // that reconnects a pseudonym's stream across the zone (A's prefix +
+  // B's suffix) without fabricating continuity across session gaps.
+  struct Segment {
+    std::vector<model::Event> events;
+    bool starts_at_zone = false;  // began right after an identity switch
+    bool ends_at_zone = false;    // ended right before an identity switch
+  };
+  std::map<model::UserId, std::vector<Segment>> segments;
+  for (std::uint32_t t = 0; t < traces.size(); ++t) {
+    const auto& sw = switches[t];
+    Segment current;
+    model::UserId current_owner = traces[t].user();
+    for (std::uint32_t i = 0; i < traces[t].size(); ++i) {
+      if (suppressed[t][i]) continue;
+      const util::Timestamp time = traces[t][i].time;
+      model::UserId who = traces[t].user();
+      for (const auto& [switch_time, new_owner] : sw) {
+        if (time > switch_time) {
+          who = new_owner;
+        } else {
+          break;
+        }
+      }
+      if (who != current_owner && !current.events.empty()) {
+        current.ends_at_zone = true;
+        segments[current_owner].push_back(std::move(current));
+        current = Segment{};
+        current.starts_at_zone = true;
+      }
+      current_owner = who;
+      current.events.push_back(traces[t][i]);
+    }
+    if (!current.events.empty()) {
+      segments[current_owner].push_back(std::move(current));
+    }
+  }
+  for (auto& [identity, segs] : segments) {
+    std::sort(segs.begin(), segs.end(),
+              [](const Segment& a, const Segment& b) {
+                return a.events.front().time < b.events.front().time;
+              });
+    std::vector<model::Event> stitched;
+    bool stitched_open_at_zone = false;  // last segment ended at a zone
+    const auto flush = [&, identity = identity] {
+      if (!stitched.empty()) {
+        output.AddTrace(model::Trace(identity, std::move(stitched)));
+        stitched.clear();
+      }
+    };
+    for (auto& seg : segs) {
+      const bool joinable =
+          !stitched.empty() && stitched_open_at_zone && seg.starts_at_zone &&
+          seg.events.front().time - stitched.back().time <=
+              config_.time_window_s;
+      if (!joinable) flush();
+      stitched.insert(stitched.end(), seg.events.begin(),
+                      seg.events.end());
+      stitched_open_at_zone = seg.ends_at_zone;
+    }
+    flush();
+  }
+  output.SortAll();
+  return output;
+}
+
+}  // namespace mobipriv::mech

@@ -1,0 +1,73 @@
+#include "mechanisms/speed_smoothing.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "geo/polyline.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::mech {
+
+SpeedSmoothing::SpeedSmoothing(SpeedSmoothingConfig config)
+    : config_(config) {
+  assert(config_.spacing_m > 0.0);
+}
+
+std::string SpeedSmoothing::Name() const {
+  return "speed_smoothing[eps=" + util::FormatDouble(config_.spacing_m, 0) +
+         "m]";
+}
+
+model::Trace SpeedSmoothing::Smooth(const model::Trace& trace) const {
+  model::Trace out;
+  out.set_user(trace.user());
+  if (trace.size() < 2) return out;  // nothing publishable
+
+  // Project on a per-trace tangent plane centred on the trace itself: the
+  // projection error is then bounded by the trace extent, not the dataset's.
+  const geo::LocalProjection projection(trace.BoundingBox().Center());
+  const std::vector<geo::Point2> path = projection.Project(trace.Positions());
+
+  std::vector<geo::Point2> resampled =
+      geo::ChordResample(path, config_.spacing_m);
+  // ChordResample keeps the exact final fix, which usually sits less than
+  // one spacing from the previous point. Trim it (as Promesse does) so
+  // every published hop is exactly one spacing and the speed is exactly
+  // constant; keep it only when it happens to land a full spacing away.
+  if (resampled.size() >= 3) {
+    const double last_hop = geo::Distance(resampled[resampled.size() - 2],
+                                          resampled.back());
+    if (last_hop < config_.spacing_m * 0.999) resampled.pop_back();
+  }
+  // Chord length of the *published* geometry, jitter excluded: a user who
+  // never got far from one place yields a near-empty resample and is
+  // dropped entirely (publishing it would reveal a single POI).
+  if (resampled.size() < 2 ||
+      geo::PolylineLength(resampled) < config_.min_length_m) {
+    return out;
+  }
+
+  // Uniform timestamps across the original time span. Interior timestamps
+  // are fractional seconds rounded to the nearest second; the rounding error
+  // (<= 0.5 s) is the only deviation from exact constant speed.
+  const util::Timestamp t0 = trace.front().time;
+  const util::Timestamp t1 = trace.back().time;
+  const auto n = resampled.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double alpha =
+        static_cast<double>(k) / static_cast<double>(n - 1);
+    const auto t = static_cast<util::Timestamp>(
+        std::llround(static_cast<double>(t0) +
+                     alpha * static_cast<double>(t1 - t0)));
+    out.Append(model::Event{projection.Unproject(resampled[k]), t});
+  }
+  return out;
+}
+
+model::Trace SpeedSmoothing::ApplyToTrace(const model::Trace& trace,
+                                          util::Rng& rng) const {
+  (void)rng;  // deterministic mechanism
+  return Smooth(trace);
+}
+
+}  // namespace mobipriv::mech

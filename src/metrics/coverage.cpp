@@ -1,0 +1,62 @@
+#include "metrics/coverage.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "geo/projection.h"
+
+namespace mobipriv::metrics {
+namespace {
+
+using CellSet = std::unordered_set<std::uint64_t>;
+
+std::uint64_t CellKey(geo::Point2 p, double cell) {
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell));
+  // Interleave-free packing: 32 bits per axis is ample for city scales.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+CellSet VisitedCells(const model::Dataset& dataset,
+                     const geo::LocalProjection& projection, double cell) {
+  CellSet cells;
+  for (const auto& trace : dataset.traces()) {
+    for (const auto& event : trace) {
+      cells.insert(CellKey(projection.Project(event.position), cell));
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+double CoverageJaccard(const model::Dataset& a, const model::Dataset& b,
+                       const CoverageConfig& config) {
+  geo::GeoBoundingBox bbox = a.BoundingBox();
+  bbox.Extend(b.BoundingBox());
+  if (bbox.IsEmpty()) return 1.0;  // both empty: identical footprints
+  const geo::LocalProjection projection(bbox.Center());
+  const CellSet cells_a = VisitedCells(a, projection, config.cell_size_m);
+  const CellSet cells_b = VisitedCells(b, projection, config.cell_size_m);
+  if (cells_a.empty() && cells_b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  for (const auto key : cells_a) {
+    if (cells_b.contains(key)) ++intersection;
+  }
+  const std::size_t union_size =
+      cells_a.size() + cells_b.size() - intersection;
+  return union_size == 0 ? 1.0
+                         : static_cast<double>(intersection) /
+                               static_cast<double>(union_size);
+}
+
+std::size_t CellFootprint(const model::Dataset& dataset,
+                          const CoverageConfig& config) {
+  const geo::GeoBoundingBox bbox = dataset.BoundingBox();
+  if (bbox.IsEmpty()) return 0;
+  const geo::LocalProjection projection(bbox.Center());
+  return VisitedCells(dataset, projection, config.cell_size_m).size();
+}
+
+}  // namespace mobipriv::metrics

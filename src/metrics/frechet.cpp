@@ -1,0 +1,54 @@
+#include "metrics/frechet.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/polyline.h"
+#include "geo/projection.h"
+
+namespace mobipriv::metrics {
+
+double DiscreteFrechet(const std::vector<geo::Point2>& a,
+                       const std::vector<geo::Point2>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // Rolling two-row DP keeps memory at O(m).
+  std::vector<double> prev(m);
+  std::vector<double> curr(m);
+  prev[0] = geo::Distance(a[0], b[0]);
+  for (std::size_t j = 1; j < m; ++j) {
+    prev[j] = std::max(prev[j - 1], geo::Distance(a[0], b[j]));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    curr[0] = std::max(prev[0], geo::Distance(a[i], b[0]));
+    for (std::size_t j = 1; j < m; ++j) {
+      const double reach =
+          std::min({prev[j], prev[j - 1], curr[j - 1]});
+      curr[j] = std::max(reach, geo::Distance(a[i], b[j]));
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+double DiscreteFrechet(const model::Trace& a, const model::Trace& b,
+                       std::size_t max_points) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  geo::GeoBoundingBox bbox = a.BoundingBox();
+  bbox.Extend(b.BoundingBox());
+  const geo::LocalProjection projection(bbox.Center());
+  auto pa = projection.Project(a.Positions());
+  auto pb = projection.Project(b.Positions());
+  if (pa.size() > max_points) pa = geo::ResampleCount(pa, max_points);
+  if (pb.size() > max_points) pb = geo::ResampleCount(pb, max_points);
+  return DiscreteFrechet(pa, pb);
+}
+
+}  // namespace mobipriv::metrics

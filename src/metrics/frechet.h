@@ -1,0 +1,26 @@
+// Discrete Fréchet distance between two trajectories: the classic
+// trajectory-similarity measure ("dog-leash distance"), used as a second,
+// order-aware utility view in E3. Dynamic programming, O(n*m) time/space;
+// long traces are decimated to `max_points` per side first (the decimation
+// error is bounded by the decimation spacing, negligible at our scales).
+#pragma once
+
+#include <vector>
+
+#include "geo/point2.h"
+#include "model/trace.h"
+
+namespace mobipriv::metrics {
+
+/// Discrete Fréchet distance between two planar paths. Returns 0 when both
+/// are empty; infinity when exactly one is empty.
+[[nodiscard]] double DiscreteFrechet(const std::vector<geo::Point2>& a,
+                                     const std::vector<geo::Point2>& b);
+
+/// Geographic convenience overload: projects both traces on a common local
+/// plane, decimating each side to at most `max_points` first.
+[[nodiscard]] double DiscreteFrechet(const model::Trace& a,
+                                     const model::Trace& b,
+                                     std::size_t max_points = 512);
+
+}  // namespace mobipriv::metrics

@@ -1,0 +1,74 @@
+#include "metrics/poi_metrics.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::metrics {
+
+double PoiScore::F1() const noexcept {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+std::string PoiScore::ToString() const {
+  std::ostringstream os;
+  os << "true=" << true_pois << " extracted=" << extracted
+     << " recall=" << util::FormatDouble(Recall(), 3)
+     << " precision=" << util::FormatDouble(Precision(), 3)
+     << " f1=" << util::FormatDouble(F1(), 3);
+  return os.str();
+}
+
+std::vector<TruePlace> DistinctTruePlaces(
+    const std::vector<synth::GroundTruthVisit>& visits,
+    const geo::LocalProjection& world_projection,
+    const geo::LocalProjection& attack_projection) {
+  std::map<std::pair<model::UserId, synth::PoiId>, geo::Point2> places;
+  for (const auto& visit : visits) {
+    places.emplace(std::make_pair(visit.user, visit.poi),
+                   attack_projection.Project(
+                       world_projection.Unproject(visit.position)));
+  }
+  std::vector<TruePlace> out;
+  out.reserve(places.size());
+  for (const auto& [key, position] : places) {
+    out.push_back(TruePlace{key.first, position});
+  }
+  return out;
+}
+
+PoiScore ScorePoiExtraction(const std::vector<attacks::ExtractedPoi>& extracted,
+                            const std::vector<TruePlace>& truth,
+                            const PoiMatchConfig& config) {
+  PoiScore score;
+  score.true_pois = truth.size();
+  score.extracted = extracted.size();
+  // Recall: each true place found by some extracted POI of the same user.
+  for (const auto& place : truth) {
+    for (const auto& poi : extracted) {
+      if (poi.user != place.user) continue;
+      if (geo::Distance(poi.centroid, place.position) <=
+          config.match_radius_m) {
+        ++score.matched_true;
+        break;
+      }
+    }
+  }
+  // Precision: each extracted POI near some true place of the same user.
+  for (const auto& poi : extracted) {
+    for (const auto& place : truth) {
+      if (poi.user != place.user) continue;
+      if (geo::Distance(poi.centroid, place.position) <=
+          config.match_radius_m) {
+        ++score.matched_extracted;
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace mobipriv::metrics

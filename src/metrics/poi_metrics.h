@@ -1,0 +1,63 @@
+// Scoring of the POI-extraction attack against synthetic ground truth: the
+// privacy numbers of bench E2. An extracted POI is a true positive when it
+// lies within `match_radius_m` of a ground-truth POI *of the same user*;
+// recall ("POI retrieval rate") is the paper's key privacy indicator — the
+// Section II claim is that geo-indistinguishability leaves it >= 60 % while
+// constant-speed publishing drives it to ~0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/poi_extraction.h"
+#include "synth/simulator.h"
+
+namespace mobipriv::metrics {
+
+struct PoiMatchConfig {
+  double match_radius_m = 250.0;
+};
+
+struct PoiScore {
+  std::size_t true_pois = 0;       ///< distinct ground-truth (user, site) pairs
+  std::size_t extracted = 0;       ///< POIs the attack produced
+  std::size_t matched_true = 0;    ///< true POIs the attack found (recall num.)
+  std::size_t matched_extracted = 0;  ///< extracted POIs that are real (prec.)
+
+  [[nodiscard]] double Recall() const noexcept {
+    return true_pois == 0 ? 0.0
+                          : static_cast<double>(matched_true) /
+                                static_cast<double>(true_pois);
+  }
+  [[nodiscard]] double Precision() const noexcept {
+    return extracted == 0 ? 0.0
+                          : static_cast<double>(matched_extracted) /
+                                static_cast<double>(extracted);
+  }
+  [[nodiscard]] double F1() const noexcept;
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Deduplicates ground-truth visits into distinct (user, poi) places and
+/// re-expresses their positions in the attack's planar frame: visits are
+/// recorded in the synthetic world's frame (`world_projection`), while the
+/// extractor reports centroids in `attack_projection`'s frame.
+struct TruePlace {
+  model::UserId user = model::kInvalidUser;
+  geo::Point2 position;  ///< in the attack frame
+};
+[[nodiscard]] std::vector<TruePlace> DistinctTruePlaces(
+    const std::vector<synth::GroundTruthVisit>& visits,
+    const geo::LocalProjection& world_projection,
+    const geo::LocalProjection& attack_projection);
+
+/// Scores extracted POIs against ground truth. Both must be expressed in
+/// the same planar frame (pass the same projection to the extractor and to
+/// the world's ground truth; the synthetic world's planar frame IS the
+/// attack frame when using DatasetProjection on the same dataset — see
+/// bench E2 for the canonical wiring).
+[[nodiscard]] PoiScore ScorePoiExtraction(
+    const std::vector<attacks::ExtractedPoi>& extracted,
+    const std::vector<TruePlace>& truth, const PoiMatchConfig& config = {});
+
+}  // namespace mobipriv::metrics

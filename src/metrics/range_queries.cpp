@@ -1,0 +1,99 @@
+#include "metrics/range_queries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::metrics {
+
+std::size_t CountEvents(const model::Dataset& dataset,
+                        const RangeQuery& query) {
+  std::size_t count = 0;
+  for (const auto& trace : dataset.traces()) {
+    for (const auto& event : trace) {
+      if (event.time < query.from || event.time > query.to) continue;
+      if (query.box.Contains(event.position)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<RangeQuery> SampleQueries(const model::Dataset& dataset,
+                                      const RangeQueryConfig& config,
+                                      util::Rng& rng) {
+  std::vector<RangeQuery> queries;
+  const geo::GeoBoundingBox bbox = dataset.BoundingBox();
+  if (bbox.IsEmpty()) return queries;
+
+  // Dataset time span.
+  util::Timestamp t_min = std::numeric_limits<util::Timestamp>::max();
+  util::Timestamp t_max = std::numeric_limits<util::Timestamp>::min();
+  for (const auto& trace : dataset.traces()) {
+    if (trace.empty()) continue;
+    t_min = std::min(t_min, trace.front().time);
+    t_max = std::max(t_max, trace.back().time);
+  }
+  if (t_min > t_max) return queries;
+
+  const double lat_span = bbox.NorthEast().lat - bbox.SouthWest().lat;
+  const double lng_span = bbox.NorthEast().lng - bbox.SouthWest().lng;
+  queries.reserve(config.query_count);
+  for (std::size_t q = 0; q < config.query_count; ++q) {
+    const double f =
+        rng.Uniform(config.min_size_fraction, config.max_size_fraction);
+    const double dlat = lat_span * f;
+    const double dlng = lng_span * f;
+    const double lat0 =
+        rng.Uniform(bbox.SouthWest().lat, bbox.NorthEast().lat - dlat);
+    const double lng0 =
+        rng.Uniform(bbox.SouthWest().lng, bbox.NorthEast().lng - dlng);
+    RangeQuery query;
+    query.box = geo::GeoBoundingBox({lat0, lng0}, {lat0 + dlat, lng0 + dlng});
+    const auto duration = static_cast<util::Timestamp>(
+        rng.Uniform(static_cast<double>(config.min_duration_s),
+                    static_cast<double>(config.max_duration_s)));
+    const auto span = t_max - t_min;
+    const auto start =
+        t_min + static_cast<util::Timestamp>(
+                    rng.Uniform(0.0, static_cast<double>(
+                                         std::max<util::Timestamp>(
+                                             1, span - duration))));
+    query.from = start;
+    query.to = start + duration;
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+std::string RangeQueryReport::ToString() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " empty_on_original=" << empty_on_original
+     << " rel_error: " << relative_error.ToString();
+  return os.str();
+}
+
+RangeQueryReport MeasureRangeQueryError(
+    const model::Dataset& original, const model::Dataset& published,
+    const std::vector<RangeQuery>& queries) {
+  RangeQueryReport report;
+  report.queries = queries.size();
+  std::vector<double> errors;
+  errors.reserve(queries.size());
+  for (const auto& query : queries) {
+    const auto count_orig = CountEvents(original, query);
+    const auto count_pub = CountEvents(published, query);
+    if (count_orig == 0) ++report.empty_on_original;
+    const double denom = std::max<double>(1.0, static_cast<double>(count_orig));
+    errors.push_back(
+        std::abs(static_cast<double>(count_orig) -
+                 static_cast<double>(count_pub)) /
+        denom);
+  }
+  report.relative_error = util::Summary::Of(errors);
+  return report;
+}
+
+}  // namespace mobipriv::metrics

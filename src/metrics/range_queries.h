@@ -1,0 +1,57 @@
+// Spatio-temporal range-query distortion: the analyst-facing utility metric
+// of E7. A workload of random queries "how many fixes fall in rectangle R
+// during [t0, t1]?" is evaluated on the original and the published dataset;
+// the metric is the distribution of relative errors. This is the standard
+// utility benchmark of the trajectory-anonymization literature (including
+// the Wait4Me paper the baseline reimplements).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "model/dataset.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace mobipriv::metrics {
+
+struct RangeQuery {
+  geo::GeoBoundingBox box;
+  util::Timestamp from = 0;
+  util::Timestamp to = 0;
+};
+
+struct RangeQueryConfig {
+  std::size_t query_count = 200;
+  /// Query rectangle edge, as a fraction of the dataset bounding box edge.
+  double min_size_fraction = 0.05;
+  double max_size_fraction = 0.25;
+  /// Query duration, seconds.
+  util::Timestamp min_duration_s = 1800;
+  util::Timestamp max_duration_s = 4 * 3600;
+};
+
+/// Number of events inside the query (closed bounds).
+[[nodiscard]] std::size_t CountEvents(const model::Dataset& dataset,
+                                      const RangeQuery& query);
+
+/// Samples a query workload covering the dataset's extent and time span.
+[[nodiscard]] std::vector<RangeQuery> SampleQueries(
+    const model::Dataset& dataset, const RangeQueryConfig& config,
+    util::Rng& rng);
+
+struct RangeQueryReport {
+  util::Summary relative_error;  ///< |orig - pub| / max(orig, 1), per query
+  std::size_t queries = 0;
+  std::size_t empty_on_original = 0;  ///< queries with no original events
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Runs the workload on both datasets and reports the error distribution.
+[[nodiscard]] RangeQueryReport MeasureRangeQueryError(
+    const model::Dataset& original, const model::Dataset& published,
+    const std::vector<RangeQuery>& queries);
+
+}  // namespace mobipriv::metrics

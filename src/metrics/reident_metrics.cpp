@@ -1,0 +1,38 @@
+#include "metrics/reident_metrics.h"
+
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::metrics {
+
+std::string ReidentReport::ToString() const {
+  std::ostringstream os;
+  os << "traces=" << traces << " linkable=" << linkable
+     << " correct=" << correct
+     << " acc(all)=" << util::FormatDouble(accuracy_all, 3)
+     << " acc(linkable)=" << util::FormatDouble(accuracy_linkable, 3);
+  return os.str();
+}
+
+ReidentReport SummarizeReident(
+    const std::vector<attacks::LinkResult>& results) {
+  ReidentReport report;
+  report.traces = results.size();
+  for (const auto& r : results) {
+    if (!r.linkable) continue;
+    ++report.linkable;
+    if (r.predicted_user == r.true_user) ++report.correct;
+  }
+  if (report.traces > 0) {
+    report.accuracy_all = static_cast<double>(report.correct) /
+                          static_cast<double>(report.traces);
+  }
+  if (report.linkable > 0) {
+    report.accuracy_linkable = static_cast<double>(report.correct) /
+                               static_cast<double>(report.linkable);
+  }
+  return report;
+}
+
+}  // namespace mobipriv::metrics

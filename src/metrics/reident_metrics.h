@@ -1,0 +1,26 @@
+// Aggregation of re-identification attack results into the privacy numbers
+// reported by bench E4: accuracy, top-line counts, and the anonymity the
+// defender actually achieved (how many candidates were indistinguishable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/reident.h"
+
+namespace mobipriv::metrics {
+
+struct ReidentReport {
+  std::size_t traces = 0;
+  std::size_t linkable = 0;    ///< traces with extractable profiles
+  std::size_t correct = 0;     ///< linked to the true user
+  double accuracy_all = 0.0;   ///< correct / traces (unlinkable = failure)
+  double accuracy_linkable = 0.0;  ///< correct / linkable
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+[[nodiscard]] ReidentReport SummarizeReident(
+    const std::vector<attacks::LinkResult>& results);
+
+}  // namespace mobipriv::metrics

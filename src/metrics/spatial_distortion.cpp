@@ -1,0 +1,88 @@
+#include "metrics/spatial_distortion.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "geo/polyline.h"
+#include "geo/projection.h"
+#include "model/filters.h"
+
+namespace mobipriv::metrics {
+
+std::string DistortionSummary::ToString() const {
+  std::ostringstream os;
+  os << "sync[m]: " << synchronized_m.ToString()
+     << "\npath[m]: " << path_m.ToString() << "\ntraces: compared="
+     << compared_traces << " skipped=" << skipped_traces;
+  return os.str();
+}
+
+std::vector<double> SynchronizedDeviation(const model::Trace& original,
+                                          const model::Trace& published) {
+  std::vector<double> out;
+  if (original.empty() || published.empty()) return out;
+  out.reserve(original.size());
+  for (const auto& event : original) {
+    const geo::LatLng at = model::InterpolateAt(published, event.time);
+    out.push_back(geo::HaversineDistance(event.position, at));
+  }
+  return out;
+}
+
+std::vector<double> PathDeviation(const model::Trace& original,
+                                  const model::Trace& published) {
+  std::vector<double> out;
+  if (original.empty() || published.empty()) return out;
+  const geo::LocalProjection projection(original.BoundingBox().Center());
+  const auto path = projection.Project(published.Positions());
+  out.reserve(original.size());
+  for (const auto& event : original) {
+    out.push_back(
+        geo::DistanceToPolyline(path, projection.Project(event.position)));
+  }
+  return out;
+}
+
+const model::Trace* FindBestMatch(const model::Trace& original,
+                                  const model::Dataset& published) {
+  if (original.empty()) return nullptr;
+  const model::Trace* best = nullptr;
+  util::Timestamp best_overlap = -1;
+  for (const auto& candidate : published.traces()) {
+    if (candidate.user() != original.user() || candidate.empty()) continue;
+    const util::Timestamp overlap =
+        std::min(candidate.back().time, original.back().time) -
+        std::max(candidate.front().time, original.front().time);
+    if (overlap >= 0 && overlap > best_overlap) {
+      best_overlap = overlap;
+      best = &candidate;
+    }
+  }
+  return best;
+}
+
+DistortionSummary MeasureDistortion(const model::Dataset& original,
+                                    const model::Dataset& published) {
+  DistortionSummary summary;
+  std::vector<double> sync_all;
+  std::vector<double> path_all;
+  for (const auto& trace : original.traces()) {
+    const model::Trace* match = FindBestMatch(trace, published);
+    if (match == nullptr) {
+      ++summary.skipped_traces;
+      continue;
+    }
+    ++summary.compared_traces;
+    for (const double d : SynchronizedDeviation(trace, *match)) {
+      sync_all.push_back(d);
+    }
+    for (const double d : PathDeviation(trace, *match)) {
+      path_all.push_back(d);
+    }
+  }
+  summary.synchronized_m = util::Summary::Of(sync_all);
+  summary.path_m = util::Summary::Of(path_all);
+  return summary;
+}
+
+}  // namespace mobipriv::metrics

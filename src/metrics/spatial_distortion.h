@@ -1,0 +1,55 @@
+// Spatial distortion: how far the published trajectory strays from the
+// original, the paper's headline utility metric ("our challenge is to
+// minimize the distortion of the geographical information").
+//
+// Two views are computed:
+//   * synchronized distortion — at each original fix time t, distance from
+//     the original position to the published trace interpolated at t. This
+//     penalizes time distortion that moves a user along her own path (our
+//     mechanism pays a small, bounded cost here);
+//   * path distortion — distance from each original fix to the published
+//     *path* regardless of time. Near zero for our mechanism (geometry is
+//     preserved), large for noise mechanisms. The gap between the two views
+//     is exactly the paper's "distort time, not space" trade-off.
+#pragma once
+
+#include <string>
+
+#include "model/dataset.h"
+#include "util/statistics.h"
+
+namespace mobipriv::metrics {
+
+struct DistortionSummary {
+  util::Summary synchronized_m;  ///< time-synchronized point error
+  util::Summary path_m;          ///< geometry-only error (to nearest path point)
+  std::size_t compared_traces = 0;
+  std::size_t skipped_traces = 0;  ///< original traces with no published match
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Published trace of the same user with the longest time-span overlap with
+/// `original` (sessions of one user can share small boundary windows, so
+/// "first overlapping" is not unique). nullptr when no candidate overlaps.
+[[nodiscard]] const model::Trace* FindBestMatch(
+    const model::Trace& original, const model::Dataset& published);
+
+/// Matches original and published traces by user id via FindBestMatch.
+/// Sampling: every original fix. Mechanisms that re-identify users
+/// (mix-zones) should be measured before swapping, or per matched segment —
+/// see bench E3 notes.
+[[nodiscard]] DistortionSummary MeasureDistortion(
+    const model::Dataset& original, const model::Dataset& published);
+
+/// Synchronized distortion between two specific traces (original fix times).
+/// Returns per-fix distances in metres; empty if either trace is empty.
+[[nodiscard]] std::vector<double> SynchronizedDeviation(
+    const model::Trace& original, const model::Trace& published);
+
+/// Geometry-only deviation: distance from each original fix to the
+/// published polyline.
+[[nodiscard]] std::vector<double> PathDeviation(const model::Trace& original,
+                                                const model::Trace& published);
+
+}  // namespace mobipriv::metrics

@@ -1,0 +1,115 @@
+#include "metrics/trajectory_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "geo/projection.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::metrics {
+
+std::vector<double> TripLengths(const model::Dataset& dataset,
+                                double min_length_m) {
+  std::vector<double> lengths;
+  lengths.reserve(dataset.TraceCount());
+  for (const auto& trace : dataset.traces()) {
+    const double length = trace.LengthMeters();
+    if (length >= min_length_m) lengths.push_back(length);
+  }
+  return lengths;
+}
+
+double RadiusOfGyration(const model::Dataset& dataset, model::UserId user) {
+  const geo::LocalProjection projection(dataset.BoundingBox().Center());
+  geo::Point2 centroid{};
+  std::size_t n = 0;
+  for (const auto& trace : dataset.traces()) {
+    if (trace.user() != user) continue;
+    for (const auto& event : trace) {
+      centroid = centroid + projection.Project(event.position);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  centroid = centroid / static_cast<double>(n);
+  double sum_sq = 0.0;
+  for (const auto& trace : dataset.traces()) {
+    if (trace.user() != user) continue;
+    for (const auto& event : trace) {
+      sum_sq += geo::DistanceSquared(projection.Project(event.position),
+                                     centroid);
+    }
+  }
+  return std::sqrt(sum_sq / static_cast<double>(n));
+}
+
+std::vector<double> AllRadiiOfGyration(const model::Dataset& dataset) {
+  std::vector<double> radii;
+  radii.reserve(dataset.UserCount());
+  for (model::UserId user = 0; user < dataset.UserCount(); ++user) {
+    radii.push_back(RadiusOfGyration(dataset, user));
+  }
+  return radii;
+}
+
+double EarthMoversDistance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // W1 between empirical CDFs: integrate |F_a^{-1}(q) - F_b^{-1}(q)| dq on
+  // a common quantile grid fine enough for both sample sizes.
+  const std::size_t grid = std::max(a.size(), b.size()) * 2;
+  double total = 0.0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(grid);
+    total += std::abs(util::PercentileSorted(a, q) -
+                      util::PercentileSorted(b, q));
+  }
+  return total / static_cast<double>(grid);
+}
+
+std::string TrajectoryStatsReport::ToString() const {
+  std::ostringstream os;
+  os << "trip_len orig: " << trip_length_original.ToString()
+     << "\ntrip_len pub:  " << trip_length_published.ToString()
+     << "\ntrip_len EMD:  " << util::FormatDouble(trip_length_emd, 1)
+     << " m\ngyration orig: " << gyration_original.ToString()
+     << "\ngyration pub:  " << gyration_published.ToString()
+     << "\ngyration mean rel err: "
+     << util::FormatDouble(gyration_relative_error, 4);
+  return os.str();
+}
+
+TrajectoryStatsReport CompareTrajectoryStats(
+    const model::Dataset& original, const model::Dataset& published) {
+  TrajectoryStatsReport report;
+  const auto trips_orig = TripLengths(original);
+  const auto trips_pub = TripLengths(published);
+  report.trip_length_original = util::Summary::Of(trips_orig);
+  report.trip_length_published = util::Summary::Of(trips_pub);
+  report.trip_length_emd = EarthMoversDistance(trips_orig, trips_pub);
+
+  const auto gyr_orig = AllRadiiOfGyration(original);
+  const auto gyr_pub = AllRadiiOfGyration(published);
+  report.gyration_original = util::Summary::Of(gyr_orig);
+  report.gyration_published = util::Summary::Of(gyr_pub);
+  double rel_sum = 0.0;
+  std::size_t rel_n = 0;
+  for (std::size_t u = 0; u < std::min(gyr_orig.size(), gyr_pub.size());
+       ++u) {
+    if (gyr_orig[u] <= 0.0) continue;
+    rel_sum += std::abs(gyr_orig[u] - gyr_pub[u]) / gyr_orig[u];
+    ++rel_n;
+  }
+  report.gyration_relative_error =
+      rel_n == 0 ? 0.0 : rel_sum / static_cast<double>(rel_n);
+  return report;
+}
+
+}  // namespace mobipriv::metrics

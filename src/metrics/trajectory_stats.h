@@ -1,0 +1,53 @@
+// Aggregate trajectory statistics and their preservation under publication:
+// the utility battery mobility analysts actually consume (trip-length
+// distribution, radius of gyration, daily travel distance). Preservation is
+// measured distributionally (earth mover's distance between histograms and
+// per-user relative error), so it is meaningful even for mechanisms that
+// swap identities or resample points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/dataset.h"
+#include "util/statistics.h"
+
+namespace mobipriv::metrics {
+
+/// Per-trace trip lengths in metres (one value per trace, >= min_length_m).
+[[nodiscard]] std::vector<double> TripLengths(const model::Dataset& dataset,
+                                              double min_length_m = 0.0);
+
+/// Radius of gyration of one user (root mean square distance of all the
+/// user's fixes from their centroid, metres) — the classic human-mobility
+/// scale statistic.
+[[nodiscard]] double RadiusOfGyration(const model::Dataset& dataset,
+                                      model::UserId user);
+
+/// Radius of gyration of every user id in [0, UserCount()).
+[[nodiscard]] std::vector<double> AllRadiiOfGyration(
+    const model::Dataset& dataset);
+
+/// First Wasserstein (earth mover's) distance between two empirical
+/// 1-D distributions. 0 when identical; units are those of the samples.
+/// Empty inputs: 0 if both empty, infinity otherwise.
+[[nodiscard]] double EarthMoversDistance(std::vector<double> a,
+                                         std::vector<double> b);
+
+struct TrajectoryStatsReport {
+  util::Summary trip_length_original;
+  util::Summary trip_length_published;
+  double trip_length_emd = 0.0;  ///< metres
+  util::Summary gyration_original;
+  util::Summary gyration_published;
+  /// Mean relative error of per-user radius of gyration (matched by id).
+  double gyration_relative_error = 0.0;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Full preservation report between an original and a published dataset.
+[[nodiscard]] TrajectoryStatsReport CompareTrajectoryStats(
+    const model::Dataset& original, const model::Dataset& published);
+
+}  // namespace mobipriv::metrics

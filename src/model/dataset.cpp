@@ -1,0 +1,62 @@
+#include "model/dataset.h"
+
+#include <cassert>
+
+namespace mobipriv::model {
+
+UserId Dataset::InternUser(const std::string& name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<UserId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+std::string Dataset::UserName(UserId id) const {
+  if (id < names_.size()) return names_[id];
+  return "user" + std::to_string(id);
+}
+
+std::optional<UserId> Dataset::FindUser(const std::string& name) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Dataset::AddTrace(Trace trace) {
+  traces_.push_back(std::move(trace));
+}
+
+UserId Dataset::AddTraceForUser(const std::string& name,
+                                std::vector<Event> events) {
+  const UserId id = InternUser(name);
+  traces_.emplace_back(id, std::move(events));
+  return id;
+}
+
+std::size_t Dataset::EventCount() const noexcept {
+  std::size_t total = 0;
+  for (const auto& t : traces_) total += t.size();
+  return total;
+}
+
+std::vector<std::size_t> Dataset::TracesOfUser(UserId user) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    if (traces_[i].user() == user) out.push_back(i);
+  }
+  return out;
+}
+
+geo::GeoBoundingBox Dataset::BoundingBox() const {
+  geo::GeoBoundingBox box;
+  for (const auto& t : traces_) box.Extend(t.BoundingBox());
+  return box;
+}
+
+void Dataset::SortAll() {
+  for (auto& t : traces_) t.SortByTime();
+}
+
+}  // namespace mobipriv::model

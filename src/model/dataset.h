@@ -1,0 +1,70 @@
+// A Dataset is the publication unit: one trace per (pseudonymous) user plus
+// the mapping from external string identifiers to dense UserIds. Mechanisms
+// transform whole datasets; attacks consume them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "model/trace.h"
+
+namespace mobipriv::model {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Registers (or looks up) the dense id for an external user name.
+  UserId InternUser(const std::string& name);
+
+  /// External name for a dense id ("user<N>" fallback for ids created
+  /// without a name, e.g. by the synthetic generator).
+  [[nodiscard]] std::string UserName(UserId id) const;
+
+  /// Dense id for a known external name.
+  [[nodiscard]] std::optional<UserId> FindUser(const std::string& name) const;
+
+  /// Adds a trace. The trace's user id must have been interned (or use
+  /// AddTraceForNewUser). Multiple traces for the same user are allowed —
+  /// e.g. one per day — and kept in insertion order.
+  void AddTrace(Trace trace);
+
+  /// Convenience: interns `name` and adds `events` as that user's trace.
+  UserId AddTraceForUser(const std::string& name, std::vector<Event> events);
+
+  [[nodiscard]] const std::vector<Trace>& traces() const noexcept {
+    return traces_;
+  }
+  [[nodiscard]] std::vector<Trace>& mutable_traces() noexcept {
+    return traces_;
+  }
+  [[nodiscard]] std::size_t TraceCount() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] std::size_t UserCount() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] std::size_t EventCount() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return traces_.empty(); }
+
+  /// Indices into traces() for all traces of a given user.
+  [[nodiscard]] std::vector<std::size_t> TracesOfUser(UserId user) const;
+
+  [[nodiscard]] geo::GeoBoundingBox BoundingBox() const;
+
+  /// Sorts every trace's events by time.
+  void SortAll();
+
+  /// Datasets are heavy; copying must be explicit.
+  [[nodiscard]] Dataset Clone() const { return *this; }
+
+ private:
+  std::vector<std::string> names_;  // dense id -> external name
+  std::unordered_map<std::string, UserId> ids_;
+  std::vector<Trace> traces_;
+};
+
+}  // namespace mobipriv::model

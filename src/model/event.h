@@ -1,0 +1,34 @@
+// The atomic unit of mobility data: one (user, location, time) record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/latlng.h"
+#include "util/time_utils.h"
+
+namespace mobipriv::model {
+
+/// Dense user identifier. Datasets map external string ids to UserIds on
+/// ingestion; attacks and mechanisms work on UserId throughout.
+using UserId = std::uint32_t;
+inline constexpr UserId kInvalidUser = static_cast<UserId>(-1);
+
+/// One GPS fix.
+struct Event {
+  geo::LatLng position;
+  util::Timestamp time = 0;  ///< Unix seconds
+
+  friend bool operator==(const Event& a, const Event& b) noexcept {
+    return a.position == b.position && a.time == b.time;
+  }
+};
+
+/// Strict-weak temporal order (used when sorting raw ingests).
+struct EventTimeLess {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return a.time < b.time;
+  }
+};
+
+}  // namespace mobipriv::model

@@ -1,0 +1,47 @@
+// Trace pre-processing filters applied at ingestion time: gap splitting,
+// duplicate removal, speed-outlier removal and temporal resampling. Real GPS
+// feeds contain glitches that would otherwise pollute both the mechanisms
+// and the attacks.
+#pragma once
+
+#include <vector>
+
+#include "model/dataset.h"
+#include "model/trace.h"
+
+namespace mobipriv::model {
+
+/// Splits a trace wherever consecutive fixes are more than `max_gap_seconds`
+/// apart; each resulting piece keeps the original user id. Pieces with fewer
+/// than `min_events` fixes are dropped.
+[[nodiscard]] std::vector<Trace> SplitByGap(const Trace& trace,
+                                            util::Timestamp max_gap_seconds,
+                                            std::size_t min_events = 2);
+
+/// Applies SplitByGap to every trace of the dataset, producing a dataset
+/// whose traces are temporally contiguous sessions.
+[[nodiscard]] Dataset SplitDatasetByGap(const Dataset& dataset,
+                                        util::Timestamp max_gap_seconds,
+                                        std::size_t min_events = 2);
+
+/// Removes consecutive events with identical timestamp (keeps the first).
+[[nodiscard]] Trace DeduplicateTimes(const Trace& trace);
+
+/// Removes events implying a speed above `max_speed_mps` from the previous
+/// kept event (classic GPS teleportation glitch filter).
+[[nodiscard]] Trace RemoveSpeedOutliers(const Trace& trace,
+                                        double max_speed_mps);
+
+/// Linearly resamples a trace onto a fixed time step: output events at
+/// t0, t0+step, ..., interpolating positions between the surrounding input
+/// fixes. Requires step > 0; traces with < 2 events are returned unchanged.
+/// Used by E6 (sampling-rate sweep) to derive low-rate inputs.
+[[nodiscard]] Trace ResampleTime(const Trace& trace,
+                                 util::Timestamp step_seconds);
+
+/// Position linearly interpolated at time `t` (clamped to trace range).
+/// Requires a non-empty, time-ordered trace.
+[[nodiscard]] geo::LatLng InterpolateAt(const Trace& trace,
+                                        util::Timestamp t);
+
+}  // namespace mobipriv::model

@@ -1,0 +1,156 @@
+#include "model/geojson.h"
+
+#include <cmath>
+#include <numbers>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::model {
+namespace {
+
+void WriteCoordinate(std::ostream& out, geo::LatLng position) {
+  // GeoJSON order: [longitude, latitude].
+  out << "[" << util::FormatDouble(position.lng, 6) << ","
+      << util::FormatDouble(position.lat, 6) << "]";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteGeoJson(const Dataset& dataset, std::ostream& out,
+                  const GeoJsonOptions& options) {
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first_feature = true;
+  const auto begin_feature = [&] {
+    if (!first_feature) out << ",";
+    first_feature = false;
+  };
+
+  for (std::size_t t = 0; t < dataset.traces().size(); ++t) {
+    const auto& trace = dataset.traces()[t];
+    if (trace.empty()) continue;
+    if (options.traces_as_lines && trace.size() >= 2) {
+      begin_feature();
+      out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+             "\"coordinates\":[";
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i > 0) out << ",";
+        WriteCoordinate(out, trace[i].position);
+      }
+      out << "]},\"properties\":{\"trace\":" << t;
+      if (options.include_user_names) {
+        out << ",\"user\":\""
+            << JsonEscape(dataset.UserName(trace.user())) << "\"";
+      }
+      if (options.include_timestamps) {
+        out << ",\"start\":" << trace.front().time
+            << ",\"end\":" << trace.back().time;
+      }
+      out << "}}";
+    }
+    if (options.events_as_points) {
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        begin_feature();
+        out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+               "\"coordinates\":";
+        WriteCoordinate(out, trace[i].position);
+        out << "},\"properties\":{\"trace\":" << t;
+        if (options.include_user_names) {
+          out << ",\"user\":\""
+              << JsonEscape(dataset.UserName(trace.user())) << "\"";
+        }
+        if (options.include_timestamps) {
+          out << ",\"time\":" << trace[i].time;
+        }
+        out << "}}";
+      }
+    }
+  }
+  out << "]}";
+}
+
+std::string ToGeoJson(const Dataset& dataset, const GeoJsonOptions& options) {
+  std::ostringstream out;
+  WriteGeoJson(dataset, out, options);
+  return out.str();
+}
+
+void WriteZonesGeoJson(const std::vector<mech::MixZoneInfo>& zones,
+                       const geo::LocalProjection& projection,
+                       std::ostream& out) {
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    if (z > 0) out << ",";
+    const auto& zone = zones[z];
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+           "\"coordinates\":[[";
+    constexpr int kVertices = 32;
+    for (int v = 0; v <= kVertices; ++v) {  // closed ring: repeat first
+      if (v > 0) out << ",";
+      const double angle = 2.0 * std::numbers::pi *
+                           static_cast<double>(v % kVertices) / kVertices;
+      const geo::Point2 p{
+          zone.center.x + zone.radius_m * std::cos(angle),
+          zone.center.y + zone.radius_m * std::sin(angle)};
+      WriteCoordinate(out, projection.Unproject(p));
+    }
+    out << "]]},\"properties\":{\"zone\":" << z
+        << ",\"radius_m\":" << util::FormatDouble(zone.radius_m, 1)
+        << ",\"occurrences\":" << zone.occurrences
+        << ",\"max_anonymity_set\":" << zone.max_anonymity_set << "}}";
+  }
+  out << "]}";
+}
+
+void WritePoiSitesGeoJson(const synth::PoiUniverse& universe,
+                          const geo::LocalProjection& projection,
+                          std::ostream& out) {
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (i > 0) out << ",";
+    const auto& site = universe.site(static_cast<synth::PoiId>(i));
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+           "\"coordinates\":";
+    WriteCoordinate(out, projection.Unproject(site.position));
+    out << "},\"properties\":{\"poi\":" << site.id << ",\"category\":\""
+        << synth::PoiCategoryName(site.category) << "\"}}";
+  }
+  out << "]}";
+}
+
+}  // namespace mobipriv::model

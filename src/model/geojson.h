@@ -1,0 +1,49 @@
+// GeoJSON export (RFC 7946): renders datasets, POIs and mix-zones as
+// FeatureCollections that drop into any map viewer (geojson.io, QGIS,
+// Leaflet). This is how you *look* at Figure 1: export the three pipeline
+// stages and overlay them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geo/projection.h"
+#include "mechanisms/mixzone.h"
+#include "model/dataset.h"
+#include "synth/poi_universe.h"
+
+namespace mobipriv::model {
+
+struct GeoJsonOptions {
+  /// Emit one LineString per trace (true) and/or one Point per event
+  /// (false keeps files small for dense data).
+  bool traces_as_lines = true;
+  bool events_as_points = false;
+  /// Properties carried on each feature.
+  bool include_user_names = true;
+  bool include_timestamps = true;
+};
+
+/// Serializes the dataset as a FeatureCollection.
+void WriteGeoJson(const Dataset& dataset, std::ostream& out,
+                  const GeoJsonOptions& options = {});
+[[nodiscard]] std::string ToGeoJson(const Dataset& dataset,
+                                    const GeoJsonOptions& options = {});
+
+/// Mix-zones as circle-approximation Polygons (32-gon) with occurrence
+/// counts; `projection` must be the frame the report's centres live in
+/// (the dataset projection used during Apply).
+void WriteZonesGeoJson(const std::vector<mech::MixZoneInfo>& zones,
+                       const geo::LocalProjection& projection,
+                       std::ostream& out);
+
+/// POI sites as Points with category properties (synthetic ground truth).
+void WritePoiSitesGeoJson(const synth::PoiUniverse& universe,
+                          const geo::LocalProjection& projection,
+                          std::ostream& out);
+
+/// Escapes a string for embedding in JSON (quotes, control characters).
+[[nodiscard]] std::string JsonEscape(const std::string& text);
+
+}  // namespace mobipriv::model

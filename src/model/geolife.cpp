@@ -1,0 +1,53 @@
+#include "model/geolife.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "model/io.h"
+
+namespace mobipriv::model {
+
+namespace fs = std::filesystem;
+
+Dataset LoadGeolife(const std::string& root,
+                    const GeolifeLoadOptions& options) {
+  if (!fs::is_directory(root)) {
+    throw IoError("Geolife root is not a directory: " + root);
+  }
+  // Deterministic order: sort user folders lexicographically.
+  std::vector<fs::path> user_dirs;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (entry.is_directory()) user_dirs.push_back(entry.path());
+  }
+  std::sort(user_dirs.begin(), user_dirs.end());
+  if (options.max_users > 0 && user_dirs.size() > options.max_users) {
+    user_dirs.resize(options.max_users);
+  }
+
+  Dataset dataset;
+  for (const auto& user_dir : user_dirs) {
+    const fs::path trajectory_dir = user_dir / "Trajectory";
+    if (!fs::is_directory(trajectory_dir)) continue;
+    std::vector<fs::path> plt_files;
+    for (const auto& entry : fs::directory_iterator(trajectory_dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".plt") {
+        plt_files.push_back(entry.path());
+      }
+    }
+    std::sort(plt_files.begin(), plt_files.end());
+    if (options.max_files_per_user > 0 &&
+        plt_files.size() > options.max_files_per_user) {
+      plt_files.resize(options.max_files_per_user);
+    }
+    const std::string user_name = user_dir.filename().string();
+    for (const auto& plt : plt_files) {
+      std::ifstream in(plt);
+      if (!in) throw IoError("cannot open " + plt.string());
+      AppendPlt(dataset, user_name, in);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace mobipriv::model

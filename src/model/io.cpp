@@ -1,0 +1,123 @@
+#include "model/io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_utils.h"
+#include "util/time_utils.h"
+
+namespace mobipriv::model {
+namespace {
+
+/// Accepts Unix seconds or "YYYY-MM-DD hh:mm:ss".
+std::optional<util::Timestamp> ParseTimestampField(std::string_view text) {
+  if (const auto unix_seconds = util::ParseInt(text)) return *unix_seconds;
+  return util::ParseDateTime(text);
+}
+
+[[noreturn]] void ThrowAtRow(std::size_t row, const std::string& what) {
+  throw IoError("row " + std::to_string(row) + ": " + what);
+}
+
+}  // namespace
+
+Dataset ReadCsv(std::istream& in) {
+  Dataset dataset;
+  util::CsvReader reader(in);
+  util::CsvRow row;
+  // Collect events per user first so traces come out contiguous even if the
+  // file interleaves users.
+  std::map<std::string, std::vector<Event>> per_user;
+  bool first = true;
+  while (reader.ReadRow(row)) {
+    if (row.size() == 1 && util::Trim(row[0]).empty()) continue;  // blank line
+    if (row.size() != 4) {
+      ThrowAtRow(reader.RowsRead(), "expected 4 fields, got " +
+                                        std::to_string(row.size()));
+    }
+    if (first) {
+      first = false;
+      // Header detection: a non-numeric lat field means it's a header row.
+      if (!util::ParseDouble(row[1]).has_value()) continue;
+    }
+    const auto lat = util::ParseDouble(row[1]);
+    const auto lng = util::ParseDouble(row[2]);
+    const auto ts = ParseTimestampField(row[3]);
+    if (!lat || !lng) ThrowAtRow(reader.RowsRead(), "bad coordinates");
+    if (!ts) ThrowAtRow(reader.RowsRead(), "bad timestamp");
+    const geo::LatLng position{*lat, *lng};
+    if (!position.IsValid()) {
+      ThrowAtRow(reader.RowsRead(), "coordinates out of WGS84 range");
+    }
+    per_user[std::string(util::Trim(row[0]))].push_back(
+        Event{position, *ts});
+  }
+  for (auto& [name, events] : per_user) {
+    const UserId id = dataset.InternUser(name);
+    Trace trace(id, std::move(events));
+    trace.SortByTime();
+    dataset.AddTrace(std::move(trace));
+  }
+  return dataset;
+}
+
+Dataset ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  return ReadCsv(in);
+}
+
+void WriteCsv(const Dataset& dataset, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.WriteRow({"user", "lat", "lng", "timestamp"});
+  for (const auto& trace : dataset.traces()) {
+    const std::string name = dataset.UserName(trace.user());
+    for (const auto& event : trace) {
+      writer.WriteRow({name, util::FormatDouble(event.position.lat, 6),
+                       util::FormatDouble(event.position.lng, 6),
+                       std::to_string(event.time)});
+    }
+  }
+}
+
+void WriteCsvFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  WriteCsv(dataset, out);
+}
+
+void AppendPlt(Dataset& dataset, const std::string& user_name,
+               std::istream& in) {
+  std::string line;
+  // PLT files start with 6 header lines.
+  for (int i = 0; i < 6 && std::getline(in, line); ++i) {
+  }
+  std::vector<Event> events;
+  std::size_t row_number = 6;
+  while (std::getline(in, line)) {
+    ++row_number;
+    const auto trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = util::Split(trimmed, ',');
+    // lat, lng, 0, altitude, days, date, time
+    if (fields.size() < 7) {
+      ThrowAtRow(row_number, "PLT row has fewer than 7 fields");
+    }
+    const auto lat = util::ParseDouble(fields[0]);
+    const auto lng = util::ParseDouble(fields[1]);
+    if (!lat || !lng) ThrowAtRow(row_number, "bad PLT coordinates");
+    const auto ts = util::ParseDateTime(std::string(util::Trim(fields[5])) +
+                                        " " +
+                                        std::string(util::Trim(fields[6])));
+    if (!ts) ThrowAtRow(row_number, "bad PLT date/time");
+    events.push_back(Event{{*lat, *lng}, *ts});
+  }
+  const UserId id = dataset.InternUser(user_name);
+  Trace trace(id, std::move(events));
+  trace.SortByTime();
+  dataset.AddTrace(std::move(trace));
+}
+
+}  // namespace mobipriv::model

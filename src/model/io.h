@@ -1,0 +1,42 @@
+// Dataset serialization.
+//
+// Two formats are supported:
+//   * "mobipriv CSV": header `user,lat,lng,timestamp`, one event per row,
+//     timestamp either Unix seconds or "YYYY-MM-DD hh:mm:ss". This is the
+//     library's native publication format.
+//   * Geolife-style PLT: the per-user plain-text format of the Geolife
+//     dataset the paper's evaluation plan targets (lat, lng, 0, altitude,
+//     days-since-1899, date, time) — supported so real data can be dropped
+//     in when licensing permits.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "model/dataset.h"
+
+namespace mobipriv::model {
+
+/// Raised on malformed input files.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads the native CSV format. Rows are grouped into one trace per user,
+/// events sorted by time. Throws IoError with line information on malformed
+/// rows. An optional header row is auto-detected and skipped.
+[[nodiscard]] Dataset ReadCsv(std::istream& in);
+[[nodiscard]] Dataset ReadCsvFile(const std::string& path);
+
+/// Writes the native CSV format (with header).
+void WriteCsv(const Dataset& dataset, std::ostream& out);
+void WriteCsvFile(const Dataset& dataset, const std::string& path);
+
+/// Parses one Geolife PLT stream as a single user's trace and adds it to
+/// `dataset` under `user_name`. The 6 header lines are skipped.
+void AppendPlt(Dataset& dataset, const std::string& user_name,
+               std::istream& in);
+
+}  // namespace mobipriv::model

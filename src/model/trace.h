@@ -1,0 +1,72 @@
+// A mobility trace: the time-ordered sequence of fixes of one (pseudonymous)
+// user. Traces are the unit every mechanism transforms and every attack
+// consumes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/latlng.h"
+#include "model/event.h"
+
+namespace mobipriv::model {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(UserId user, std::vector<Event> events);
+
+  [[nodiscard]] UserId user() const noexcept { return user_; }
+  void set_user(UserId user) noexcept { user_ = user; }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::vector<Event>& mutable_events() noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] const Event& operator[](std::size_t i) const {
+    return events_[i];
+  }
+  [[nodiscard]] const Event& front() const { return events_.front(); }
+  [[nodiscard]] const Event& back() const { return events_.back(); }
+  [[nodiscard]] auto begin() const noexcept { return events_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return events_.end(); }
+
+  /// Appends an event; callers must preserve temporal order (checked in
+  /// debug builds via IsTimeOrdered in tests, not per push for speed).
+  void Append(const Event& e) { events_.push_back(e); }
+
+  /// Sorts events by time (stable, so equal-time fixes keep input order).
+  void SortByTime();
+
+  /// True if events are sorted by non-decreasing time.
+  [[nodiscard]] bool IsTimeOrdered() const noexcept;
+
+  /// Duration in seconds between first and last fix (0 if < 2 events).
+  [[nodiscard]] util::Timestamp Duration() const noexcept;
+
+  /// Geographic path length in metres (haversine over consecutive fixes).
+  [[nodiscard]] double LengthMeters() const noexcept;
+
+  /// Positions only, in order.
+  [[nodiscard]] std::vector<geo::LatLng> Positions() const;
+
+  /// Timestamps only, in order.
+  [[nodiscard]] std::vector<util::Timestamp> Times() const;
+
+  [[nodiscard]] geo::GeoBoundingBox BoundingBox() const;
+
+  /// Sub-trace with events in the closed time interval [from, to].
+  [[nodiscard]] Trace Slice(util::Timestamp from, util::Timestamp to) const;
+
+ private:
+  UserId user_ = kInvalidUser;
+  std::vector<Event> events_;
+};
+
+}  // namespace mobipriv::model

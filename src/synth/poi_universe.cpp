@@ -1,0 +1,95 @@
+#include "synth/poi_universe.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace mobipriv::synth {
+
+std::string_view PoiCategoryName(PoiCategory c) noexcept {
+  switch (c) {
+    case PoiCategory::kHome:
+      return "home";
+    case PoiCategory::kWork:
+      return "work";
+    case PoiCategory::kLeisure:
+      return "leisure";
+    case PoiCategory::kShop:
+      return "shop";
+    case PoiCategory::kTransitHub:
+      return "transit_hub";
+  }
+  return "?";
+}
+
+PoiUniverse::PoiUniverse(const PoiUniverseConfig& config,
+                         const RoadNetwork& network, util::Rng& rng) {
+  assert(network.NodeCount() > 0);
+  const geo::Rect extent = network.Extent();
+  const geo::Point2 center = extent.Center();
+  const double spread =
+      config.center_concentration * std::min(extent.Width(), extent.Height());
+
+  std::unordered_set<NodeId> used_nodes;
+
+  const auto sample_node = [&](bool centered) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      geo::Point2 p;
+      if (centered) {
+        p = {center.x + rng.Gaussian(0.0, spread),
+             center.y + rng.Gaussian(0.0, spread)};
+      } else {
+        p = {rng.Uniform(extent.min.x, extent.max.x),
+             rng.Uniform(extent.min.y, extent.max.y)};
+      }
+      const NodeId node = network.NearestNode(p);
+      if (!used_nodes.contains(node)) return node;
+    }
+    // City saturated: allow reuse rather than fail.
+    return network.NearestNode({rng.Uniform(extent.min.x, extent.max.x),
+                                rng.Uniform(extent.min.y, extent.max.y)});
+  };
+
+  const auto add_sites = [&](std::size_t count, PoiCategory category,
+                             bool centered) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId node = sample_node(centered);
+      used_nodes.insert(node);
+      PoiSite site;
+      site.id = static_cast<PoiId>(sites_.size());
+      site.category = category;
+      site.node = node;
+      site.position = network.NodePosition(node);
+      sites_.push_back(site);
+    }
+  };
+
+  add_sites(config.transit_hubs, PoiCategory::kTransitHub, /*centered=*/true);
+  add_sites(config.workplaces, PoiCategory::kWork, /*centered=*/true);
+  add_sites(config.leisure, PoiCategory::kLeisure, /*centered=*/true);
+  add_sites(config.shops, PoiCategory::kShop, /*centered=*/false);
+  add_sites(config.homes, PoiCategory::kHome, /*centered=*/false);
+}
+
+std::vector<PoiId> PoiUniverse::OfCategory(PoiCategory category) const {
+  std::vector<PoiId> out;
+  for (const auto& site : sites_) {
+    if (site.category == category) out.push_back(site.id);
+  }
+  return out;
+}
+
+PoiId PoiUniverse::Nearest(geo::Point2 p) const {
+  assert(!sites_.empty());
+  PoiId best = sites_.front().id;
+  double best_dist = geo::DistanceSquared(sites_.front().position, p);
+  for (const auto& site : sites_) {
+    const double d = geo::DistanceSquared(site.position, p);
+    if (d < best_dist) {
+      best_dist = d;
+      best = site.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace mobipriv::synth

@@ -1,0 +1,70 @@
+// The POI universe: the set of semantic places agents visit. Each site sits
+// on a road-network node; categories drive both the schedule model (where
+// agents go when) and the ground truth the attacks are scored against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/point2.h"
+#include "synth/road_network.h"
+#include "util/rng.h"
+
+namespace mobipriv::synth {
+
+enum class PoiCategory : std::uint8_t {
+  kHome,
+  kWork,
+  kLeisure,  // restaurants, parks, cinemas
+  kShop,
+  kTransitHub,  // stations/malls: the natural mix-zone locations
+};
+
+[[nodiscard]] std::string_view PoiCategoryName(PoiCategory c) noexcept;
+
+using PoiId = std::uint32_t;
+inline constexpr PoiId kInvalidPoi = static_cast<PoiId>(-1);
+
+struct PoiSite {
+  PoiId id = kInvalidPoi;
+  PoiCategory category = PoiCategory::kHome;
+  geo::Point2 position;  ///< planar metres (same frame as the road network)
+  NodeId node = kInvalidNode;  ///< road node the site is attached to
+};
+
+struct PoiUniverseConfig {
+  std::size_t homes = 200;
+  std::size_t workplaces = 40;
+  std::size_t leisure = 30;
+  std::size_t shops = 20;
+  std::size_t transit_hubs = 6;
+  /// Workplaces/leisure/hubs cluster towards the centre with this Gaussian
+  /// fraction of the city extent; homes spread uniformly.
+  double center_concentration = 0.25;
+};
+
+class PoiUniverse {
+ public:
+  /// Samples sites on road nodes. Distinct sites may share a node only for
+  /// kTransitHub vs others (hubs are busy places).
+  PoiUniverse(const PoiUniverseConfig& config, const RoadNetwork& network,
+              util::Rng& rng);
+
+  [[nodiscard]] const std::vector<PoiSite>& sites() const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] const PoiSite& site(PoiId id) const { return sites_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return sites_.size(); }
+
+  /// Ids of all sites of one category.
+  [[nodiscard]] std::vector<PoiId> OfCategory(PoiCategory category) const;
+
+  /// Site nearest to a planar point (any category). Requires non-empty.
+  [[nodiscard]] PoiId Nearest(geo::Point2 p) const;
+
+ private:
+  std::vector<PoiSite> sites_;
+};
+
+}  // namespace mobipriv::synth

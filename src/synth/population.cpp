@@ -1,0 +1,102 @@
+#include "synth/population.h"
+
+#include <cassert>
+#include <string>
+
+namespace mobipriv::synth {
+
+SyntheticWorld::SyntheticWorld(const PopulationConfig& config)
+    : config_(config), projection_(config.origin) {
+  util::Rng rng(config_.seed);
+  util::Rng network_rng = rng.Split();
+  util::Rng poi_rng = rng.Split();
+  network_ = std::make_unique<RoadNetwork>(config_.road, network_rng);
+  universe_ = std::make_unique<PoiUniverse>(config_.pois, *network_, poi_rng);
+
+  Simulator simulator(*network_, *universe_, projection_, config_.simulator);
+
+  profiles_.reserve(config_.agents);
+  const auto hubs = universe_->OfCategory(PoiCategory::kTransitHub);
+  for (std::size_t a = 0; a < config_.agents; ++a) {
+    util::Rng agent_rng = rng.Split();
+    AgentProfile profile = SampleProfile(*universe_, agent_rng);
+    if (config_.force_shared_hub && !hubs.empty()) {
+      profile.commute_hub = hubs.front();
+      profile.hub_commute_prob = 1.0;
+    }
+    profiles_.push_back(profile);
+  }
+
+  for (std::size_t a = 0; a < config_.agents; ++a) {
+    const std::string name = "agent" + std::to_string(a);
+    const model::UserId user = dataset_.InternUser(name);
+    util::Rng day_rng = rng.Split();
+    for (std::size_t d = 0; d < config_.days; ++d) {
+      const util::Timestamp day_start =
+          config_.start_day +
+          static_cast<util::Timestamp>(d) * util::kSecondsPerDay;
+      const auto plan = GenerateDayPlan(profiles_[a], *universe_,
+                                        config_.schedule, day_start, day_rng);
+      std::vector<model::Trace> session_traces;
+      simulator.SimulateDay(user, profiles_[a], plan, day_rng,
+                            session_traces, ground_truth_);
+      for (auto& trace : session_traces) {
+        assert(trace.IsTimeOrdered());
+        if (trace.size() < 2) continue;
+        dataset_.AddTrace(std::move(trace));
+        trace_day_.push_back(d);
+      }
+    }
+  }
+}
+
+std::vector<GroundTruthVisit> SyntheticWorld::VisitsOfUser(
+    model::UserId user) const {
+  std::vector<GroundTruthVisit> out;
+  for (const auto& visit : ground_truth_) {
+    if (visit.user == user) out.push_back(visit);
+  }
+  return out;
+}
+
+model::Dataset SyntheticWorld::DatasetForDays(
+    const std::vector<std::size_t>& day_indices) const {
+  model::Dataset out;
+  // Intern every user first so ids match the full dataset.
+  for (std::size_t a = 0; a < config_.agents; ++a) {
+    out.InternUser("agent" + std::to_string(a));
+  }
+  for (std::size_t i = 0; i < dataset_.traces().size(); ++i) {
+    const std::size_t day = trace_day_[i];
+    for (const std::size_t wanted : day_indices) {
+      if (day == wanted) {
+        out.AddTrace(dataset_.traces()[i]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+SyntheticWorld MakeCrossingPairScenario(std::uint64_t seed) {
+  PopulationConfig config;
+  config.agents = 2;
+  config.days = 1;
+  config.seed = seed;
+  config.road.width_m = 4000.0;
+  config.road.height_m = 4000.0;
+  config.road.block_size_m = 200.0;
+  config.pois.homes = 12;
+  config.pois.workplaces = 4;
+  config.pois.leisure = 4;
+  config.pois.shops = 3;
+  config.pois.transit_hubs = 1;  // a single hub: both commutes cross there
+  config.schedule.work_start_stddev = 5 * util::kSecondsPerMinute;
+  config.schedule.evening_leisure_prob = 0.0;
+  config.schedule.evening_shop_prob = 0.0;
+  config.simulator.sampling_interval_s = 20;
+  config.force_shared_hub = true;
+  return SyntheticWorld(config);
+}
+
+}  // namespace mobipriv::synth

@@ -1,0 +1,173 @@
+#include "synth/road_network.h"
+
+#include "geo/distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace mobipriv::synth {
+namespace {
+
+/// Union-find used to keep the grid connected while removing edges.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+RoadNetwork::RoadNetwork(const RoadNetworkConfig& config, util::Rng& rng) {
+  assert(config.block_size_m > 0.0);
+  const auto cols = static_cast<std::size_t>(
+      std::max(2.0, std::floor(config.width_m / config.block_size_m) + 1.0));
+  const auto rows = static_cast<std::size_t>(
+      std::max(2.0, std::floor(config.height_m / config.block_size_m) + 1.0));
+
+  nodes_.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x = static_cast<double>(c) * config.block_size_m +
+                       rng.Gaussian(0.0, config.jitter_m);
+      const double y = static_cast<double>(r) * config.block_size_m +
+                       rng.Gaussian(0.0, config.jitter_m);
+      nodes_.push_back({x, y});
+    }
+  }
+  adjacency_.assign(nodes_.size(), {});
+
+  // Candidate grid edges: right and up neighbours.
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  const auto index = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) candidates.emplace_back(index(r, c), index(r, c + 1));
+      if (r + 1 < rows) candidates.emplace_back(index(r, c), index(r + 1, c));
+    }
+  }
+
+  // Decide removals first, then add back any removal that would disconnect.
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  kept.reserve(candidates.size());
+  for (const auto& edge : candidates) {
+    if (rng.Bernoulli(config.edge_removal_prob)) {
+      removed.push_back(edge);
+    } else {
+      kept.push_back(edge);
+    }
+  }
+  DisjointSet dsu(nodes_.size());
+  for (const auto& [a, b] : kept) dsu.Union(a, b);
+  for (const auto& [a, b] : removed) {
+    if (dsu.Find(a) != dsu.Find(b)) {
+      dsu.Union(a, b);
+      kept.emplace_back(a, b);  // restore to preserve connectivity
+    }
+  }
+  for (const auto& [a, b] : kept) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+
+  extent_ = geo::Rect::Of(nodes_);
+}
+
+RoadNetwork RoadNetwork::FromGraph(
+    std::vector<geo::Point2> nodes,
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  RoadNetwork net;
+  net.nodes_ = std::move(nodes);
+  net.adjacency_.assign(net.nodes_.size(), {});
+  for (const auto& [a, b] : edges) {
+    net.adjacency_.at(a).push_back(b);
+    net.adjacency_.at(b).push_back(a);
+  }
+  if (!net.nodes_.empty()) net.extent_ = geo::Rect::Of(net.nodes_);
+  return net;
+}
+
+NodeId RoadNetwork::NearestNode(geo::Point2 p) const {
+  assert(!nodes_.empty());
+  NodeId best = 0;
+  double best_dist = geo::DistanceSquared(nodes_[0], p);
+  for (NodeId i = 1; i < nodes_.size(); ++i) {
+    const double d = geo::DistanceSquared(nodes_[i], p);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::vector<geo::Point2>> RoadNetwork::ShortestPath(
+    NodeId from, NodeId to) const {
+  assert(from < nodes_.size() && to < nodes_.size());
+  if (from == to) return std::vector<geo::Point2>{nodes_[from]};
+
+  struct QueueEntry {
+    double f;  // g + heuristic
+    NodeId node;
+    bool operator>(const QueueEntry& other) const noexcept {
+      return f > other.f;
+    }
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(nodes_.size(), kInf);
+  std::vector<NodeId> came_from(nodes_.size(), kInvalidNode);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      open;
+  g[from] = 0.0;
+  open.push({geo::Distance(nodes_[from], nodes_[to]), from});
+
+  while (!open.empty()) {
+    const auto [f, node] = open.top();
+    open.pop();
+    if (node == to) break;
+    // Stale entry check: the recorded g plus heuristic should match.
+    if (f > g[node] + geo::Distance(nodes_[node], nodes_[to]) + 1e-9) continue;
+    for (const NodeId next : adjacency_[node]) {
+      const double tentative = g[node] + geo::Distance(nodes_[node], nodes_[next]);
+      if (tentative < g[next]) {
+        g[next] = tentative;
+        came_from[next] = node;
+        open.push({tentative + geo::Distance(nodes_[next], nodes_[to]), next});
+      }
+    }
+  }
+  if (came_from[to] == kInvalidNode) return std::nullopt;
+
+  std::vector<geo::Point2> path;
+  for (NodeId node = to; node != kInvalidNode; node = came_from[node]) {
+    path.push_back(nodes_[node]);
+    if (node == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RoadNetwork::PathLength(const std::vector<geo::Point2>& path) {
+  return geo::PathLength(path);
+}
+
+}  // namespace mobipriv::synth

@@ -1,0 +1,70 @@
+// Synthetic road network: a jittered grid graph over a city-sized planar
+// area, with A* routing. Trajectories in the generator follow shortest road
+// paths between POIs, giving traces the road-constrained geometry that real
+// mobility data has (and that distinguishes a moving user from GPS noise).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/point2.h"
+#include "util/rng.h"
+
+namespace mobipriv::synth {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct RoadNetworkConfig {
+  double width_m = 10000.0;       ///< east-west extent
+  double height_m = 10000.0;      ///< north-south extent
+  double block_size_m = 250.0;    ///< spacing between grid intersections
+  double jitter_m = 40.0;         ///< positional jitter on intersections
+  double edge_removal_prob = 0.08;  ///< fraction of street segments removed
+};
+
+class RoadNetwork {
+ public:
+  /// Builds the jittered grid. The generated graph is guaranteed connected:
+  /// removal never disconnects (checked by union-find during removal).
+  RoadNetwork(const RoadNetworkConfig& config, util::Rng& rng);
+
+  [[nodiscard]] std::size_t NodeCount() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] geo::Point2 NodePosition(NodeId id) const {
+    return nodes_.at(id);
+  }
+  [[nodiscard]] const std::vector<NodeId>& Neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+  [[nodiscard]] geo::Rect Extent() const noexcept { return extent_; }
+
+  /// Node nearest to an arbitrary planar point.
+  [[nodiscard]] NodeId NearestNode(geo::Point2 p) const;
+
+  /// Shortest road path (A*, Euclidean heuristic) between two nodes, as the
+  /// sequence of node positions including both endpoints. nullopt only if
+  /// the nodes are disconnected (cannot happen for generated graphs, but the
+  /// API is honest for hand-built ones in tests).
+  [[nodiscard]] std::optional<std::vector<geo::Point2>> ShortestPath(
+      NodeId from, NodeId to) const;
+
+  /// Total length in metres of a node path as produced by ShortestPath.
+  [[nodiscard]] static double PathLength(const std::vector<geo::Point2>& path);
+
+  /// Builds an arbitrary graph (tests); edges are undirected index pairs.
+  static RoadNetwork FromGraph(std::vector<geo::Point2> nodes,
+                               const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+ private:
+  RoadNetwork() = default;
+
+  std::vector<geo::Point2> nodes_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  geo::Rect extent_{};
+};
+
+}  // namespace mobipriv::synth

@@ -1,0 +1,130 @@
+#include "synth/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mobipriv::synth {
+namespace {
+
+/// Conservative travel-time estimate between two sites: straight-line
+/// distance inflated by a 1.4 road-detour factor at the agent's speed.
+util::Timestamp TravelEstimate(const PoiUniverse& universe, PoiId from,
+                               PoiId to, double speed_mps) {
+  const double dist =
+      geo::Distance(universe.site(from).position, universe.site(to).position);
+  return static_cast<util::Timestamp>(dist * 1.4 / speed_mps) + 60;
+}
+
+util::Timestamp SamplePositive(util::Rng& rng, util::Timestamp mean,
+                               util::Timestamp stddev,
+                               util::Timestamp floor) {
+  const double sampled = rng.Gaussian(static_cast<double>(mean),
+                                      static_cast<double>(stddev));
+  return std::max(floor, static_cast<util::Timestamp>(sampled));
+}
+
+PoiId PickFrom(const std::vector<PoiId>& choices, util::Rng& rng) {
+  assert(!choices.empty());
+  return choices[rng.NextBounded(choices.size())];
+}
+
+}  // namespace
+
+AgentProfile SampleProfile(const PoiUniverse& universe, util::Rng& rng) {
+  AgentProfile profile;
+  const auto homes = universe.OfCategory(PoiCategory::kHome);
+  const auto works = universe.OfCategory(PoiCategory::kWork);
+  const auto leisure = universe.OfCategory(PoiCategory::kLeisure);
+  const auto shops = universe.OfCategory(PoiCategory::kShop);
+  const auto hubs = universe.OfCategory(PoiCategory::kTransitHub);
+  assert(!homes.empty() && !works.empty());
+
+  profile.home = PickFrom(homes, rng);
+  profile.work = PickFrom(works, rng);
+  const std::size_t n_leisure =
+      leisure.empty() ? 0 : 1 + rng.NextBounded(std::min<std::size_t>(3, leisure.size()));
+  for (std::size_t i = 0; i < n_leisure; ++i) {
+    profile.favourite_leisure.push_back(PickFrom(leisure, rng));
+  }
+  const std::size_t n_shops =
+      shops.empty() ? 0 : 1 + rng.NextBounded(std::min<std::size_t>(2, shops.size()));
+  for (std::size_t i = 0; i < n_shops; ++i) {
+    profile.favourite_shops.push_back(PickFrom(shops, rng));
+  }
+  profile.travel_speed_mps = rng.Uniform(5.0, 14.0);
+  profile.hub_commute_prob = rng.Uniform(0.3, 0.9);
+  if (!hubs.empty()) profile.commute_hub = PickFrom(hubs, rng);
+  return profile;
+}
+
+std::vector<ScheduledVisit> GenerateDayPlan(const AgentProfile& profile,
+                                            const PoiUniverse& universe,
+                                            const ScheduleConfig& config,
+                                            util::Timestamp day_start,
+                                            util::Rng& rng) {
+  std::vector<ScheduledVisit> plan;
+  const util::Timestamp day_end = day_start + util::kSecondsPerDay;
+
+  const util::Timestamp work_start =
+      day_start + SamplePositive(rng, config.work_start_mean,
+                                 config.work_start_stddev,
+                                 6 * util::kSecondsPerHour);
+  const util::Timestamp commute =
+      TravelEstimate(universe, profile.home, profile.work,
+                     profile.travel_speed_mps);
+
+  // Morning at home until it is time to leave for work.
+  ScheduledVisit home_morning;
+  home_morning.poi = profile.home;
+  home_morning.arrival = day_start;
+  home_morning.departure = std::max(day_start + config.min_dwell,
+                                    work_start - commute);
+  plan.push_back(home_morning);
+
+  // Work block.
+  ScheduledVisit work;
+  work.poi = profile.work;
+  work.arrival = home_morning.departure + commute;
+  work.departure =
+      work.arrival + SamplePositive(rng, config.work_duration_mean,
+                                    config.work_duration_stddev,
+                                    4 * util::kSecondsPerHour);
+  plan.push_back(work);
+
+  util::Timestamp cursor = work.departure;
+  PoiId previous = profile.work;
+
+  // Optional evening activity.
+  const bool go_leisure = !profile.favourite_leisure.empty() &&
+                          rng.Bernoulli(config.evening_leisure_prob);
+  const bool go_shop = !go_leisure && !profile.favourite_shops.empty() &&
+                       rng.Bernoulli(config.evening_shop_prob);
+  if (go_leisure || go_shop) {
+    const PoiId stop = go_leisure ? PickFrom(profile.favourite_leisure, rng)
+                                  : PickFrom(profile.favourite_shops, rng);
+    ScheduledVisit visit;
+    visit.poi = stop;
+    visit.arrival = cursor + TravelEstimate(universe, previous, stop,
+                                            profile.travel_speed_mps);
+    visit.departure =
+        visit.arrival + SamplePositive(rng, config.leisure_duration_mean,
+                                       config.leisure_duration_stddev,
+                                       config.min_dwell);
+    plan.push_back(visit);
+    cursor = visit.departure;
+    previous = stop;
+  }
+
+  // Evening at home until end of day.
+  ScheduledVisit home_evening;
+  home_evening.poi = profile.home;
+  home_evening.arrival = cursor + TravelEstimate(universe, previous,
+                                                 profile.home,
+                                                 profile.travel_speed_mps);
+  home_evening.departure = std::max(home_evening.arrival + config.min_dwell,
+                                    day_end);
+  plan.push_back(home_evening);
+  return plan;
+}
+
+}  // namespace mobipriv::synth

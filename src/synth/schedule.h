@@ -1,0 +1,64 @@
+// Daily activity schedules. Each agent has a persistent profile (home, work,
+// favourite leisure/shopping places) and generates per-day itineraries:
+// sequences of (POI, arrival, departure). The regularity — same home/work
+// every day — is what makes POI-based re-identification attacks work on raw
+// data, and hence what the paper's mechanism must defeat.
+#pragma once
+
+#include <vector>
+
+#include "synth/poi_universe.h"
+#include "util/rng.h"
+#include "util/time_utils.h"
+
+namespace mobipriv::synth {
+
+/// One stop of a day plan: be at `poi` from `arrival` to `departure`.
+struct ScheduledVisit {
+  PoiId poi = kInvalidPoi;
+  util::Timestamp arrival = 0;
+  util::Timestamp departure = 0;
+};
+
+/// Persistent per-agent places.
+struct AgentProfile {
+  PoiId home = kInvalidPoi;
+  PoiId work = kInvalidPoi;
+  std::vector<PoiId> favourite_leisure;  // 1..3 places
+  std::vector<PoiId> favourite_shops;    // 1..2 places
+  /// Average travel speed of this agent, m/s (walking+transit mix).
+  double travel_speed_mps = 8.0;
+  /// Probability the agent routes via a transit hub on home<->work legs.
+  double hub_commute_prob = 0.6;
+  PoiId commute_hub = kInvalidPoi;  ///< the hub used when commuting
+};
+
+struct ScheduleConfig {
+  util::Timestamp work_start_mean = 9 * util::kSecondsPerHour;
+  util::Timestamp work_start_stddev = 30 * util::kSecondsPerMinute;
+  util::Timestamp work_duration_mean = 8 * util::kSecondsPerHour;
+  util::Timestamp work_duration_stddev = util::kSecondsPerHour;
+  double evening_leisure_prob = 0.55;
+  double evening_shop_prob = 0.30;
+  util::Timestamp leisure_duration_mean = 90 * util::kSecondsPerMinute;
+  util::Timestamp leisure_duration_stddev = 30 * util::kSecondsPerMinute;
+  /// Minimum dwell for any visit; also the floor used when durations are
+  /// sampled negative.
+  util::Timestamp min_dwell = 15 * util::kSecondsPerMinute;
+};
+
+/// Samples a persistent profile: home uniform over homes, work over
+/// workplaces, favourites over leisure/shops, commute hub over hubs.
+[[nodiscard]] AgentProfile SampleProfile(const PoiUniverse& universe,
+                                         util::Rng& rng);
+
+/// Generates one day's itinerary for the agent. `day_start` is the UTC
+/// midnight timestamp of the simulated day. The plan always starts and ends
+/// at home; a work day is: home -> work -> [leisure|shop] -> home.
+/// Visits are strictly ordered and non-overlapping, leaving travel slack
+/// between consecutive stops proportional to the agent's speed.
+[[nodiscard]] std::vector<ScheduledVisit> GenerateDayPlan(
+    const AgentProfile& profile, const PoiUniverse& universe,
+    const ScheduleConfig& config, util::Timestamp day_start, util::Rng& rng);
+
+}  // namespace mobipriv::synth

@@ -1,0 +1,145 @@
+#include "synth/simulator.h"
+
+#include <cassert>
+
+#include "geo/polyline.h"
+
+namespace mobipriv::synth {
+
+Simulator::Simulator(const RoadNetwork& network, const PoiUniverse& universe,
+                     const geo::LocalProjection& projection,
+                     SimulatorConfig config)
+    : network_(network),
+      universe_(universe),
+      projection_(projection),
+      config_(config) {
+  assert(config_.sampling_interval_s > 0);
+}
+
+model::Event Simulator::MakeEvent(geo::Point2 p, util::Timestamp t,
+                                  double noise_m, util::Rng& rng) const {
+  const geo::Point2 noisy{p.x + rng.Gaussian(0.0, noise_m),
+                          p.y + rng.Gaussian(0.0, noise_m)};
+  return model::Event{projection_.Unproject(noisy), t};
+}
+
+void Simulator::EmitDwell(const PoiSite& site, util::Timestamp from,
+                          util::Timestamp to, util::Rng& rng,
+                          model::Trace& trace) const {
+  for (util::Timestamp t = from; t <= to; t += config_.sampling_interval_s) {
+    // Wander around the site within the dwell jitter radius.
+    const double r = std::abs(rng.Gaussian(0.0, config_.dwell_jitter_m));
+    const double theta = rng.Angle();
+    const geo::Point2 p{site.position.x + r * std::cos(theta),
+                        site.position.y + r * std::sin(theta)};
+    trace.Append(MakeEvent(p, t, config_.gps_noise_m, rng));
+  }
+}
+
+void Simulator::EmitTravel(const std::vector<geo::Point2>& path,
+                           util::Timestamp from, util::Timestamp to,
+                           util::Rng& rng, model::Trace& trace) const {
+  if (path.empty() || to <= from) return;
+  const auto cumulative = geo::CumulativeLengths(path);
+  const double length = cumulative.back();
+  const auto duration = static_cast<double>(to - from);
+  // Strictly after `from` (the dwell already emitted a fix at `from`) and
+  // at least one sampling interval before `to` (where the next dwell fix
+  // lands), so the emitted fix period is never shorter than configured.
+  for (util::Timestamp t = from + config_.sampling_interval_s;
+       t + config_.sampling_interval_s <= to;
+       t += config_.sampling_interval_s) {
+    const double progress = static_cast<double>(t - from) / duration;
+    const geo::Point2 p =
+        geo::PointAtLength(path, cumulative, progress * length);
+    trace.Append(MakeEvent(p, t, config_.gps_noise_m, rng));
+  }
+}
+
+std::vector<geo::Point2> Simulator::Route(PoiId from, PoiId to,
+                                          PoiId via) const {
+  const NodeId start = universe_.site(from).node;
+  const NodeId goal = universe_.site(to).node;
+  std::vector<geo::Point2> path;
+  if (via != kInvalidPoi) {
+    const NodeId hub = universe_.site(via).node;
+    auto first = network_.ShortestPath(start, hub);
+    auto second = network_.ShortestPath(hub, goal);
+    if (first && second) {
+      path = std::move(*first);
+      // Skip the duplicated hub vertex.
+      path.insert(path.end(), second->begin() + 1, second->end());
+      return path;
+    }
+  }
+  auto direct = network_.ShortestPath(start, goal);
+  // Generated road networks are connected, so this always succeeds.
+  assert(direct.has_value());
+  return direct ? std::move(*direct)
+                : std::vector<geo::Point2>{universe_.site(from).position,
+                                           universe_.site(to).position};
+}
+
+void Simulator::SimulateDay(model::UserId user, const AgentProfile& profile,
+                            const std::vector<ScheduledVisit>& plan,
+                            util::Rng& rng, std::vector<model::Trace>& traces,
+                            std::vector<GroundTruthVisit>& ground_truth) const {
+  // Choose the route of each leg once (shared by both recording modes).
+  std::vector<std::vector<geo::Point2>> leg_paths;
+  for (std::size_t i = 0; i + 1 < plan.size(); ++i) {
+    const ScheduledVisit& visit = plan[i];
+    const ScheduledVisit& next = plan[i + 1];
+    // Home<->work legs go via the commute hub with the agent's propensity,
+    // creating the natural path crossings mix-zones exploit.
+    PoiId via = kInvalidPoi;
+    const bool is_commute =
+        (visit.poi == profile.home && next.poi == profile.work) ||
+        (visit.poi == profile.work && next.poi == profile.home);
+    if (is_commute && profile.commute_hub != kInvalidPoi &&
+        rng.Bernoulli(profile.hub_commute_prob)) {
+      via = profile.commute_hub;
+    }
+    leg_paths.push_back(Route(visit.poi, next.poi, via));
+  }
+
+  for (const ScheduledVisit& visit : plan) {
+    const PoiSite& site = universe_.site(visit.poi);
+    ground_truth.push_back(GroundTruthVisit{user, visit.poi, site.position,
+                                            visit.arrival, visit.departure});
+  }
+
+  if (config_.continuous_recording) {
+    model::Trace trace;
+    trace.set_user(user);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const ScheduledVisit& visit = plan[i];
+      EmitDwell(universe_.site(visit.poi), visit.arrival, visit.departure,
+                rng, trace);
+      if (i + 1 < plan.size()) {
+        EmitTravel(leg_paths[i], visit.departure, plan[i + 1].arrival, rng,
+                   trace);
+      }
+    }
+    traces.push_back(std::move(trace));
+    return;
+  }
+
+  // Session mode: one trace per leg, with dwell tails at both ends.
+  for (std::size_t i = 0; i + 1 < plan.size(); ++i) {
+    const ScheduledVisit& from = plan[i];
+    const ScheduledVisit& to = plan[i + 1];
+    model::Trace trace;
+    trace.set_user(user);
+    const util::Timestamp tail_start =
+        std::max(from.arrival, from.departure - config_.session_dwell_s);
+    EmitDwell(universe_.site(from.poi), tail_start, from.departure, rng,
+              trace);
+    EmitTravel(leg_paths[i], from.departure, to.arrival, rng, trace);
+    const util::Timestamp head_end =
+        std::min(to.departure, to.arrival + config_.session_dwell_s);
+    EmitDwell(universe_.site(to.poi), to.arrival, head_end, rng, trace);
+    traces.push_back(std::move(trace));
+  }
+}
+
+}  // namespace mobipriv::synth

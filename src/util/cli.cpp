@@ -1,0 +1,107 @@
+#include "util/cli.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::util {
+
+CliParser::CliParser(std::string description)
+    : description_(std::move(description)) {}
+
+void CliParser::AddOption(std::string name, std::string help,
+                          std::string default_value) {
+  options_[std::move(name)] =
+      Option{std::move(help), std::move(default_value), /*is_flag=*/false,
+             /*seen=*/false};
+}
+
+void CliParser::AddFlag(std::string name, std::string help) {
+  options_[std::move(name)] =
+      Option{std::move(help), "false", /*is_flag=*/true, /*seen=*/false};
+}
+
+bool CliParser::Parse(int argc, const char* const* argv) {
+  program_name_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << Usage();
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      inline_value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::cerr << "Unknown option --" << name << "\n" << Usage();
+      return false;
+    }
+    Option& opt = it->second;
+    opt.seen = true;
+    if (opt.is_flag) {
+      opt.value = inline_value.value_or("true");
+    } else if (inline_value) {
+      opt.value = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        std::cerr << "Missing value for --" << name << "\n" << Usage();
+        return false;
+      }
+      opt.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+bool CliParser::Has(std::string_view name) const {
+  const auto it = options_.find(name);
+  return it != options_.end() && it->second.seen;
+}
+
+std::string CliParser::GetString(std::string_view name) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? std::string() : it->second.value;
+}
+
+double CliParser::GetDouble(std::string_view name) const {
+  return ParseDouble(GetString(name)).value_or(0.0);
+}
+
+std::int64_t CliParser::GetInt(std::string_view name) const {
+  return ParseInt(GetString(name)).value_or(0);
+}
+
+bool CliParser::GetBool(std::string_view name) const {
+  const auto value = ToLower(GetString(name));
+  return value == "true" || value == "1" || value == "yes" || value == "on";
+}
+
+std::string CliParser::Usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nUsage: " << program_name_ << " [options]\n\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (!opt.is_flag && !opt.value.empty()) {
+      os << " (default: " << opt.value << ")";
+    }
+    os << "\n";
+  }
+  os << "  --help\n      Show this message\n";
+  return os.str();
+}
+
+}  // namespace mobipriv::util

@@ -1,0 +1,57 @@
+// Tiny declarative command-line parser for the example executables and
+// benchmark drivers. Supports "--name value", "--name=value" and boolean
+// "--flag" forms, typed lookups with defaults, and automatic --help output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobipriv::util {
+
+class CliParser {
+ public:
+  /// `description` is printed at the top of --help.
+  explicit CliParser(std::string description);
+
+  /// Declares an option; must be called before Parse for it to appear in
+  /// --help and be accepted. `name` without leading dashes, e.g. "users".
+  void AddOption(std::string name, std::string help,
+                 std::string default_value = "");
+  void AddFlag(std::string name, std::string help);
+
+  /// Parses argv. Returns false (after printing usage) on unknown options,
+  /// missing values, or --help.
+  [[nodiscard]] bool Parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool Has(std::string_view name) const;
+  [[nodiscard]] std::string GetString(std::string_view name) const;
+  [[nodiscard]] double GetDouble(std::string_view name) const;
+  [[nodiscard]] std::int64_t GetInt(std::string_view name) const;
+  [[nodiscard]] bool GetBool(std::string_view name) const;
+
+  /// Positional arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& Positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string Usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Option, std::less<>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mobipriv::util

@@ -1,0 +1,133 @@
+#include "util/csv.h"
+
+#include <cassert>
+
+namespace mobipriv::util {
+namespace {
+
+/// Returns true if the field must be quoted when written.
+bool NeedsQuoting(std::string_view field, char delimiter) {
+  for (const char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CsvReader::CsvReader(std::istream& in, char delimiter)
+    : in_(in), delimiter_(delimiter) {}
+
+bool CsvReader::ReadRow(CsvRow& row) {
+  row.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any_char = false;
+  int c = 0;
+  while ((c = in_.get()) != std::char_traits<char>::eof()) {
+    saw_any_char = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in_.peek() == '"') {
+          in_.get();
+          field.push_back('"');  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+      continue;
+    }
+    if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == delimiter_) {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      row.push_back(std::move(field));
+      ++rows_read_;
+      return true;
+    } else if (ch == '\r') {
+      // Swallow \r of \r\n; a lone \r also terminates the record.
+      if (in_.peek() == '\n') in_.get();
+      row.push_back(std::move(field));
+      ++rows_read_;
+      return true;
+    } else {
+      field.push_back(ch);
+    }
+  }
+  if (!saw_any_char) return false;
+  // Final record without trailing newline.
+  row.push_back(std::move(field));
+  ++rows_read_;
+  return true;
+}
+
+CsvRow ParseCsvLine(std::string_view line, char delimiter) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == delimiter) {
+      row.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(ch);
+    }
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char delimiter)
+    : out_(out), delimiter_(delimiter) {}
+
+void CsvWriter::WriteField(std::string_view field) {
+  if (!NeedsQuoting(field, delimiter_)) {
+    out_ << field;
+    return;
+  }
+  out_ << '"';
+  for (const char c : field) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::WriteRow(const CsvRow& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << delimiter_;
+    WriteField(row[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (const auto field : fields) {
+    if (!first) out_ << delimiter_;
+    first = false;
+    WriteField(field);
+  }
+  out_ << '\n';
+}
+
+}  // namespace mobipriv::util

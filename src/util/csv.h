@@ -1,0 +1,59 @@
+// Minimal CSV reading/writing used by the trajectory I/O layer and the
+// benchmark harness. Supports RFC-4180-style quoting (double quotes, embedded
+// separators/quotes/newlines inside quoted fields) which is enough for every
+// mobility dataset format we ingest (plain CSV and Geolife-style PLT).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobipriv::util {
+
+/// One parsed CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Streaming CSV reader. Rows are pulled one at a time so arbitrarily large
+/// trace files can be ingested without loading them whole.
+class CsvReader {
+ public:
+  /// The stream must outlive the reader. `delimiter` is typically ',' but
+  /// PLT-derived files sometimes use ';'.
+  explicit CsvReader(std::istream& in, char delimiter = ',');
+
+  /// Reads the next record into `row`. Returns false at end of input.
+  /// Handles quoted fields spanning multiple physical lines.
+  bool ReadRow(CsvRow& row);
+
+  /// Number of records returned so far (useful in error messages).
+  [[nodiscard]] std::size_t RowsRead() const noexcept { return rows_read_; }
+
+ private:
+  std::istream& in_;
+  char delimiter_;
+  std::size_t rows_read_ = 0;
+};
+
+/// Parses a single CSV line (no embedded newlines) — convenience for tests
+/// and simple formats.
+[[nodiscard]] CsvRow ParseCsvLine(std::string_view line, char delimiter = ',');
+
+/// CSV writer with automatic quoting of fields containing the delimiter,
+/// quotes or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char delimiter = ',');
+
+  void WriteRow(const CsvRow& row);
+  void WriteRow(std::initializer_list<std::string_view> fields);
+
+ private:
+  void WriteField(std::string_view field);
+
+  std::ostream& out_;
+  char delimiter_;
+};
+
+}  // namespace mobipriv::util

@@ -1,0 +1,53 @@
+// Leveled stderr logging for examples and benches. The library core never
+// logs on hot paths; logging exists for tools and long-running experiment
+// drivers. Thread-compatible: severity filtering is atomic, each Log() call
+// writes its full line with a single stream insertion.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mobipriv::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum severity; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel GetLogLevel() noexcept;
+
+/// Emits one formatted line "[LEVEL] message" to stderr if enabled.
+void Log(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Builds the message from stream-style usage then emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace mobipriv::util
+
+#define MOBIPRIV_LOG_DEBUG() \
+  ::mobipriv::util::detail::LogMessage(::mobipriv::util::LogLevel::kDebug)
+#define MOBIPRIV_LOG_INFO() \
+  ::mobipriv::util::detail::LogMessage(::mobipriv::util::LogLevel::kInfo)
+#define MOBIPRIV_LOG_WARNING() \
+  ::mobipriv::util::detail::LogMessage(::mobipriv::util::LogLevel::kWarning)
+#define MOBIPRIV_LOG_ERROR() \
+  ::mobipriv::util::detail::LogMessage(::mobipriv::util::LogLevel::kError)

@@ -1,0 +1,137 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace mobipriv::util {
+namespace {
+
+constexpr std::uint64_t SplitMix64Step(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SeedSequence::Next() noexcept { return SplitMix64Step(state_); }
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64Step(s);
+}
+
+std::uint64_t Rng::NextU64() noexcept {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() noexcept {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) noexcept {
+  assert(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? NextU64() : NextBounded(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+bool Rng::Bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Gaussian() noexcept {
+  // Marsaglia polar method; discard the second variate to keep the sampler
+  // stateless (simpler reproducibility reasoning than caching).
+  for (;;) {
+    const double u = Uniform(-1.0, 1.0);
+    const double v = Uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::Gaussian(double mean, double sigma) noexcept {
+  assert(sigma >= 0.0);
+  return mean + sigma * Gaussian();
+}
+
+double Rng::Exponential(double lambda) noexcept {
+  assert(lambda > 0.0);
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+double Rng::Laplace(double mu, double b) noexcept {
+  assert(b > 0.0);
+  // Inverse-CDF sampling: X = mu - b * sgn(u) * ln(1 - 2|u|), u ~ U(-1/2, 1/2).
+  const double u = NextDouble() - 0.5;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return mu - b * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double Rng::Angle() noexcept {
+  return NextDouble() * 2.0 * std::numbers::pi;
+}
+
+std::size_t Rng::WeightedIndex(std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return static_cast<std::size_t>(NextBounded(weights.size()));
+  double target = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end
+}
+
+Rng Rng::Split() noexcept { return Rng(NextU64()); }
+
+}  // namespace mobipriv::util

@@ -1,0 +1,112 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (synthetic data generation,
+// noise mechanisms, shuffling inside mix-zones, ...) draws from an
+// explicitly-seeded Rng instance that is passed in by the caller. No global
+// RNG state exists anywhere in the library, so two runs with the same seeds
+// produce bit-identical datasets, mechanisms outputs and attack results.
+//
+// The core generator is SplitMix64 (Steele et al., "Fast splittable
+// pseudorandom number generators", OOPSLA 2014) used to seed xoshiro256++
+// (Blackman & Vigna, 2019): small state, excellent statistical quality, and
+// trivially reproducible across platforms, unlike std::mt19937 whose
+// distributions are not portable across standard library implementations.
+// All distribution sampling (uniform, Gaussian, exponential, Laplace, planar
+// Laplace) is implemented here so results do not depend on libstdc++
+// internals.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mobipriv::util {
+
+/// Counter-based splitter used to derive independent streams from one seed.
+/// Calling next() repeatedly yields a deterministic sequence of 64-bit
+/// values suitable as seeds for independent Rng instances.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next derived seed (SplitMix64 step).
+  [[nodiscard]] std::uint64_t Next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ pseudo-random generator with portable distribution sampling.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can also be
+/// plugged into <random> facilities when portability of the stream is not
+/// required.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xDEADBEEFCAFEF00DULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 uniform bits.
+  result_type operator()() noexcept { return NextU64(); }
+  std::uint64_t NextU64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (Lemire's method).
+  std::uint64_t NextBounded(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) noexcept;
+  /// Standard normal via Marsaglia polar method (portable, no cached state
+  /// dependence on library internals).
+  double Gaussian() noexcept;
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double Gaussian(double mean, double sigma) noexcept;
+  /// Exponential with rate lambda > 0 (mean 1/lambda).
+  double Exponential(double lambda) noexcept;
+  /// One-dimensional Laplace with location mu and scale b > 0.
+  double Laplace(double mu, double b) noexcept;
+  /// Angle uniform in [0, 2*pi).
+  double Angle() noexcept;
+
+  /// Fisher–Yates shuffle of a span, deterministic given the Rng state.
+  template <typename T>
+  void Shuffle(std::span<T> values) noexcept {
+    if (values.size() < 2) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBounded(i + 1));
+      using std::swap;
+      swap(values[i], values[j]);
+    }
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& values) noexcept {
+    Shuffle(std::span<T>(values));
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Non-positive weights are treated as zero; if all weights are
+  /// zero the choice is uniform.
+  std::size_t WeightedIndex(std::span<const double> weights) noexcept;
+
+  /// Derives an independent child generator (stream splitting).
+  [[nodiscard]] Rng Split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mobipriv::util

@@ -1,0 +1,148 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace mobipriv::util {
+
+void RunningStat::Add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::Variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStat::Stddev() const noexcept { return std::sqrt(Variance()); }
+
+double PercentileSorted(std::span<const double> sorted_values, double q) {
+  assert(!sorted_values.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= sorted_values.size()) return sorted_values.back();
+  return sorted_values[lower] * (1.0 - frac) + sorted_values[lower + 1] * frac;
+}
+
+double Percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, q);
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Summary Summary::Of(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStat rs;
+  for (const double v : sorted) rs.Add(v);
+  s.count = rs.Count();
+  s.mean = rs.Mean();
+  s.stddev = rs.Stddev();
+  s.min = sorted.front();
+  s.p25 = PercentileSorted(sorted, 0.25);
+  s.median = PercentileSorted(sorted, 0.50);
+  s.p75 = PercentileSorted(sorted, 0.75);
+  s.p95 = PercentileSorted(sorted, 0.95);
+  s.p99 = PercentileSorted(sorted, 0.99);
+  s.max = sorted.back();
+  return s;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p50=" << median << " p95=" << p95 << " max=" << max;
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins > 0);
+  assert(lo < hi);
+}
+
+void Histogram::Add(double x) noexcept {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::BinLower(std::size_t i) const {
+  assert(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::Fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToString(std::size_t bar_width) const {
+  std::ostringstream os;
+  std::size_t max_count = 0;
+  for (const auto c : counts_) max_count = std::max(max_count, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double frac_of_max =
+        max_count ? static_cast<double>(counts_[i]) /
+                        static_cast<double>(max_count)
+                  : 0.0;
+    const auto bar =
+        static_cast<std::size_t>(frac_of_max * static_cast<double>(bar_width));
+    os << "[" << BinLower(i) << ", ";
+    if (i + 1 == counts_.size()) {
+      os << hi_;
+    } else {
+      os << BinLower(i + 1);
+    }
+    os << ") " << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mobipriv::util

@@ -1,0 +1,39 @@
+// Small string helpers shared by the CSV reader, CLI parser and report
+// writers. Kept deliberately minimal: only what the library actually uses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobipriv::util {
+
+/// Splits `text` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view Trim(std::string_view text);
+
+/// Case-sensitive prefix/suffix tests (thin wrappers kept for call-site
+/// clarity in pre-C++20-style call sites).
+[[nodiscard]] bool StartsWith(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII letters only.
+[[nodiscard]] std::string ToLower(std::string_view text);
+
+/// Strict parse helpers: the whole trimmed string must be consumed, otherwise
+/// nullopt. Unlike std::stod they never throw and never accept trailing junk.
+[[nodiscard]] std::optional<double> ParseDouble(std::string_view text);
+[[nodiscard]] std::optional<std::int64_t> ParseInt(std::string_view text);
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Formats a double with fixed precision (used by report tables so output is
+/// stable across locales).
+[[nodiscard]] std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace mobipriv::util

@@ -1,0 +1,116 @@
+#include "util/time_utils.h"
+
+#include <cstdio>
+
+#include "util/string_utils.h"
+
+namespace mobipriv::util {
+namespace {
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm,
+/// valid for the full int range we care about).
+constexpr std::int64_t DaysFromCivil(std::int64_t y, unsigned m,
+                                     unsigned d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;        // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of DaysFromCivil.
+constexpr void CivilFromDays(std::int64_t z, std::int64_t& y, unsigned& m,
+                             unsigned& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  d = doy - (153 * mp + 2) / 5 + 1;                              // [1, 31]
+  m = mp + (mp < 10 ? 3 : -9);                                   // [1, 12]
+  y += (m <= 2);
+}
+
+}  // namespace
+
+std::optional<Timestamp> ParseDateTime(std::string_view text) {
+  text = Trim(text);
+  // Expected: "YYYY-MM-DD hh:mm:ss" or "YYYY-MM-DDThh:mm:ss" (19 chars).
+  if (text.size() != 19) return std::nullopt;
+  if (text[4] != '-' || text[7] != '-' ||
+      (text[10] != ' ' && text[10] != 'T') || text[13] != ':' ||
+      text[16] != ':') {
+    return std::nullopt;
+  }
+  const auto year = ParseInt(text.substr(0, 4));
+  const auto month = ParseInt(text.substr(5, 2));
+  const auto day = ParseInt(text.substr(8, 2));
+  const auto hour = ParseInt(text.substr(11, 2));
+  const auto minute = ParseInt(text.substr(14, 2));
+  const auto second = ParseInt(text.substr(17, 2));
+  if (!year || !month || !day || !hour || !minute || !second) {
+    return std::nullopt;
+  }
+  if (*month < 1 || *month > 12 || *day < 1 || *day > 31 || *hour > 23 ||
+      *hour < 0 || *minute < 0 || *minute > 59 || *second < 0 ||
+      *second > 60) {
+    return std::nullopt;
+  }
+  const std::int64_t days = DaysFromCivil(*year, static_cast<unsigned>(*month),
+                                          static_cast<unsigned>(*day));
+  return days * kSecondsPerDay + *hour * kSecondsPerHour +
+         *minute * kSecondsPerMinute + *second;
+}
+
+std::string FormatDateTime(Timestamp ts) {
+  std::int64_t days = ts / kSecondsPerDay;
+  Timestamp sec_of_day = ts % kSecondsPerDay;
+  if (sec_of_day < 0) {
+    sec_of_day += kSecondsPerDay;
+    --days;
+  }
+  std::int64_t year = 0;
+  unsigned month = 0;
+  unsigned day = 0;
+  CivilFromDays(days, year, month, day);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04lld-%02u-%02u %02lld:%02lld:%02lld",
+                static_cast<long long>(year), month, day,
+                static_cast<long long>(sec_of_day / kSecondsPerHour),
+                static_cast<long long>((sec_of_day / kSecondsPerMinute) % 60),
+                static_cast<long long>(sec_of_day % 60));
+  return buffer;
+}
+
+Timestamp SecondsOfDay(Timestamp ts) noexcept {
+  Timestamp s = ts % kSecondsPerDay;
+  if (s < 0) s += kSecondsPerDay;
+  return s;
+}
+
+Timestamp StartOfDay(Timestamp ts) noexcept { return ts - SecondsOfDay(ts); }
+
+std::string FormatDuration(Timestamp seconds) {
+  if (seconds < 0) return "-" + FormatDuration(-seconds);
+  char buffer[48];
+  if (seconds < kSecondsPerMinute) {
+    std::snprintf(buffer, sizeof(buffer), "%llds",
+                  static_cast<long long>(seconds));
+  } else if (seconds < kSecondsPerHour) {
+    std::snprintf(buffer, sizeof(buffer), "%lldm%02llds",
+                  static_cast<long long>(seconds / kSecondsPerMinute),
+                  static_cast<long long>(seconds % kSecondsPerMinute));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lldh%02lldm",
+                  static_cast<long long>(seconds / kSecondsPerHour),
+                  static_cast<long long>((seconds / kSecondsPerMinute) % 60));
+  }
+  return buffer;
+}
+
+}  // namespace mobipriv::util

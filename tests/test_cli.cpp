@@ -1,0 +1,94 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::util {
+namespace {
+
+CliParser MakeParser() {
+  CliParser parser("test tool");
+  parser.AddOption("count", "how many", "10");
+  parser.AddOption("name", "a name", "default");
+  parser.AddOption("ratio", "a double", "0.5");
+  parser.AddFlag("verbose", "talk more");
+  return parser;
+}
+
+TEST(CliParser, DefaultsApply) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(parser.Parse(1, argv));
+  EXPECT_EQ(parser.GetInt("count"), 10);
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_FALSE(parser.Has("count"));  // not explicitly set
+}
+
+TEST(CliParser, SpaceSeparatedValues) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "--count", "42", "--name", "alice"};
+  ASSERT_TRUE(parser.Parse(5, argv));
+  EXPECT_EQ(parser.GetInt("count"), 42);
+  EXPECT_EQ(parser.GetString("name"), "alice");
+  EXPECT_TRUE(parser.Has("count"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "--count=7", "--ratio=0.25"};
+  ASSERT_TRUE(parser.Parse(3, argv));
+  EXPECT_EQ(parser.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.25);
+}
+
+TEST(CliParser, Flags) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "--verbose"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(CliParser, PositionalArguments) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "input.csv", "--count", "1", "output.csv"};
+  ASSERT_TRUE(parser.Parse(5, argv));
+  EXPECT_EQ(parser.Positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(CliParser, UnknownOptionFails) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "--bogus", "1"};
+  EXPECT_FALSE(parser.Parse(3, argv));
+}
+
+TEST(CliParser, MissingValueFails) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "--count"};
+  EXPECT_FALSE(parser.Parse(2, argv));
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "--help"};
+  EXPECT_FALSE(parser.Parse(2, argv));
+}
+
+TEST(CliParser, UsageListsOptions) {
+  const auto parser = MakeParser();
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+}
+
+TEST(CliParser, BoolParsingVariants) {
+  auto parser = MakeParser();
+  const char* argv[] = {"tool", "--verbose=yes"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+}  // namespace
+}  // namespace mobipriv::util

@@ -1,0 +1,116 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mobipriv::util {
+namespace {
+
+TEST(CsvReader, SimpleRows) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"a", "b", "c"}));
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"1", "2", "3"}));
+  EXPECT_FALSE(reader.ReadRow(row));
+  EXPECT_EQ(reader.RowsRead(), 2u);
+}
+
+TEST(CsvReader, MissingTrailingNewline) {
+  std::istringstream in("x,y");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"x", "y"}));
+  EXPECT_FALSE(reader.ReadRow(row));
+}
+
+TEST(CsvReader, EmptyFieldsPreserved) {
+  std::istringstream in("a,,c\n,,\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"a", "", "c"}));
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"", "", ""}));
+}
+
+TEST(CsvReader, QuotedFieldWithDelimiter) {
+  std::istringstream in("\"a,b\",c\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvReader, EscapedQuotes) {
+  std::istringstream in("\"he said \"\"hi\"\"\",x\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"he said \"hi\"", "x"}));
+}
+
+TEST(CsvReader, QuotedNewline) {
+  std::istringstream in("\"line1\nline2\",b\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"line1\nline2", "b"}));
+}
+
+TEST(CsvReader, CrLfLineEndings) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"a", "b"}));
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"c", "d"}));
+}
+
+TEST(CsvReader, CustomDelimiter) {
+  std::istringstream in("a;b;c\n");
+  CsvReader reader(in, ';');
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (CsvRow{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLine, Basic) {
+  EXPECT_EQ(ParseCsvLine("a,b"), (CsvRow{"a", "b"}));
+  EXPECT_EQ(ParseCsvLine(""), (CsvRow{""}));
+  EXPECT_EQ(ParseCsvLine("\"x,y\",z"), (CsvRow{"x,y", "z"}));
+}
+
+TEST(CsvWriter, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow(CsvRow{"plain", "with,comma", "with\"quote", "multi\nline"});
+  std::istringstream in(out.str());
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row,
+            (CsvRow{"plain", "with,comma", "with\"quote", "multi\nline"}));
+}
+
+TEST(CsvWriter, InitializerListOverload) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"a", "b"});
+  EXPECT_EQ(out.str(), "a,b\n");
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"simple", "a,b"});
+  EXPECT_EQ(out.str(), "simple,\"a,b\"\n");
+}
+
+}  // namespace
+}  // namespace mobipriv::util

@@ -1,0 +1,87 @@
+#include "model/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::model {
+namespace {
+
+TEST(Dataset, InternUserIsIdempotent) {
+  Dataset dataset;
+  const UserId a = dataset.InternUser("alice");
+  const UserId b = dataset.InternUser("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dataset.InternUser("alice"), a);
+  EXPECT_EQ(dataset.UserCount(), 2u);
+  EXPECT_EQ(dataset.UserName(a), "alice");
+  EXPECT_EQ(dataset.UserName(b), "bob");
+}
+
+TEST(Dataset, FindUser) {
+  Dataset dataset;
+  const UserId a = dataset.InternUser("alice");
+  EXPECT_EQ(dataset.FindUser("alice"), a);
+  EXPECT_FALSE(dataset.FindUser("carol").has_value());
+}
+
+TEST(Dataset, UnknownUserNameFallback) {
+  const Dataset dataset;
+  EXPECT_EQ(dataset.UserName(7), "user7");
+}
+
+TEST(Dataset, AddTraceForUser) {
+  Dataset dataset;
+  const UserId id = dataset.AddTraceForUser(
+      "alice", {{{45.0, 4.0}, 100}, {{45.1, 4.0}, 200}});
+  EXPECT_EQ(dataset.TraceCount(), 1u);
+  EXPECT_EQ(dataset.EventCount(), 2u);
+  EXPECT_EQ(dataset.traces().front().user(), id);
+}
+
+TEST(Dataset, MultipleTracesPerUser) {
+  Dataset dataset;
+  dataset.AddTraceForUser("alice", {{{45.0, 4.0}, 100}});
+  dataset.AddTraceForUser("alice", {{{45.0, 4.0}, 500}});
+  dataset.AddTraceForUser("bob", {{{45.0, 4.0}, 300}});
+  EXPECT_EQ(dataset.UserCount(), 2u);
+  EXPECT_EQ(dataset.TraceCount(), 3u);
+  const auto alice = dataset.FindUser("alice");
+  ASSERT_TRUE(alice.has_value());
+  EXPECT_EQ(dataset.TracesOfUser(*alice),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Dataset, EmptyDataset) {
+  const Dataset dataset;
+  EXPECT_TRUE(dataset.empty());
+  EXPECT_EQ(dataset.EventCount(), 0u);
+  EXPECT_TRUE(dataset.BoundingBox().IsEmpty());
+}
+
+TEST(Dataset, BoundingBoxSpansAllTraces) {
+  Dataset dataset;
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 1}});
+  dataset.AddTraceForUser("b", {{{46.0, 5.0}, 2}});
+  const auto box = dataset.BoundingBox();
+  EXPECT_NEAR(box.SouthWest().lat, 45.0, 1e-12);
+  EXPECT_NEAR(box.NorthEast().lng, 5.0, 1e-12);
+}
+
+TEST(Dataset, SortAll) {
+  Dataset dataset;
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 200}, {{45.1, 4.0}, 100}});
+  dataset.SortAll();
+  EXPECT_TRUE(dataset.traces().front().IsTimeOrdered());
+}
+
+TEST(Dataset, CloneIsDeep) {
+  Dataset dataset;
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 1}});
+  Dataset copy = dataset.Clone();
+  copy.AddTraceForUser("b", {{{46.0, 4.0}, 2}});
+  EXPECT_EQ(dataset.TraceCount(), 1u);
+  EXPECT_EQ(copy.TraceCount(), 2u);
+  EXPECT_EQ(dataset.UserCount(), 1u);
+}
+
+}  // namespace
+}  // namespace mobipriv::model

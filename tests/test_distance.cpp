@@ -1,0 +1,45 @@
+#include "geo/distance.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::geo {
+namespace {
+
+TEST(GeoDistanceFn, DefaultIsHaversine) {
+  const auto distance = DefaultGeoDistance();
+  const LatLng a{45.764, 4.8357};
+  const LatLng b{45.774, 4.8457};
+  EXPECT_DOUBLE_EQ(distance(a, b), HaversineDistance(a, b));
+}
+
+TEST(GeoDistanceFn, FastIsEquirectangular) {
+  const auto distance = FastGeoDistance();
+  const LatLng a{45.764, 4.8357};
+  const LatLng b{45.774, 4.8457};
+  EXPECT_DOUBLE_EQ(distance(a, b), EquirectangularDistance(a, b));
+}
+
+TEST(GeoDistanceFn, FastApproximatesDefaultAtCityScale) {
+  const auto exact = DefaultGeoDistance();
+  const auto fast = FastGeoDistance();
+  const LatLng a{45.70, 4.80};
+  const LatLng b{45.80, 4.90};
+  const double d_exact = exact(a, b);
+  EXPECT_NEAR(fast(a, b), d_exact, d_exact * 0.005);
+}
+
+TEST(PathLengthGeo, SumsSegments) {
+  const std::vector<LatLng> path{{45.00, 4.0}, {45.01, 4.0}, {45.02, 4.0}};
+  EXPECT_NEAR(PathLength(path), 2224.0, 5.0);
+  EXPECT_DOUBLE_EQ(PathLength(std::vector<LatLng>{}), 0.0);
+  EXPECT_DOUBLE_EQ(PathLength(std::vector<LatLng>{{45.0, 4.0}}), 0.0);
+}
+
+TEST(PathLengthPlanar, SumsSegments) {
+  const std::vector<Point2> path{{0.0, 0.0}, {3.0, 4.0}, {3.0, 10.0}};
+  EXPECT_DOUBLE_EQ(PathLength(path), 11.0);
+  EXPECT_DOUBLE_EQ(PathLength(std::vector<Point2>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace mobipriv::geo

@@ -1,0 +1,68 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::core {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "2"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("longer-name"), std::string::npos);
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+  // All data lines have the same width (alignment).
+  std::size_t line_start = 0;
+  std::vector<std::size_t> lengths;
+  for (std::size_t i = 0; i <= rendered.size(); ++i) {
+    if (i == rendered.size() || rendered[i] == '\n') {
+      if (i > line_start) lengths.push_back(i - line_start);
+      line_start = i + 1;
+    }
+  }
+  ASSERT_GE(lengths.size(), 4u);
+  EXPECT_EQ(lengths[0], lengths[2]);
+  EXPECT_EQ(lengths[2], lengths[3]);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  const std::string csv = table.ToCsv();
+  EXPECT_EQ(csv, "a,b,c\nonly-one,,\n");
+}
+
+TEST(TimeMs, MeasuresSomething) {
+  const double ms = TimeMs([] {
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  });
+  EXPECT_GE(ms, 0.0);
+  EXPECT_LT(ms, 10000.0);
+}
+
+TEST(StandardRoster, ContainsExpectedMechanisms) {
+  const auto roster = StandardRoster({0.01});
+  // identity + ours x3 + geo_ind x1 + w4m + cloaking + gaussian + downsample.
+  EXPECT_EQ(roster.size(), 9u);
+  std::vector<std::string> names;
+  for (const auto& mechanism : roster) names.push_back(mechanism->Name());
+  EXPECT_EQ(names.front(), "identity");
+  bool has_full = false;
+  bool has_geo = false;
+  for (const auto& name : names) {
+    if (name == "ours[speed+mix]") has_full = true;
+    if (name.starts_with("geo_ind")) has_geo = true;
+  }
+  EXPECT_TRUE(has_full);
+  EXPECT_TRUE(has_geo);
+}
+
+TEST(StandardRoster, EpsilonSweepSize) {
+  EXPECT_EQ(StandardRoster({0.001, 0.01, 0.1}).size(), 11u);
+}
+
+}  // namespace
+}  // namespace mobipriv::core

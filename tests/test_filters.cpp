@@ -1,0 +1,114 @@
+#include "model/filters.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::model {
+namespace {
+
+Trace LinearTrace() {
+  // Northward at ~11 m/s, fix every 100 s.
+  return Trace(1, {{{45.00, 4.0}, 0},
+                   {{45.01, 4.0}, 100},
+                   {{45.02, 4.0}, 200},
+                   {{45.03, 4.0}, 300}});
+}
+
+TEST(SplitByGap, NoGapSingle) {
+  const auto pieces = SplitByGap(LinearTrace(), 150);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces.front().size(), 4u);
+  EXPECT_EQ(pieces.front().user(), 1u);
+}
+
+TEST(SplitByGap, SplitsAtGaps) {
+  Trace trace(2, {{{45.0, 4.0}, 0},
+                  {{45.0, 4.0}, 100},
+                  {{45.0, 4.0}, 5000},  // gap
+                  {{45.0, 4.0}, 5100}});
+  const auto pieces = SplitByGap(trace, 1000);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].size(), 2u);
+  EXPECT_EQ(pieces[1].size(), 2u);
+  EXPECT_EQ(pieces[1].front().time, 5000);
+}
+
+TEST(SplitByGap, DropsShortPieces) {
+  Trace trace(2, {{{45.0, 4.0}, 0},
+                  {{45.0, 4.0}, 5000},
+                  {{45.0, 4.0}, 5100}});
+  // First piece has a single event -> dropped with min_events = 2.
+  const auto pieces = SplitByGap(trace, 1000, 2);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces.front().front().time, 5000);
+}
+
+TEST(SplitDatasetByGap, PreservesUserNames) {
+  Dataset dataset;
+  dataset.AddTraceForUser("alice", {{{45.0, 4.0}, 0},
+                                    {{45.0, 4.0}, 100},
+                                    {{45.0, 4.0}, 9000},
+                                    {{45.0, 4.0}, 9100}});
+  const Dataset out = SplitDatasetByGap(dataset, 1000);
+  EXPECT_EQ(out.TraceCount(), 2u);
+  EXPECT_EQ(out.UserName(out.traces().front().user()), "alice");
+}
+
+TEST(DeduplicateTimes, RemovesDuplicates) {
+  Trace trace(1, {{{45.0, 4.0}, 10},
+                  {{45.1, 4.0}, 10},
+                  {{45.2, 4.0}, 20}});
+  const Trace out = DeduplicateTimes(trace);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out.front().position.lat, 45.0, 1e-12);  // first kept
+}
+
+TEST(RemoveSpeedOutliers, DropsTeleports) {
+  Trace trace(1, {{{45.00, 4.0}, 0},
+                  {{45.01, 4.0}, 100},   // ~11 m/s: fine
+                  {{46.50, 4.0}, 200},   // ~1650 m/s: glitch
+                  {{45.02, 4.0}, 300}});
+  const Trace out = RemoveSpeedOutliers(trace, 50.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[2].position.lat, 45.02, 1e-12);
+}
+
+TEST(RemoveSpeedOutliers, DropsNonMonotoneTimes) {
+  Trace trace(1, {{{45.00, 4.0}, 100}, {{45.01, 4.0}, 100}});
+  const Trace out = RemoveSpeedOutliers(trace, 50.0);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(InterpolateAt, MidpointAndClamping) {
+  const Trace trace = LinearTrace();
+  const auto mid = InterpolateAt(trace, 50);
+  EXPECT_NEAR(mid.lat, 45.005, 1e-9);
+  EXPECT_NEAR(InterpolateAt(trace, -100).lat, 45.00, 1e-12);
+  EXPECT_NEAR(InterpolateAt(trace, 9999).lat, 45.03, 1e-12);
+  EXPECT_NEAR(InterpolateAt(trace, 200).lat, 45.02, 1e-12);  // exact fix
+}
+
+TEST(ResampleTime, UniformStep) {
+  const Trace out = ResampleTime(LinearTrace(), 60);
+  // Times: 0, 60, 120, 180, 240, 300.
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out.back().time, 300);
+  for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+    EXPECT_EQ(out[i].time - out[i - 1].time, 60);
+  }
+  EXPECT_NEAR(out[1].position.lat, 45.006, 1e-9);
+}
+
+TEST(ResampleTime, AppendsFinalFix) {
+  const Trace out = ResampleTime(LinearTrace(), 250);
+  // Times: 0, 250, then final 300 appended.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.back().time, 300);
+}
+
+TEST(ResampleTime, ShortTraceUnchanged) {
+  Trace single(1, {{{45.0, 4.0}, 10}});
+  EXPECT_EQ(ResampleTime(single, 60).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mobipriv::model

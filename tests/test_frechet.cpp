@@ -1,0 +1,81 @@
+#include "metrics/frechet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/projection.h"
+
+namespace mobipriv::metrics {
+namespace {
+
+TEST(DiscreteFrechet, IdenticalPathsZero) {
+  const std::vector<geo::Point2> path{{0.0, 0.0}, {10.0, 0.0}, {20.0, 5.0}};
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(path, path), 0.0);
+}
+
+TEST(DiscreteFrechet, ParallelLinesEqualOffset) {
+  const std::vector<geo::Point2> a{{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}};
+  const std::vector<geo::Point2> b{{0.0, 3.0}, {10.0, 3.0}, {20.0, 3.0}};
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b), 3.0);
+}
+
+TEST(DiscreteFrechet, SymmetricInArguments) {
+  const std::vector<geo::Point2> a{{0.0, 0.0}, {10.0, 0.0}, {20.0, 8.0}};
+  const std::vector<geo::Point2> b{{1.0, 2.0}, {9.0, -1.0}};
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b), DiscreteFrechet(b, a));
+}
+
+TEST(DiscreteFrechet, OrderMattersUnlikeHausdorff) {
+  // Same point sets, opposite directions: Fréchet is large, Hausdorff 0.
+  const std::vector<geo::Point2> forward{{0.0, 0.0}, {10.0, 0.0},
+                                         {20.0, 0.0}};
+  const std::vector<geo::Point2> backward{{20.0, 0.0}, {10.0, 0.0},
+                                          {0.0, 0.0}};
+  EXPECT_GE(DiscreteFrechet(forward, backward), 20.0);
+}
+
+TEST(DiscreteFrechet, SinglePointVsPath) {
+  const std::vector<geo::Point2> point{{0.0, 0.0}};
+  const std::vector<geo::Point2> path{{0.0, 0.0}, {30.0, 40.0}};
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(point, path), 50.0);
+}
+
+TEST(DiscreteFrechet, EmptyCases) {
+  const std::vector<geo::Point2> empty;
+  const std::vector<geo::Point2> path{{0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(empty, empty), 0.0);
+  EXPECT_TRUE(std::isinf(DiscreteFrechet(empty, path)));
+}
+
+TEST(DiscreteFrechet, BoundsHausdorff) {
+  // Fréchet >= max point-to-path distance.
+  const std::vector<geo::Point2> a{{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}};
+  const std::vector<geo::Point2> b{{0.0, 1.0}, {10.0, 7.0}, {20.0, 2.0}};
+  EXPECT_GE(DiscreteFrechet(a, b), 7.0);
+}
+
+TEST(DiscreteFrechet, TraceOverloadProjectsAndDecimates) {
+  constexpr geo::LatLng kOrigin{45.7640, 4.8357};
+  const geo::LocalProjection projection(kOrigin);
+  model::Trace a(0, {});
+  model::Trace b(0, {});
+  for (int i = 0; i <= 1000; ++i) {
+    a.Append({projection.Unproject({i * 10.0, 0.0}),
+              static_cast<util::Timestamp>(i)});
+    b.Append({projection.Unproject({i * 10.0, 120.0}),
+              static_cast<util::Timestamp>(i)});
+  }
+  const double d = DiscreteFrechet(a, b, /*max_points=*/128);
+  EXPECT_NEAR(d, 120.0, 2.0);
+}
+
+TEST(DiscreteFrechet, TraceOverloadEmpty) {
+  const model::Trace empty;
+  model::Trace one(0, {{{45.0, 4.0}, 1}});
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(empty, empty), 0.0);
+  EXPECT_TRUE(std::isinf(DiscreteFrechet(empty, one)));
+}
+
+}  // namespace
+}  // namespace mobipriv::metrics

@@ -1,0 +1,121 @@
+#include "mechanisms/geo_indistinguishability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/projection.h"
+#include "util/statistics.h"
+
+namespace mobipriv::mech {
+namespace {
+
+TEST(LambertWMinus1, SatisfiesDefiningIdentity) {
+  // W_{-1}(x) * e^{W_{-1}(x)} == x on the branch domain [-1/e, 0).
+  for (const double x : {-0.3678, -0.3, -0.2, -0.1, -0.05, -0.01, -1e-4,
+                         -1e-8}) {
+    const double w = LambertWMinus1(x);
+    EXPECT_LE(w, -1.0) << "lower branch value must be <= -1";
+    EXPECT_NEAR(w * std::exp(w), x, std::abs(x) * 1e-9 + 1e-15) << "x=" << x;
+  }
+}
+
+TEST(LambertWMinus1, BranchPoint) {
+  const double w = LambertWMinus1(-1.0 / std::numbers::e);
+  EXPECT_NEAR(w, -1.0, 1e-6);
+}
+
+TEST(SamplePlanarLaplaceRadius, PositiveAndFinite) {
+  util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = SamplePlanarLaplaceRadius(0.01, rng);
+    EXPECT_GE(r, 0.0);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST(SamplePlanarLaplaceRadius, MeanMatchesTheory) {
+  // Planar Laplace radius ~ Gamma(2, 1/eps): E[r] = 2/eps.
+  util::Rng rng(7);
+  const double eps = 0.01;
+  util::RunningStat stat;
+  for (int i = 0; i < 200000; ++i) {
+    stat.Add(SamplePlanarLaplaceRadius(eps, rng));
+  }
+  EXPECT_NEAR(stat.Mean(), 2.0 / eps, 2.0 / eps * 0.02);
+  // Var[r] = 2/eps^2 -> stddev = sqrt(2)/eps.
+  EXPECT_NEAR(stat.Stddev(), std::sqrt(2.0) / eps,
+              std::sqrt(2.0) / eps * 0.05);
+}
+
+TEST(SamplePlanarLaplaceRadius, ScalesInverselyWithEpsilon) {
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  util::RunningStat strong;
+  util::RunningStat weak;
+  for (int i = 0; i < 20000; ++i) {
+    strong.Add(SamplePlanarLaplaceRadius(0.001, rng_a));
+    weak.Add(SamplePlanarLaplaceRadius(0.1, rng_b));
+  }
+  EXPECT_GT(strong.Mean(), 50.0 * weak.Mean());
+}
+
+TEST(GeoIndistinguishability, PerturbsEveryPointKeepsTimes) {
+  const GeoIndistinguishability mechanism(GeoIndConfig{0.01});
+  model::Dataset dataset;
+  std::vector<model::Event> events;
+  for (int i = 0; i < 50; ++i) {
+    events.push_back({{45.764 + 0.0001 * i, 4.8357},
+                      static_cast<util::Timestamp>(i * 60)});
+  }
+  dataset.AddTraceForUser("u", events);
+  util::Rng rng(11);
+  const model::Dataset out = mechanism.Apply(dataset, rng);
+  ASSERT_EQ(out.EventCount(), 50u);
+  const auto& trace = out.traces().front();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].time, dataset.traces().front()[i].time);
+    // Perturbation is almost surely non-zero.
+    EXPECT_GT(geo::HaversineDistance(trace[i].position,
+                                     dataset.traces().front()[i].position),
+              0.0);
+  }
+}
+
+TEST(GeoIndistinguishability, EmpiricalNoiseMatchesEpsilon) {
+  const double eps = 0.02;
+  const GeoIndistinguishability mechanism(GeoIndConfig{eps});
+  model::Dataset dataset;
+  std::vector<model::Event> events(2000,
+                                   model::Event{{45.764, 4.8357}, 0});
+  dataset.AddTraceForUser("u", events);
+  util::Rng rng(13);
+  const model::Dataset out = mechanism.Apply(dataset, rng);
+  util::RunningStat displacement;
+  for (std::size_t i = 0; i < out.traces().front().size(); ++i) {
+    displacement.Add(geo::HaversineDistance(
+        out.traces().front()[i].position, {45.764, 4.8357}));
+  }
+  EXPECT_NEAR(displacement.Mean(), 2.0 / eps, 2.0 / eps * 0.1);
+}
+
+TEST(GeoIndistinguishability, DeterministicGivenRngSeed) {
+  const GeoIndistinguishability mechanism;
+  model::Dataset dataset;
+  dataset.AddTraceForUser("u", {{{45.764, 4.8357}, 0}});
+  util::Rng rng_a(21);
+  util::Rng rng_b(21);
+  const auto out_a = mechanism.Apply(dataset, rng_a);
+  const auto out_b = mechanism.Apply(dataset, rng_b);
+  EXPECT_EQ(out_a.traces().front().front(),
+            out_b.traces().front().front());
+}
+
+TEST(GeoIndistinguishability, NameEncodesEpsilon) {
+  EXPECT_EQ(GeoIndistinguishability(GeoIndConfig{0.05}).Name(),
+            "geo_ind[eps=0.0500]");
+}
+
+}  // namespace
+}  // namespace mobipriv::mech

@@ -1,0 +1,127 @@
+#include "model/geojson.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "synth/population.h"
+
+namespace mobipriv::model {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset dataset;
+  dataset.AddTraceForUser("alice", {{{45.764000, 4.835700}, 100},
+                                    {{45.765000, 4.836000}, 200},
+                                    {{45.766000, 4.836500}, 300}});
+  dataset.AddTraceForUser("bob", {{{45.700000, 4.800000}, 150},
+                                  {{45.701000, 4.801000}, 250}});
+  return dataset;
+}
+
+TEST(GeoJson, LineStringStructure) {
+  const std::string json = ToGeoJson(SmallDataset());
+  EXPECT_NE(json.find("\"type\":\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"LineString\""), std::string::npos);
+  EXPECT_NE(json.find("\"user\":\"alice\""), std::string::npos);
+  EXPECT_NE(json.find("\"user\":\"bob\""), std::string::npos);
+  // GeoJSON is [lng, lat]: longitude first.
+  EXPECT_NE(json.find("[4.835700,45.764000]"), std::string::npos);
+  EXPECT_NE(json.find("\"start\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"end\":300"), std::string::npos);
+}
+
+TEST(GeoJson, BalancedBracesAndBrackets) {
+  GeoJsonOptions options;
+  options.events_as_points = true;
+  const std::string json = ToGeoJson(SmallDataset(), options);
+  int braces = 0;
+  int brackets = 0;
+  for (const char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(GeoJson, PointsMode) {
+  GeoJsonOptions options;
+  options.traces_as_lines = false;
+  options.events_as_points = true;
+  const std::string json = ToGeoJson(SmallDataset(), options);
+  EXPECT_EQ(json.find("LineString"), std::string::npos);
+  // 5 events -> 5 Point features.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"type\":\"Point\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(GeoJson, OptionsSuppressProperties) {
+  GeoJsonOptions options;
+  options.include_user_names = false;
+  options.include_timestamps = false;
+  const std::string json = ToGeoJson(SmallDataset(), options);
+  EXPECT_EQ(json.find("\"user\""), std::string::npos);
+  EXPECT_EQ(json.find("\"start\""), std::string::npos);
+}
+
+TEST(GeoJson, EmptyDataset) {
+  const std::string json = ToGeoJson(Dataset{});
+  EXPECT_EQ(json, "{\"type\":\"FeatureCollection\",\"features\":[]}");
+}
+
+TEST(GeoJson, SingleEventTraceSkippedInLineMode) {
+  Dataset dataset;
+  dataset.AddTraceForUser("solo", {{{45.0, 4.0}, 1}});
+  const std::string json = ToGeoJson(dataset);
+  EXPECT_EQ(json.find("LineString"), std::string::npos);
+}
+
+TEST(JsonEscapeFn, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(GeoJson, ZonesAsPolygons) {
+  const geo::LocalProjection projection({45.764, 4.8357});
+  std::vector<mech::MixZoneInfo> zones(2);
+  zones[0].center = {0.0, 0.0};
+  zones[0].radius_m = 150.0;
+  zones[0].occurrences = 3;
+  zones[0].max_anonymity_set = 4;
+  zones[1].center = {1000.0, 500.0};
+  zones[1].radius_m = 80.0;
+  std::ostringstream out;
+  WriteZonesGeoJson(zones, projection, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"type\":\"Polygon\""), std::string::npos);
+  EXPECT_NE(json.find("\"occurrences\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"max_anonymity_set\":4"), std::string::npos);
+  int braces = 0;
+  for (const char c : json) braces += (c == '{') - (c == '}');
+  EXPECT_EQ(braces, 0);
+}
+
+TEST(GeoJson, PoiSites) {
+  synth::PopulationConfig config;
+  config.agents = 2;
+  config.days = 1;
+  config.seed = 5;
+  const synth::SyntheticWorld world(config);
+  std::ostringstream out;
+  WritePoiSitesGeoJson(world.universe(), world.projection(), out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"category\":\"home\""), std::string::npos);
+  EXPECT_NE(json.find("\"category\":\"transit_hub\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobipriv::model

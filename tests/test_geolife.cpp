@@ -1,0 +1,97 @@
+#include "model/geolife.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "model/io.h"
+
+namespace mobipriv::model {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kPltHeader =
+    "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+    "0,2,255,My Track,0,0,2,8421376\n0\n";
+
+class GeolifeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("mobipriv_geolife_test_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    // Two users, user 000 with two files, user 001 with one.
+    WritePlt("000", "20090422.plt",
+             "39.906631,116.385564,0,492,39925.44,2009-04-22,10:34:31\n"
+             "39.906554,116.385625,0,492,39925.44,2009-04-22,10:34:33\n");
+    WritePlt("000", "20090423.plt",
+             "39.907000,116.386000,0,492,39926.44,2009-04-23,08:00:00\n");
+    WritePlt("001", "20090501.plt",
+             "39.900000,116.380000,0,492,39934.00,2009-05-01,12:00:00\n"
+             "39.900100,116.380100,0,492,39934.00,2009-05-01,12:00:05\n");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WritePlt(const std::string& user, const std::string& file,
+                const std::string& rows) {
+    const fs::path dir = root_ / user / "Trajectory";
+    fs::create_directories(dir);
+    std::ofstream out(dir / file);
+    out << kPltHeader << rows;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(GeolifeFixture, LoadsAllUsersAndFiles) {
+  const Dataset dataset = LoadGeolife(root_.string());
+  EXPECT_EQ(dataset.UserCount(), 2u);
+  EXPECT_EQ(dataset.TraceCount(), 3u);  // one per PLT file
+  EXPECT_EQ(dataset.EventCount(), 5u);
+  const auto user0 = dataset.FindUser("000");
+  ASSERT_TRUE(user0.has_value());
+  EXPECT_EQ(dataset.TracesOfUser(*user0).size(), 2u);
+}
+
+TEST_F(GeolifeFixture, MaxUsersLimit) {
+  GeolifeLoadOptions options;
+  options.max_users = 1;
+  const Dataset dataset = LoadGeolife(root_.string(), options);
+  EXPECT_EQ(dataset.UserCount(), 1u);
+  EXPECT_TRUE(dataset.FindUser("000").has_value());  // lexicographic first
+  EXPECT_FALSE(dataset.FindUser("001").has_value());
+}
+
+TEST_F(GeolifeFixture, MaxFilesPerUserLimit) {
+  GeolifeLoadOptions options;
+  options.max_files_per_user = 1;
+  const Dataset dataset = LoadGeolife(root_.string(), options);
+  const auto user0 = dataset.FindUser("000");
+  ASSERT_TRUE(user0.has_value());
+  EXPECT_EQ(dataset.TracesOfUser(*user0).size(), 1u);
+}
+
+TEST_F(GeolifeFixture, ParsesTimestampsAsUtc) {
+  const Dataset dataset = LoadGeolife(root_.string());
+  const auto user0 = dataset.FindUser("000");
+  ASSERT_TRUE(user0.has_value());
+  const auto& trace = dataset.traces()[dataset.TracesOfUser(*user0)[0]];
+  EXPECT_EQ(trace.back().time - trace.front().time, 2);
+}
+
+TEST(Geolife, MissingRootThrows) {
+  EXPECT_THROW(LoadGeolife("/nonexistent/geolife/root"), IoError);
+}
+
+TEST_F(GeolifeFixture, SkipsUsersWithoutTrajectoryDir) {
+  fs::create_directories(root_ / "002");  // no Trajectory subdir
+  const Dataset dataset = LoadGeolife(root_.string());
+  EXPECT_EQ(dataset.UserCount(), 2u);
+}
+
+}  // namespace
+}  // namespace mobipriv::model

@@ -1,0 +1,108 @@
+#include "geo/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mobipriv::geo {
+namespace {
+
+TEST(GridIndex, EmptyQueries) {
+  const GridIndex index(100.0);
+  EXPECT_EQ(index.Size(), 0u);
+  EXPECT_TRUE(index.QueryRadius({0.0, 0.0}, 50.0).empty());
+  EXPECT_TRUE(index.QueryBoxCandidates({0.0, 0.0}, 50.0).empty());
+}
+
+TEST(GridIndex, FindsPointsWithinRadius) {
+  GridIndex index(100.0);
+  index.Insert({0.0, 0.0}, 1);
+  index.Insert({30.0, 40.0}, 2);   // 50 m away
+  index.Insert({300.0, 0.0}, 3);   // 300 m away
+  auto hits = index.QueryRadius({0.0, 0.0}, 60.0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(GridIndex, RadiusBoundaryInclusive) {
+  GridIndex index(100.0);
+  index.Insert({50.0, 0.0}, 7);
+  EXPECT_EQ(index.QueryRadius({0.0, 0.0}, 50.0).size(), 1u);
+  EXPECT_TRUE(index.QueryRadius({0.0, 0.0}, 49.999).empty());
+}
+
+TEST(GridIndex, RadiusLargerThanCellSize) {
+  GridIndex index(50.0);  // radius > cell: must scan a wider neighbourhood
+  index.Insert({120.0, 0.0}, 1);
+  index.Insert({0.0, 130.0}, 2);
+  const auto hits = index.QueryRadius({0.0, 0.0}, 150.0);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(GridIndex, NegativeCoordinates) {
+  GridIndex index(100.0);
+  index.Insert({-250.0, -250.0}, 9);
+  EXPECT_EQ(index.QueryRadius({-240.0, -240.0}, 30.0).size(), 1u);
+}
+
+TEST(GridIndex, MatchesBruteForce) {
+  util::Rng rng(77);
+  GridIndex index(120.0);
+  std::vector<Point2> points;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const Point2 p{rng.Uniform(-1000.0, 1000.0), rng.Uniform(-1000.0, 1000.0)};
+    points.push_back(p);
+    index.Insert(p, i);
+  }
+  for (int q = 0; q < 20; ++q) {
+    const Point2 center{rng.Uniform(-1000.0, 1000.0),
+                        rng.Uniform(-1000.0, 1000.0)};
+    const double radius = rng.Uniform(10.0, 400.0);
+    auto hits = index.QueryRadius(center, radius);
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t i = 0; i < points.size(); ++i) {
+      if (Distance(points[i], center) <= radius) expected.push_back(i);
+    }
+    EXPECT_EQ(hits, expected) << "query " << q;
+  }
+}
+
+TEST(GridIndex, BoxCandidatesIsSuperset) {
+  util::Rng rng(78);
+  GridIndex index(100.0);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    index.Insert({rng.Uniform(-500.0, 500.0), rng.Uniform(-500.0, 500.0)}, i);
+  }
+  const Point2 center{0.0, 0.0};
+  const double radius = 150.0;
+  auto exact = index.QueryRadius(center, radius);
+  auto candidates = index.QueryBoxCandidates(center, radius);
+  std::vector<std::uint64_t> candidate_ids;
+  for (const auto& [id, p] : candidates) candidate_ids.push_back(id);
+  std::sort(exact.begin(), exact.end());
+  std::sort(candidate_ids.begin(), candidate_ids.end());
+  EXPECT_TRUE(std::includes(candidate_ids.begin(), candidate_ids.end(),
+                            exact.begin(), exact.end()));
+}
+
+TEST(GridIndex, ClearResets) {
+  GridIndex index(100.0);
+  index.Insert({0.0, 0.0}, 1);
+  EXPECT_EQ(index.Size(), 1u);
+  index.Clear();
+  EXPECT_EQ(index.Size(), 0u);
+  EXPECT_TRUE(index.QueryRadius({0.0, 0.0}, 10.0).empty());
+}
+
+TEST(GridIndex, DuplicatePositionsAllowed) {
+  GridIndex index(100.0);
+  index.Insert({5.0, 5.0}, 1);
+  index.Insert({5.0, 5.0}, 2);
+  EXPECT_EQ(index.QueryRadius({5.0, 5.0}, 1.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mobipriv::geo

@@ -1,0 +1,114 @@
+#include "attacks/home_work.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymizer.h"
+#include "synth/population.h"
+#include "util/rng.h"
+
+namespace mobipriv::attacks {
+namespace {
+
+TEST(DailyWindowOverlap, SimpleDaytimeWindow) {
+  // Window 09:00-17:00; interval 08:00-10:00 on day 0 -> 1 h overlap.
+  EXPECT_EQ(HomeWorkAttack::DailyWindowOverlap(8 * 3600, 10 * 3600,
+                                               9 * 3600, 17 * 3600),
+            3600);
+  // Fully inside.
+  EXPECT_EQ(HomeWorkAttack::DailyWindowOverlap(10 * 3600, 12 * 3600,
+                                               9 * 3600, 17 * 3600),
+            7200);
+  // Disjoint.
+  EXPECT_EQ(HomeWorkAttack::DailyWindowOverlap(18 * 3600, 20 * 3600,
+                                               9 * 3600, 17 * 3600),
+            0);
+}
+
+TEST(DailyWindowOverlap, WrappingNightWindow) {
+  // Window 21:00-06:00. Interval 22:00 day0 -> 07:00 day1 covers
+  // 22:00-24:00 (2 h) + 00:00-06:00 (6 h) = 8 h.
+  EXPECT_EQ(HomeWorkAttack::DailyWindowOverlap(
+                22 * 3600, 24 * 3600 + 7 * 3600, 21 * 3600, 6 * 3600),
+            8 * 3600);
+  // Early morning only: 04:00-05:00 -> 1 h.
+  EXPECT_EQ(HomeWorkAttack::DailyWindowOverlap(4 * 3600, 5 * 3600,
+                                               21 * 3600, 6 * 3600),
+            3600);
+}
+
+TEST(DailyWindowOverlap, MultiDayInterval) {
+  // 48 h interval with a daily 8 h work window -> 16 h.
+  EXPECT_EQ(HomeWorkAttack::DailyWindowOverlap(0, 2 * 86400, 9 * 3600,
+                                               17 * 3600),
+            16 * 3600);
+}
+
+TEST(DailyWindowOverlap, EmptyInterval) {
+  EXPECT_EQ(HomeWorkAttack::DailyWindowOverlap(100, 100, 0, 86400), 0);
+}
+
+struct WorldFixture {
+  WorldFixture() {
+    synth::PopulationConfig config;
+    config.agents = 6;
+    config.days = 2;
+    config.seed = 1234;
+    world = std::make_unique<synth::SyntheticWorld>(config);
+  }
+  std::unique_ptr<synth::SyntheticWorld> world;
+};
+
+TEST(HomeWorkAttack, RecoversHomesFromRawData) {
+  const WorldFixture f;
+  const HomeWorkAttack attack;
+  const auto frame = DatasetProjection(f.world->dataset());
+  const auto guesses = attack.Infer(f.world->dataset(), frame);
+  ASSERT_EQ(guesses.size(), 6u);
+  std::size_t homes_found = 0;
+  for (const auto& guess : guesses) {
+    if (!guess.home.has_value()) continue;
+    // Compare against the true home site.
+    const auto& profile = f.world->profiles()[guess.user];
+    const geo::Point2 truth = frame.Project(f.world->projection().Unproject(
+        f.world->universe().site(profile.home).position));
+    if (geo::Distance(*guess.home, truth) < 300.0) ++homes_found;
+  }
+  // The overnight dwell tails sit at home in every session: most homes leak.
+  EXPECT_GE(homes_found, 4u);
+}
+
+TEST(HomeWorkAttack, RecoversWorkplacesFromRawData) {
+  const WorldFixture f;
+  const HomeWorkAttack attack;
+  const auto frame = DatasetProjection(f.world->dataset());
+  const auto guesses = attack.Infer(f.world->dataset(), frame);
+  std::size_t works_found = 0;
+  for (const auto& guess : guesses) {
+    if (!guess.work.has_value()) continue;
+    const auto& profile = f.world->profiles()[guess.user];
+    const geo::Point2 truth = frame.Project(f.world->projection().Unproject(
+        f.world->universe().site(profile.work).position));
+    if (geo::Distance(*guess.work, truth) < 300.0) ++works_found;
+  }
+  EXPECT_GE(works_found, 4u);
+}
+
+TEST(HomeWorkAttack, DefeatedByThePipeline) {
+  const WorldFixture f;
+  const core::Anonymizer anonymizer;
+  util::Rng rng(5);
+  const model::Dataset published =
+      anonymizer.Apply(f.world->dataset(), rng);
+  const HomeWorkAttack attack;
+  const auto frame = DatasetProjection(f.world->dataset());
+  const auto guesses = attack.Infer(published, frame);
+  std::size_t any_guess = 0;
+  for (const auto& guess : guesses) {
+    if (guess.home.has_value() || guess.work.has_value()) ++any_guess;
+  }
+  // Constant speed leaves no overnight/working-hour stays to label.
+  EXPECT_EQ(any_guess, 0u);
+}
+
+}  // namespace
+}  // namespace mobipriv::attacks

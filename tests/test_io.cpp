@@ -1,0 +1,149 @@
+#include "model/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mobipriv::model {
+namespace {
+
+TEST(ReadCsv, BasicWithHeader) {
+  std::istringstream in(
+      "user,lat,lng,timestamp\n"
+      "alice,45.764000,4.835700,100\n"
+      "alice,45.765000,4.836000,200\n"
+      "bob,45.700000,4.800000,150\n");
+  const Dataset dataset = ReadCsv(in);
+  EXPECT_EQ(dataset.UserCount(), 2u);
+  EXPECT_EQ(dataset.TraceCount(), 2u);
+  EXPECT_EQ(dataset.EventCount(), 3u);
+  const auto alice = dataset.FindUser("alice");
+  ASSERT_TRUE(alice.has_value());
+  const auto traces = dataset.TracesOfUser(*alice);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(dataset.traces()[traces[0]].size(), 2u);
+}
+
+TEST(ReadCsv, WithoutHeader) {
+  std::istringstream in("alice,45.0,4.0,100\n");
+  const Dataset dataset = ReadCsv(in);
+  EXPECT_EQ(dataset.EventCount(), 1u);
+}
+
+TEST(ReadCsv, HumanReadableTimestamps) {
+  std::istringstream in("u,45.0,4.0,1970-01-01 00:01:40\n");
+  const Dataset dataset = ReadCsv(in);
+  ASSERT_EQ(dataset.EventCount(), 1u);
+  EXPECT_EQ(dataset.traces().front().front().time, 100);
+}
+
+TEST(ReadCsv, SortsEventsByTime) {
+  std::istringstream in(
+      "u,45.0,4.0,300\n"
+      "u,45.1,4.0,100\n");
+  const Dataset dataset = ReadCsv(in);
+  EXPECT_TRUE(dataset.traces().front().IsTimeOrdered());
+  EXPECT_EQ(dataset.traces().front().front().time, 100);
+}
+
+TEST(ReadCsv, InterleavedUsersGrouped) {
+  std::istringstream in(
+      "a,45.0,4.0,1\n"
+      "b,45.0,4.0,2\n"
+      "a,45.0,4.0,3\n");
+  const Dataset dataset = ReadCsv(in);
+  EXPECT_EQ(dataset.TraceCount(), 2u);
+  const auto a = dataset.FindUser("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(dataset.traces()[dataset.TracesOfUser(*a)[0]].size(), 2u);
+}
+
+TEST(ReadCsv, SkipsBlankLines) {
+  std::istringstream in("a,45.0,4.0,1\n\n \nb,45.0,4.0,2\n");
+  EXPECT_EQ(ReadCsv(in).EventCount(), 2u);
+}
+
+TEST(ReadCsv, RejectsWrongFieldCount) {
+  std::istringstream in("a,45.0,4.0\n");
+  EXPECT_THROW(ReadCsv(in), IoError);
+}
+
+TEST(ReadCsv, RejectsBadCoordinates) {
+  // A non-numeric lat on the FIRST row reads as a header (by design), so
+  // the malformed row must not be first.
+  std::istringstream in(
+      "a,45.0,4.0,1\n"
+      "a,forty-five,4.0,2\n");
+  EXPECT_THROW(ReadCsv(in), IoError);
+}
+
+TEST(ReadCsv, RejectsOutOfRangeCoordinates) {
+  std::istringstream in("a,95.0,4.0,1\n");
+  EXPECT_THROW(ReadCsv(in), IoError);
+}
+
+TEST(ReadCsv, RejectsBadTimestamp) {
+  std::istringstream in("a,45.0,4.0,yesterday\n");
+  EXPECT_THROW(ReadCsv(in), IoError);
+}
+
+TEST(ReadCsv, ErrorMessageCarriesRow) {
+  std::istringstream in(
+      "a,45.0,4.0,1\n"
+      "a,45.0,4.0,bad\n");
+  try {
+    (void)ReadCsv(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos);
+  }
+}
+
+TEST(WriteCsv, RoundTrip) {
+  Dataset dataset;
+  dataset.AddTraceForUser(
+      "alice", {{{45.764043, 4.835659}, 100}, {{45.765, 4.836}, 200}});
+  dataset.AddTraceForUser("bob", {{{45.7, 4.8}, 150}});
+  std::ostringstream out;
+  WriteCsv(dataset, out);
+  std::istringstream in(out.str());
+  const Dataset back = ReadCsv(in);
+  EXPECT_EQ(back.UserCount(), 2u);
+  EXPECT_EQ(back.EventCount(), 3u);
+  const auto alice = back.FindUser("alice");
+  ASSERT_TRUE(alice.has_value());
+  const auto& trace = back.traces()[back.TracesOfUser(*alice)[0]];
+  EXPECT_EQ(trace.front().time, 100);
+  EXPECT_NEAR(trace.front().position.lat, 45.764043, 1e-6);
+}
+
+TEST(ReadCsvFile, MissingFileThrows) {
+  EXPECT_THROW(ReadCsvFile("/nonexistent/path.csv"), IoError);
+}
+
+TEST(AppendPlt, ParsesGeolifeFormat) {
+  // 6 header lines then lat,lng,0,alt,days,date,time rows.
+  std::istringstream in(
+      "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+      "0,2,255,My Track,0,0,2,8421376\n0\n"
+      "39.906631,116.385564,0,492,39925.44,2009-04-22,10:34:31\n"
+      "39.906554,116.385625,0,492,39925.44,2009-04-22,10:34:33\n");
+  Dataset dataset;
+  AppendPlt(dataset, "geolife_user", in);
+  EXPECT_EQ(dataset.UserCount(), 1u);
+  ASSERT_EQ(dataset.EventCount(), 2u);
+  const auto& trace = dataset.traces().front();
+  EXPECT_NEAR(trace.front().position.lat, 39.906631, 1e-6);
+  EXPECT_EQ(trace.back().time - trace.front().time, 2);
+}
+
+TEST(AppendPlt, RejectsMalformedRows) {
+  std::istringstream in(
+      "h\nh\nh\nh\nh\nh\n"
+      "39.9,116.3,0,492\n");  // too few fields
+  Dataset dataset;
+  EXPECT_THROW(AppendPlt(dataset, "u", in), IoError);
+}
+
+}  // namespace
+}  // namespace mobipriv::model

@@ -1,0 +1,84 @@
+#include "geo/latlng.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace mobipriv::geo {
+namespace {
+
+TEST(LatLng, Validity) {
+  EXPECT_TRUE((LatLng{0.0, 0.0}).IsValid());
+  EXPECT_TRUE((LatLng{90.0, 180.0}).IsValid());
+  EXPECT_TRUE((LatLng{-90.0, -180.0}).IsValid());
+  EXPECT_FALSE((LatLng{91.0, 0.0}).IsValid());
+  EXPECT_FALSE((LatLng{0.0, 181.0}).IsValid());
+  EXPECT_FALSE((LatLng{-90.5, 0.0}).IsValid());
+}
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLng p{45.764, 4.8357};
+  EXPECT_DOUBLE_EQ(HaversineDistance(p, p), 0.0);
+}
+
+TEST(Haversine, KnownDistances) {
+  // One degree of latitude ~ 111.2 km (mean-radius sphere).
+  const double d_lat =
+      HaversineDistance({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_NEAR(d_lat, 111195.0, 50.0);
+  // Paris -> Lyon ~ 392 km great-circle.
+  const double paris_lyon =
+      HaversineDistance({48.8566, 2.3522}, {45.7640, 4.8357});
+  EXPECT_NEAR(paris_lyon, 392000.0, 2000.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const LatLng a{45.76, 4.83};
+  const LatLng b{45.77, 4.85};
+  EXPECT_DOUBLE_EQ(HaversineDistance(a, b), HaversineDistance(b, a));
+}
+
+TEST(Haversine, AntipodalPointsAreHalfCircumference) {
+  const double d = HaversineDistance({0.0, 0.0}, {0.0, 180.0});
+  EXPECT_NEAR(d, std::numbers::pi * kEarthRadiusMeters, 1.0);
+}
+
+TEST(Equirectangular, MatchesHaversineAtCityScale) {
+  const LatLng a{45.7640, 4.8357};
+  const LatLng b{45.7841, 4.8600};  // a few km away
+  const double exact = HaversineDistance(a, b);
+  const double fast = EquirectangularDistance(a, b);
+  EXPECT_NEAR(fast, exact, exact * 0.005);
+}
+
+TEST(InitialBearing, CardinalDirections) {
+  const LatLng origin{45.0, 4.0};
+  EXPECT_NEAR(InitialBearing(origin, {46.0, 4.0}), 0.0, 1e-6);  // north
+  EXPECT_NEAR(InitialBearing(origin, {44.0, 4.0}), std::numbers::pi,
+              1e-6);  // south
+  EXPECT_NEAR(InitialBearing(origin, {45.0, 5.0}), std::numbers::pi / 2.0,
+              0.02);  // east (slight great-circle deviation)
+}
+
+TEST(Destination, InvertsDistanceAndBearing) {
+  const LatLng origin{45.7640, 4.8357};
+  for (const double bearing : {0.0, 0.7, 1.9, 3.5, 5.8}) {
+    const LatLng dest = Destination(origin, bearing, 5000.0);
+    EXPECT_NEAR(HaversineDistance(origin, dest), 5000.0, 1.0);
+    EXPECT_NEAR(InitialBearing(origin, dest), bearing, 0.01);
+  }
+}
+
+TEST(Destination, ZeroDistanceIsOrigin) {
+  const LatLng origin{12.34, 56.78};
+  const LatLng dest = Destination(origin, 1.0, 0.0);
+  EXPECT_NEAR(dest.lat, origin.lat, 1e-12);
+  EXPECT_NEAR(dest.lng, origin.lng, 1e-12);
+}
+
+TEST(LatLngToString, SixDecimals) {
+  EXPECT_EQ((LatLng{45.764043, 4.835659}).ToString(), "45.764043,4.835659");
+}
+
+}  // namespace
+}  // namespace mobipriv::geo

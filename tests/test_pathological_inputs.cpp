@@ -1,0 +1,181 @@
+// Failure injection: every mechanism, attack and metric must survive
+// pathological datasets without crashing, hanging or producing invalid
+// output — all-duplicate points, zero-duration traces, single events,
+// backwards-ordered ingestion, extreme coordinates, huge time gaps.
+#include <gtest/gtest.h>
+
+#include "attacks/home_work.h"
+#include "attacks/poi_extraction.h"
+#include "attacks/reident.h"
+#include "attacks/speed_fingerprint.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "metrics/coverage.h"
+#include "metrics/heatmap.h"
+#include "metrics/kdelta.h"
+#include "metrics/spatial_distortion.h"
+#include "metrics/trajectory_stats.h"
+#include "mechanisms/mixzone.h"
+#include "privacy/certification.h"
+
+namespace mobipriv {
+namespace {
+
+/// The zoo of pathological datasets, each with a name for diagnostics.
+std::vector<std::pair<std::string, model::Dataset>> PathologicalZoo() {
+  std::vector<std::pair<std::string, model::Dataset>> zoo;
+
+  zoo.emplace_back("empty", model::Dataset{});
+
+  {
+    model::Dataset d;
+    d.AddTraceForUser("u", {{{45.764, 4.8357}, 1000}});
+    zoo.emplace_back("single_event", std::move(d));
+  }
+  {
+    model::Dataset d;
+    // 100 identical fixes: zero length, positive duration.
+    std::vector<model::Event> events;
+    for (int i = 0; i < 100; ++i) {
+      events.push_back({{45.764, 4.8357},
+                        static_cast<util::Timestamp>(1000 + i * 30)});
+    }
+    d.AddTraceForUser("u", std::move(events));
+    zoo.emplace_back("all_duplicates", std::move(d));
+  }
+  {
+    model::Dataset d;
+    // Zero duration: all fixes share one timestamp, positions differ.
+    std::vector<model::Event> events;
+    for (int i = 0; i < 50; ++i) {
+      events.push_back({{45.764 + 0.001 * i, 4.8357}, 1000});
+    }
+    d.AddTraceForUser("u", std::move(events));
+    zoo.emplace_back("zero_duration", std::move(d));
+  }
+  {
+    model::Dataset d;
+    // Extreme but valid coordinates near the antimeridian and poles.
+    d.AddTraceForUser("u", {{{89.9, 179.9}, 0},
+                            {{89.8, -179.9}, 60},
+                            {{-89.9, 0.0}, 120}});
+    zoo.emplace_back("extreme_coordinates", std::move(d));
+  }
+  {
+    model::Dataset d;
+    // Decade-long gap between two normal sessions.
+    std::vector<model::Event> events;
+    for (int i = 0; i < 20; ++i) {
+      events.push_back({{45.764 + 0.0005 * i, 4.8357},
+                        static_cast<util::Timestamp>(i * 60)});
+    }
+    for (int i = 0; i < 20; ++i) {
+      events.push_back({{45.764 + 0.0005 * i, 4.8357},
+                        static_cast<util::Timestamp>(315360000 + i * 60)});
+    }
+    d.AddTraceForUser("u", std::move(events));
+    zoo.emplace_back("decade_gap", std::move(d));
+  }
+  {
+    model::Dataset d;
+    // Two users at exactly the same place and times (perfect co-location).
+    std::vector<model::Event> events;
+    for (int i = 0; i < 30; ++i) {
+      events.push_back({{45.764 + 0.0002 * i, 4.8357},
+                        static_cast<util::Timestamp>(i * 30)});
+    }
+    d.AddTraceForUser("a", events);
+    d.AddTraceForUser("b", std::move(events));
+    zoo.emplace_back("perfect_twins", std::move(d));
+  }
+  return zoo;
+}
+
+TEST(PathologicalInputs, AllMechanismsSurviveTheZoo) {
+  for (const auto& mechanism : core::StandardRoster({0.01})) {
+    for (const auto& [name, dataset] : PathologicalZoo()) {
+      util::Rng rng(1);
+      model::Dataset output;
+      ASSERT_NO_THROW(output = mechanism->Apply(dataset, rng))
+          << mechanism->Name() << " on " << name;
+      for (const auto& trace : output.traces()) {
+        EXPECT_TRUE(trace.IsTimeOrdered())
+            << mechanism->Name() << " on " << name;
+        for (const auto& event : trace) {
+          EXPECT_TRUE(event.position.IsValid())
+              << mechanism->Name() << " on " << name;
+        }
+      }
+    }
+  }
+}
+
+TEST(PathologicalInputs, AttacksSurviveTheZoo) {
+  const attacks::PoiExtractor extractor;
+  const attacks::ReidentificationAttack reident;
+  const attacks::HomeWorkAttack home_work;
+  const attacks::SpeedFingerprintAttack fingerprint;
+  for (const auto& [name, dataset] : PathologicalZoo()) {
+    SCOPED_TRACE(name);
+    const auto frame = attacks::DatasetProjection(dataset);
+    ASSERT_NO_THROW((void)extractor.Extract(dataset, frame));
+    ASSERT_NO_THROW({
+      const auto profiles = reident.BuildProfiles(dataset, frame);
+      (void)reident.Attack(profiles, dataset, frame);
+    });
+    ASSERT_NO_THROW((void)home_work.Infer(dataset, frame));
+    ASSERT_NO_THROW({
+      const auto profiles = fingerprint.BuildProfiles(dataset);
+      (void)fingerprint.Attack(profiles, dataset);
+    });
+  }
+}
+
+TEST(PathologicalInputs, MetricsSurviveTheZoo) {
+  for (const auto& [name, dataset] : PathologicalZoo()) {
+    SCOPED_TRACE(name);
+    ASSERT_NO_THROW((void)metrics::MeasureDistortion(dataset, dataset));
+    ASSERT_NO_THROW((void)metrics::CoverageJaccard(dataset, dataset));
+    ASSERT_NO_THROW((void)metrics::HeatmapSimilarity(dataset, dataset));
+    ASSERT_NO_THROW((void)metrics::MeasureKDeltaAnonymity(dataset));
+    ASSERT_NO_THROW((void)metrics::CompareTrajectoryStats(dataset, dataset));
+    ASSERT_NO_THROW((void)privacy::CertifyConstantSpeed(dataset));
+  }
+}
+
+TEST(PathologicalInputs, MetricsOnSelfAreReflexive) {
+  // Identity comparisons must score "identical" even for weird data.
+  for (const auto& [name, dataset] : PathologicalZoo()) {
+    SCOPED_TRACE(name);
+    EXPECT_DOUBLE_EQ(metrics::CoverageJaccard(dataset, dataset), 1.0);
+    if (dataset.EventCount() > 0) {
+      EXPECT_NEAR(metrics::HeatmapSimilarity(dataset, dataset), 1.0, 1e-9);
+    }
+    // Synchronized distortion is reflexive except for physically
+    // impossible traces holding several positions at one instant —
+    // interpolation "at time t" is ambiguous there by definition.
+    if (name != "zero_duration") {
+      const auto distortion = metrics::MeasureDistortion(dataset, dataset);
+      EXPECT_DOUBLE_EQ(distortion.synchronized_m.max, 0.0);
+    }
+  }
+}
+
+TEST(PathologicalInputs, PerfectTwinsMixEverywhere) {
+  // Two identical traces are one continuous encounter: the mix-zone stage
+  // must handle a trace that never leaves the zone (suppressing it
+  // entirely is legal).
+  for (const auto& [name, dataset] : PathologicalZoo()) {
+    if (name != "perfect_twins") continue;
+    mech::MixZone mixzone;
+    util::Rng rng(1);
+    mech::MixZoneReport report;
+    const auto output = mixzone.ApplyWithReport(dataset, rng, report);
+    EXPECT_GT(report.encounters, 0u);
+    EXPECT_EQ(output.EventCount() + report.suppressed_events,
+              dataset.EventCount());
+  }
+}
+
+}  // namespace
+}  // namespace mobipriv

@@ -1,0 +1,90 @@
+#include "metrics/poi_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::metrics {
+namespace {
+
+TEST(PoiScore, RecallPrecisionF1) {
+  PoiScore score;
+  score.true_pois = 10;
+  score.extracted = 8;
+  score.matched_true = 6;
+  score.matched_extracted = 6;
+  EXPECT_DOUBLE_EQ(score.Recall(), 0.6);
+  EXPECT_DOUBLE_EQ(score.Precision(), 0.75);
+  EXPECT_NEAR(score.F1(), 2.0 * 0.6 * 0.75 / 1.35, 1e-12);
+  EXPECT_FALSE(score.ToString().empty());
+}
+
+TEST(PoiScore, ZeroDenominators) {
+  const PoiScore score;
+  EXPECT_DOUBLE_EQ(score.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(score.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(score.F1(), 0.0);
+}
+
+TEST(DistinctTruePlaces, DeduplicatesByUserAndPoi) {
+  const geo::LocalProjection world({45.7640, 4.8357});
+  const geo::LocalProjection attack({45.7650, 4.8360});
+  std::vector<synth::GroundTruthVisit> visits;
+  // User 0 visits POI 3 twice, POI 4 once; user 1 visits POI 3 once.
+  visits.push_back({0, 3, {100.0, 100.0}, 0, 10});
+  visits.push_back({0, 3, {100.0, 100.0}, 50, 60});
+  visits.push_back({0, 4, {500.0, 100.0}, 20, 30});
+  visits.push_back({1, 3, {100.0, 100.0}, 0, 10});
+  const auto places = DistinctTruePlaces(visits, world, attack);
+  EXPECT_EQ(places.size(), 3u);
+}
+
+TEST(DistinctTruePlaces, ReprojectsBetweenFrames) {
+  const geo::LocalProjection world({45.7640, 4.8357});
+  const geo::LocalProjection attack({45.7640, 4.8357});  // same frame
+  std::vector<synth::GroundTruthVisit> visits;
+  visits.push_back({0, 1, {250.0, -125.0}, 0, 10});
+  const auto places = DistinctTruePlaces(visits, world, attack);
+  ASSERT_EQ(places.size(), 1u);
+  EXPECT_NEAR(places[0].position.x, 250.0, 0.01);
+  EXPECT_NEAR(places[0].position.y, -125.0, 0.01);
+}
+
+TEST(ScorePoiExtraction, MatchesWithinRadiusSameUser) {
+  std::vector<TruePlace> truth{{0, {0.0, 0.0}}, {0, {5000.0, 0.0}},
+                               {1, {0.0, 0.0}}};
+  std::vector<attacks::ExtractedPoi> extracted;
+  extracted.push_back({0, {50.0, 0.0}, 1, 900});       // matches truth[0]
+  extracted.push_back({0, {9000.0, 0.0}, 1, 900});     // false positive
+  extracted.push_back({1, {5000.0, 0.0}, 1, 900});     // wrong user -> FP
+  const PoiScore score = ScorePoiExtraction(extracted, truth);
+  EXPECT_EQ(score.true_pois, 3u);
+  EXPECT_EQ(score.extracted, 3u);
+  EXPECT_EQ(score.matched_true, 1u);
+  EXPECT_EQ(score.matched_extracted, 1u);
+  EXPECT_NEAR(score.Recall(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(score.Precision(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ScorePoiExtraction, RadiusBoundary) {
+  std::vector<TruePlace> truth{{0, {0.0, 0.0}}};
+  PoiMatchConfig config;
+  config.match_radius_m = 100.0;
+  std::vector<attacks::ExtractedPoi> inside;
+  inside.push_back({0, {100.0, 0.0}, 1, 900});
+  EXPECT_EQ(ScorePoiExtraction(inside, truth, config).matched_true, 1u);
+  std::vector<attacks::ExtractedPoi> outside;
+  outside.push_back({0, {100.1, 0.0}, 1, 900});
+  EXPECT_EQ(ScorePoiExtraction(outside, truth, config).matched_true, 0u);
+}
+
+TEST(ScorePoiExtraction, EmptyInputs) {
+  const PoiScore both = ScorePoiExtraction({}, {});
+  EXPECT_EQ(both.true_pois, 0u);
+  EXPECT_DOUBLE_EQ(both.Recall(), 0.0);
+  std::vector<TruePlace> truth{{0, {0.0, 0.0}}};
+  const PoiScore none = ScorePoiExtraction({}, truth);
+  EXPECT_EQ(none.matched_true, 0u);
+  EXPECT_DOUBLE_EQ(none.Recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobipriv::metrics

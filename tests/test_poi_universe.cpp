@@ -1,0 +1,81 @@
+#include "synth/poi_universe.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::synth {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(3), network(MakeNetConfig(), rng) {}
+  static RoadNetworkConfig MakeNetConfig() {
+    RoadNetworkConfig config;
+    config.width_m = 2000.0;
+    config.height_m = 2000.0;
+    config.block_size_m = 100.0;
+    return config;
+  }
+  util::Rng rng;
+  RoadNetwork network;
+};
+
+TEST(PoiUniverse, GeneratesRequestedCounts) {
+  Fixture f;
+  PoiUniverseConfig config;
+  config.homes = 20;
+  config.workplaces = 5;
+  config.leisure = 4;
+  config.shops = 3;
+  config.transit_hubs = 2;
+  const PoiUniverse universe(config, f.network, f.rng);
+  EXPECT_EQ(universe.size(), 34u);
+  EXPECT_EQ(universe.OfCategory(PoiCategory::kHome).size(), 20u);
+  EXPECT_EQ(universe.OfCategory(PoiCategory::kWork).size(), 5u);
+  EXPECT_EQ(universe.OfCategory(PoiCategory::kLeisure).size(), 4u);
+  EXPECT_EQ(universe.OfCategory(PoiCategory::kShop).size(), 3u);
+  EXPECT_EQ(universe.OfCategory(PoiCategory::kTransitHub).size(), 2u);
+}
+
+TEST(PoiUniverse, SitesSitOnRoadNodes) {
+  Fixture f;
+  const PoiUniverse universe(PoiUniverseConfig{}, f.network, f.rng);
+  for (const auto& site : universe.sites()) {
+    ASSERT_LT(site.node, f.network.NodeCount());
+    EXPECT_EQ(site.position, f.network.NodePosition(site.node));
+  }
+}
+
+TEST(PoiUniverse, IdsAreDense) {
+  Fixture f;
+  const PoiUniverse universe(PoiUniverseConfig{}, f.network, f.rng);
+  for (PoiId i = 0; i < universe.size(); ++i) {
+    EXPECT_EQ(universe.site(i).id, i);
+  }
+}
+
+TEST(PoiUniverse, NearestFindsExactSite) {
+  Fixture f;
+  const PoiUniverse universe(PoiUniverseConfig{}, f.network, f.rng);
+  const auto& site = universe.site(universe.size() / 2);
+  EXPECT_EQ(universe.Nearest(site.position), site.id);
+}
+
+TEST(PoiUniverse, CategoryNames) {
+  EXPECT_EQ(PoiCategoryName(PoiCategory::kHome), "home");
+  EXPECT_EQ(PoiCategoryName(PoiCategory::kTransitHub), "transit_hub");
+}
+
+TEST(PoiUniverse, DeterministicGivenSeed) {
+  Fixture f1;
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const PoiUniverse a(PoiUniverseConfig{}, f1.network, rng_a);
+  const PoiUniverse b(PoiUniverseConfig{}, f1.network, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (PoiId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.site(i).node, b.site(i).node);
+    EXPECT_EQ(a.site(i).category, b.site(i).category);
+  }
+}
+
+}  // namespace
+}  // namespace mobipriv::synth

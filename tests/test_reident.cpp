@@ -1,0 +1,165 @@
+#include "attacks/reident.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mobipriv::attacks {
+namespace {
+
+constexpr geo::LatLng kOrigin{45.7640, 4.8357};
+
+/// Trace dwelling 30 min at `site` then 30 min at `site2` (travel between).
+model::Trace TwoPoiTrace(const geo::LocalProjection& projection,
+                         geo::Point2 site, geo::Point2 site2,
+                         util::Timestamp start, model::UserId user,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  model::Trace trace;
+  trace.set_user(user);
+  util::Timestamp t = start;
+  for (; t <= start + 1800; t += 30) {
+    trace.Append({projection.Unproject({site.x + rng.Uniform(-8.0, 8.0),
+                                        site.y + rng.Uniform(-8.0, 8.0)}),
+                  t});
+  }
+  const util::Timestamp travel_start = t;
+  const double dist = geo::Distance(site, site2);
+  const util::Timestamp travel_s =
+      std::max<util::Timestamp>(60, static_cast<util::Timestamp>(dist / 10.0));
+  for (; t < travel_start + travel_s; t += 30) {
+    const double alpha = static_cast<double>(t - travel_start) /
+                         static_cast<double>(travel_s);
+    trace.Append(
+        {projection.Unproject(geo::Lerp(site, site2, alpha)), t});
+  }
+  for (const util::Timestamp end = t + 1800; t <= end; t += 30) {
+    trace.Append({projection.Unproject({site2.x + rng.Uniform(-8.0, 8.0),
+                                        site2.y + rng.Uniform(-8.0, 8.0)}),
+                  t});
+  }
+  return trace;
+}
+
+struct TwoUserFixture {
+  TwoUserFixture() : projection(kOrigin) {
+    // Users with well-separated home/work pairs.
+    train.InternUser("alice");
+    train.InternUser("bob");
+    test.InternUser("alice");
+    test.InternUser("bob");
+    train.AddTrace(
+        TwoPoiTrace(projection, {0.0, 0.0}, {3000.0, 0.0}, 0, 0, 1));
+    train.AddTrace(
+        TwoPoiTrace(projection, {0.0, 8000.0}, {3000.0, 8000.0}, 0, 1, 2));
+    // Next day, same places.
+    test.AddTrace(
+        TwoPoiTrace(projection, {0.0, 0.0}, {3000.0, 0.0}, 86400, 0, 3));
+    test.AddTrace(
+        TwoPoiTrace(projection, {0.0, 8000.0}, {3000.0, 8000.0}, 86400, 1, 4));
+  }
+  geo::LocalProjection projection;
+  model::Dataset train;
+  model::Dataset test;
+};
+
+TEST(Reident, BuildProfilesOnePerUser) {
+  TwoUserFixture f;
+  const ReidentificationAttack attack;
+  const auto profiles = attack.BuildProfiles(f.train, f.projection);
+  ASSERT_EQ(profiles.size(), 2u);
+  for (const auto& profile : profiles) {
+    EXPECT_EQ(profile.pois.size(), 2u);  // home + work
+    EXPECT_EQ(profile.weights.size(), 2u);
+    for (const double w : profile.weights) EXPECT_GT(w, 0.0);
+  }
+}
+
+TEST(Reident, LinksRawTracesCorrectly) {
+  TwoUserFixture f;
+  const ReidentificationAttack attack;
+  const auto profiles = attack.BuildProfiles(f.train, f.projection);
+  const auto results = attack.Attack(profiles, f.test, f.projection);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.linkable);
+    EXPECT_EQ(r.predicted_user, r.true_user);
+    EXPECT_LT(r.distance, 100.0);
+  }
+  EXPECT_DOUBLE_EQ(ReidentificationAttack::Accuracy(results), 1.0);
+}
+
+TEST(Reident, UnlinkableWhenNoPoisSurvive) {
+  TwoUserFixture f;
+  const ReidentificationAttack attack;
+  const auto profiles = attack.BuildProfiles(f.train, f.projection);
+  // Constant-motion trace: no stays extractable.
+  model::Dataset moving;
+  moving.InternUser("alice");
+  model::Trace trace;
+  trace.set_user(0);
+  for (int i = 0; i < 100; ++i) {
+    trace.Append({f.projection.Unproject({i * 300.0, 0.0}),
+                  static_cast<util::Timestamp>(86400 + i * 30)});
+  }
+  moving.AddTrace(std::move(trace));
+  const auto results = attack.Attack(profiles, moving, f.projection);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results.front().linkable);
+  EXPECT_DOUBLE_EQ(ReidentificationAttack::Accuracy(results), 0.0);
+  EXPECT_DOUBLE_EQ(
+      ReidentificationAttack::Accuracy(results,
+                                       /*count_unlinkable_as_failure=*/false),
+      0.0);
+}
+
+TEST(Reident, ProfileDistanceProperties) {
+  MobilityProfile a;
+  a.pois = {{0.0, 0.0}, {1000.0, 0.0}};
+  a.weights = {1.0, 1.0};
+  MobilityProfile b;
+  b.pois = {{0.0, 0.0}, {1000.0, 0.0}};
+  b.weights = {5.0, 1.0};
+  // Identical POI sets -> distance 0 (weights affect averaging only).
+  EXPECT_DOUBLE_EQ(ReidentificationAttack::ProfileDistance(a, b), 0.0);
+  MobilityProfile c;
+  c.pois = {{0.0, 500.0}, {1000.0, 500.0}};
+  c.weights = {1.0, 1.0};
+  EXPECT_NEAR(ReidentificationAttack::ProfileDistance(a, c), 500.0, 1e-9);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(ReidentificationAttack::ProfileDistance(a, c),
+                   ReidentificationAttack::ProfileDistance(c, a));
+}
+
+TEST(Reident, ProfileDistanceEmptyIsInfinite) {
+  MobilityProfile a;
+  a.pois = {{0.0, 0.0}};
+  a.weights = {1.0};
+  const MobilityProfile empty;
+  EXPECT_TRUE(std::isinf(ReidentificationAttack::ProfileDistance(a, empty)));
+}
+
+TEST(Reident, AccuracyEmptyResults) {
+  EXPECT_DOUBLE_EQ(ReidentificationAttack::Accuracy({}), 0.0);
+}
+
+TEST(Reident, WeightsBiasTowardLongDwells) {
+  // One-sided distance weighting: a profile whose long-dwell POI matches
+  // should beat one whose short-dwell POI matches.
+  MobilityProfile target;
+  target.pois = {{0.0, 0.0}, {5000.0, 0.0}};
+  target.weights = {10000.0, 100.0};  // mostly at the first place
+  MobilityProfile match_major;
+  match_major.pois = {{0.0, 0.0}};  // matches the heavy POI
+  match_major.weights = {1.0};
+  MobilityProfile match_minor;
+  match_minor.pois = {{5000.0, 0.0}};  // matches the light POI
+  match_minor.weights = {1.0};
+  EXPECT_LT(ReidentificationAttack::ProfileDistance(target, match_major),
+            ReidentificationAttack::ProfileDistance(target, match_minor));
+}
+
+}  // namespace
+}  // namespace mobipriv::attacks

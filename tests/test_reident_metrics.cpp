@@ -1,0 +1,39 @@
+#include "metrics/reident_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::metrics {
+namespace {
+
+TEST(SummarizeReident, CountsAndAccuracies) {
+  std::vector<attacks::LinkResult> results(5);
+  results[0] = {.true_user = 1, .predicted_user = 1, .distance = 10, .linkable = true};
+  results[1] = {.true_user = 2, .predicted_user = 3, .distance = 10, .linkable = true};
+  results[2] = {.true_user = 3, .predicted_user = 3, .distance = 10, .linkable = true};
+  results[3].linkable = false;
+  results[4].linkable = false;
+  const ReidentReport report = SummarizeReident(results);
+  EXPECT_EQ(report.traces, 5u);
+  EXPECT_EQ(report.linkable, 3u);
+  EXPECT_EQ(report.correct, 2u);
+  EXPECT_DOUBLE_EQ(report.accuracy_all, 0.4);
+  EXPECT_NEAR(report.accuracy_linkable, 2.0 / 3.0, 1e-12);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(SummarizeReident, EmptyResults) {
+  const ReidentReport report = SummarizeReident({});
+  EXPECT_EQ(report.traces, 0u);
+  EXPECT_DOUBLE_EQ(report.accuracy_all, 0.0);
+  EXPECT_DOUBLE_EQ(report.accuracy_linkable, 0.0);
+}
+
+TEST(SummarizeReident, AllUnlinkable) {
+  std::vector<attacks::LinkResult> results(3);
+  const ReidentReport report = SummarizeReident(results);
+  EXPECT_EQ(report.linkable, 0u);
+  EXPECT_DOUBLE_EQ(report.accuracy_all, 0.0);
+}
+
+}  // namespace
+}  // namespace mobipriv::metrics

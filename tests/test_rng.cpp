@@ -1,0 +1,241 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mobipriv::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-5.0, 3.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.Uniform(2.0, 2.0), 2.0);
+}
+
+TEST(Rng, NextBoundedCoversRangeUniformly) {
+  Rng rng(99);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(10)];
+  }
+  for (const int c : counts) {
+    // Each bucket expects 10000; allow 5 sigma (~±475).
+    EXPECT_NEAR(c, kDraws / 10, 500);
+  }
+}
+
+TEST(Rng, NextBoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.UniformInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(19);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.Gaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, LaplaceMomentsAndSymmetry) {
+  Rng rng(29);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_abs = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Laplace(0.0, 3.0);
+    sum += x;
+    sum_abs += std::abs(x);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);       // mean = mu
+  EXPECT_NEAR(sum_abs / kDraws, 3.0, 0.05);   // E|X - mu| = b
+}
+
+TEST(Rng, AngleRange) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.Angle();
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 2.0 * 3.14159265358979 + 1e-9);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.Shuffle(shuffled);
+  EXPECT_FALSE(std::equal(values.begin(), values.end(), shuffled.begin()) &&
+               values.size() > 10);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(values, shuffled);
+}
+
+TEST(Rng, ShuffleSmallSpansAreSafe) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  std::vector<int> one{42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one.front(), 42);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(43);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, 0.75, 0.01);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(47);
+  const std::vector<double> weights{0.0, 0.0};
+  std::array<int, 2> counts{};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_GT(counts[0], 4000);
+  EXPECT_GT(counts[1], 4000);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng parent(51);
+  Rng child = parent.Split();
+  // Parent and child should not produce the same next values.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SeedSequence, Deterministic) {
+  SeedSequence a(5);
+  SeedSequence b(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SeedSequence, ProducesDistinctSeeds) {
+  SeedSequence seq(5);
+  const auto s1 = seq.Next();
+  const auto s2 = seq.Next();
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace mobipriv::util

@@ -1,0 +1,107 @@
+#include "synth/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::synth {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(13), network(MakeNetConfig(), rng),
+              universe(PoiUniverseConfig{}, network, rng) {}
+  static RoadNetworkConfig MakeNetConfig() {
+    RoadNetworkConfig config;
+    config.width_m = 3000.0;
+    config.height_m = 3000.0;
+    config.block_size_m = 150.0;
+    return config;
+  }
+  util::Rng rng;
+  RoadNetwork network;
+  PoiUniverse universe;
+};
+
+TEST(SampleProfile, AssignsAllRoles) {
+  Fixture f;
+  for (int i = 0; i < 20; ++i) {
+    const AgentProfile profile = SampleProfile(f.universe, f.rng);
+    EXPECT_NE(profile.home, kInvalidPoi);
+    EXPECT_NE(profile.work, kInvalidPoi);
+    EXPECT_EQ(f.universe.site(profile.home).category, PoiCategory::kHome);
+    EXPECT_EQ(f.universe.site(profile.work).category, PoiCategory::kWork);
+    EXPECT_GE(profile.favourite_leisure.size(), 1u);
+    EXPECT_LE(profile.favourite_leisure.size(), 3u);
+    EXPECT_GT(profile.travel_speed_mps, 0.0);
+    EXPECT_GE(profile.hub_commute_prob, 0.0);
+    EXPECT_LE(profile.hub_commute_prob, 1.0);
+    EXPECT_NE(profile.commute_hub, kInvalidPoi);
+  }
+}
+
+TEST(GenerateDayPlan, StructureIsHomeWorkHome) {
+  Fixture f;
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  ScheduleConfig config;
+  config.evening_leisure_prob = 0.0;
+  config.evening_shop_prob = 0.0;
+  const util::Timestamp day = 1433116800;
+  const auto plan = GenerateDayPlan(profile, f.universe, config, day, f.rng);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].poi, profile.home);
+  EXPECT_EQ(plan[1].poi, profile.work);
+  EXPECT_EQ(plan[2].poi, profile.home);
+}
+
+TEST(GenerateDayPlan, VisitsAreOrderedAndLeaveTravelSlack) {
+  Fixture f;
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  const util::Timestamp day = 1433116800;
+  for (int i = 0; i < 10; ++i) {
+    const auto plan =
+        GenerateDayPlan(profile, f.universe, ScheduleConfig{}, day, f.rng);
+    ASSERT_GE(plan.size(), 3u);
+    for (const auto& visit : plan) {
+      EXPECT_LT(visit.arrival, visit.departure);
+    }
+    for (std::size_t k = 1; k < plan.size(); ++k) {
+      EXPECT_GT(plan[k].arrival, plan[k - 1].departure)
+          << "no travel slack before stop " << k;
+    }
+  }
+}
+
+TEST(GenerateDayPlan, SpansTheDay) {
+  Fixture f;
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  const util::Timestamp day = 1433116800;
+  const auto plan =
+      GenerateDayPlan(profile, f.universe, ScheduleConfig{}, day, f.rng);
+  EXPECT_EQ(plan.front().arrival, day);
+  EXPECT_GE(plan.back().departure, day + util::kSecondsPerDay);
+}
+
+TEST(GenerateDayPlan, WorkBlockIsSubstantial) {
+  Fixture f;
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  const util::Timestamp day = 1433116800;
+  const auto plan =
+      GenerateDayPlan(profile, f.universe, ScheduleConfig{}, day, f.rng);
+  // Second stop is work; default config keeps it >= 4 h.
+  EXPECT_GE(plan[1].departure - plan[1].arrival,
+            4 * util::kSecondsPerHour);
+}
+
+TEST(GenerateDayPlan, EveningActivityRespectsProbabilities) {
+  Fixture f;
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  ScheduleConfig always;
+  always.evening_leisure_prob = 1.0;
+  const util::Timestamp day = 1433116800;
+  const auto plan =
+      GenerateDayPlan(profile, f.universe, always, day, f.rng);
+  ASSERT_EQ(plan.size(), 4u);
+  const auto category = f.universe.site(plan[2].poi).category;
+  EXPECT_EQ(category, PoiCategory::kLeisure);
+}
+
+}  // namespace
+}  // namespace mobipriv::synth

@@ -1,0 +1,164 @@
+// Tests for the simple baselines: identity, cloaking, Gaussian noise,
+// temporal downsampling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/projection.h"
+#include "mechanisms/cloaking.h"
+#include "mechanisms/downsampling.h"
+#include "mechanisms/gaussian_noise.h"
+#include "mechanisms/identity.h"
+#include "util/statistics.h"
+
+namespace mobipriv::mech {
+namespace {
+
+constexpr geo::LatLng kOrigin{45.7640, 4.8357};
+
+model::Dataset SampleDataset() {
+  const geo::LocalProjection projection(kOrigin);
+  model::Dataset dataset;
+  std::vector<model::Event> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back({projection.Unproject({i * 37.0, i * 11.0}),
+                      static_cast<util::Timestamp>(i * 30)});
+  }
+  dataset.AddTraceForUser("u", std::move(events));
+  return dataset;
+}
+
+TEST(Identity, ExactCopy) {
+  const Identity mechanism;
+  const model::Dataset input = SampleDataset();
+  util::Rng rng(1);
+  const model::Dataset out = mechanism.Apply(input, rng);
+  ASSERT_EQ(out.EventCount(), input.EventCount());
+  EXPECT_EQ(out.UserCount(), input.UserCount());
+  for (std::size_t i = 0; i < input.traces().front().size(); ++i) {
+    EXPECT_EQ(out.traces().front()[i], input.traces().front()[i]);
+  }
+  EXPECT_EQ(mechanism.Name(), "identity");
+}
+
+TEST(Cloaking, SnapsToCellCenters) {
+  CloakingConfig config;
+  config.cell_size_m = 100.0;
+  const Cloaking mechanism(config);
+  const model::Dataset input = SampleDataset();
+  util::Rng rng(1);
+  const model::Dataset out = mechanism.Apply(input, rng);
+  ASSERT_EQ(out.EventCount(), input.EventCount());
+  // Displacement never exceeds half the cell diagonal.
+  const double max_displacement = 100.0 * std::sqrt(2.0) / 2.0 + 0.5;
+  for (std::size_t i = 0; i < input.traces().front().size(); ++i) {
+    const double d = geo::HaversineDistance(
+        input.traces().front()[i].position, out.traces().front()[i].position);
+    EXPECT_LE(d, max_displacement);
+  }
+}
+
+TEST(Cloaking, CollapsesNearbyPoints) {
+  CloakingConfig config;
+  config.cell_size_m = 10000.0;  // cells far larger than the data extent
+  const Cloaking mechanism(config);
+  const model::Dataset input = SampleDataset();  // ~3.8 km extent
+  util::Rng rng(1);
+  const model::Dataset out = mechanism.Apply(input, rng);
+  // The whole trace collapses onto at most 4 cell centres (the extent can
+  // straddle one cell boundary per axis).
+  std::set<std::pair<double, double>> distinct;
+  for (const auto& event : out.traces().front()) {
+    distinct.insert({event.position.lat, event.position.lng});
+  }
+  EXPECT_LE(distinct.size(), 4u);
+  EXPECT_LT(distinct.size(), input.EventCount());
+}
+
+TEST(Cloaking, Deterministic) {
+  const Cloaking mechanism;
+  const model::Dataset input = SampleDataset();
+  util::Rng rng_a(1);
+  util::Rng rng_b(99);  // rng must not matter
+  const auto a = mechanism.Apply(input, rng_a);
+  const auto b = mechanism.Apply(input, rng_b);
+  for (std::size_t i = 0; i < a.traces().front().size(); ++i) {
+    EXPECT_EQ(a.traces().front()[i], b.traces().front()[i]);
+  }
+}
+
+TEST(GaussianNoise, EmpiricalSigmaMatches) {
+  GaussianNoiseConfig config;
+  config.sigma_m = 50.0;
+  const GaussianNoise mechanism(config);
+  model::Dataset input;
+  input.AddTraceForUser(
+      "u", std::vector<model::Event>(5000, model::Event{kOrigin, 0}));
+  util::Rng rng(3);
+  const model::Dataset out = mechanism.Apply(input, rng);
+  util::RunningStat dx;
+  for (const auto& event : out.traces().front()) {
+    dx.Add(geo::HaversineDistance(event.position, kOrigin));
+  }
+  // Rayleigh mean = sigma * sqrt(pi/2) ~ 62.7 m.
+  EXPECT_NEAR(dx.Mean(), 50.0 * std::sqrt(3.14159265 / 2.0), 3.0);
+}
+
+TEST(GaussianNoise, KeepsTimestampsAndCounts) {
+  const GaussianNoise mechanism;
+  const model::Dataset input = SampleDataset();
+  util::Rng rng(5);
+  const model::Dataset out = mechanism.Apply(input, rng);
+  ASSERT_EQ(out.EventCount(), input.EventCount());
+  for (std::size_t i = 0; i < input.traces().front().size(); ++i) {
+    EXPECT_EQ(out.traces().front()[i].time,
+              input.traces().front()[i].time);
+  }
+}
+
+TEST(Downsampling, EnforcesMinimumInterval) {
+  DownsamplingConfig config;
+  config.min_interval_s = 120;
+  const Downsampling mechanism(config);
+  const model::Dataset input = SampleDataset();  // 30 s period
+  util::Rng rng(1);
+  const model::Dataset out = mechanism.Apply(input, rng);
+  const auto& trace = out.traces().front();
+  EXPECT_LT(trace.size(), input.traces().front().size());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].time - trace[i - 1].time, 120);
+  }
+  // First fix always kept.
+  EXPECT_EQ(trace.front().time, 0);
+}
+
+TEST(Downsampling, SlowInputUnchanged) {
+  DownsamplingConfig config;
+  config.min_interval_s = 10;  // input period is 30 s
+  const Downsampling mechanism(config);
+  const model::Dataset input = SampleDataset();
+  util::Rng rng(1);
+  EXPECT_EQ(mechanism.Apply(input, rng).EventCount(), input.EventCount());
+}
+
+TEST(SimpleMechanisms, Names) {
+  EXPECT_EQ(Cloaking().Name(), "cloaking[cell=250m]");
+  EXPECT_EQ(GaussianNoise().Name(), "gaussian[sigma=100m]");
+  EXPECT_EQ(Downsampling().Name(), "downsampling[dt=120s]");
+}
+
+TEST(PerTraceMechanism, PreservesUserIdSpace) {
+  const Cloaking mechanism;
+  model::Dataset input;
+  input.InternUser("first");
+  input.AddTraceForUser("second", {{kOrigin, 1}, {kOrigin, 2}});
+  util::Rng rng(1);
+  const model::Dataset out = mechanism.Apply(input, rng);
+  EXPECT_EQ(out.UserCount(), 2u);
+  EXPECT_EQ(out.UserName(0), "first");
+  EXPECT_EQ(out.UserName(1), "second");
+  EXPECT_EQ(out.traces().front().user(), 1u);
+}
+
+}  // namespace
+}  // namespace mobipriv::mech

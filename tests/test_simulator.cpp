@@ -1,0 +1,169 @@
+#include "synth/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "model/stats.h"
+
+namespace mobipriv::synth {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : rng(21),
+        network(MakeNetConfig(), rng),
+        universe(MakePoiConfig(), network, rng),
+        projection(geo::LatLng{45.7640, 4.8357}) {}
+  static RoadNetworkConfig MakeNetConfig() {
+    RoadNetworkConfig config;
+    config.width_m = 3000.0;
+    config.height_m = 3000.0;
+    config.block_size_m = 150.0;
+    return config;
+  }
+  static PoiUniverseConfig MakePoiConfig() {
+    PoiUniverseConfig config;
+    config.homes = 10;
+    config.workplaces = 4;
+    config.leisure = 3;
+    config.shops = 2;
+    config.transit_hubs = 1;
+    return config;
+  }
+  std::vector<ScheduledVisit> MakePlan(const AgentProfile& profile) const {
+    // home 0-2000, travel, work 4000-10000, travel, home 12000-20000.
+    return {{profile.home, 0, 2000},
+            {profile.work, 4000, 10000},
+            {profile.home, 12000, 20000}};
+  }
+  util::Rng rng;
+  RoadNetwork network;
+  PoiUniverse universe;
+  geo::LocalProjection projection;
+};
+
+TEST(Simulator, SessionModeEmitsOneTracePerLeg) {
+  Fixture f;
+  const Simulator sim(f.network, f.universe, f.projection, SimulatorConfig{});
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  std::vector<model::Trace> traces;
+  std::vector<GroundTruthVisit> truth;
+  sim.SimulateDay(5, profile, f.MakePlan(profile), f.rng, traces, truth);
+  EXPECT_EQ(traces.size(), 2u);  // two legs
+  EXPECT_EQ(truth.size(), 3u);   // three visits
+  for (const auto& trace : traces) {
+    EXPECT_EQ(trace.user(), 5u);
+    EXPECT_TRUE(trace.IsTimeOrdered());
+    EXPECT_GT(trace.size(), 2u);
+  }
+}
+
+TEST(Simulator, ContinuousModeEmitsSingleTrace) {
+  Fixture f;
+  SimulatorConfig config;
+  config.continuous_recording = true;
+  const Simulator sim(f.network, f.universe, f.projection, config);
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  std::vector<model::Trace> traces;
+  std::vector<GroundTruthVisit> truth;
+  sim.SimulateDay(5, profile, f.MakePlan(profile), f.rng, traces, truth);
+  ASSERT_EQ(traces.size(), 1u);
+  // Continuous trace spans the full plan.
+  EXPECT_EQ(traces.front().front().time, 0);
+  EXPECT_GE(traces.front().back().time, 19900);
+}
+
+TEST(Simulator, DwellFixesClusterAtSite) {
+  Fixture f;
+  SimulatorConfig config;
+  config.session_dwell_s = 1800;
+  const Simulator sim(f.network, f.universe, f.projection, config);
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  std::vector<model::Trace> traces;
+  std::vector<GroundTruthVisit> truth;
+  sim.SimulateDay(1, profile, f.MakePlan(profile), f.rng, traces, truth);
+  ASSERT_FALSE(traces.empty());
+  // First fixes of the first session sit near home.
+  const geo::Point2 home = f.universe.site(profile.home).position;
+  const auto first = f.projection.Project(traces.front().front().position);
+  EXPECT_LT(geo::Distance(first, home), 60.0);
+}
+
+TEST(Simulator, SamplingIntervalRespected) {
+  Fixture f;
+  SimulatorConfig config;
+  config.sampling_interval_s = 60;
+  const Simulator sim(f.network, f.universe, f.projection, config);
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  std::vector<model::Trace> traces;
+  std::vector<GroundTruthVisit> truth;
+  sim.SimulateDay(1, profile, f.MakePlan(profile), f.rng, traces, truth);
+  for (const auto& trace : traces) {
+    for (const double dt : model::InterEventIntervals(trace)) {
+      EXPECT_GE(dt, 60.0 - 1e-9);
+    }
+  }
+}
+
+TEST(Simulator, RouteViaHubPassesNearHub) {
+  Fixture f;
+  const Simulator sim(f.network, f.universe, f.projection, SimulatorConfig{});
+  const auto hubs = f.universe.OfCategory(PoiCategory::kTransitHub);
+  const auto homes = f.universe.OfCategory(PoiCategory::kHome);
+  const auto works = f.universe.OfCategory(PoiCategory::kWork);
+  ASSERT_FALSE(hubs.empty());
+  const auto path = sim.Route(homes.front(), works.front(), hubs.front());
+  ASSERT_GE(path.size(), 2u);
+  // Some path vertex must coincide with the hub node.
+  const geo::Point2 hub = f.universe.site(hubs.front()).position;
+  bool touches_hub = false;
+  for (const auto& p : path) {
+    if (geo::Distance(p, hub) < 1.0) touches_hub = true;
+  }
+  EXPECT_TRUE(touches_hub);
+}
+
+TEST(Simulator, GroundTruthMatchesPlan) {
+  Fixture f;
+  const Simulator sim(f.network, f.universe, f.projection, SimulatorConfig{});
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  const auto plan = f.MakePlan(profile);
+  std::vector<model::Trace> traces;
+  std::vector<GroundTruthVisit> truth;
+  sim.SimulateDay(8, profile, plan, f.rng, traces, truth);
+  ASSERT_EQ(truth.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(truth[i].user, 8u);
+    EXPECT_EQ(truth[i].poi, plan[i].poi);
+    EXPECT_EQ(truth[i].arrival, plan[i].arrival);
+    EXPECT_EQ(truth[i].departure, plan[i].departure);
+  }
+}
+
+TEST(Simulator, GpsNoiseBoundedInPractice) {
+  Fixture f;
+  SimulatorConfig config;
+  config.gps_noise_m = 5.0;
+  config.dwell_jitter_m = 0.0;
+  const Simulator sim(f.network, f.universe, f.projection, config);
+  const AgentProfile profile = SampleProfile(f.universe, f.rng);
+  std::vector<model::Trace> traces;
+  std::vector<GroundTruthVisit> truth;
+  sim.SimulateDay(1, profile,
+                  {{profile.home, 0, 3000}, {profile.work, 100000, 103000}},
+                  f.rng, traces, truth);
+  ASSERT_FALSE(traces.empty());
+  // Only the home dwell-tail fixes (time <= 3000) must hug the site;
+  // later fixes belong to the (very slow) travel leg.
+  const geo::Point2 home = f.universe.site(profile.home).position;
+  std::size_t checked = 0;
+  for (const auto& event : traces.front()) {
+    if (event.time > 3000) break;
+    const auto p = f.projection.Project(event.position);
+    EXPECT_LT(geo::Distance(p, home), 50.0);  // 10 sigma
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+}  // namespace
+}  // namespace mobipriv::synth

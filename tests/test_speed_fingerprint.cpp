@@ -1,0 +1,97 @@
+#include "attacks/speed_fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/projection.h"
+#include "mechanisms/speed_smoothing.h"
+#include "synth/population.h"
+
+namespace mobipriv::attacks {
+namespace {
+
+constexpr geo::LatLng kOrigin{45.7640, 4.8357};
+
+/// A trace of `user` moving east at `speed_mps` for `hops` fixes.
+model::Trace ConstantTrace(model::UserId user, double speed_mps,
+                           util::Timestamp t0, int hops = 20) {
+  const geo::LocalProjection projection(kOrigin);
+  model::Trace trace;
+  trace.set_user(user);
+  for (int i = 0; i <= hops; ++i) {
+    trace.Append({projection.Unproject({speed_mps * 60.0 * i, 0.0}),
+                  t0 + static_cast<util::Timestamp>(i * 60)});
+  }
+  return trace;
+}
+
+TEST(SpeedFingerprint, BuildsOneProfilePerUser) {
+  model::Dataset train;
+  train.InternUser("slow");
+  train.InternUser("fast");
+  train.AddTrace(ConstantTrace(0, 1.0, 0));
+  train.AddTrace(ConstantTrace(0, 1.2, 90000));
+  train.AddTrace(ConstantTrace(1, 20.0, 0));
+  const SpeedFingerprintAttack attack;
+  const auto profiles = attack.BuildProfiles(train);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_NEAR(profiles[0].mean_mps, 1.1, 0.05);
+  EXPECT_EQ(profiles[0].traces, 2u);
+  EXPECT_NEAR(profiles[1].mean_mps, 20.0, 0.5);
+}
+
+TEST(SpeedFingerprint, LinksDistinctiveSpeeds) {
+  model::Dataset train;
+  train.InternUser("slow");
+  train.InternUser("fast");
+  train.AddTrace(ConstantTrace(0, 1.0, 0));
+  train.AddTrace(ConstantTrace(1, 20.0, 0));
+  model::Dataset test;
+  test.InternUser("slow");
+  test.InternUser("fast");
+  test.AddTrace(ConstantTrace(0, 1.1, 90000));
+  test.AddTrace(ConstantTrace(1, 19.0, 90000));
+  const SpeedFingerprintAttack attack;
+  const auto results =
+      attack.Attack(attack.BuildProfiles(train), test);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].predicted_user, results[0].true_user);
+  EXPECT_EQ(results[1].predicted_user, results[1].true_user);
+  EXPECT_DOUBLE_EQ(SpeedFingerprintAttack::Accuracy(results), 1.0);
+}
+
+TEST(SpeedFingerprint, SkipsDegenerateTraces) {
+  model::Dataset test;
+  test.InternUser("u");
+  test.AddTrace(model::Trace(0, {{kOrigin, 5}}));  // single fix
+  model::Trace zero_duration(0, {{kOrigin, 5}, {kOrigin, 5}});
+  test.AddTrace(zero_duration);
+  const SpeedFingerprintAttack attack;
+  const auto results = attack.Attack({}, test);
+  EXPECT_TRUE(results.empty());
+  EXPECT_DOUBLE_EQ(SpeedFingerprintAttack::Accuracy({}), 0.0);
+}
+
+TEST(SpeedFingerprint, MostlyFailsAgainstTheMechanismAtScale) {
+  // The residual-leakage question: published constant speeds of a real
+  // population overlap heavily, so linkage should stay far below the POI
+  // attack's raw accuracy (~0.7). This guards against the mechanism
+  // accidentally making speeds MORE identifying.
+  synth::PopulationConfig config;
+  config.agents = 20;
+  config.days = 2;
+  config.seed = 321;
+  const synth::SyntheticWorld world(config);
+  const mech::SpeedSmoothing mechanism;
+  util::Rng rng(1);
+  const model::Dataset train =
+      mechanism.Apply(world.DatasetForDays({0}), rng);
+  const model::Dataset test =
+      mechanism.Apply(world.DatasetForDays({1}), rng);
+  const SpeedFingerprintAttack attack;
+  const auto results = attack.Attack(attack.BuildProfiles(train), test);
+  ASSERT_FALSE(results.empty());
+  EXPECT_LT(SpeedFingerprintAttack::Accuracy(results), 0.4);
+}
+
+}  // namespace
+}  // namespace mobipriv::attacks

@@ -1,0 +1,177 @@
+#include "mechanisms/speed_smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include "attacks/poi_extraction.h"
+#include "geo/projection.h"
+#include "model/stats.h"
+#include "util/rng.h"
+
+namespace mobipriv::mech {
+namespace {
+
+constexpr geo::LatLng kOrigin{45.7640, 4.8357};
+
+/// Stop 30 min at A, drive east 5 km, stop 30 min at B.
+model::Trace StopGoStopTrace(model::UserId user = 1) {
+  const geo::LocalProjection projection(kOrigin);
+  util::Rng rng(user);
+  model::Trace trace;
+  trace.set_user(user);
+  util::Timestamp t = 1000;
+  // Dwell at A with jitter.
+  for (; t <= 1000 + 1800; t += 30) {
+    trace.Append({projection.Unproject({rng.Uniform(-8.0, 8.0),
+                                        rng.Uniform(-8.0, 8.0)}),
+                  t});
+  }
+  // Travel 5 km at 10 m/s.
+  const util::Timestamp travel_start = t;
+  for (; t < travel_start + 500; t += 30) {
+    const double x = 10.0 * static_cast<double>(t - travel_start);
+    trace.Append({projection.Unproject({x, 0.0}), t});
+  }
+  // Dwell at B.
+  const util::Timestamp dwell_start = t;
+  for (; t <= dwell_start + 1800; t += 30) {
+    trace.Append({projection.Unproject({5000.0 + rng.Uniform(-8.0, 8.0),
+                                        rng.Uniform(-8.0, 8.0)}),
+                  t});
+  }
+  return trace;
+}
+
+TEST(SpeedSmoothing, OutputHasExactlyConstantChords) {
+  const SpeedSmoothing mechanism;
+  const model::Trace out = mechanism.Smooth(StopGoStopTrace());
+  ASSERT_GE(out.size(), 3u);
+  const auto dists = model::InterEventDistances(out);
+  // Every hop equals the configured spacing exactly (the trailing
+  // remainder is trimmed).
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    EXPECT_NEAR(dists[i], 100.0, 0.2) << "hop " << i;
+  }
+}
+
+TEST(SpeedSmoothing, TimestampsAreUniform) {
+  const SpeedSmoothing mechanism;
+  const model::Trace in = StopGoStopTrace();
+  const model::Trace out = mechanism.Smooth(in);
+  ASSERT_GE(out.size(), 3u);
+  EXPECT_EQ(out.front().time, in.front().time);
+  EXPECT_EQ(out.back().time, in.back().time);
+  const auto intervals = model::InterEventIntervals(out);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_NEAR(intervals[i], intervals[0], 1.5);  // +-0.5 s rounding x2
+  }
+}
+
+TEST(SpeedSmoothing, SpeedCoefficientOfVariationNearZero) {
+  const SpeedSmoothing mechanism;
+  const model::Trace in = StopGoStopTrace();
+  // Raw trace alternates 0 and 10 m/s: CV is large.
+  EXPECT_GT(model::SpeedCoefficientOfVariation(in), 0.5);
+  const model::Trace out = mechanism.Smooth(in);
+  // Published trace: constant speed up to integer-second rounding.
+  EXPECT_LT(model::SpeedCoefficientOfVariation(out), 0.05);
+}
+
+TEST(SpeedSmoothing, HidesPoisFromTheExtractionAttack) {
+  const SpeedSmoothing mechanism;
+  model::Dataset dataset;
+  dataset.InternUser("u");
+  dataset.AddTrace(StopGoStopTrace(0));
+  util::Rng rng(5);
+  const model::Dataset published = mechanism.Apply(dataset, rng);
+  const attacks::PoiExtractor extractor;
+  // The raw trace leaks both stops; the published one leaks none.
+  EXPECT_EQ(extractor.Extract(dataset).size(), 2u);
+  EXPECT_TRUE(extractor.Extract(published).empty());
+}
+
+TEST(SpeedSmoothing, GeometryStaysOnInputPath) {
+  const SpeedSmoothing mechanism;
+  const model::Trace in = StopGoStopTrace();
+  const model::Trace out = mechanism.Smooth(in);
+  const geo::LocalProjection projection(kOrigin);
+  // Every published point within spacing of the straight east-west road.
+  for (const auto& event : out) {
+    const geo::Point2 p = projection.Project(event.position);
+    EXPECT_GE(p.x, -120.0);
+    EXPECT_LE(p.x, 5120.0);
+    EXPECT_LT(std::abs(p.y), 120.0);
+  }
+}
+
+TEST(SpeedSmoothing, EndpointsApproximatelyPreserved) {
+  const SpeedSmoothing mechanism;
+  const model::Trace in = StopGoStopTrace();
+  const model::Trace out = mechanism.Smooth(in);
+  // Start is exact; end may be trimmed by up to one spacing (plus the
+  // dwell-jitter radius of the final stop).
+  EXPECT_NEAR(
+      geo::HaversineDistance(out.front().position, in.front().position), 0.0,
+      0.01);
+  EXPECT_LE(geo::HaversineDistance(out.back().position, in.back().position),
+            100.0 + 20.0);
+}
+
+TEST(SpeedSmoothing, DropsShortTraces) {
+  SpeedSmoothingConfig config;
+  config.min_length_m = 500.0;
+  const SpeedSmoothing mechanism(config);
+  const geo::LocalProjection projection(kOrigin);
+  // A pure dwell: chord-resampled length ~ 0.
+  util::Rng rng(1);
+  model::Trace dwell;
+  dwell.set_user(0);
+  for (util::Timestamp t = 0; t < 3600; t += 30) {
+    dwell.Append({projection.Unproject({rng.Uniform(-10.0, 10.0),
+                                        rng.Uniform(-10.0, 10.0)}),
+                  t});
+  }
+  EXPECT_TRUE(mechanism.Smooth(dwell).empty());
+  // And the dataset-level Apply removes it entirely.
+  model::Dataset dataset;
+  dataset.InternUser("u");
+  dataset.AddTrace(dwell);
+  util::Rng rng2(2);
+  EXPECT_EQ(mechanism.Apply(dataset, rng2).TraceCount(), 0u);
+}
+
+TEST(SpeedSmoothing, TinyInputs) {
+  const SpeedSmoothing mechanism;
+  EXPECT_TRUE(mechanism.Smooth(model::Trace{}).empty());
+  model::Trace one(1, {{kOrigin, 10}});
+  EXPECT_TRUE(mechanism.Smooth(one).empty());
+}
+
+TEST(SpeedSmoothing, SpacingConfigHonored) {
+  SpeedSmoothingConfig config;
+  config.spacing_m = 250.0;
+  const SpeedSmoothing mechanism(config);
+  const model::Trace out = mechanism.Smooth(StopGoStopTrace());
+  const auto dists = model::InterEventDistances(out);
+  ASSERT_GE(dists.size(), 2u);
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    EXPECT_NEAR(dists[i], 250.0, 0.5);
+  }
+}
+
+TEST(SpeedSmoothing, NameEncodesConfig) {
+  SpeedSmoothingConfig config;
+  config.spacing_m = 50.0;
+  EXPECT_EQ(SpeedSmoothing(config).Name(), "speed_smoothing[eps=50m]");
+}
+
+TEST(SpeedSmoothing, DeterministicAcrossCalls) {
+  const SpeedSmoothing mechanism;
+  const model::Trace in = StopGoStopTrace();
+  const model::Trace a = mechanism.Smooth(in);
+  const model::Trace b = mechanism.Smooth(in);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace mobipriv::mech

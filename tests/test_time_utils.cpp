@@ -1,0 +1,74 @@
+#include "util/time_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::util {
+namespace {
+
+TEST(ParseDateTime, KnownEpochValues) {
+  EXPECT_EQ(ParseDateTime("1970-01-01 00:00:00"), 0);
+  EXPECT_EQ(ParseDateTime("1970-01-01 00:00:01"), 1);
+  EXPECT_EQ(ParseDateTime("1970-01-02 00:00:00"), 86400);
+  // 2015-06-30 (the paper's arXiv date) — cross-checked externally.
+  EXPECT_EQ(ParseDateTime("2015-06-30 00:00:00"), 1435622400);
+}
+
+TEST(ParseDateTime, TSeparatorAccepted) {
+  EXPECT_EQ(ParseDateTime("1970-01-01T01:00:00"), 3600);
+}
+
+TEST(ParseDateTime, Invalid) {
+  EXPECT_FALSE(ParseDateTime("").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-06-30").has_value());
+  EXPECT_FALSE(ParseDateTime("2015/06/30 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-13-01 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-00-01 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-06-32 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-06-30 24:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-06-30 00:61:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-06-30 0a:00:00").has_value());
+}
+
+TEST(FormatDateTime, RoundTrip) {
+  for (const char* text :
+       {"1970-01-01 00:00:00", "2000-02-29 12:34:56", "2015-06-30 23:59:59",
+        "1999-12-31 23:59:59", "2026-06-12 08:00:00"}) {
+    const auto ts = ParseDateTime(text);
+    ASSERT_TRUE(ts.has_value()) << text;
+    EXPECT_EQ(FormatDateTime(*ts), text);
+  }
+}
+
+TEST(FormatDateTime, LeapYearHandling) {
+  const auto feb28 = ParseDateTime("2016-02-28 00:00:00");
+  ASSERT_TRUE(feb28.has_value());
+  EXPECT_EQ(FormatDateTime(*feb28 + kSecondsPerDay), "2016-02-29 00:00:00");
+  EXPECT_EQ(FormatDateTime(*feb28 + 2 * kSecondsPerDay),
+            "2016-03-01 00:00:00");
+}
+
+TEST(SecondsOfDay, Basic) {
+  const auto ts = ParseDateTime("2015-06-30 01:02:03");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(SecondsOfDay(*ts), 3723);
+  EXPECT_EQ(SecondsOfDay(0), 0);
+}
+
+TEST(StartOfDay, Basic) {
+  const auto ts = ParseDateTime("2015-06-30 13:45:00");
+  const auto midnight = ParseDateTime("2015-06-30 00:00:00");
+  ASSERT_TRUE(ts && midnight);
+  EXPECT_EQ(StartOfDay(*ts), *midnight);
+  EXPECT_EQ(StartOfDay(*midnight), *midnight);
+}
+
+TEST(FormatDuration, Ranges) {
+  EXPECT_EQ(FormatDuration(45), "45s");
+  EXPECT_EQ(FormatDuration(125), "2m05s");
+  EXPECT_EQ(FormatDuration(7380), "2h03m");
+  EXPECT_EQ(FormatDuration(0), "0s");
+  EXPECT_EQ(FormatDuration(-45), "-45s");
+}
+
+}  // namespace
+}  // namespace mobipriv::util

@@ -1,0 +1,106 @@
+#include "model/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace mobipriv::model {
+namespace {
+
+Trace MakeTrace() {
+  return Trace(3, {{{45.00, 4.00}, 100},
+                   {{45.01, 4.00}, 200},
+                   {{45.02, 4.00}, 350}});
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace trace = MakeTrace();
+  EXPECT_EQ(trace.user(), 3u);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front().time, 100);
+  EXPECT_EQ(trace.back().time, 350);
+  EXPECT_EQ(trace[1].time, 200);
+}
+
+TEST(Trace, EmptyTrace) {
+  const Trace trace;
+  EXPECT_EQ(trace.user(), kInvalidUser);
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.Duration(), 0);
+  EXPECT_DOUBLE_EQ(trace.LengthMeters(), 0.0);
+  EXPECT_TRUE(trace.IsTimeOrdered());
+  EXPECT_TRUE(trace.BoundingBox().IsEmpty());
+}
+
+TEST(Trace, Duration) {
+  EXPECT_EQ(MakeTrace().Duration(), 250);
+  Trace single(1, {{{45.0, 4.0}, 42}});
+  EXPECT_EQ(single.Duration(), 0);
+}
+
+TEST(Trace, LengthMeters) {
+  const Trace trace = MakeTrace();
+  // Two hops of ~0.01 deg latitude ~ 1112 m each.
+  EXPECT_NEAR(trace.LengthMeters(), 2224.0, 5.0);
+}
+
+TEST(Trace, SortByTimeAndOrderCheck) {
+  Trace trace(1, {{{45.0, 4.0}, 300}, {{45.1, 4.0}, 100}, {{45.2, 4.0}, 200}});
+  EXPECT_FALSE(trace.IsTimeOrdered());
+  trace.SortByTime();
+  EXPECT_TRUE(trace.IsTimeOrdered());
+  EXPECT_EQ(trace.front().time, 100);
+  EXPECT_NEAR(trace.front().position.lat, 45.1, 1e-12);
+}
+
+TEST(Trace, SortIsStableForEqualTimes) {
+  Trace trace(1, {{{45.0, 4.0}, 100}, {{45.1, 4.0}, 100}});
+  trace.SortByTime();
+  EXPECT_NEAR(trace[0].position.lat, 45.0, 1e-12);
+  EXPECT_NEAR(trace[1].position.lat, 45.1, 1e-12);
+}
+
+TEST(Trace, PositionsAndTimes) {
+  const Trace trace = MakeTrace();
+  const auto positions = trace.Positions();
+  const auto times = trace.Times();
+  ASSERT_EQ(positions.size(), 3u);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(positions[2].lat, 45.02, 1e-12);
+  EXPECT_EQ(times[2], 350);
+}
+
+TEST(Trace, BoundingBox) {
+  const auto box = MakeTrace().BoundingBox();
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_NEAR(box.SouthWest().lat, 45.00, 1e-12);
+  EXPECT_NEAR(box.NorthEast().lat, 45.02, 1e-12);
+}
+
+TEST(Trace, SliceClosedInterval) {
+  const Trace trace = MakeTrace();
+  const Trace slice = trace.Slice(150, 350);
+  EXPECT_EQ(slice.user(), trace.user());
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice.front().time, 200);
+  EXPECT_EQ(slice.back().time, 350);
+  EXPECT_TRUE(trace.Slice(1000, 2000).empty());
+}
+
+TEST(Trace, AppendKeepsUser) {
+  Trace trace;
+  trace.set_user(9);
+  trace.Append({{45.0, 4.0}, 1});
+  EXPECT_EQ(trace.user(), 9u);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(Event, Equality) {
+  const Event a{{45.0, 4.0}, 10};
+  const Event b{{45.0, 4.0}, 10};
+  const Event c{{45.0, 4.0}, 11};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace mobipriv::model

@@ -1,0 +1,126 @@
+#include "metrics/trajectory_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/projection.h"
+#include "mechanisms/speed_smoothing.h"
+#include "synth/population.h"
+
+namespace mobipriv::metrics {
+namespace {
+
+constexpr geo::LatLng kOrigin{45.7640, 4.8357};
+
+model::Dataset TwoTripDataset() {
+  const geo::LocalProjection projection(kOrigin);
+  model::Dataset dataset;
+  // Trip 1: 1 km east. Trip 2: 3 km north.
+  std::vector<model::Event> t1;
+  std::vector<model::Event> t2;
+  for (int i = 0; i <= 10; ++i) {
+    t1.push_back({projection.Unproject({i * 100.0, 0.0}),
+                  static_cast<util::Timestamp>(i * 60)});
+    t2.push_back({projection.Unproject({0.0, i * 300.0}),
+                  static_cast<util::Timestamp>(86400 + i * 60)});
+  }
+  dataset.AddTraceForUser("a", std::move(t1));
+  dataset.AddTraceForUser("b", std::move(t2));
+  return dataset;
+}
+
+TEST(TripLengths, Values) {
+  const auto lengths = TripLengths(TwoTripDataset());
+  ASSERT_EQ(lengths.size(), 2u);
+  EXPECT_NEAR(lengths[0], 1000.0, 2.0);
+  EXPECT_NEAR(lengths[1], 3000.0, 5.0);
+}
+
+TEST(TripLengths, MinLengthFilter) {
+  EXPECT_EQ(TripLengths(TwoTripDataset(), 2000.0).size(), 1u);
+  EXPECT_TRUE(TripLengths(model::Dataset{}).empty());
+}
+
+TEST(RadiusOfGyration, UniformLineIsKnown) {
+  // n equally spaced points with spacing s have population variance
+  // (n^2 - 1)/12 * s^2, so rg = s * sqrt((n^2 - 1)/12); n = 11, s = 100.
+  const auto dataset = TwoTripDataset();
+  const double rg = RadiusOfGyration(dataset, 0);
+  const double expected = 100.0 * std::sqrt((121.0 - 1.0) / 12.0);
+  EXPECT_NEAR(rg, expected, 3.0);
+}
+
+TEST(RadiusOfGyration, UnknownUserIsZero) {
+  EXPECT_DOUBLE_EQ(RadiusOfGyration(TwoTripDataset(), 99), 0.0);
+}
+
+TEST(AllRadiiOfGyration, OnePerUser) {
+  const auto radii = AllRadiiOfGyration(TwoTripDataset());
+  ASSERT_EQ(radii.size(), 2u);
+  EXPECT_GT(radii[1], radii[0]);  // 3 km trip has larger gyration
+}
+
+TEST(EarthMoversDistance, IdenticalIsZero) {
+  const std::vector<double> samples{1.0, 2.0, 5.0, 9.0};
+  EXPECT_NEAR(EarthMoversDistance(samples, samples), 0.0, 1e-9);
+}
+
+TEST(EarthMoversDistance, ConstantShift) {
+  // Shifting a distribution by c gives EMD = c.
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{11.0, 12.0, 13.0, 14.0};
+  EXPECT_NEAR(EarthMoversDistance(a, b), 10.0, 1e-9);
+}
+
+TEST(EarthMoversDistance, SymmetricAndDegenerate) {
+  const std::vector<double> a{1.0, 5.0};
+  const std::vector<double> b{2.0, 3.0};
+  EXPECT_NEAR(EarthMoversDistance(a, b), EarthMoversDistance(b, a), 1e-9);
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({}, {}), 0.0);
+  EXPECT_TRUE(std::isinf(EarthMoversDistance(a, {})));
+}
+
+TEST(EarthMoversDistance, DifferentSampleCounts) {
+  const std::vector<double> a{0.0, 10.0};
+  const std::vector<double> b{0.0, 5.0, 10.0};
+  const double d = EarthMoversDistance(a, b);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 5.0);
+}
+
+TEST(CompareTrajectoryStats, IdentityPreservesEverything) {
+  const auto dataset = TwoTripDataset();
+  const auto report = CompareTrajectoryStats(dataset, dataset);
+  EXPECT_NEAR(report.trip_length_emd, 0.0, 1e-6);
+  EXPECT_NEAR(report.gyration_relative_error, 0.0, 1e-9);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(CompareTrajectoryStats, SpeedSmoothingPreservesScaleStatistics) {
+  // The paper's mechanism should approximately preserve trip lengths and
+  // radii of gyration — geometry is kept, only jitter is removed.
+  synth::PopulationConfig config;
+  config.agents = 8;
+  config.days = 1;
+  config.seed = 42;
+  const synth::SyntheticWorld world(config);
+  const mech::SpeedSmoothing mechanism;
+  util::Rng rng(1);
+  const model::Dataset published = mechanism.Apply(world.dataset(), rng);
+  const auto report =
+      CompareTrajectoryStats(world.dataset(), published);
+  // Chord resampling strips dwell jitter (published trips get somewhat
+  // shorter — that length was noise, not travel) and equalizes fix density
+  // (raw gyration over-weights dwell clusters), so moderate shifts are
+  // expected; the distributions must stay the same scale.
+  EXPECT_LT(report.trip_length_emd,
+            report.trip_length_original.mean * 0.35);
+  EXPECT_LT(report.gyration_relative_error, 0.35);
+  EXPECT_NEAR(report.gyration_published.mean,
+              report.gyration_original.mean,
+              report.gyration_original.mean * 0.4);
+}
+
+}  // namespace
+}  // namespace mobipriv::metrics
