@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "attacks/poi_extraction.h"
+#include "attacks/reident.h"
 #include "core/anonymizer.h"
 #include "geo/polyline.h"
 #include "mechanisms/cloaking.h"
@@ -18,6 +19,7 @@
 #include "mechanisms/speed_smoothing.h"
 #include "mechanisms/wait4me.h"
 #include "synth/population.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -95,6 +97,57 @@ void BM_PoiExtraction(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_PoiExtraction)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_Reident(benchmark::State& state) {
+  const auto& world = WorldOfSize(static_cast<std::size_t>(state.range(0)));
+  const geo::LocalProjection frame =
+      attacks::DatasetProjection(world.dataset());
+  const attacks::ReidentificationAttack attack;
+  const auto profiles = attack.BuildProfiles(world.dataset(), frame);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack.Attack(profiles, world.dataset(), frame));
+    events += world.dataset().EventCount();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Reident)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+/// The acceptance workload: full anonymization pipeline (speed smoothing +
+/// mix zones) followed by the POI-extraction attack on the published data.
+/// The Serial/Parallel pair measures the batch engine's scaling; outputs
+/// are byte-identical between the two (see test_parallel_determinism).
+void RunEndToEnd(benchmark::State& state, std::size_t parallelism) {
+  const util::ScopedParallelism scope(parallelism);
+  const auto& world = WorldOfSize(static_cast<std::size_t>(state.range(0)));
+  const core::Anonymizer anonymizer;
+  const attacks::PoiExtractor extractor;
+  util::Rng rng(1);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const model::Dataset published = anonymizer.Apply(world.dataset(), rng);
+    benchmark::DoNotOptimize(extractor.Extract(published));
+    events += world.dataset().EventCount();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_EndToEndSerial(benchmark::State& state) { RunEndToEnd(state, 1); }
+BENCHMARK(BM_EndToEndSerial)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndParallel(benchmark::State& state) {
+  // 0 = restore the default (MOBIPRIV_THREADS or hardware concurrency).
+  RunEndToEnd(state, 0);
+}
+BENCHMARK(BM_EndToEndParallel)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ResampleUniform(benchmark::State& state) {
   // A 1000-vertex zig-zag path resampled at 10 m.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the throughput microbenchmarks and records the result as
+# BENCH_throughput.json at the repo root, so the perf trajectory is tracked
+# PR over PR.
+#
+# Usage: bench/run_bench.sh [build_dir] [extra benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+if [[ ! -x "$build_dir/bench_throughput" ]]; then
+  echo "bench_throughput not found in $build_dir; configuring with -DMOBIPRIV_BENCH=ON" >&2
+  cmake -B "$build_dir" -S "$repo_root" -DMOBIPRIV_BENCH=ON
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_throughput
+fi
+
+"$build_dir/bench_throughput" \
+  --benchmark_out="$repo_root/BENCH_throughput.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $repo_root/BENCH_throughput.json"

@@ -38,17 +38,24 @@ model::Dataset Anonymizer::ApplyWithReport(const model::Dataset& input,
   report.input_events = input.EventCount();
   report.input_traces = input.TraceCount();
 
-  model::Dataset current =
-      config_.enable_speed_smoothing ? speed_.Apply(input, rng)
-                                     : input.Clone();
-  report.after_smoothing_events = current.EventCount();
-  report.dropped_traces = report.input_traces - current.TraceCount();
+  // Pass-through stages never copy: `current` points at the last produced
+  // dataset and the input is only cloned when no stage ran at all.
+  const model::Dataset* current = &input;
+  model::Dataset smoothed;
+  if (config_.enable_speed_smoothing) {
+    smoothed = speed_.Apply(input, rng);
+    current = &smoothed;
+  }
+  report.after_smoothing_events = current->EventCount();
+  report.dropped_traces = report.input_traces - current->TraceCount();
 
   if (config_.enable_mixzones) {
-    current = mixzone_.ApplyWithReport(current, rng, report.mixzone);
+    model::Dataset mixed = mixzone_.ApplyWithReport(*current, rng, report.mixzone);
+    report.output_events = mixed.EventCount();
+    return mixed;
   }
-  report.output_events = current.EventCount();
-  return current;
+  report.output_events = current->EventCount();
+  return current == &input ? input.Clone() : std::move(smoothed);
 }
 
 }  // namespace mobipriv::core

@@ -1,7 +1,9 @@
 #include "geo/grid_index.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace mobipriv::geo {
 
@@ -14,15 +16,123 @@ GridIndex::CellKey GridIndex::KeyFor(Point2 p) const noexcept {
           static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
 }
 
+std::int32_t GridIndex::AcquireSlot(Point2 p, std::uint64_t id) {
+  std::int32_t slot;
+  if (free_head_ != -1) {
+    slot = free_head_;
+    free_head_ = entries_[static_cast<std::size_t>(slot)].next;
+    entries_[static_cast<std::size_t>(slot)] = Entry{p, id, -1};
+  } else {
+    // Chains are int32-indexed; past 2^31 entries the cast would wrap and
+    // corrupt traversal silently.
+    assert(entries_.size() <=
+           static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()));
+    slot = static_cast<std::int32_t>(entries_.size());
+    entries_.push_back(Entry{p, id, -1});
+  }
+  return slot;
+}
+
+void GridIndex::AppendToBucket(Bucket& bucket, std::int32_t slot) {
+  if (bucket.head == -1) {
+    bucket.head = bucket.tail = slot;
+  } else {
+    entries_[static_cast<std::size_t>(bucket.tail)].next = slot;
+    bucket.tail = slot;
+  }
+}
+
 void GridIndex::Insert(Point2 p, std::uint64_t id) {
-  cells_[KeyFor(p)].push_back(Entry{p, id});
+  const CellKey key = KeyFor(p);
+  if (count_ == 0) {
+    min_cx_ = max_cx_ = key.cx;
+    min_cy_ = max_cy_ = key.cy;
+  } else {
+    min_cx_ = std::min(min_cx_, key.cx);
+    max_cx_ = std::max(max_cx_, key.cx);
+    min_cy_ = std::min(min_cy_, key.cy);
+    max_cy_ = std::max(max_cy_, key.cy);
+  }
+  AppendToBucket(cells_[key], AcquireSlot(p, id));
   ++count_;
 }
 
-std::vector<std::uint64_t> GridIndex::QueryRadius(Point2 center,
-                                                  double radius) const {
+void GridIndex::UnlinkFromCell(CellKey key, std::int32_t slot) {
+  const auto it = cells_.find(key);
+  assert(it != cells_.end());
+  Bucket& bucket = it->second;
+  std::int32_t prev = -1;
+  for (std::int32_t cur = bucket.head; cur != -1;
+       cur = entries_[static_cast<std::size_t>(cur)].next) {
+    if (cur == slot) {
+      const std::int32_t next = entries_[static_cast<std::size_t>(cur)].next;
+      if (prev == -1) {
+        bucket.head = next;
+      } else {
+        entries_[static_cast<std::size_t>(prev)].next = next;
+      }
+      if (bucket.tail == slot) bucket.tail = prev;
+      if (bucket.head == -1) cells_.erase(it);
+      return;
+    }
+    prev = cur;
+  }
+  assert(false && "slot not found in its cell chain");
+}
+
+bool GridIndex::Remove(Point2 p, std::uint64_t id) {
+  const CellKey key = KeyFor(p);
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return false;
+  for (std::int32_t cur = it->second.head; cur != -1;
+       cur = entries_[static_cast<std::size_t>(cur)].next) {
+    Entry& e = entries_[static_cast<std::size_t>(cur)];
+    if (e.id == id && e.point.x == p.x && e.point.y == p.y) {
+      UnlinkFromCell(key, cur);
+      e.next = free_head_;
+      free_head_ = cur;
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GridIndex::Move(Point2 from, Point2 to, std::uint64_t id) {
+  const CellKey from_key = KeyFor(from);
+  const auto it = cells_.find(from_key);
+  if (it == cells_.end()) return false;
+  for (std::int32_t cur = it->second.head; cur != -1;
+       cur = entries_[static_cast<std::size_t>(cur)].next) {
+    Entry& e = entries_[static_cast<std::size_t>(cur)];
+    if (e.id != id || e.point.x != from.x || e.point.y != from.y) continue;
+    const CellKey to_key = KeyFor(to);
+    if (to_key == from_key) {
+      e.point = to;
+    } else {
+      UnlinkFromCell(from_key, cur);
+      e.point = to;
+      e.next = -1;
+      AppendToBucket(cells_[to_key], cur);
+      min_cx_ = std::min(min_cx_, to_key.cx);
+      max_cx_ = std::max(max_cx_, to_key.cx);
+      min_cy_ = std::min(min_cy_, to_key.cy);
+      max_cy_ = std::max(max_cy_, to_key.cy);
+    }
+    return true;
+  }
+  return false;
+}
+
+void GridIndex::Reserve(std::size_t n) {
+  entries_.reserve(n);
+  cells_.reserve(n);
+}
+
+void GridIndex::QueryRadius(Point2 center, double radius,
+                            std::vector<std::uint64_t>& out) const {
   assert(radius >= 0.0);
-  std::vector<std::uint64_t> out;
+  out.clear();
   const double r_sq = radius * radius;
   // Number of cells the radius spans (>=1 so the 3x3 case stays fast).
   const auto span =
@@ -33,17 +143,26 @@ std::vector<std::uint64_t> GridIndex::QueryRadius(Point2 center,
       const auto it =
           cells_.find(CellKey{center_key.cx + dx, center_key.cy + dy});
       if (it == cells_.end()) continue;
-      for (const Entry& e : it->second) {
+      for (std::int32_t cur = it->second.head; cur != -1;
+           cur = entries_[static_cast<std::size_t>(cur)].next) {
+        const Entry& e = entries_[static_cast<std::size_t>(cur)];
         if (DistanceSquared(e.point, center) <= r_sq) out.push_back(e.id);
       }
     }
   }
+}
+
+std::vector<std::uint64_t> GridIndex::QueryRadius(Point2 center,
+                                                  double radius) const {
+  std::vector<std::uint64_t> out;
+  QueryRadius(center, radius, out);
   return out;
 }
 
-std::vector<std::pair<std::uint64_t, Point2>> GridIndex::QueryBoxCandidates(
-    Point2 center, double radius) const {
-  std::vector<std::pair<std::uint64_t, Point2>> out;
+void GridIndex::QueryBoxCandidates(
+    Point2 center, double radius,
+    std::vector<std::pair<std::uint64_t, Point2>>& out) const {
+  out.clear();
   const auto span =
       static_cast<std::int64_t>(std::ceil(radius / cell_size_));
   const CellKey center_key = KeyFor(center);
@@ -52,14 +171,87 @@ std::vector<std::pair<std::uint64_t, Point2>> GridIndex::QueryBoxCandidates(
       const auto it =
           cells_.find(CellKey{center_key.cx + dx, center_key.cy + dy});
       if (it == cells_.end()) continue;
-      for (const Entry& e : it->second) out.emplace_back(e.id, e.point);
+      for (std::int32_t cur = it->second.head; cur != -1;
+           cur = entries_[static_cast<std::size_t>(cur)].next) {
+        const Entry& e = entries_[static_cast<std::size_t>(cur)];
+        out.emplace_back(e.id, e.point);
+      }
     }
   }
+}
+
+std::vector<std::pair<std::uint64_t, Point2>> GridIndex::QueryBoxCandidates(
+    Point2 center, double radius) const {
+  std::vector<std::pair<std::uint64_t, Point2>> out;
+  QueryBoxCandidates(center, radius, out);
   return out;
+}
+
+std::optional<NearestResult> GridIndex::QueryNearest(Point2 center) const {
+  if (count_ == 0) return std::nullopt;
+  const CellKey center_key = KeyFor(center);
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  const Entry* best = nullptr;
+
+  const auto consider_cell = [&](std::int64_t cx, std::int64_t cy) {
+    const auto it = cells_.find(CellKey{cx, cy});
+    if (it == cells_.end()) return;
+    for (std::int32_t cur = it->second.head; cur != -1;
+         cur = entries_[static_cast<std::size_t>(cur)].next) {
+      const Entry& e = entries_[static_cast<std::size_t>(cur)];
+      const double d_sq = DistanceSquared(e.point, center);
+      if (d_sq < best_sq ||
+          (d_sq == best_sq && best != nullptr && e.id < best->id)) {
+        best_sq = d_sq;
+        best = &e;
+      }
+    }
+  };
+
+  // Ring search: cells at Chebyshev ring r are at least (r-1)*cell_size
+  // away from any point inside the centre cell, so once a candidate beats
+  // that bound no farther ring can improve on it. The search never needs to
+  // leave the occupied-cell extent.
+  const std::int64_t max_ring = std::max(
+      std::max(std::abs(center_key.cx - min_cx_),
+               std::abs(center_key.cx - max_cx_)),
+      std::max(std::abs(center_key.cy - min_cy_),
+               std::abs(center_key.cy - max_cy_)));
+  // Rings closer than the occupied-cell box are empty by construction;
+  // start at the box (queries far outside the cloud skip straight to it).
+  const auto outside = [](std::int64_t v, std::int64_t lo, std::int64_t hi) {
+    return v < lo ? lo - v : (v > hi ? v - hi : 0);
+  };
+  const std::int64_t first_ring =
+      std::max(outside(center_key.cx, min_cx_, max_cx_),
+               outside(center_key.cy, min_cy_, max_cy_));
+  for (std::int64_t r = first_ring; r <= max_ring; ++r) {
+    if (best != nullptr) {
+      const double ring_lower = static_cast<double>(r - 1) * cell_size_;
+      if (ring_lower > 0.0 && ring_lower * ring_lower > best_sq) break;
+    }
+    if (r == 0) {
+      consider_cell(center_key.cx, center_key.cy);
+      continue;
+    }
+    for (std::int64_t dx = -r; dx <= r; ++dx) {
+      consider_cell(center_key.cx + dx, center_key.cy - r);
+      consider_cell(center_key.cx + dx, center_key.cy + r);
+    }
+    for (std::int64_t dy = -r + 1; dy <= r - 1; ++dy) {
+      consider_cell(center_key.cx - r, center_key.cy + dy);
+      consider_cell(center_key.cx + r, center_key.cy + dy);
+    }
+  }
+  assert(best != nullptr);
+  return NearestResult{best->id, best->point, std::sqrt(best_sq)};
 }
 
 void GridIndex::Clear() {
   cells_.clear();
+  entries_.clear();
+  free_head_ = -1;
   count_ = 0;
 }
 

@@ -1,10 +1,16 @@
-// Uniform-grid spatial index over planar points. Used by the mix-zone
-// detector (find co-located users fast), the POI clustering attack and the
-// heatmap metric. Cell size should be >= the query radius for the classic
-// 3x3-neighbourhood query to be exact.
+// Uniform-grid spatial index over planar points. The shared substrate of
+// every neighbourhood kernel in the library: mix-zone encounter detection,
+// POI cluster merging, re-identification nearest-profile search and the
+// heatmap metric.
+//
+// Storage is flat: one entries array plus per-cell intrusive FIFO chains, so
+// inserts never allocate per-cell vectors and queries touch one contiguous
+// pool. The query path has caller-provided-buffer overloads that perform no
+// allocation at all — hot loops reuse one buffer across millions of queries.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -12,10 +18,18 @@
 
 namespace mobipriv::geo {
 
+/// Result of a nearest-neighbour query.
+struct NearestResult {
+  std::uint64_t id = 0;
+  Point2 point;
+  double distance = 0.0;
+};
+
 /// Maps points (with caller-supplied payload ids) to grid cells and answers
-/// radius queries by scanning the 3x3 cell neighbourhood (exact when
-/// cell_size >= radius; the index verifies candidates with a true distance
-/// test so results are always exact, the cell size only affects speed).
+/// radius / nearest queries by scanning cell neighbourhoods. Results are
+/// always exact — candidates are verified with a true distance test — the
+/// cell size only affects speed. Within one cell, points are returned in
+/// insertion order.
 class GridIndex {
  public:
   explicit GridIndex(double cell_size);
@@ -23,15 +37,41 @@ class GridIndex {
   /// Inserts a point with an opaque id (e.g. event index).
   void Insert(Point2 p, std::uint64_t id);
 
+  /// Removes one previously inserted (point, id) entry; the point must match
+  /// the inserted coordinates exactly. Returns false when no entry matches.
+  bool Remove(Point2 p, std::uint64_t id);
+
+  /// Relocates one entry from `from` to `to` (exact-match on `from` + id).
+  /// Equivalent to Remove+Insert but reuses the entry slot and, when both
+  /// positions fall in the same cell, touches nothing but the coordinates.
+  /// Note: within-cell FIFO order is preserved only in that same-cell case;
+  /// a cross-cell move re-appends at the tail of the destination cell.
+  bool Move(Point2 from, Point2 to, std::uint64_t id);
+
+  /// Pre-allocates storage for `n` entries.
+  void Reserve(std::size_t n);
+
   /// Ids of all inserted points within `radius` of `center` (inclusive).
+  /// The overload taking `out` clears and fills it without allocating
+  /// (beyond the buffer's own growth on first uses).
   [[nodiscard]] std::vector<std::uint64_t> QueryRadius(Point2 center,
                                                        double radius) const;
+  void QueryRadius(Point2 center, double radius,
+                   std::vector<std::uint64_t>& out) const;
 
   /// All (id, point) pairs sharing cells intersecting the axis-aligned
   /// square of half-width `radius` around `center` (superset of the true
   /// radius query; cheap pre-filter for custom predicates).
   [[nodiscard]] std::vector<std::pair<std::uint64_t, Point2>> QueryBoxCandidates(
       Point2 center, double radius) const;
+  void QueryBoxCandidates(Point2 center, double radius,
+                          std::vector<std::pair<std::uint64_t, Point2>>& out)
+      const;
+
+  /// Exact nearest entry to `center` (expanding-ring search), or nullopt
+  /// when the index is empty. Ties on distance break towards the smaller id
+  /// so the result never depends on insertion or cell iteration order.
+  [[nodiscard]] std::optional<NearestResult> QueryNearest(Point2 center) const;
 
   [[nodiscard]] std::size_t Size() const noexcept { return count_; }
   [[nodiscard]] double CellSize() const noexcept { return cell_size_; }
@@ -58,13 +98,29 @@ class GridIndex {
   struct Entry {
     Point2 point;
     std::uint64_t id;
+    std::int32_t next;  ///< next entry in the cell chain, -1 = end
+  };
+  /// Intrusive FIFO chain into entries_ (FIFO keeps query output in
+  /// insertion order, matching the historical per-cell vector behaviour).
+  struct Bucket {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
   };
 
   [[nodiscard]] CellKey KeyFor(Point2 p) const noexcept;
+  std::int32_t AcquireSlot(Point2 p, std::uint64_t id);
+  void AppendToBucket(Bucket& bucket, std::int32_t slot);
+  /// Unlinks `slot` from its bucket; erases the cell when it empties.
+  void UnlinkFromCell(CellKey key, std::int32_t slot);
 
   double cell_size_;
   std::size_t count_ = 0;
-  std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
+  std::unordered_map<CellKey, Bucket, CellKeyHash> cells_;
+  std::vector<Entry> entries_;
+  std::int32_t free_head_ = -1;  ///< recycled entry slots (chained via next)
+  // Occupied-cell extent, used to terminate the nearest-neighbour ring
+  // search. Grows on insert; never shrinks (stays a valid upper bound).
+  std::int64_t min_cx_ = 0, max_cx_ = 0, min_cy_ = 0, max_cy_ = 0;
 };
 
 }  // namespace mobipriv::geo

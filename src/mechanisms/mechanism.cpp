@@ -1,5 +1,7 @@
 #include "mechanisms/mechanism.h"
 
+#include "util/thread_pool.h"
+
 namespace mobipriv::mech {
 
 model::Dataset PerTraceMechanism::Apply(const model::Dataset& input,
@@ -9,11 +11,28 @@ model::Dataset PerTraceMechanism::Apply(const model::Dataset& input,
   for (model::UserId id = 0; id < input.UserCount(); ++id) {
     output.InternUser(input.UserName(id));
   }
-  for (const auto& trace : input.traces()) {
-    model::Trace transformed = ApplyToTrace(trace, rng);
-    if (transformed.empty()) continue;  // mechanism suppressed the trace
-    transformed.set_user(trace.user());
-    output.AddTrace(std::move(transformed));
+  const auto& traces = input.traces();
+  const std::size_t n = traces.size();
+
+  // One master draw whatever the worker count: the caller's rng advances
+  // identically in serial and parallel runs, and every trace derives its
+  // own independent stream from (master, user, trace index). Output is
+  // therefore byte-identical at any parallelism level.
+  const std::uint64_t master = rng.NextU64();
+  std::vector<model::Trace> transformed(n);
+  util::ParallelFor(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      util::Rng trace_rng(util::DeriveStreamSeed(
+          master, static_cast<std::uint64_t>(traces[t].user()),
+          static_cast<std::uint64_t>(t)));
+      transformed[t] = ApplyToTrace(traces[t], trace_rng);
+    }
+  });
+
+  for (std::size_t t = 0; t < n; ++t) {
+    if (transformed[t].empty()) continue;  // mechanism suppressed the trace
+    transformed[t].set_user(traces[t].user());
+    output.AddTrace(std::move(transformed[t]));
   }
   return output;
 }

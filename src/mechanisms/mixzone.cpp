@@ -9,6 +9,7 @@
 
 #include "geo/grid_index.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace mobipriv::mech {
 namespace {
@@ -78,50 +79,71 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
       bbox.IsEmpty() ? geo::LatLng{0.0, 0.0} : bbox.Center());
   const auto& traces = input.traces();
 
-  std::vector<FlatEvent> flat;
-  flat.reserve(report.total_events);
-  std::vector<std::vector<geo::Point2>> planar(traces.size());
-  for (std::uint32_t t = 0; t < traces.size(); ++t) {
-    planar[t].reserve(traces[t].size());
+  // Flat slot per event, computed up front so projection parallelizes.
+  std::vector<std::size_t> offset(traces.size() + 1, 0);
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    offset[t + 1] = offset[t] + traces[t].size();
+  }
+  std::vector<FlatEvent> flat(offset.back());
+  util::ParallelForEach(traces.size(), [&](std::size_t t) {
     for (std::uint32_t i = 0; i < traces[t].size(); ++i) {
       const geo::Point2 p = projection.Project(traces[t][i].position);
-      planar[t].push_back(p);
-      flat.push_back(FlatEvent{t, i, p, traces[t][i].time,
-                               traces[t].user()});
+      flat[offset[t] + i] =
+          FlatEvent{static_cast<std::uint32_t>(t), i, p, traces[t][i].time,
+                    traces[t].user()};
     }
-  }
+  });
 
   // ---- 1. Encounter detection via the spatial grid. ----
   geo::GridIndex index(config_.zone_radius_m);
+  index.Reserve(flat.size());
   for (std::uint64_t id = 0; id < flat.size(); ++id) {
     index.Insert(flat[id].position, id);
   }
-  std::vector<Encounter> encounters;
-  for (std::uint64_t id = 0; id < flat.size(); ++id) {
-    const FlatEvent& a = flat[id];
-    for (const std::uint64_t other :
-         index.QueryRadius(a.position, config_.zone_radius_m)) {
-      if (other <= id) continue;  // each unordered pair once
-      const FlatEvent& b = flat[other];
-      if (a.user == b.user) continue;
-      if (std::abs(a.time - b.time) > config_.time_window_s) continue;
-      encounters.push_back(Encounter{geo::Midpoint(a.position, b.position),
-                                     std::min(a.time, b.time)});
+  // Each id-range block collects its encounters independently; blocks are
+  // concatenated in id order afterwards, so the encounter sequence (and
+  // with it the greedy zone clustering below) is byte-identical to a
+  // serial scan whatever the worker count.
+  const std::size_t block_size = 1024;
+  const std::size_t blocks = (flat.size() + block_size - 1) / block_size;
+  std::vector<std::vector<Encounter>> block_encounters(blocks);
+  util::ParallelForEach(blocks, [&](std::size_t block) {
+    std::vector<std::uint64_t> hits;  // reused: allocation-free queries
+    const std::uint64_t lo = block * block_size;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(flat.size(), lo + block_size);
+    for (std::uint64_t id = lo; id < hi; ++id) {
+      const FlatEvent& a = flat[id];
+      index.QueryRadius(a.position, config_.zone_radius_m, hits);
+      for (const std::uint64_t other : hits) {
+        if (other <= id) continue;  // each unordered pair once
+        const FlatEvent& b = flat[other];
+        if (a.user == b.user) continue;
+        if (std::abs(a.time - b.time) > config_.time_window_s) continue;
+        block_encounters[block].push_back(Encounter{
+            geo::Midpoint(a.position, b.position), std::min(a.time, b.time)});
+      }
     }
+  });
+  std::vector<Encounter> encounters;
+  for (const auto& block : block_encounters) {
+    encounters.insert(encounters.end(), block.begin(), block.end());
   }
   report.encounters = encounters.size();
 
   // ---- 2. Greedy zone clustering (first-fit by centre distance). ----
+  // Centers are immutable once created, so a grid over them answers the
+  // first-fit probe ("is any existing center within the zone radius?") in
+  // O(1) instead of scanning every center per encounter.
   std::vector<geo::Point2> zone_centers;
+  geo::GridIndex center_index(config_.zone_radius_m);
+  std::vector<std::uint64_t> center_hits;
   for (const Encounter& e : encounters) {
-    bool assigned = false;
-    for (const geo::Point2& center : zone_centers) {
-      if (geo::Distance(center, e.midpoint) <= config_.zone_radius_m) {
-        assigned = true;
-        break;
-      }
-    }
-    if (!assigned) zone_centers.push_back(e.midpoint);
+    center_index.QueryRadius(e.midpoint, config_.zone_radius_m, center_hits);
+    if (!center_hits.empty()) continue;
+    center_index.Insert(e.midpoint,
+                        static_cast<std::uint64_t>(zone_centers.size()));
+    zone_centers.push_back(e.midpoint);
   }
 
   // ---- 3 & 4. Per-zone passages and occurrence grouping. ----
@@ -130,40 +152,48 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
     std::vector<ZonePassage> passages;
     util::Timestamp end = 0;  // latest exit among passages
   };
-  std::vector<Occurrence> occurrences;
-  report.zones.reserve(zone_centers.size());
-  // zone_centers index -> index in report.zones (only mixing zones appear).
-  std::vector<std::ptrdiff_t> zone_report_index(zone_centers.size(), -1);
-
-  for (std::size_t z = 0; z < zone_centers.size(); ++z) {
+  // Every zone's passage/occurrence detection is independent: compute them
+  // in parallel into per-zone outcomes, then merge in zone order so the
+  // result is identical to the serial zone-by-zone scan.
+  struct ZoneOutcome {
+    MixZoneInfo info;
+    std::vector<Occurrence> occurrences;
+    std::vector<std::size_t> anonymity_set_sizes;
+  };
+  std::vector<ZoneOutcome> outcomes(zone_centers.size());
+  util::ParallelForEach(zone_centers.size(), [&](std::size_t z) {
+    ZoneOutcome& outcome = outcomes[z];
     const geo::Point2 center = zone_centers[z];
+    // In-zone events come straight from the event grid; a passage is a
+    // maximal run of consecutive fixes of one trace inside the disc, i.e.
+    // a maximal run of consecutive flat indices among the hits (flat ids
+    // are assigned per trace in time order). Traces that never touch the
+    // zone cost nothing.
+    std::vector<std::uint64_t> hits;
+    index.QueryRadius(center, config_.zone_radius_m, hits);
+    std::sort(hits.begin(), hits.end());
     std::vector<ZonePassage> passages;
-    for (std::uint32_t t = 0; t < traces.size(); ++t) {
-      const auto& points = planar[t];
-      std::uint32_t i = 0;
-      while (i < points.size()) {
-        if (geo::Distance(points[i], center) > config_.zone_radius_m) {
-          ++i;
-          continue;
-        }
-        std::uint32_t j = i;
-        while (j + 1 < points.size() &&
-               geo::Distance(points[j + 1], center) <=
-                   config_.zone_radius_m) {
-          ++j;
-        }
-        passages.push_back(ZonePassage{t, traces[t].user(),
-                                       traces[t][i].time, traces[t][j].time,
-                                       i, j});
-        i = j + 1;
+    std::size_t h = 0;
+    while (h < hits.size()) {
+      const FlatEvent& first = flat[hits[h]];
+      std::size_t run_end = h;
+      while (run_end + 1 < hits.size() &&
+             hits[run_end + 1] == hits[run_end] + 1 &&
+             flat[hits[run_end + 1]].trace == first.trace) {
+        ++run_end;
       }
+      const FlatEvent& last = flat[hits[run_end]];
+      passages.push_back(ZonePassage{first.trace, traces[first.trace].user(),
+                                     first.time, last.time, first.index,
+                                     last.index});
+      h = run_end + 1;
     }
     // Group passages whose intervals (dilated by the time window) overlap.
     std::sort(passages.begin(), passages.end(),
               [](const ZonePassage& a, const ZonePassage& b) {
                 return a.enter < b.enter;
               });
-    MixZoneInfo info;
+    MixZoneInfo& info = outcome.info;
     info.center = center;
     info.radius_m = config_.zone_radius_m;
     std::size_t group_start = 0;
@@ -188,8 +218,8 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
       ++info.occurrences;
       info.max_anonymity_set =
           std::max(info.max_anonymity_set, occ.passages.size());
-      report.anonymity_set_sizes.push_back(occ.passages.size());
-      occurrences.push_back(std::move(occ));
+      outcome.anonymity_set_sizes.push_back(occ.passages.size());
+      outcome.occurrences.push_back(std::move(occ));
     };
     for (std::size_t k = 0; k < passages.size(); ++k) {
       if (k == group_start) {
@@ -205,10 +235,24 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
       }
     }
     flush_group(group_start, passages.size());
-    if (info.occurrences > 0) {
+  });
+
+  std::vector<Occurrence> occurrences;
+  report.zones.reserve(zone_centers.size());
+  // zone_centers index -> index in report.zones (only mixing zones appear).
+  std::vector<std::ptrdiff_t> zone_report_index(zone_centers.size(), -1);
+  for (std::size_t z = 0; z < zone_centers.size(); ++z) {
+    ZoneOutcome& outcome = outcomes[z];
+    if (outcome.info.occurrences > 0) {
       zone_report_index[z] =
           static_cast<std::ptrdiff_t>(report.zones.size());
-      report.zones.push_back(info);
+      report.zones.push_back(outcome.info);
+    }
+    report.anonymity_set_sizes.insert(report.anonymity_set_sizes.end(),
+                                      outcome.anonymity_set_sizes.begin(),
+                                      outcome.anonymity_set_sizes.end());
+    for (Occurrence& occ : outcome.occurrences) {
+      occurrences.push_back(std::move(occ));
     }
   }
   report.occurrences = occurrences.size();

@@ -23,6 +23,17 @@ constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
 
 std::uint64_t SeedSequence::Next() noexcept { return SplitMix64Step(state_); }
 
+std::uint64_t DeriveStreamSeed(std::uint64_t master, std::uint64_t a,
+                               std::uint64_t b) noexcept {
+  // Fold the identifying indices into the master seed with distinct odd
+  // multipliers, then finalize twice so close-by (a, b) pairs land far
+  // apart in seed space.
+  std::uint64_t state =
+      master ^ (a * 0xD6E8FEB86659FD93ULL) ^ (b * 0xA5CB3D9B1D9D1B6BULL);
+  (void)SplitMix64Step(state);
+  return SplitMix64Step(state);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64Step(s);

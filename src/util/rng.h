@@ -38,6 +38,14 @@ class SeedSequence {
   std::uint64_t state_;
 };
 
+/// Deterministically derives the seed of an independent per-item stream
+/// from a master seed plus two identifying indices (e.g. user id and trace
+/// index). Used by the parallel batch engine: every trace gets its own
+/// stream, so output is byte-identical whatever the worker count.
+[[nodiscard]] std::uint64_t DeriveStreamSeed(std::uint64_t master,
+                                             std::uint64_t a,
+                                             std::uint64_t b) noexcept;
+
 /// xoshiro256++ pseudo-random generator with portable distribution sampling.
 ///
 /// Satisfies the C++ UniformRandomBitGenerator concept so it can also be

@@ -1,0 +1,404 @@
+// Equivalence tests for the spatial-index-backed kernels: every grid-backed
+// fast path (nearest-neighbour profile distance, grid-merged POI clustering,
+// the incremental stay-point window, the allocation-free query overloads)
+// must produce exactly the results of its brute-force reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "attacks/poi_extraction.h"
+#include "attacks/reident.h"
+#include "geo/grid_index.h"
+#include "util/rng.h"
+
+namespace mobipriv {
+namespace {
+
+std::vector<geo::Point2> RandomPoints(util::Rng& rng, std::size_t n,
+                                      double extent) {
+  std::vector<geo::Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(-extent, extent),
+                      rng.Uniform(-extent, extent)});
+  }
+  return points;
+}
+
+// ---- GridIndex primitives --------------------------------------------------
+
+TEST(GridIndexKernels, QueryNearestMatchesBruteForce) {
+  util::Rng rng(11);
+  for (const double cell : {25.0, 100.0, 700.0}) {
+    geo::GridIndex index(cell);
+    const auto points = RandomPoints(rng, 300, 5000.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      index.Insert(points[i], i);
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+      // Mix near-cloud and far-outside query points.
+      const double extent = probe % 3 == 0 ? 50000.0 : 5000.0;
+      const geo::Point2 q{rng.Uniform(-extent, extent),
+                          rng.Uniform(-extent, extent)};
+      double best_sq = std::numeric_limits<double>::infinity();
+      std::uint64_t best_id = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const double d_sq = geo::DistanceSquared(points[i], q);
+        if (d_sq < best_sq || (d_sq == best_sq && i < best_id)) {
+          best_sq = d_sq;
+          best_id = i;
+        }
+      }
+      const auto nearest = index.QueryNearest(q);
+      ASSERT_TRUE(nearest.has_value());
+      EXPECT_EQ(nearest->id, best_id) << "cell=" << cell;
+      EXPECT_DOUBLE_EQ(nearest->distance, std::sqrt(best_sq));
+    }
+  }
+}
+
+TEST(GridIndexKernels, QueryNearestEmptyIndex) {
+  const geo::GridIndex index(100.0);
+  EXPECT_FALSE(index.QueryNearest({0.0, 0.0}).has_value());
+}
+
+TEST(GridIndexKernels, BufferOverloadsMatchAllocatingOverloads) {
+  util::Rng rng(12);
+  geo::GridIndex index(80.0);
+  const auto points = RandomPoints(rng, 400, 2000.0);
+  for (std::size_t i = 0; i < points.size(); ++i) index.Insert(points[i], i);
+
+  std::vector<std::uint64_t> radius_buffer;
+  std::vector<std::pair<std::uint64_t, geo::Point2>> box_buffer;
+  for (int probe = 0; probe < 100; ++probe) {
+    const geo::Point2 q{rng.Uniform(-2000.0, 2000.0),
+                        rng.Uniform(-2000.0, 2000.0)};
+    const double radius = rng.Uniform(0.0, 500.0);
+    index.QueryRadius(q, radius, radius_buffer);
+    EXPECT_EQ(radius_buffer, index.QueryRadius(q, radius));
+    index.QueryBoxCandidates(q, radius, box_buffer);
+    const auto box = index.QueryBoxCandidates(q, radius);
+    ASSERT_EQ(box_buffer.size(), box.size());
+    for (std::size_t i = 0; i < box.size(); ++i) {
+      EXPECT_EQ(box_buffer[i].first, box[i].first);
+      EXPECT_EQ(box_buffer[i].second, box[i].second);
+    }
+  }
+}
+
+TEST(GridIndexKernels, RemoveAndMoveKeepQueriesExact) {
+  geo::GridIndex index(100.0);
+  index.Insert({10.0, 10.0}, 1);
+  index.Insert({20.0, 20.0}, 2);
+  index.Insert({30.0, 30.0}, 3);
+  ASSERT_EQ(index.Size(), 3u);
+
+  // Remove the middle entry; wrong point or id must not match.
+  EXPECT_FALSE(index.Remove({20.0, 20.1}, 2));
+  EXPECT_FALSE(index.Remove({20.0, 20.0}, 9));
+  EXPECT_TRUE(index.Remove({20.0, 20.0}, 2));
+  EXPECT_EQ(index.Size(), 2u);
+  auto hits = index.QueryRadius({20.0, 20.0}, 50.0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{1, 3}));
+
+  // Move id 3 across cells; it must be findable only at the new position.
+  EXPECT_TRUE(index.Move({30.0, 30.0}, {950.0, 950.0}, 3));
+  EXPECT_TRUE(index.QueryRadius({30.0, 30.0}, 5.0).empty());
+  EXPECT_EQ(index.QueryRadius({950.0, 950.0}, 5.0),
+            (std::vector<std::uint64_t>{3}));
+  // Same-cell move.
+  EXPECT_TRUE(index.Move({950.0, 950.0}, {955.0, 955.0}, 3));
+  EXPECT_EQ(index.QueryRadius({955.0, 955.0}, 1.0),
+            (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(index.Size(), 2u);
+
+  // Slot recycling: a fresh insert reuses the removed slot transparently.
+  index.Insert({-500.0, -500.0}, 4);
+  EXPECT_EQ(index.Size(), 3u);
+  EXPECT_EQ(index.QueryRadius({-500.0, -500.0}, 1.0),
+            (std::vector<std::uint64_t>{4}));
+}
+
+TEST(GridIndexKernels, RandomizedRemoveMatchesBruteForce) {
+  util::Rng rng(13);
+  geo::GridIndex index(60.0);
+  auto points = RandomPoints(rng, 200, 1000.0);
+  std::vector<bool> alive(points.size(), true);
+  for (std::size_t i = 0; i < points.size(); ++i) index.Insert(points[i], i);
+  // Remove half at random, then compare radius queries to brute force.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(index.Remove(points[i], i));
+      alive[i] = false;
+    }
+  }
+  for (int probe = 0; probe < 100; ++probe) {
+    const geo::Point2 q{rng.Uniform(-1000.0, 1000.0),
+                        rng.Uniform(-1000.0, 1000.0)};
+    const double radius = rng.Uniform(0.0, 300.0);
+    std::vector<std::uint64_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (alive[i] && geo::DistanceSquared(points[i], q) <= radius * radius) {
+        expected.push_back(i);
+      }
+    }
+    auto got = index.QueryRadius(q, radius);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+// ---- Re-identification profile distance ------------------------------------
+
+/// The seed's brute-force directed mean-nearest distance.
+double BruteDirectedMeanNearest(const std::vector<geo::Point2>& from,
+                                const std::vector<double>& from_weights,
+                                const std::vector<geo::Point2>& to) {
+  if (from.empty() || to.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double weighted_sum = 0.0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& q : to) best = std::min(best, geo::Distance(from[i], q));
+    const double w = from_weights.empty() ? 1.0 : from_weights[i];
+    weighted_sum += best * w;
+    total_weight += w;
+  }
+  return total_weight > 0.0 ? weighted_sum / total_weight
+                            : std::numeric_limits<double>::infinity();
+}
+
+double BruteProfileDistance(const attacks::MobilityProfile& a,
+                            const attacks::MobilityProfile& b) {
+  return 0.5 * (BruteDirectedMeanNearest(a.pois, a.weights, b.pois) +
+                BruteDirectedMeanNearest(b.pois, b.weights, a.pois));
+}
+
+attacks::MobilityProfile RandomProfile(util::Rng& rng, model::UserId user,
+                                       std::size_t pois) {
+  attacks::MobilityProfile profile;
+  profile.user = user;
+  profile.pois = RandomPoints(rng, pois, 20000.0);
+  for (std::size_t i = 0; i < pois; ++i) {
+    profile.weights.push_back(rng.Uniform(60.0, 7200.0));
+  }
+  return profile;
+}
+
+TEST(ReidentKernels, ProfileDistanceMatchesBruteForce) {
+  util::Rng rng(21);
+  // Sizes straddling the index threshold, including asymmetric pairs.
+  for (const auto& [na, nb] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {3, 40}, {40, 3}, {64, 64}, {200, 150}}) {
+    const auto a = RandomProfile(rng, 0, na);
+    const auto b = RandomProfile(rng, 1, nb);
+    const double fast = attacks::ReidentificationAttack::ProfileDistance(a, b);
+    const double brute = BruteProfileDistance(a, b);
+    EXPECT_DOUBLE_EQ(fast, brute) << "sizes " << na << " x " << nb;
+    // Symmetry is part of the contract.
+    EXPECT_DOUBLE_EQ(attacks::ReidentificationAttack::ProfileDistance(b, a),
+                     fast);
+  }
+}
+
+TEST(ReidentKernels, EmptyProfileIsInfinitelyFar) {
+  util::Rng rng(22);
+  const auto a = RandomProfile(rng, 0, 30);
+  attacks::MobilityProfile empty;
+  EXPECT_TRUE(std::isinf(
+      attacks::ReidentificationAttack::ProfileDistance(a, empty)));
+}
+
+// ---- POI extraction --------------------------------------------------------
+
+/// The seed's stay-point scan: per-anchor rescan, no skip logic.
+std::vector<attacks::StayPoint> BruteExtractStays(
+    const model::Trace& trace, const geo::LocalProjection& projection,
+    const attacks::PoiExtractionConfig& config) {
+  std::vector<attacks::StayPoint> stays;
+  const std::size_t n = trace.size();
+  if (n == 0) return stays;
+  std::vector<geo::Point2> points;
+  points.reserve(n);
+  for (const auto& event : trace) {
+    points.push_back(projection.Project(event.position));
+  }
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n &&
+           geo::Distance(points[i], points[j]) <= config.max_diameter_m) {
+      ++j;
+    }
+    const util::Timestamp dwell = trace[j - 1].time - trace[i].time;
+    if (dwell >= config.min_duration_s) {
+      geo::Point2 centroid{};
+      for (std::size_t k = i; k < j; ++k) centroid = centroid + points[k];
+      centroid = centroid / static_cast<double>(j - i);
+      stays.push_back(attacks::StayPoint{trace.user(), centroid, trace[i].time,
+                                         trace[j - 1].time, j - i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+/// A jittery random walk with embedded dwells — adversarial for the
+/// incremental window (dense sub-threshold dwells, overlapping runs).
+model::Trace RandomWalkTrace(util::Rng& rng, std::size_t fixes) {
+  model::Trace trace;
+  trace.set_user(0);
+  geo::Point2 at{0.0, 0.0};
+  util::Timestamp t = 1433116800;
+  for (std::size_t i = 0; i < fixes; ++i) {
+    if (rng.Bernoulli(0.15)) {
+      // Dwell burst: many fixes jittering in place; duration randomized
+      // around the stay threshold so both outcomes occur.
+      const std::size_t burst = 5 + rng.NextBounded(40);
+      for (std::size_t k = 0; k < burst; ++k) {
+        trace.Append(model::Event{
+            geo::LatLng{at.y / 111320.0, at.x / 111320.0}, t});
+        at = at + geo::Point2{rng.Uniform(-20.0, 20.0),
+                              rng.Uniform(-20.0, 20.0)};
+        t += 20 + static_cast<util::Timestamp>(rng.NextBounded(60));
+      }
+    } else {
+      trace.Append(model::Event{
+          geo::LatLng{at.y / 111320.0, at.x / 111320.0}, t});
+      at = at + geo::Point2{rng.Uniform(-400.0, 400.0),
+                            rng.Uniform(-400.0, 400.0)};
+      t += 30 + static_cast<util::Timestamp>(rng.NextBounded(120));
+    }
+  }
+  return trace;
+}
+
+TEST(PoiKernels, IncrementalStayScanMatchesBruteForce) {
+  util::Rng rng(31);
+  const geo::LocalProjection projection(geo::LatLng{0.0, 0.0});
+  attacks::PoiExtractionConfig config;
+  config.max_diameter_m = 150.0;
+  config.min_duration_s = 10 * 60;
+  const attacks::PoiExtractor extractor(config);
+  for (int round = 0; round < 30; ++round) {
+    const model::Trace trace = RandomWalkTrace(rng, 60);
+    const auto fast = extractor.ExtractStays(trace, projection);
+    const auto brute = BruteExtractStays(trace, projection, config);
+    ASSERT_EQ(fast.size(), brute.size()) << "round " << round;
+    for (std::size_t s = 0; s < fast.size(); ++s) {
+      EXPECT_EQ(fast[s].centroid.x, brute[s].centroid.x);
+      EXPECT_EQ(fast[s].centroid.y, brute[s].centroid.y);
+      EXPECT_EQ(fast[s].arrival, brute[s].arrival);
+      EXPECT_EQ(fast[s].departure, brute[s].departure);
+      EXPECT_EQ(fast[s].support, brute[s].support);
+    }
+  }
+}
+
+/// The seed's greedy first-fit clustering over a user's stays.
+std::vector<attacks::ExtractedPoi> BruteClusterStays(
+    model::UserId user, std::vector<attacks::StayPoint> stays,
+    double merge_radius_m) {
+  std::sort(stays.begin(), stays.end(),
+            [](const attacks::StayPoint& a, const attacks::StayPoint& b) {
+              return (a.departure - a.arrival) > (b.departure - b.arrival);
+            });
+  struct Cluster {
+    geo::Point2 weighted_sum{};
+    double weight = 0.0;
+    std::size_t visits = 0;
+    util::Timestamp dwell = 0;
+    geo::Point2 Centroid() const { return weighted_sum / weight; }
+  };
+  std::vector<Cluster> clusters;
+  for (const attacks::StayPoint& stay : stays) {
+    const double w = static_cast<double>(stay.support);
+    Cluster* target = nullptr;
+    for (auto& cluster : clusters) {
+      if (geo::Distance(cluster.Centroid(), stay.centroid) <= merge_radius_m) {
+        target = &cluster;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      clusters.emplace_back();
+      target = &clusters.back();
+    }
+    target->weighted_sum = target->weighted_sum + stay.centroid * w;
+    target->weight += w;
+    target->visits += 1;
+    target->dwell += stay.departure - stay.arrival;
+  }
+  std::vector<attacks::ExtractedPoi> pois;
+  for (const auto& cluster : clusters) {
+    pois.push_back(attacks::ExtractedPoi{user, cluster.Centroid(),
+                                         cluster.visits, cluster.dwell});
+  }
+  return pois;
+}
+
+TEST(PoiKernels, GridClusteringMatchesBruteForce) {
+  util::Rng rng(32);
+  const geo::LocalProjection projection(geo::LatLng{0.0, 0.0});
+  attacks::PoiExtractionConfig config;
+  config.max_diameter_m = 150.0;
+  config.min_duration_s = 10 * 60;
+  config.merge_radius_m = 120.0;
+  const attacks::PoiExtractor extractor(config);
+
+  // Multi-user dataset of dwell-heavy walks, long enough that each user
+  // accumulates well over the cluster-count threshold at which the
+  // clusterer switches from linear first-fit to the centroid grid — the
+  // comparison therefore exercises the indexed path, not just the scan.
+  model::Dataset dataset;
+  for (int u = 0; u < 6; ++u) {
+    model::Trace trace = RandomWalkTrace(rng, 400);
+    dataset.AddTraceForUser("user" + std::to_string(u), trace.events());
+  }
+
+  const auto fast = extractor.Extract(dataset, projection);
+
+  // Reference: pool brute stays per user, brute-cluster, in user order.
+  std::map<model::UserId, std::vector<attacks::StayPoint>> by_user;
+  for (const auto& trace : dataset.traces()) {
+    for (auto& stay : BruteExtractStays(trace, projection, config)) {
+      by_user[trace.user()].push_back(stay);
+    }
+  }
+  std::vector<attacks::ExtractedPoi> brute;
+  for (auto& [user, stays] : by_user) {
+    for (auto& poi :
+         BruteClusterStays(user, std::move(stays), config.merge_radius_m)) {
+      brute.push_back(poi);
+    }
+  }
+
+  // Guard against a vacuous pass: every user must have enough clusters
+  // that the indexed path actually engaged (threshold is 32 in Extract).
+  std::map<model::UserId, std::size_t> pois_per_user;
+  for (const auto& poi : fast) ++pois_per_user[poi.user];
+  for (const auto& [user, count] : pois_per_user) {
+    ASSERT_GT(count, 32u) << "user " << user;
+  }
+
+  ASSERT_EQ(fast.size(), brute.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].user, brute[i].user);
+    EXPECT_EQ(fast[i].centroid.x, brute[i].centroid.x);
+    EXPECT_EQ(fast[i].centroid.y, brute[i].centroid.y);
+    EXPECT_EQ(fast[i].visits, brute[i].visits);
+    EXPECT_EQ(fast[i].total_dwell_s, brute[i].total_dwell_s);
+  }
+}
+
+}  // namespace
+}  // namespace mobipriv

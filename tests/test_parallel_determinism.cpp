@@ -1,0 +1,175 @@
+// The parallel batch engine's core contract: output is byte-identical
+// whatever the worker count. Every stochastic stage derives per-trace RNG
+// streams from one master draw, so a serial run (parallelism 1) and a
+// multi-threaded run (parallelism 8) of the same seed must produce exactly
+// the same datasets, reports and attack results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "attacks/poi_extraction.h"
+#include "attacks/reident.h"
+#include "core/anonymizer.h"
+#include "mechanisms/geo_indistinguishability.h"
+#include "synth/population.h"
+#include "util/thread_pool.h"
+
+namespace mobipriv {
+namespace {
+
+constexpr std::uint64_t kSeed = 20150629;
+
+model::Dataset TestWorldDataset() {
+  synth::PopulationConfig config;
+  config.agents = 12;
+  config.days = 2;
+  config.seed = 77;
+  return synth::SyntheticWorld(config).dataset();
+}
+
+/// Exact (bitwise) dataset equality: same users, same traces in the same
+/// order, same events with identical coordinates and timestamps.
+void ExpectDatasetsIdentical(const model::Dataset& a, const model::Dataset& b) {
+  ASSERT_EQ(a.UserCount(), b.UserCount());
+  for (model::UserId id = 0; id < a.UserCount(); ++id) {
+    EXPECT_EQ(a.UserName(id), b.UserName(id));
+  }
+  ASSERT_EQ(a.TraceCount(), b.TraceCount());
+  for (std::size_t t = 0; t < a.TraceCount(); ++t) {
+    const model::Trace& ta = a.traces()[t];
+    const model::Trace& tb = b.traces()[t];
+    ASSERT_EQ(ta.user(), tb.user()) << "trace " << t;
+    ASSERT_EQ(ta.size(), tb.size()) << "trace " << t;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].time, tb[i].time) << "trace " << t << " event " << i;
+      // Bitwise: any divergence between serial and parallel execution
+      // (different RNG stream, different accumulation order) must surface.
+      EXPECT_EQ(ta[i].position.lat, tb[i].position.lat)
+          << "trace " << t << " event " << i;
+      EXPECT_EQ(ta[i].position.lng, tb[i].position.lng)
+          << "trace " << t << " event " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, AnonymizerPipelineIsWorkerCountInvariant) {
+  const model::Dataset input = TestWorldDataset();
+  const core::Anonymizer anonymizer;
+
+  core::PipelineReport serial_report;
+  util::Rng serial_rng(kSeed);
+  model::Dataset serial;
+  {
+    const util::ScopedParallelism one(1);
+    serial = anonymizer.ApplyWithReport(input, serial_rng, serial_report);
+  }
+
+  core::PipelineReport parallel_report;
+  util::Rng parallel_rng(kSeed);
+  model::Dataset parallel;
+  {
+    const util::ScopedParallelism eight(8);
+    parallel = anonymizer.ApplyWithReport(input, parallel_rng, parallel_report);
+  }
+
+  ExpectDatasetsIdentical(serial, parallel);
+  // The caller's RNG must advance identically too (later pipeline stages
+  // depend on it).
+  EXPECT_EQ(serial_rng.NextU64(), parallel_rng.NextU64());
+  EXPECT_EQ(serial_report.ToString(), parallel_report.ToString());
+  EXPECT_EQ(serial_report.mixzone.encounters, parallel_report.mixzone.encounters);
+  EXPECT_EQ(serial_report.mixzone.swaps_applied,
+            parallel_report.mixzone.swaps_applied);
+}
+
+TEST(ParallelDeterminism, StochasticPerTraceMechanismIsWorkerCountInvariant) {
+  const model::Dataset input = TestWorldDataset();
+  const mech::GeoIndistinguishability mechanism;  // draws noise per event
+
+  util::Rng serial_rng(kSeed);
+  model::Dataset serial;
+  {
+    const util::ScopedParallelism one(1);
+    serial = mechanism.Apply(input, serial_rng);
+  }
+  util::Rng parallel_rng(kSeed);
+  model::Dataset parallel;
+  {
+    const util::ScopedParallelism eight(8);
+    parallel = mechanism.Apply(input, parallel_rng);
+  }
+  ExpectDatasetsIdentical(serial, parallel);
+  EXPECT_EQ(serial_rng.NextU64(), parallel_rng.NextU64());
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreIdentical) {
+  const model::Dataset input = TestWorldDataset();
+  const core::Anonymizer anonymizer;
+  const util::ScopedParallelism eight(8);
+  util::Rng rng_a(kSeed);
+  util::Rng rng_b(kSeed);
+  ExpectDatasetsIdentical(anonymizer.Apply(input, rng_a),
+                          anonymizer.Apply(input, rng_b));
+}
+
+TEST(ParallelDeterminism, AttackResultsAreWorkerCountInvariant) {
+  const model::Dataset input = TestWorldDataset();
+  const geo::LocalProjection projection = attacks::DatasetProjection(input);
+  const attacks::ReidentificationAttack attack;
+  const attacks::PoiExtractor extractor;
+
+  std::vector<attacks::LinkResult> serial_links, parallel_links;
+  std::vector<attacks::ExtractedPoi> serial_pois, parallel_pois;
+  {
+    const util::ScopedParallelism one(1);
+    const auto profiles = attack.BuildProfiles(input, projection);
+    serial_links = attack.Attack(profiles, input, projection);
+    serial_pois = extractor.Extract(input, projection);
+  }
+  {
+    const util::ScopedParallelism eight(8);
+    const auto profiles = attack.BuildProfiles(input, projection);
+    parallel_links = attack.Attack(profiles, input, projection);
+    parallel_pois = extractor.Extract(input, projection);
+  }
+
+  ASSERT_EQ(serial_links.size(), parallel_links.size());
+  for (std::size_t i = 0; i < serial_links.size(); ++i) {
+    EXPECT_EQ(serial_links[i].true_user, parallel_links[i].true_user);
+    EXPECT_EQ(serial_links[i].predicted_user, parallel_links[i].predicted_user);
+    EXPECT_EQ(serial_links[i].linkable, parallel_links[i].linkable);
+    EXPECT_EQ(serial_links[i].distance, parallel_links[i].distance);
+  }
+  ASSERT_EQ(serial_pois.size(), parallel_pois.size());
+  for (std::size_t i = 0; i < serial_pois.size(); ++i) {
+    EXPECT_EQ(serial_pois[i].user, parallel_pois[i].user);
+    EXPECT_EQ(serial_pois[i].centroid.x, parallel_pois[i].centroid.x);
+    EXPECT_EQ(serial_pois[i].centroid.y, parallel_pois[i].centroid.y);
+    EXPECT_EQ(serial_pois[i].visits, parallel_pois[i].visits);
+    EXPECT_EQ(serial_pois[i].total_dwell_s, parallel_pois[i].total_dwell_s);
+  }
+}
+
+TEST(ParallelDeterminism, ParallelForCoversEveryIndexOnce) {
+  const util::ScopedParallelism eight(8);
+  std::vector<std::atomic<int>> hits(10000);
+  util::ParallelForEach(hits.size(),
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelDeterminism, ParallelForPropagatesExceptions) {
+  const util::ScopedParallelism eight(8);
+  EXPECT_THROW(
+      util::ParallelForEach(1000,
+                            [](std::size_t i) {
+                              if (i == 517) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mobipriv
