@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 
 #include "attacks/poi_extraction.h"
 #include "attacks/reident.h"
@@ -18,6 +19,7 @@
 #include "mechanisms/mixzone.h"
 #include "mechanisms/speed_smoothing.h"
 #include "mechanisms/wait4me.h"
+#include "model/io.h"
 #include "synth/population.h"
 #include "util/thread_pool.h"
 
@@ -67,7 +69,12 @@ BENCHMARK(BM_MixZone)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 void BM_FullPipeline(benchmark::State& state) {
   RunMechanism(state, core::Anonymizer{});
 }
-BENCHMARK(BM_FullPipeline)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPipeline)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GeoInd(benchmark::State& state) {
   RunMechanism(state, mech::GeoIndistinguishability{});
@@ -96,7 +103,12 @@ void BM_PoiExtraction(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
-BENCHMARK(BM_PoiExtraction)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PoiExtraction)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Reident(benchmark::State& state) {
   const auto& world = WorldOfSize(static_cast<std::size_t>(state.range(0)));
@@ -137,6 +149,7 @@ BENCHMARK(BM_EndToEndSerial)
     ->Arg(20)
     ->Arg(50)
     ->Arg(100)
+    ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndParallel(benchmark::State& state) {
@@ -147,6 +160,71 @@ BENCHMARK(BM_EndToEndParallel)
     ->Arg(20)
     ->Arg(50)
     ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Ingestion throughput ---------------------------------------------------
+// CSV bytes/s of the chunked parallel reader (BM_IngestCsv) against the
+// streaming single-pass reader it replaced (BM_IngestCsvStreaming). The
+// JSON output carries bytes_per_second, so BENCH_throughput.json tracks
+// ingestion MB/s PR over PR.
+
+/// CSV text of a world, built once per size (agents -> megabytes).
+const std::string& CsvOfSize(std::size_t agents) {
+  static std::map<std::size_t, std::string> cache;
+  auto it = cache.find(agents);
+  if (it == cache.end()) {
+    std::ostringstream os;
+    model::WriteCsv(WorldOfSize(agents).dataset(), os);
+    it = cache.emplace(agents, os.str()).first;
+  }
+  return it->second;
+}
+
+void BM_IngestCsv(benchmark::State& state) {
+  const std::string& text = CsvOfSize(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const model::Dataset dataset = model::ReadCsvText(text);
+    benchmark::DoNotOptimize(dataset.EventCount());
+    bytes += text.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_IngestCsv)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_IngestCsvSingleThread(benchmark::State& state) {
+  const util::ScopedParallelism one(1);
+  const std::string& text = CsvOfSize(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const model::Dataset dataset = model::ReadCsvText(text);
+    benchmark::DoNotOptimize(dataset.EventCount());
+    bytes += text.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_IngestCsvSingleThread)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IngestCsvStreaming(benchmark::State& state) {
+  // The pre-refactor reader: the baseline the chunked path is scored
+  // against (acceptance: >= 3x with 4 workers).
+  const std::string& text = CsvOfSize(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::istringstream in(text);
+    const model::Dataset dataset = model::ReadCsvStreaming(in);
+    benchmark::DoNotOptimize(dataset.EventCount());
+    bytes += text.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_IngestCsvStreaming)
+    ->Arg(100)
+    ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ResampleUniform(benchmark::State& state) {

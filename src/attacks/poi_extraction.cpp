@@ -15,6 +15,12 @@ geo::LocalProjection DatasetProjection(const model::Dataset& dataset) {
                                              : bbox.Center());
 }
 
+geo::LocalProjection DatasetProjection(const model::DatasetView& dataset) {
+  const geo::GeoBoundingBox bbox = dataset.BoundingBox();
+  return geo::LocalProjection(bbox.IsEmpty() ? geo::LatLng{0.0, 0.0}
+                                             : bbox.Center());
+}
+
 PoiExtractor::PoiExtractor(PoiExtractionConfig config) : config_(config) {
   assert(config_.max_diameter_m > 0.0);
   assert(config_.min_duration_s > 0);
@@ -22,14 +28,15 @@ PoiExtractor::PoiExtractor(PoiExtractionConfig config) : config_(config) {
 }
 
 std::vector<StayPoint> PoiExtractor::ExtractStays(
-    const model::Trace& trace, const geo::LocalProjection& projection) const {
+    const model::TraceView& trace,
+    const geo::LocalProjection& projection) const {
   std::vector<StayPoint> stays;
   const std::size_t n = trace.size();
   if (n == 0) return stays;
   std::vector<geo::Point2> points;
   points.reserve(n);
-  for (const auto& event : trace) {
-    points.push_back(projection.Project(event.position));
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(projection.Project(trace.position(i)));
   }
 
   // Incremental sliding window over anchor candidates. For anchor i the run
@@ -52,13 +59,13 @@ std::vector<StayPoint> PoiExtractor::ExtractStays(
       ++j;
     }
     // Fixes [i, j) form a spatially bounded run; is it long enough in time?
-    const util::Timestamp dwell = trace[j - 1].time - trace[i].time;
+    const util::Timestamp dwell = trace.time(j - 1) - trace.time(i);
     if (dwell >= config_.min_duration_s) {
       geo::Point2 centroid{};
       for (std::size_t k = i; k < j; ++k) centroid = centroid + points[k];
       centroid = centroid / static_cast<double>(j - i);
-      stays.push_back(StayPoint{trace.user(), centroid, trace[i].time,
-                                trace[j - 1].time, j - i});
+      stays.push_back(StayPoint{trace.user(), centroid, trace.time(i),
+                                trace.time(j - 1), j - i});
       i = j;
       continue;
     }
@@ -74,8 +81,13 @@ std::vector<StayPoint> PoiExtractor::ExtractStays(
   return stays;
 }
 
+std::vector<StayPoint> PoiExtractor::ExtractStays(
+    const model::Trace& trace, const geo::LocalProjection& projection) const {
+  return ExtractStays(model::TraceView::Of(trace), projection);
+}
+
 std::vector<ExtractedPoi> PoiExtractor::Extract(
-    const model::Dataset& dataset,
+    const model::DatasetView& dataset,
     const geo::LocalProjection& projection) const {
   // 1. Stays per trace, in parallel; then pooled per user in trace order
   //    (the exact order the serial scan produced).
@@ -193,6 +205,17 @@ std::vector<ExtractedPoi> PoiExtractor::Extract(
     pois.insert(pois.end(), user_pois.begin(), user_pois.end());
   }
   return pois;
+}
+
+std::vector<ExtractedPoi> PoiExtractor::Extract(
+    const model::Dataset& dataset,
+    const geo::LocalProjection& projection) const {
+  return Extract(model::DatasetView::Of(dataset), projection);
+}
+
+std::vector<ExtractedPoi> PoiExtractor::Extract(
+    const model::DatasetView& dataset) const {
+  return Extract(dataset, DatasetProjection(dataset));
 }
 
 std::vector<ExtractedPoi> PoiExtractor::Extract(

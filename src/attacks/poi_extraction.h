@@ -18,6 +18,7 @@
 #include "geo/point2.h"
 #include "geo/projection.h"
 #include "model/dataset.h"
+#include "model/views.h"
 #include "util/time_utils.h"
 
 namespace mobipriv::attacks {
@@ -57,6 +58,11 @@ class PoiExtractor {
   }
 
   /// Stay points of a single trace, given the projection used to go planar.
+  /// The view form is the implementation (runs over AoS traces and columnar
+  /// stores alike); the Trace form adapts zero-copy.
+  [[nodiscard]] std::vector<StayPoint> ExtractStays(
+      const model::TraceView& trace,
+      const geo::LocalProjection& projection) const;
   [[nodiscard]] std::vector<StayPoint> ExtractStays(
       const model::Trace& trace, const geo::LocalProjection& projection) const;
 
@@ -64,10 +70,15 @@ class PoiExtractor {
   /// projection centred on the dataset bounding box; pass the same
   /// projection to metrics that compare against ground truth.
   [[nodiscard]] std::vector<ExtractedPoi> Extract(
+      const model::DatasetView& dataset,
+      const geo::LocalProjection& projection) const;
+  [[nodiscard]] std::vector<ExtractedPoi> Extract(
       const model::Dataset& dataset,
       const geo::LocalProjection& projection) const;
 
-  /// Convenience overload that builds the canonical dataset projection.
+  /// Convenience overloads that build the canonical dataset projection.
+  [[nodiscard]] std::vector<ExtractedPoi> Extract(
+      const model::DatasetView& dataset) const;
   [[nodiscard]] std::vector<ExtractedPoi> Extract(
       const model::Dataset& dataset) const;
 
@@ -79,5 +90,7 @@ class PoiExtractor {
 /// (centred on its bounding box).
 [[nodiscard]] geo::LocalProjection DatasetProjection(
     const model::Dataset& dataset);
+[[nodiscard]] geo::LocalProjection DatasetProjection(
+    const model::DatasetView& dataset);
 
 }  // namespace mobipriv::attacks

@@ -104,6 +104,12 @@ ReidentificationAttack::ReidentificationAttack(ReidentConfig config)
 std::vector<MobilityProfile> ReidentificationAttack::BuildProfiles(
     const model::Dataset& training,
     const geo::LocalProjection& projection) const {
+  return BuildProfiles(model::DatasetView::Of(training), projection);
+}
+
+std::vector<MobilityProfile> ReidentificationAttack::BuildProfiles(
+    const model::DatasetView& training,
+    const geo::LocalProjection& projection) const {
   const PoiExtractor extractor(config_.poi);
   const auto pois = extractor.Extract(training, projection);
   std::map<model::UserId, MobilityProfile> by_user;
@@ -130,6 +136,13 @@ double ReidentificationAttack::ProfileDistance(const MobilityProfile& a,
 std::vector<LinkResult> ReidentificationAttack::Attack(
     const std::vector<MobilityProfile>& profiles,
     const model::Dataset& anonymized,
+    const geo::LocalProjection& projection) const {
+  return Attack(profiles, model::DatasetView::Of(anonymized), projection);
+}
+
+std::vector<LinkResult> ReidentificationAttack::Attack(
+    const std::vector<MobilityProfile>& profiles,
+    const model::DatasetView& anonymized,
     const geo::LocalProjection& projection) const {
   const PoiExtractor extractor(config_.poi);
 

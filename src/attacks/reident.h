@@ -49,6 +49,10 @@ class ReidentificationAttack {
   /// Builds identified profiles from the training dataset (one profile per
   /// user, POIs pooled over all the user's traces). The same `projection`
   /// must be used for BuildProfiles and Attack so planar frames agree.
+  /// View forms are the implementation; Dataset forms adapt zero-copy.
+  [[nodiscard]] std::vector<MobilityProfile> BuildProfiles(
+      const model::DatasetView& training,
+      const geo::LocalProjection& projection) const;
   [[nodiscard]] std::vector<MobilityProfile> BuildProfiles(
       const model::Dataset& training,
       const geo::LocalProjection& projection) const;
@@ -62,6 +66,10 @@ class ReidentificationAttack {
   /// Both datasets must use the same user-id space (the synthetic world
   /// guarantees this); the anonymized trace's user id is the hidden truth
   /// being predicted, never an attack input.
+  [[nodiscard]] std::vector<LinkResult> Attack(
+      const std::vector<MobilityProfile>& profiles,
+      const model::DatasetView& anonymized,
+      const geo::LocalProjection& projection) const;
   [[nodiscard]] std::vector<LinkResult> Attack(
       const std::vector<MobilityProfile>& profiles,
       const model::Dataset& anonymized,

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace mobipriv::core {
 
 std::string PipelineReport::ToString() const {
@@ -56,6 +58,23 @@ model::Dataset Anonymizer::ApplyWithReport(const model::Dataset& input,
   }
   report.output_events = current->EventCount();
   return current == &input ? input.Clone() : std::move(smoothed);
+}
+
+model::ShardedDataset Anonymizer::ApplySharded(
+    const model::ShardedDataset& input, util::Rng& rng,
+    std::vector<PipelineReport>* reports) const {
+  // NOTE: the caller's rng advances by exactly ONE draw (the master seed),
+  // unlike an unsharded Apply whose draw count depends on the data (mix
+  // zones draw per occurrence). Sharded and unsharded runs are therefore
+  // not interchangeable mid-stream of one rng.
+  std::vector<PipelineReport> shard_reports(input.ShardCount());
+  model::ShardedDataset result = model::TransformSharded(
+      input, rng,
+      [&](const model::Dataset& shard, util::Rng& shard_rng, std::size_t s) {
+        return ApplyWithReport(shard, shard_rng, shard_reports[s]);
+      });
+  if (reports != nullptr) *reports = std::move(shard_reports);
+  return result;
 }
 
 }  // namespace mobipriv::core

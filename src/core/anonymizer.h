@@ -7,10 +7,12 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "mechanisms/mechanism.h"
 #include "mechanisms/mixzone.h"
 #include "mechanisms/speed_smoothing.h"
+#include "model/sharded_dataset.h"
 
 namespace mobipriv::core {
 
@@ -48,6 +50,16 @@ class Anonymizer final : public mech::Mechanism {
   [[nodiscard]] model::Dataset ApplyWithReport(const model::Dataset& input,
                                                util::Rng& rng,
                                                PipelineReport& report) const;
+
+  /// Shard-wise run: the full pipeline applies to every shard
+  /// independently, with per-shard RNG streams derived from one master
+  /// draw (byte-identical at any worker count; the caller's rng advances
+  /// once). Mix zones never span shards — users in different shards do not
+  /// meet, which is the deliberate scale-out trade-off: a shard is the
+  /// future process/NUMA boundary. `reports` gets one entry per shard.
+  [[nodiscard]] model::ShardedDataset ApplySharded(
+      const model::ShardedDataset& input, util::Rng& rng,
+      std::vector<PipelineReport>* reports = nullptr) const;
 
  private:
   AnonymizerConfig config_;

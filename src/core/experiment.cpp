@@ -10,6 +10,7 @@
 #include "mechanisms/geo_indistinguishability.h"
 #include "mechanisms/identity.h"
 #include "mechanisms/wait4me.h"
+#include "util/thread_pool.h"
 
 namespace mobipriv::core {
 
@@ -91,6 +92,16 @@ std::vector<std::unique_ptr<mech::Mechanism>> StandardRoster(
   roster.push_back(std::make_unique<mech::GaussianNoise>());
   roster.push_back(std::make_unique<mech::Downsampling>());
   return roster;
+}
+
+model::ShardedDataset ApplyMechanismSharded(const mech::Mechanism& mechanism,
+                                            const model::ShardedDataset& input,
+                                            util::Rng& rng) {
+  return model::TransformSharded(
+      input, rng,
+      [&](const model::Dataset& shard, util::Rng& shard_rng, std::size_t) {
+        return mechanism.Apply(shard, shard_rng);
+      });
 }
 
 }  // namespace mobipriv::core

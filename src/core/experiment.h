@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mechanisms/mechanism.h"
+#include "model/sharded_dataset.h"
 
 namespace mobipriv::core {
 
@@ -38,5 +39,13 @@ class Table {
 /// the given epsilons, Wait4Me, cloaking, Gaussian noise and downsampling.
 [[nodiscard]] std::vector<std::unique_ptr<mech::Mechanism>> StandardRoster(
     const std::vector<double>& geo_ind_epsilons = {0.001, 0.01, 0.1});
+
+/// Runs any mechanism shard-wise: every shard transforms independently on
+/// its own derived RNG stream (one master draw from `rng`; byte-identical
+/// at any worker count). The generic form of Anonymizer::ApplySharded for
+/// roster sweeps over sharded corpora.
+[[nodiscard]] model::ShardedDataset ApplyMechanismSharded(
+    const mech::Mechanism& mechanism, const model::ShardedDataset& input,
+    util::Rng& rng);
 
 }  // namespace mobipriv::core

@@ -4,37 +4,68 @@
 
 namespace mobipriv::mech {
 
-model::Dataset PerTraceMechanism::Apply(const model::Dataset& input,
-                                        util::Rng& rng) const {
+model::Dataset Mechanism::ApplyView(const model::DatasetView& input,
+                                    util::Rng& rng) const {
+  // Default adapter: materialize once, run the AoS implementation.
+  const model::Dataset materialized = input.Materialize();
+  return Apply(materialized, rng);
+}
+
+template <typename NameOf, typename UserOf, typename TraceOf>
+model::Dataset PerTraceMechanism::ApplyEngine(model::UserId user_count,
+                                              NameOf&& name_of, std::size_t n,
+                                              UserOf&& user_of,
+                                              TraceOf&& trace_of,
+                                              util::Rng& rng) const {
   model::Dataset output;
   // Re-intern users in id order so ids are identical in input and output.
-  for (model::UserId id = 0; id < input.UserCount(); ++id) {
-    output.InternUser(input.UserName(id));
+  for (model::UserId id = 0; id < user_count; ++id) {
+    output.InternUser(name_of(id));
   }
-  const auto& traces = input.traces();
-  const std::size_t n = traces.size();
-
   // One master draw whatever the worker count: the caller's rng advances
   // identically in serial and parallel runs, and every trace derives its
   // own independent stream from (master, user, trace index). Output is
-  // therefore byte-identical at any parallelism level.
+  // therefore byte-identical at any parallelism level — and identical
+  // between the AoS and view entry points, which both land here.
   const std::uint64_t master = rng.NextU64();
   std::vector<model::Trace> transformed(n);
   util::ParallelFor(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t t = begin; t < end; ++t) {
       util::Rng trace_rng(util::DeriveStreamSeed(
-          master, static_cast<std::uint64_t>(traces[t].user()),
+          master, static_cast<std::uint64_t>(user_of(t)),
           static_cast<std::uint64_t>(t)));
-      transformed[t] = ApplyToTrace(traces[t], trace_rng);
+      // Lifetime-extended when trace_of materializes a temporary.
+      const model::Trace& trace = trace_of(t);
+      transformed[t] = ApplyToTrace(trace, trace_rng);
     }
   });
 
   for (std::size_t t = 0; t < n; ++t) {
     if (transformed[t].empty()) continue;  // mechanism suppressed the trace
-    transformed[t].set_user(traces[t].user());
+    transformed[t].set_user(user_of(t));
     output.AddTrace(std::move(transformed[t]));
   }
   return output;
+}
+
+model::Dataset PerTraceMechanism::Apply(const model::Dataset& input,
+                                        util::Rng& rng) const {
+  const auto& traces = input.traces();
+  return ApplyEngine(
+      static_cast<model::UserId>(input.UserCount()),
+      [&](model::UserId id) { return input.UserName(id); }, traces.size(),
+      [&](std::size_t t) { return traces[t].user(); },
+      [&](std::size_t t) -> const model::Trace& { return traces[t]; }, rng);
+}
+
+model::Dataset PerTraceMechanism::ApplyView(const model::DatasetView& input,
+                                            util::Rng& rng) const {
+  const auto& traces = input.traces();
+  return ApplyEngine(
+      static_cast<model::UserId>(input.UserCount()),
+      [&](model::UserId id) { return input.UserName(id); }, traces.size(),
+      [&](std::size_t t) { return traces[t].user(); },
+      [&](std::size_t t) { return traces[t].Materialize(); }, rng);
 }
 
 }  // namespace mobipriv::mech

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "model/dataset.h"
+#include "model/views.h"
 #include "util/rng.h"
 
 namespace mobipriv::mech {
@@ -24,6 +25,14 @@ class Mechanism {
   /// input and must leave `rng` in a valid (advanced) state.
   [[nodiscard]] virtual model::Dataset Apply(const model::Dataset& input,
                                              util::Rng& rng) const = 0;
+
+  /// View-based entry point (named, not overloaded, so derived classes
+  /// overriding Apply don't hide it): lets columnar stores (EventStore)
+  /// and shard slices feed mechanisms without building an AoS dataset
+  /// first. The default adapter materializes the view; PerTraceMechanism
+  /// overrides it to materialize per trace, in parallel.
+  [[nodiscard]] virtual model::Dataset ApplyView(
+      const model::DatasetView& input, util::Rng& rng) const;
 };
 
 /// Helper base for mechanisms that transform each trace independently.
@@ -32,10 +41,28 @@ class PerTraceMechanism : public Mechanism {
   [[nodiscard]] model::Dataset Apply(const model::Dataset& input,
                                      util::Rng& rng) const final;
 
+  /// Per-trace view adapter: each worker materializes one trace at a time
+  /// (peak extra memory = one trace per lane, not one dataset).
+  [[nodiscard]] model::Dataset ApplyView(const model::DatasetView& input,
+                                         util::Rng& rng) const final;
+
  protected:
   /// Transforms one trace. The returned trace keeps the input's user id.
   [[nodiscard]] virtual model::Trace ApplyToTrace(const model::Trace& trace,
                                                   util::Rng& rng) const = 0;
+
+ private:
+  /// Shared engine of Apply/ApplyView, so the determinism scheme (user
+  /// re-interning order, one master draw, DeriveStreamSeed(master, user,
+  /// trace index) per-trace streams, suppressed-trace merge) lives in one
+  /// place. `trace_of(t)` yields the t-th input trace: a const reference
+  /// for the AoS path, a per-worker materialized Trace for the view path.
+  template <typename NameOf, typename UserOf, typename TraceOf>
+  [[nodiscard]] model::Dataset ApplyEngine(model::UserId user_count,
+                                           NameOf&& name_of, std::size_t n,
+                                           UserOf&& user_of,
+                                           TraceOf&& trace_of,
+                                           util::Rng& rng) const;
 };
 
 }  // namespace mobipriv::mech

@@ -369,9 +369,15 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
     bool starts_at_zone = false;  // began right after an identity switch
     bool ends_at_zone = false;    // ended right before an identity switch
   };
-  std::map<model::UserId, std::vector<Segment>> segments;
-  for (std::uint32_t t = 0; t < traces.size(); ++t) {
+  // Segment extraction is per-trace independent (each trace reads only its
+  // own switches/suppression), so it fans out on the pool; per-trace
+  // segment lists merge in trace order afterwards, reproducing the exact
+  // per-identity segment sequence the serial trace-by-trace scan built.
+  std::vector<std::vector<std::pair<model::UserId, Segment>>> trace_segments(
+      traces.size());
+  util::ParallelForEach(traces.size(), [&](std::size_t t) {
     const auto& sw = switches[t];
+    auto& out_segments = trace_segments[t];
     Segment current;
     model::UserId current_owner = traces[t].user();
     for (std::uint32_t i = 0; i < traces[t].size(); ++i) {
@@ -387,7 +393,7 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
       }
       if (who != current_owner && !current.events.empty()) {
         current.ends_at_zone = true;
-        segments[current_owner].push_back(std::move(current));
+        out_segments.emplace_back(current_owner, std::move(current));
         current = Segment{};
         current.starts_at_zone = true;
       }
@@ -395,20 +401,37 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
       current.events.push_back(traces[t][i]);
     }
     if (!current.events.empty()) {
-      segments[current_owner].push_back(std::move(current));
+      out_segments.emplace_back(current_owner, std::move(current));
+    }
+  });
+  std::map<model::UserId, std::vector<Segment>> segments;
+  for (auto& per_trace : trace_segments) {
+    for (auto& [identity, segment] : per_trace) {
+      segments[identity].push_back(std::move(segment));
     }
   }
-  for (auto& [identity, segs] : segments) {
+
+  // Stitching is per-identity independent: each identity sorts and stitches
+  // its own segments into traces in parallel, and the per-identity results
+  // append to the output in ascending identity order — the order the serial
+  // map walk emitted them in.
+  std::vector<std::pair<const model::UserId, std::vector<Segment>>*> by_id;
+  by_id.reserve(segments.size());
+  for (auto& entry : segments) by_id.push_back(&entry);
+  std::vector<std::vector<model::Trace>> stitched_traces(by_id.size());
+  util::ParallelForEach(by_id.size(), [&](std::size_t k) {
+    const model::UserId identity = by_id[k]->first;
+    std::vector<Segment>& segs = by_id[k]->second;
     std::sort(segs.begin(), segs.end(),
               [](const Segment& a, const Segment& b) {
                 return a.events.front().time < b.events.front().time;
               });
     std::vector<model::Event> stitched;
     bool stitched_open_at_zone = false;  // last segment ended at a zone
-    const auto flush = [&, identity = identity] {
+    const auto flush = [&] {
       if (!stitched.empty()) {
-        output.AddTrace(model::Trace(identity, std::move(stitched)));
-        stitched.clear();
+        stitched_traces[k].emplace_back(identity, std::move(stitched));
+        stitched = std::vector<model::Event>{};
       }
     };
     for (auto& seg : segs) {
@@ -422,6 +445,11 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
       stitched_open_at_zone = seg.ends_at_zone;
     }
     flush();
+  });
+  for (auto& identity_traces : stitched_traces) {
+    for (auto& trace : identity_traces) {
+      output.AddTrace(std::move(trace));
+    }
   }
   output.SortAll();
   return output;

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "geo/projection.h"
+#include "util/parallel_reduce.h"
 
 namespace mobipriv::metrics {
 namespace {
@@ -18,20 +20,32 @@ std::uint64_t CellKey(geo::Point2 p, double cell) {
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
 }
 
-CellSet VisitedCells(const model::Dataset& dataset,
+CellSet VisitedCells(const model::DatasetView& dataset,
                      const geo::LocalProjection& projection, double cell) {
-  CellSet cells;
-  for (const auto& trace : dataset.traces()) {
-    for (const auto& event : trace) {
-      cells.insert(CellKey(projection.Project(event.position), cell));
-    }
-  }
-  return cells;
+  // Trace blocks rasterize to partial sets on the pool; set-union is
+  // order-insensitive, so the merged footprint is exact regardless of
+  // chunking or worker count.
+  return util::ParallelReduce<CellSet>(
+      dataset.TraceCount(), /*grain=*/16,
+      [&](std::size_t begin, std::size_t end) {
+        CellSet cells;
+        for (std::size_t t = begin; t < end; ++t) {
+          const model::TraceView& trace = dataset.trace(t);
+          for (std::size_t i = 0; i < trace.size(); ++i) {
+            cells.insert(CellKey(projection.Project(trace.position(i)), cell));
+          }
+        }
+        return cells;
+      },
+      [](CellSet& acc, CellSet&& partial) {
+        acc.insert(partial.begin(), partial.end());
+      });
 }
 
 }  // namespace
 
-double CoverageJaccard(const model::Dataset& a, const model::Dataset& b,
+double CoverageJaccard(const model::DatasetView& a,
+                       const model::DatasetView& b,
                        const CoverageConfig& config) {
   geo::GeoBoundingBox bbox = a.BoundingBox();
   bbox.Extend(b.BoundingBox());
@@ -51,12 +65,23 @@ double CoverageJaccard(const model::Dataset& a, const model::Dataset& b,
                                static_cast<double>(union_size);
 }
 
-std::size_t CellFootprint(const model::Dataset& dataset,
+double CoverageJaccard(const model::Dataset& a, const model::Dataset& b,
+                       const CoverageConfig& config) {
+  return CoverageJaccard(model::DatasetView::Of(a), model::DatasetView::Of(b),
+                         config);
+}
+
+std::size_t CellFootprint(const model::DatasetView& dataset,
                           const CoverageConfig& config) {
   const geo::GeoBoundingBox bbox = dataset.BoundingBox();
   if (bbox.IsEmpty()) return 0;
   const geo::LocalProjection projection(bbox.Center());
   return VisitedCells(dataset, projection, config.cell_size_m).size();
+}
+
+std::size_t CellFootprint(const model::Dataset& dataset,
+                          const CoverageConfig& config) {
+  return CellFootprint(model::DatasetView::Of(dataset), config);
 }
 
 }  // namespace mobipriv::metrics

@@ -6,6 +6,7 @@
 #include "geo/projection.h"
 #include "model/filters.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace mobipriv::metrics {
 
@@ -27,34 +28,38 @@ std::string KDeltaReport::ToString() const {
   return os.str();
 }
 
-KDeltaReport MeasureKDeltaAnonymity(const model::Dataset& dataset,
+KDeltaReport MeasureKDeltaAnonymity(const model::DatasetView& dataset,
                                     const KDeltaConfig& config) {
   KDeltaReport report;
   const auto& traces = dataset.traces();
   if (traces.empty()) return report;
   const geo::LocalProjection projection(dataset.BoundingBox().Center());
 
-  // Pre-align every trace onto its own step grid (planar).
+  // Pre-align every trace onto its own step grid (planar); each trace
+  // aligns independently on the pool.
   struct Aligned {
     util::Timestamp start = 0;
     std::vector<geo::Point2> points;  // at start + i * grid_step
   };
   std::vector<Aligned> aligned(traces.size());
-  for (std::size_t i = 0; i < traces.size(); ++i) {
-    const auto& trace = traces[i];
-    if (trace.size() < 2) continue;
+  util::ParallelForEach(traces.size(), [&](std::size_t i) {
+    const model::TraceView& trace = traces[i];
+    if (trace.size() < 2) return;
     Aligned& a = aligned[i];
-    a.start = trace.front().time;
-    for (util::Timestamp t = trace.front().time; t <= trace.back().time;
+    a.start = trace.time(0);
+    const util::Timestamp trace_end = trace.time(trace.size() - 1);
+    for (util::Timestamp t = trace.time(0); t <= trace_end;
          t += config.grid_step_s) {
       a.points.push_back(projection.Project(model::InterpolateAt(trace, t)));
     }
-  }
+  });
 
   const double delta_sq = config.delta_m * config.delta_m;
-  report.per_trace.reserve(traces.size());
-  std::vector<double> ks;
-  for (std::size_t i = 0; i < traces.size(); ++i) {
+  // Companion counting per trace i is independent of every other i (it
+  // only reads the aligned grids), so the O(T^2) pair scan fans out; each
+  // slot writes its own result, preserving the serial per-trace order.
+  std::vector<TraceAnonymity> per_trace(traces.size());
+  util::ParallelForEach(traces.size(), [&](std::size_t i) {
     TraceAnonymity anonymity;
     anonymity.trace_index = i;
     anonymity.user = traces[i].user();
@@ -100,11 +105,22 @@ KDeltaReport MeasureKDeltaAnonymity(const model::Dataset& dataset,
         if (companion) ++anonymity.k;
       }
     }
+    per_trace[i] = anonymity;
+  });
+
+  std::vector<double> ks;
+  ks.reserve(per_trace.size());
+  for (const TraceAnonymity& anonymity : per_trace) {
     ks.push_back(static_cast<double>(anonymity.k));
-    report.per_trace.push_back(anonymity);
   }
+  report.per_trace = std::move(per_trace);
   report.k_distribution = util::Summary::Of(ks);
   return report;
+}
+
+KDeltaReport MeasureKDeltaAnonymity(const model::Dataset& dataset,
+                                    const KDeltaConfig& config) {
+  return MeasureKDeltaAnonymity(model::DatasetView::Of(dataset), config);
 }
 
 }  // namespace mobipriv::metrics

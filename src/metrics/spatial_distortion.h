@@ -16,6 +16,7 @@
 #include <string>
 
 #include "model/dataset.h"
+#include "model/views.h"
 #include "util/statistics.h"
 
 namespace mobipriv::metrics {
@@ -35,20 +36,35 @@ struct DistortionSummary {
 [[nodiscard]] const model::Trace* FindBestMatch(
     const model::Trace& original, const model::Dataset& published);
 
+/// View-based match: index into `published.traces()` (-1 when none).
+[[nodiscard]] std::ptrdiff_t FindBestMatchIndex(
+    const model::TraceView& original, const model::DatasetView& published);
+
 /// Matches original and published traces by user id via FindBestMatch.
 /// Sampling: every original fix. Mechanisms that re-identify users
 /// (mix-zones) should be measured before swapping, or per matched segment —
 /// see bench E3 notes.
+///
+/// The view form is the implementation (original traces fan out on the
+/// thread pool; per-trace deviations merge in trace order, so the summary
+/// is byte-identical at any worker count); the Dataset form is a zero-copy
+/// adapter over it.
+[[nodiscard]] DistortionSummary MeasureDistortion(
+    const model::DatasetView& original, const model::DatasetView& published);
 [[nodiscard]] DistortionSummary MeasureDistortion(
     const model::Dataset& original, const model::Dataset& published);
 
 /// Synchronized distortion between two specific traces (original fix times).
 /// Returns per-fix distances in metres; empty if either trace is empty.
 [[nodiscard]] std::vector<double> SynchronizedDeviation(
+    const model::TraceView& original, const model::TraceView& published);
+[[nodiscard]] std::vector<double> SynchronizedDeviation(
     const model::Trace& original, const model::Trace& published);
 
 /// Geometry-only deviation: distance from each original fix to the
 /// published polyline.
+[[nodiscard]] std::vector<double> PathDeviation(
+    const model::TraceView& original, const model::TraceView& published);
 [[nodiscard]] std::vector<double> PathDeviation(const model::Trace& original,
                                                 const model::Trace& published);
 

@@ -7,51 +7,84 @@
 
 #include "geo/projection.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace mobipriv::metrics {
 
-std::vector<double> TripLengths(const model::Dataset& dataset,
+std::vector<double> TripLengths(const model::DatasetView& dataset,
                                 double min_length_m) {
+  // Per-trace lengths compute independently on the pool; the min-length
+  // filter then runs in trace order, so the output matches a serial scan.
+  const std::size_t n = dataset.TraceCount();
+  std::vector<double> raw(n);
+  util::ParallelForEach(
+      n, [&](std::size_t t) { raw[t] = dataset.trace(t).LengthMeters(); });
   std::vector<double> lengths;
-  lengths.reserve(dataset.TraceCount());
-  for (const auto& trace : dataset.traces()) {
-    const double length = trace.LengthMeters();
+  lengths.reserve(n);
+  for (const double length : raw) {
     if (length >= min_length_m) lengths.push_back(length);
   }
   return lengths;
 }
 
-double RadiusOfGyration(const model::Dataset& dataset, model::UserId user) {
-  const geo::LocalProjection projection(dataset.BoundingBox().Center());
+std::vector<double> TripLengths(const model::Dataset& dataset,
+                                double min_length_m) {
+  return TripLengths(model::DatasetView::Of(dataset), min_length_m);
+}
+
+namespace {
+
+/// Gyration radius of `user` in a pre-built projection frame (the frame is
+/// shared across users by AllRadiiOfGyration so it projects once).
+double RadiusOfGyrationInFrame(const model::DatasetView& dataset,
+                               model::UserId user,
+                               const geo::LocalProjection& projection) {
   geo::Point2 centroid{};
   std::size_t n = 0;
-  for (const auto& trace : dataset.traces()) {
+  for (const model::TraceView& trace : dataset.traces()) {
     if (trace.user() != user) continue;
-    for (const auto& event : trace) {
-      centroid = centroid + projection.Project(event.position);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      centroid = centroid + projection.Project(trace.position(i));
       ++n;
     }
   }
   if (n == 0) return 0.0;
   centroid = centroid / static_cast<double>(n);
   double sum_sq = 0.0;
-  for (const auto& trace : dataset.traces()) {
+  for (const model::TraceView& trace : dataset.traces()) {
     if (trace.user() != user) continue;
-    for (const auto& event : trace) {
-      sum_sq += geo::DistanceSquared(projection.Project(event.position),
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      sum_sq += geo::DistanceSquared(projection.Project(trace.position(i)),
                                      centroid);
     }
   }
   return std::sqrt(sum_sq / static_cast<double>(n));
 }
 
-std::vector<double> AllRadiiOfGyration(const model::Dataset& dataset) {
-  std::vector<double> radii;
-  radii.reserve(dataset.UserCount());
-  for (model::UserId user = 0; user < dataset.UserCount(); ++user) {
-    radii.push_back(RadiusOfGyration(dataset, user));
-  }
+}  // namespace
+
+double RadiusOfGyration(const model::DatasetView& dataset,
+                        model::UserId user) {
+  const geo::LocalProjection projection(dataset.BoundingBox().Center());
+  return RadiusOfGyrationInFrame(dataset, user, projection);
+}
+
+double RadiusOfGyration(const model::Dataset& dataset, model::UserId user) {
+  return RadiusOfGyration(model::DatasetView::Of(dataset), user);
+}
+
+std::vector<double> AllRadiiOfGyration(const model::DatasetView& dataset) {
+  const geo::LocalProjection projection(dataset.BoundingBox().Center());
+  std::vector<double> radii(dataset.UserCount());
+  util::ParallelForEach(dataset.UserCount(), [&](std::size_t user) {
+    radii[user] = RadiusOfGyrationInFrame(
+        dataset, static_cast<model::UserId>(user), projection);
+  });
   return radii;
+}
+
+std::vector<double> AllRadiiOfGyration(const model::Dataset& dataset) {
+  return AllRadiiOfGyration(model::DatasetView::Of(dataset));
 }
 
 double EarthMoversDistance(std::vector<double> a, std::vector<double> b) {
@@ -87,7 +120,7 @@ std::string TrajectoryStatsReport::ToString() const {
 }
 
 TrajectoryStatsReport CompareTrajectoryStats(
-    const model::Dataset& original, const model::Dataset& published) {
+    const model::DatasetView& original, const model::DatasetView& published) {
   TrajectoryStatsReport report;
   const auto trips_orig = TripLengths(original);
   const auto trips_pub = TripLengths(published);
@@ -110,6 +143,12 @@ TrajectoryStatsReport CompareTrajectoryStats(
   report.gyration_relative_error =
       rel_n == 0 ? 0.0 : rel_sum / static_cast<double>(rel_n);
   return report;
+}
+
+TrajectoryStatsReport CompareTrajectoryStats(const model::Dataset& original,
+                                             const model::Dataset& published) {
+  return CompareTrajectoryStats(model::DatasetView::Of(original),
+                                model::DatasetView::Of(published));
 }
 
 }  // namespace mobipriv::metrics

@@ -10,21 +10,31 @@
 #include <vector>
 
 #include "model/dataset.h"
+#include "model/views.h"
 #include "util/statistics.h"
 
 namespace mobipriv::metrics {
 
 /// Per-trace trip lengths in metres (one value per trace, >= min_length_m).
+/// View form is the implementation (lengths compute per trace on the pool,
+/// filtered in trace order); the Dataset form adapts zero-copy.
+[[nodiscard]] std::vector<double> TripLengths(
+    const model::DatasetView& dataset, double min_length_m = 0.0);
 [[nodiscard]] std::vector<double> TripLengths(const model::Dataset& dataset,
                                               double min_length_m = 0.0);
 
 /// Radius of gyration of one user (root mean square distance of all the
 /// user's fixes from their centroid, metres) — the classic human-mobility
 /// scale statistic.
+[[nodiscard]] double RadiusOfGyration(const model::DatasetView& dataset,
+                                      model::UserId user);
 [[nodiscard]] double RadiusOfGyration(const model::Dataset& dataset,
                                       model::UserId user);
 
-/// Radius of gyration of every user id in [0, UserCount()).
+/// Radius of gyration of every user id in [0, UserCount()); users fan out
+/// on the pool (each user's fix scan is independent).
+[[nodiscard]] std::vector<double> AllRadiiOfGyration(
+    const model::DatasetView& dataset);
 [[nodiscard]] std::vector<double> AllRadiiOfGyration(
     const model::Dataset& dataset);
 
@@ -47,6 +57,8 @@ struct TrajectoryStatsReport {
 };
 
 /// Full preservation report between an original and a published dataset.
+[[nodiscard]] TrajectoryStatsReport CompareTrajectoryStats(
+    const model::DatasetView& original, const model::DatasetView& published);
 [[nodiscard]] TrajectoryStatsReport CompareTrajectoryStats(
     const model::Dataset& original, const model::Dataset& published);
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace mobipriv::model {
 
 UserId Dataset::InternUser(const std::string& name) {
@@ -26,12 +28,25 @@ std::optional<UserId> Dataset::FindUser(const std::string& name) const {
 
 void Dataset::AddTrace(Trace trace) {
   traces_.push_back(std::move(trace));
+  IndexTrace(traces_.size() - 1);
+}
+
+void Dataset::IndexTrace(std::size_t trace_index) {
+  const UserId user = traces_[trace_index].user();
+  if (user == kInvalidUser) return;  // anonymous traces are not indexed
+  if (traces_by_user_.size() <= user) traces_by_user_.resize(user + 1);
+  traces_by_user_[user].push_back(trace_index);
+}
+
+void Dataset::RebuildUserIndex() {
+  traces_by_user_.clear();
+  for (std::size_t i = 0; i < traces_.size(); ++i) IndexTrace(i);
 }
 
 UserId Dataset::AddTraceForUser(const std::string& name,
                                 std::vector<Event> events) {
   const UserId id = InternUser(name);
-  traces_.emplace_back(id, std::move(events));
+  AddTrace(Trace(id, std::move(events)));
   return id;
 }
 
@@ -41,12 +56,10 @@ std::size_t Dataset::EventCount() const noexcept {
   return total;
 }
 
-std::vector<std::size_t> Dataset::TracesOfUser(UserId user) const {
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < traces_.size(); ++i) {
-    if (traces_[i].user() == user) out.push_back(i);
-  }
-  return out;
+const std::vector<std::size_t>& Dataset::TracesOfUser(UserId user) const {
+  static const std::vector<std::size_t> kEmpty;
+  if (user >= traces_by_user_.size()) return kEmpty;
+  return traces_by_user_[user];
 }
 
 geo::GeoBoundingBox Dataset::BoundingBox() const {
@@ -56,7 +69,10 @@ geo::GeoBoundingBox Dataset::BoundingBox() const {
 }
 
 void Dataset::SortAll() {
-  for (auto& t : traces_) t.SortByTime();
+  // Traces sort independently; per-trace stable sort keeps the result
+  // byte-identical at any worker count.
+  util::ParallelForEach(traces_.size(),
+                        [this](std::size_t t) { traces_[t].SortByTime(); });
 }
 
 }  // namespace mobipriv::model

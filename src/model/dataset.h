@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,9 @@ class Dataset {
   [[nodiscard]] const std::vector<Trace>& traces() const noexcept {
     return traces_;
   }
+  /// Mutable access to the traces. Event-level edits are always safe;
+  /// changing a trace's *user* (or reordering/erasing traces) invalidates
+  /// the per-user index — call RebuildUserIndex() afterwards.
   [[nodiscard]] std::vector<Trace>& mutable_traces() noexcept {
     return traces_;
   }
@@ -50,8 +54,20 @@ class Dataset {
   [[nodiscard]] std::size_t EventCount() const noexcept;
   [[nodiscard]] bool empty() const noexcept { return traces_.empty(); }
 
-  /// Indices into traces() for all traces of a given user.
-  [[nodiscard]] std::vector<std::size_t> TracesOfUser(UserId user) const;
+  /// Indices into traces() for all traces of a given user, in insertion
+  /// order. O(1): served from a per-user index maintained by AddTrace.
+  /// The reference stays valid until the next non-const dataset operation.
+  [[nodiscard]] const std::vector<std::size_t>& TracesOfUser(
+      UserId user) const;
+
+  /// Rebuilds the per-user trace index after out-of-band mutation through
+  /// mutable_traces() (user reassignment, trace reordering/erasure).
+  void RebuildUserIndex();
+
+  /// Dense id -> external name table (names for every interned user).
+  [[nodiscard]] std::span<const std::string> names() const noexcept {
+    return names_;
+  }
 
   [[nodiscard]] geo::GeoBoundingBox BoundingBox() const;
 
@@ -62,9 +78,14 @@ class Dataset {
   [[nodiscard]] Dataset Clone() const { return *this; }
 
  private:
+  void IndexTrace(std::size_t trace_index);
+
   std::vector<std::string> names_;  // dense id -> external name
   std::unordered_map<std::string, UserId> ids_;
   std::vector<Trace> traces_;
+  // user id -> indices into traces_, maintained by AddTrace. Sized to the
+  // largest indexed user id + 1; kInvalidUser is never indexed.
+  std::vector<std::vector<std::size_t>> traces_by_user_;
 };
 
 }  // namespace mobipriv::model

@@ -1,0 +1,101 @@
+// Columnar (SoA) event storage: the scan-friendly core of the data layer.
+//
+// A Dataset stores one std::vector<Event> per trace — friendly to per-trace
+// mutation, hostile to whole-dataset scans (one allocation per trace,
+// interleaved lat/lng/time, pointer-chasing per trace). EventStore holds the
+// same information as three contiguous columns (lat, lng, time) plus a
+// table of trace descriptors (user id + [begin, end) offset range), so
+// column scans (bounding boxes, rasterization, histogramming) stream
+// through memory and whole datasets move as three memcpys.
+//
+// EventStore is immutable-after-build by design: build it trace by trace
+// (AppendTrace) or convert an existing Dataset (FromDataset), then hand out
+// cheap TraceView / DatasetView spans. Mutating stages keep producing
+// Datasets; EventStore is the substrate for ingestion, sharding and
+// read-only kernels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/dataset.h"
+#include "model/views.h"
+
+namespace mobipriv::model {
+
+class EventStore {
+ public:
+  EventStore() = default;
+
+  /// Converts an AoS dataset. O(EventCount) copies into columns.
+  [[nodiscard]] static EventStore FromDataset(const Dataset& dataset);
+
+  /// Registers (or looks up) the dense id for an external user name.
+  UserId InternUser(const std::string& name);
+
+  /// Appends one trace's events (copied into the columns) under `user`.
+  /// Returns the new trace's index.
+  std::size_t AppendTrace(UserId user, const TraceView& events);
+  std::size_t AppendTrace(const Trace& trace);
+
+  /// Pre-sizes the columns (ingestion knows totals up front).
+  void ReserveEvents(std::size_t events);
+  void ReserveTraces(std::size_t traces);
+
+  [[nodiscard]] std::size_t TraceCount() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] std::size_t EventCount() const noexcept { return lat_.size(); }
+  [[nodiscard]] std::size_t UserCount() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return traces_.empty(); }
+
+  [[nodiscard]] UserId TraceUser(std::size_t trace) const {
+    return traces_[trace].user;
+  }
+  [[nodiscard]] std::size_t TraceSize(std::size_t trace) const {
+    return traces_[trace].end - traces_[trace].begin;
+  }
+
+  /// Raw columns (contiguous; event i of trace t is at offset begin + i).
+  [[nodiscard]] std::span<const double> lat() const noexcept { return lat_; }
+  [[nodiscard]] std::span<const double> lng() const noexcept { return lng_; }
+  [[nodiscard]] std::span<const util::Timestamp> time() const noexcept {
+    return time_;
+  }
+
+  [[nodiscard]] std::string UserName(UserId id) const;
+  [[nodiscard]] std::span<const std::string> names() const noexcept {
+    return names_;
+  }
+
+  /// Zero-copy view of one trace's columns.
+  [[nodiscard]] TraceView View(std::size_t trace) const;
+
+  /// Zero-copy view of the whole store. The store must outlive the view.
+  [[nodiscard]] DatasetView View() const;
+
+  /// Materializes an AoS dataset (users re-interned in id order, traces in
+  /// store order) — the exact inverse of FromDataset.
+  [[nodiscard]] Dataset ToDataset() const;
+
+ private:
+  struct TraceRange {
+    UserId user = kInvalidUser;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  std::vector<double> lat_;
+  std::vector<double> lng_;
+  std::vector<util::Timestamp> time_;
+  std::vector<TraceRange> traces_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, UserId> ids_;
+};
+
+}  // namespace mobipriv::model

@@ -1,10 +1,13 @@
 #include "model/geolife.h"
 
 #include <algorithm>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 
 #include "model/io.h"
+#include "util/chunked_reader.h"
+#include "util/thread_pool.h"
 
 namespace mobipriv::model {
 
@@ -25,7 +28,13 @@ Dataset LoadGeolife(const std::string& root,
     user_dirs.resize(options.max_users);
   }
 
-  Dataset dataset;
+  // Enumerate every (user, PLT file) job up front, in the deterministic
+  // (user, file) lexicographic order the serial loader visited them in.
+  struct FileJob {
+    std::string user;
+    fs::path path;
+  };
+  std::vector<FileJob> jobs;
   for (const auto& user_dir : user_dirs) {
     const fs::path trajectory_dir = user_dir / "Trajectory";
     if (!fs::is_directory(trajectory_dir)) continue;
@@ -42,10 +51,35 @@ Dataset LoadGeolife(const std::string& root,
     }
     const std::string user_name = user_dir.filename().string();
     for (const auto& plt : plt_files) {
-      std::ifstream in(plt);
-      if (!in) throw IoError("cannot open " + plt.string());
-      AppendPlt(dataset, user_name, in);
+      jobs.push_back(FileJob{user_name, plt});
     }
+  }
+
+  // Parse every file on the pool (one trace per PLT file). Results slot
+  // into job order, so assembly below is independent of the worker count.
+  std::vector<std::vector<Event>> parsed(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+  util::ParallelForEach(jobs.size(), [&](std::size_t j) {
+    try {
+      std::ifstream in(jobs[j].path, std::ios::binary);
+      if (!in) throw IoError("cannot open " + jobs[j].path.string());
+      const std::string text = util::ReadAll(in);
+      parsed[j] = ParsePltText(text);
+    } catch (...) {
+      errors[j] = std::current_exception();
+    }
+  });
+  // First failing file in job order wins — where the serial loader stopped.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (errors[j]) std::rethrow_exception(errors[j]);
+  }
+
+  Dataset dataset;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const UserId id = dataset.InternUser(jobs[j].user);
+    Trace trace(id, std::move(parsed[j]));
+    trace.SortByTime();
+    dataset.AddTrace(std::move(trace));
   }
   return dataset;
 }

@@ -1,11 +1,18 @@
 #include "model/io.h"
 
+#include <array>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <streambuf>
+#include <unordered_map>
+#include <vector>
 
+#include "util/chunked_reader.h"
 #include "util/csv.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 #include "util/time_utils.h"
 
 namespace mobipriv::model {
@@ -21,9 +28,95 @@ std::optional<util::Timestamp> ParseTimestampField(std::string_view text) {
   throw IoError("row " + std::to_string(row) + ": " + what);
 }
 
+/// First malformed row of a chunk (parsing stops there, like the serial
+/// reader stops at its first error).
+struct RowError {
+  std::size_t row = 0;
+  std::string what;
+};
+
+/// One chunk's parse result: per-user event runs in first-seen order, with
+/// events in file order. Names are views into the input buffer.
+struct CsvChunkResult {
+  std::vector<std::pair<std::string_view, std::vector<Event>>> users;
+  std::unordered_map<std::string_view, std::size_t> user_index;
+  std::optional<RowError> error;
+};
+
+/// Splits a quote-free CSV line on ','. Returns the field count (fields
+/// beyond 4 are counted but not stored — the caller only needs the count
+/// to reproduce the serial reader's error message).
+std::size_t SplitFields(std::string_view line,
+                        std::array<std::string_view, 4>& fields) {
+  std::size_t count = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (count < 4) fields[count] = line.substr(start, i - start);
+      ++count;
+      start = i + 1;
+    }
+  }
+  return count;
+}
+
+/// Non-owning read-only streambuf over a string_view, so the quoted-CSV
+/// fallback can feed the streaming reader without copying the (already
+/// slurped) buffer again.
+class ViewStreamBuf : public std::streambuf {
+ public:
+  explicit ViewStreamBuf(std::string_view text) {
+    // std::streambuf's interface wants char*; the buffer is never written
+    // (no setp, overflow stays unimplemented).
+    char* base = const_cast<char*>(text.data());
+    setg(base, base, base + text.size());
+  }
+};
+
+/// Parses the rows of one chunk (the header row, when present, was cut off
+/// before chunking). Stops recording at the chunk's first malformed row.
+void ParseCsvChunk(std::string_view chunk, std::size_t first_row,
+                   CsvChunkResult& out) {
+  util::ForEachLine(chunk, first_row, [&](std::string_view line,
+                                          std::size_t row) {
+    if (out.error) return;  // already failed: skip the rest of the chunk
+    std::array<std::string_view, 4> fields;
+    const std::size_t count = SplitFields(line, fields);
+    if (count == 1 && util::Trim(fields[0]).empty()) return;  // blank line
+    if (count != 4) {
+      out.error = RowError{row, "expected 4 fields, got " +
+                                    std::to_string(count)};
+      return;
+    }
+    const auto lat = util::ParseDouble(fields[1]);
+    const auto lng = util::ParseDouble(fields[2]);
+    const auto ts = ParseTimestampField(fields[3]);
+    if (!lat || !lng) {
+      out.error = RowError{row, "bad coordinates"};
+      return;
+    }
+    if (!ts) {
+      out.error = RowError{row, "bad timestamp"};
+      return;
+    }
+    const geo::LatLng position{*lat, *lng};
+    if (!position.IsValid()) {
+      out.error = RowError{row, "coordinates out of WGS84 range"};
+      return;
+    }
+    const std::string_view name = util::Trim(fields[0]);
+    const auto [it, inserted] =
+        out.user_index.try_emplace(name, out.users.size());
+    if (inserted) out.users.emplace_back(name, std::vector<Event>{});
+    out.users[it->second].second.push_back(Event{position, *ts});
+  });
+}
+
 }  // namespace
 
-Dataset ReadCsv(std::istream& in) {
+/// The pre-refactor streaming reader, kept for quoted inputs (quoted fields
+/// may span physical lines, so the buffer cannot be line-chunked).
+Dataset ReadCsvStreaming(std::istream& in) {
   Dataset dataset;
   util::CsvReader reader(in);
   util::CsvRow row;
@@ -63,10 +156,109 @@ Dataset ReadCsv(std::istream& in) {
   return dataset;
 }
 
+Dataset ReadCsvTextChunked(std::string_view text, std::size_t max_chunks,
+                           std::size_t min_chunk_bytes) {
+  // Quoted fields may span lines; route them through the streaming reader
+  // (over the existing buffer — no extra copy).
+  if (text.find('"') != std::string_view::npos) {
+    ViewStreamBuf buffer(text);
+    std::istream in(&buffer);
+    return ReadCsvStreaming(in);
+  }
+
+  // Header detection, exactly like the serial reader: the first non-blank
+  // row is a header iff it has 4 fields and a non-numeric lat. Chunked
+  // parsing then starts right after it (the rows before it are blank).
+  std::size_t data_begin = 0;
+  std::size_t first_data_row = 1;
+  {
+    std::size_t pos = 0;
+    std::size_t row = 1;
+    while (pos < text.size()) {
+      std::size_t eol = pos;
+      while (eol < text.size() && text[eol] != '\n' && text[eol] != '\r') {
+        ++eol;
+      }
+      std::size_t after = eol;  // one past the line's terminator
+      if (after < text.size()) {
+        after += text[after] == '\r' && after + 1 < text.size() &&
+                         text[after + 1] == '\n'
+                     ? 2
+                     : 1;
+      }
+      std::array<std::string_view, 4> fields;
+      const std::size_t count = SplitFields(text.substr(pos, eol - pos),
+                                            fields);
+      if (count == 1 && util::Trim(fields[0]).empty()) {  // blank: keep going
+        pos = after;
+        ++row;
+        continue;
+      }
+      if (count == 4 && !util::ParseDouble(fields[1]).has_value()) {
+        // Header row: cut it (and the blanks before it) off the data.
+        data_begin = after;
+        first_data_row = row + 1;
+      }
+      break;
+    }
+  }
+  const std::string_view data = text.substr(data_begin);
+
+  // Merging is in chunk order, so any chunking yields the same dataset.
+  const std::vector<util::LineChunk> chunks =
+      util::SplitLineChunks(data, max_chunks, min_chunk_bytes);
+  std::vector<CsvChunkResult> results(chunks.size());
+  util::ParallelForEach(chunks.size(), [&](std::size_t c) {
+    const util::LineChunk& chunk = chunks[c];
+    ParseCsvChunk(data.substr(chunk.begin, chunk.end - chunk.begin),
+                  chunk.first_line + (first_data_row - 1), results[c]);
+  });
+
+  // First error in file order wins — identical to where the serial reader
+  // would have stopped (chunk row ranges ascend with the chunk index).
+  for (const CsvChunkResult& result : results) {
+    if (result.error) ThrowAtRow(result.error->row, result.error->what);
+  }
+
+  // Merge chunk results in chunk order: each user's pooled events come out
+  // in file order, exactly as the serial reader accumulated them.
+  std::map<std::string_view, std::vector<Event>> per_user;
+  for (CsvChunkResult& result : results) {
+    for (auto& [name, events] : result.users) {
+      auto& pooled = per_user[name];
+      if (pooled.empty()) {
+        pooled = std::move(events);
+      } else {
+        pooled.insert(pooled.end(), events.begin(), events.end());
+      }
+    }
+  }
+
+  Dataset dataset;
+  for (auto& [name, events] : per_user) {
+    const UserId id = dataset.InternUser(std::string(name));
+    Trace trace(id, std::move(events));
+    trace.SortByTime();
+    dataset.AddTrace(std::move(trace));
+  }
+  return dataset;
+}
+
+Dataset ReadCsvText(std::string_view text) {
+  // One chunk per ~4 lanes of work, floored at 64 KiB.
+  return ReadCsvTextChunked(text, util::ParallelismLevel() * 4, 64 * 1024);
+}
+
+Dataset ReadCsv(std::istream& in) {
+  const std::string text = util::ReadAll(in);
+  return ReadCsvText(text);
+}
+
 Dataset ReadCsvFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open " + path);
-  return ReadCsv(in);
+  const std::string text = util::ReadAll(in);
+  return ReadCsvText(text);
 }
 
 void WriteCsv(const Dataset& dataset, std::ostream& out) {
@@ -88,32 +280,52 @@ void WriteCsvFile(const Dataset& dataset, const std::string& path) {
   WriteCsv(dataset, out);
 }
 
-void AppendPlt(Dataset& dataset, const std::string& user_name,
-               std::istream& in) {
-  std::string line;
-  // PLT files start with 6 header lines.
-  for (int i = 0; i < 6 && std::getline(in, line); ++i) {
-  }
+std::vector<Event> ParsePltText(std::string_view text) {
   std::vector<Event> events;
-  std::size_t row_number = 6;
-  while (std::getline(in, line)) {
-    ++row_number;
+  std::optional<RowError> error;
+  util::ForEachLine(text, 1, [&](std::string_view line, std::size_t row) {
+    if (error) return;
+    if (row <= 6) return;  // PLT files start with 6 header lines
     const auto trimmed = util::Trim(line);
-    if (trimmed.empty()) continue;
-    const auto fields = util::Split(trimmed, ',');
+    if (trimmed.empty()) return;
     // lat, lng, 0, altitude, days, date, time
-    if (fields.size() < 7) {
-      ThrowAtRow(row_number, "PLT row has fewer than 7 fields");
+    std::size_t field_count = 0;
+    std::array<std::string_view, 7> fields;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= trimmed.size(); ++i) {
+      if (i == trimmed.size() || trimmed[i] == ',') {
+        if (field_count < 7) fields[field_count] = trimmed.substr(start, i - start);
+        ++field_count;
+        start = i + 1;
+      }
+    }
+    if (field_count < 7) {
+      error = RowError{row, "PLT row has fewer than 7 fields"};
+      return;
     }
     const auto lat = util::ParseDouble(fields[0]);
     const auto lng = util::ParseDouble(fields[1]);
-    if (!lat || !lng) ThrowAtRow(row_number, "bad PLT coordinates");
+    if (!lat || !lng) {
+      error = RowError{row, "bad PLT coordinates"};
+      return;
+    }
     const auto ts = util::ParseDateTime(std::string(util::Trim(fields[5])) +
                                         " " +
                                         std::string(util::Trim(fields[6])));
-    if (!ts) ThrowAtRow(row_number, "bad PLT date/time");
+    if (!ts) {
+      error = RowError{row, "bad PLT date/time"};
+      return;
+    }
     events.push_back(Event{{*lat, *lng}, *ts});
-  }
+  });
+  if (error) ThrowAtRow(error->row, error->what);
+  return events;
+}
+
+void AppendPlt(Dataset& dataset, const std::string& user_name,
+               std::istream& in) {
+  const std::string text = util::ReadAll(in);
+  std::vector<Event> events = ParsePltText(text);
   const UserId id = dataset.InternUser(user_name);
   Trace trace(id, std::move(events));
   trace.SortByTime();

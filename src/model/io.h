@@ -8,11 +8,21 @@
 //     dataset the paper's evaluation plan targets (lat, lng, 0, altitude,
 //     days-since-1899, date, time) — supported so real data can be dropped
 //     in when licensing permits.
+//
+// Ingestion is parallel and streaming-chunked: input splits into
+// line-aligned byte ranges (util::SplitLineChunks) parsed concurrently on
+// the thread pool and merged in file order. The determinism contract of the
+// batch engine applies: same bytes in -> byte-identical Dataset out, at any
+// worker count (MOBIPRIV_THREADS=1 included). Files using RFC-4180 quoted
+// fields take the streaming serial reader instead (quoted fields may span
+// lines, so they cannot be chunk-split); the two readers agree exactly on
+// their common format.
 #pragma once
 
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "model/dataset.h"
 
@@ -30,6 +40,23 @@ class IoError : public std::runtime_error {
 [[nodiscard]] Dataset ReadCsv(std::istream& in);
 [[nodiscard]] Dataset ReadCsvFile(const std::string& path);
 
+/// Core parallel reader over an in-memory buffer (ReadCsv/ReadCsvFile
+/// slurp and delegate here). Byte-identical at any worker count.
+[[nodiscard]] Dataset ReadCsvText(std::string_view text);
+
+/// As ReadCsvText with explicit chunking bounds — the determinism contract
+/// says the result is identical for EVERY (max_chunks, min_chunk_bytes);
+/// tests use tiny chunks to exercise boundary handling on small inputs.
+[[nodiscard]] Dataset ReadCsvTextChunked(std::string_view text,
+                                         std::size_t max_chunks,
+                                         std::size_t min_chunk_bytes);
+
+/// The streaming single-pass reader (handles RFC-4180 quoting, including
+/// fields spanning physical lines). ReadCsv routes quoted inputs here; on
+/// quote-free input it must agree with ReadCsvText byte for byte (pinned
+/// by test_parallel_determinism).
+[[nodiscard]] Dataset ReadCsvStreaming(std::istream& in);
+
 /// Writes the native CSV format (with header).
 void WriteCsv(const Dataset& dataset, std::ostream& out);
 void WriteCsvFile(const Dataset& dataset, const std::string& path);
@@ -38,5 +65,10 @@ void WriteCsvFile(const Dataset& dataset, const std::string& path);
 /// `dataset` under `user_name`. The 6 header lines are skipped.
 void AppendPlt(Dataset& dataset, const std::string& user_name,
                std::istream& in);
+
+/// Parses the data rows of one PLT buffer (after the 6 header lines, which
+/// must still be present). Events are returned unsorted (file order);
+/// throws IoError with row information on malformed rows.
+[[nodiscard]] std::vector<Event> ParsePltText(std::string_view text);
 
 }  // namespace mobipriv::model

@@ -1,0 +1,108 @@
+#include "model/sharded_dataset.h"
+
+#include <cstdint>
+
+namespace mobipriv::model {
+
+ShardedDataset::ShardedDataset(std::size_t shard_count)
+    : shards_(shard_count == 0 ? 1 : shard_count) {}
+
+std::size_t ShardedDataset::ShardOfUser(std::string_view user_name,
+                                        std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  // FNV-1a, 64-bit: stable across platforms and standard libraries (unlike
+  // std::hash), so shard assignment is part of the format, not the build.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : user_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h % shard_count);
+}
+
+ShardedDataset ShardedDataset::Partition(const Dataset& dataset,
+                                         std::size_t shard_count) {
+  ShardedDataset out(shard_count);
+  out.origin_.resize(out.shards_.size());
+
+  // Global name table in the input's id order; every user is interned into
+  // its home shard up front (users without traces must survive the round
+  // trip too).
+  out.global_names_.reserve(dataset.UserCount());
+  for (UserId id = 0; id < dataset.UserCount(); ++id) {
+    const std::string name = dataset.UserName(id);
+    out.shards_[ShardOfUser(name, out.shards_.size())].InternUser(name);
+    out.global_names_.push_back(name);
+  }
+
+  const auto& traces = dataset.traces();
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const Trace& trace = traces[t];
+    const std::string name = dataset.UserName(trace.user());
+    const std::size_t s = ShardOfUser(name, out.shards_.size());
+    Dataset& shard = out.shards_[s];
+    Trace local = trace;  // copy; shard-local user id
+    local.set_user(shard.InternUser(name));
+    shard.AddTrace(std::move(local));
+    out.origin_[s].push_back(t);
+  }
+  return out;
+}
+
+Dataset ShardedDataset::Merge() const {
+  Dataset out;
+  for (const std::string& name : global_names_) out.InternUser(name);
+
+  // The recorded original order applies only while shard contents still
+  // match it (Partition-fresh); otherwise concatenate shard by shard.
+  bool origin_valid = origin_.size() == shards_.size();
+  for (std::size_t s = 0; origin_valid && s < shards_.size(); ++s) {
+    origin_valid = origin_[s].size() == shards_[s].TraceCount();
+  }
+
+  const auto append = [&out](const Dataset& shard, const Trace& trace) {
+    Trace global = trace;
+    global.set_user(out.InternUser(shard.UserName(trace.user())));
+    out.AddTrace(std::move(global));
+  };
+
+  if (origin_valid) {
+    std::size_t total = 0;
+    for (const auto& o : origin_) total += o.size();
+    // Original position -> (shard, local index).
+    std::vector<std::pair<std::uint32_t, std::size_t>> order(total);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      for (std::size_t i = 0; i < origin_[s].size(); ++i) {
+        order[origin_[s][i]] = {static_cast<std::uint32_t>(s), i};
+      }
+    }
+    for (const auto& [s, i] : order) {
+      append(shards_[s], shards_[s].traces()[i]);
+    }
+    return out;
+  }
+  for (const Dataset& shard : shards_) {
+    for (const Trace& trace : shard.traces()) append(shard, trace);
+  }
+  return out;
+}
+
+ShardedDataset ShardedDataset::EmptyLike() const {
+  ShardedDataset out(shards_.size());
+  out.global_names_ = global_names_;
+  return out;
+}
+
+std::size_t ShardedDataset::TraceCount() const noexcept {
+  std::size_t total = 0;
+  for (const Dataset& shard : shards_) total += shard.TraceCount();
+  return total;
+}
+
+std::size_t ShardedDataset::EventCount() const noexcept {
+  std::size_t total = 0;
+  for (const Dataset& shard : shards_) total += shard.EventCount();
+  return total;
+}
+
+}  // namespace mobipriv::model

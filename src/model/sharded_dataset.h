@@ -1,0 +1,117 @@
+// Sharded datasets: the unit of horizontal scale-out.
+//
+// A ShardedDataset partitions a dataset's *users* across N shards with a
+// stable assignment (FNV-1a of the external user name, modulo shard count),
+// so every trace of one user — across files, days and re-ingestions — lands
+// in the same shard. Shard-local user ids are dense per shard; the global
+// name table is retained so shards merge back under the original ids.
+//
+// Contracts:
+//   * Partition is pure bookkeeping: Partition(d, k).Merge() == d exactly,
+//     for any k >= 1 (Merge replays the recorded original trace order).
+//   * The assignment depends only on (user name, shard count) — never on
+//     worker count, ingestion chunking or trace order — so sharded
+//     ingestion is deterministic by construction.
+//
+// Shard-wise pipeline runs (core::Anonymizer::ApplySharded) process each
+// shard independently; this is the in-process form of the multi-process /
+// NUMA sharding the roadmap targets — the shard boundary is already the
+// process boundary, one serialization step away.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "model/dataset.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mobipriv::model {
+
+class ShardedDataset {
+ public:
+  ShardedDataset() = default;
+  explicit ShardedDataset(std::size_t shard_count);
+
+  /// Stable shard assignment: FNV-1a 64-bit hash of the user name modulo
+  /// `shard_count`. Pure function of its arguments (platform independent).
+  [[nodiscard]] static std::size_t ShardOfUser(std::string_view user_name,
+                                               std::size_t shard_count);
+
+  /// Partitions `dataset` by user. Trace order within each shard follows
+  /// the input's trace order; the original global position of every trace
+  /// is recorded so Merge() can reproduce `dataset` exactly.
+  [[nodiscard]] static ShardedDataset Partition(const Dataset& dataset,
+                                                std::size_t shard_count);
+
+  /// Inverse of Partition: byte-identical to the partitioned dataset.
+  /// For sharded datasets whose shards were rebuilt (e.g. by a shard-wise
+  /// mechanism run) the recorded order no longer applies; traces then
+  /// concatenate in (shard, local index) order — still deterministic.
+  [[nodiscard]] Dataset Merge() const;
+
+  /// Empty sharded dataset with the same shard count and global name table
+  /// (the shape shard-wise transforms write their outputs into).
+  [[nodiscard]] ShardedDataset EmptyLike() const;
+
+  [[nodiscard]] std::size_t ShardCount() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const Dataset& shard(std::size_t i) const {
+    return shards_[i];
+  }
+  /// Replacing a shard's contents invalidates the recorded original order
+  /// (Merge falls back to shard-order concatenation).
+  [[nodiscard]] Dataset& mutable_shard(std::size_t i) {
+    origin_.clear();
+    return shards_[i];
+  }
+
+  [[nodiscard]] std::size_t TraceCount() const noexcept;
+  [[nodiscard]] std::size_t EventCount() const noexcept;
+  /// Number of users in the global name table.
+  [[nodiscard]] std::size_t UserCount() const noexcept {
+    return global_names_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& global_names() const noexcept {
+    return global_names_;
+  }
+
+ private:
+  std::vector<Dataset> shards_;
+  // Original global trace index of shard s's local trace i (recorded by
+  // Partition, cleared by mutable_shard). Valid only while every shard's
+  // trace count matches the record.
+  std::vector<std::vector<std::size_t>> origin_;
+  std::vector<std::string> global_names_;  // global dense id -> name
+};
+
+/// The shard fan-out scaffold every shard-wise runner shares (so the
+/// determinism scheme lives in exactly one place): one master draw from
+/// `rng`, per-shard streams seeded DeriveStreamSeed(master, shard, 0),
+/// shards transformed concurrently by `fn(shard_dataset, shard_rng, s)`,
+/// outputs assembled in shard order into an EmptyLike result. The caller's
+/// rng advances by exactly one draw; the result is byte-identical at any
+/// worker count.
+template <typename Fn>
+[[nodiscard]] ShardedDataset TransformSharded(const ShardedDataset& input,
+                                              util::Rng& rng, Fn&& fn) {
+  const std::size_t n = input.ShardCount();
+  const std::uint64_t master = rng.NextU64();
+  std::vector<Dataset> outputs(n);
+  util::ParallelForEach(n, [&](std::size_t s) {
+    util::Rng shard_rng(
+        util::DeriveStreamSeed(master, static_cast<std::uint64_t>(s), 0));
+    outputs[s] = fn(input.shard(s), shard_rng, s);
+  });
+  ShardedDataset result = input.EmptyLike();
+  for (std::size_t s = 0; s < n; ++s) {
+    result.mutable_shard(s) = std::move(outputs[s]);
+  }
+  return result;
+}
+
+}  // namespace mobipriv::model

@@ -1,0 +1,104 @@
+#include "model/views.h"
+
+#include "geo/distance.h"
+#include "model/dataset.h"
+
+namespace mobipriv::model {
+
+TraceView TraceView::Of(const Trace& trace) {
+  const std::vector<Event>& events = trace.events();
+  const Event* base = events.empty() ? nullptr : events.data();
+  const std::size_t n = events.size();
+  return TraceView(
+      trace.user(),
+      StridedSpan<double>(base ? &base->position.lat : nullptr, n,
+                          sizeof(Event)),
+      StridedSpan<double>(base ? &base->position.lng : nullptr, n,
+                          sizeof(Event)),
+      StridedSpan<util::Timestamp>(base ? &base->time : nullptr, n,
+                                   sizeof(Event)));
+}
+
+double TraceView::LengthMeters() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < size(); ++i) {
+    total += geo::HaversineDistance(position(i - 1), position(i));
+  }
+  return total;
+}
+
+geo::GeoBoundingBox TraceView::BoundingBox() const {
+  geo::GeoBoundingBox box;
+  for (std::size_t i = 0; i < size(); ++i) box.Extend(position(i));
+  return box;
+}
+
+Trace TraceView::Materialize() const {
+  std::vector<Event> events;
+  events.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) events.push_back(event(i));
+  return Trace(user_, std::move(events));
+}
+
+geo::LatLng InterpolateAt(const TraceView& trace, util::Timestamp t) {
+  // Mirrors model::InterpolateAt on Trace bit for bit: same lower_bound
+  // neighbour selection, same interpolation expression shape, so metrics
+  // rewritten over views reproduce their pre-refactor results exactly.
+  const std::size_t n = trace.size();
+  if (t <= trace.time(0)) return trace.position(0);
+  if (t >= trace.time(n - 1)) return trace.position(n - 1);
+  // lower_bound: first index with time >= t (exists: t < last time).
+  std::size_t lo = 0, hi = n;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (trace.time(mid) < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const std::size_t after = lo;
+  const std::size_t before = lo - 1;
+  if (trace.time(after) == trace.time(before)) return trace.position(before);
+  const double alpha =
+      static_cast<double>(t - trace.time(before)) /
+      static_cast<double>(trace.time(after) - trace.time(before));
+  return geo::LatLng{
+      trace.lat(before) + (trace.lat(after) - trace.lat(before)) * alpha,
+      trace.lng(before) + (trace.lng(after) - trace.lng(before)) * alpha};
+}
+
+DatasetView DatasetView::Of(const Dataset& dataset) {
+  std::vector<TraceView> traces;
+  traces.reserve(dataset.TraceCount());
+  for (const Trace& trace : dataset.traces()) {
+    traces.push_back(TraceView::Of(trace));
+  }
+  return DatasetView(std::move(traces), dataset.UserCount(), dataset.names());
+}
+
+std::size_t DatasetView::EventCount() const noexcept {
+  std::size_t total = 0;
+  for (const TraceView& t : traces_) total += t.size();
+  return total;
+}
+
+std::string DatasetView::UserName(UserId id) const {
+  if (id < names_.size()) return names_[id];
+  return "user" + std::to_string(id);
+}
+
+geo::GeoBoundingBox DatasetView::BoundingBox() const {
+  geo::GeoBoundingBox box;
+  for (const TraceView& t : traces_) box.Extend(t.BoundingBox());
+  return box;
+}
+
+Dataset DatasetView::Materialize() const {
+  Dataset out;
+  for (UserId id = 0; id < user_count_; ++id) out.InternUser(UserName(id));
+  for (const TraceView& t : traces_) out.AddTrace(t.Materialize());
+  return out;
+}
+
+}  // namespace mobipriv::model

@@ -1,0 +1,147 @@
+// Non-owning span views over mobility data, the common currency of every
+// batch kernel after the columnar refactor.
+//
+// The same kernel must run over both storage layouts the library holds:
+//   * AoS — model::Trace / model::Dataset (std::vector<Event>), the
+//     mutation-friendly layout mechanisms produce, and
+//   * SoA — model::EventStore (contiguous lat / lng / time columns), the
+//     scan-friendly layout ingestion and sharding produce.
+// StridedSpan bridges them: a (pointer, count, byte-stride) triple views a
+// column either inside an Event array (stride == sizeof(Event)) or inside a
+// flat column (stride == sizeof(T)) with zero copies either way.
+//
+// Views never own memory. The backing Dataset / EventStore must outlive
+// every view derived from it; views are cheap to copy and to pass by value.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "model/trace.h"
+
+namespace mobipriv::model {
+
+class Dataset;
+
+/// Read-only view of `count` values of type T laid out every `stride` bytes.
+/// A plain std::span is the stride == sizeof(T) special case.
+template <typename T>
+class StridedSpan {
+ public:
+  StridedSpan() = default;
+  StridedSpan(const T* first, std::size_t count, std::size_t stride_bytes)
+      : data_(reinterpret_cast<const std::byte*>(first)),
+        count_(count),
+        stride_(stride_bytes) {}
+
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return *reinterpret_cast<const T*>(data_ + i * stride_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Non-owning view of one trace: user id plus lat / lng / time columns.
+/// Constructible over a Trace (AoS) or EventStore columns (SoA) at zero cost.
+class TraceView {
+ public:
+  TraceView() = default;
+  TraceView(UserId user, StridedSpan<double> lat, StridedSpan<double> lng,
+            StridedSpan<util::Timestamp> time)
+      : user_(user), lat_(lat), lng_(lng), time_(time) {}
+
+  /// Zero-copy view over an AoS trace (strides through its Event array).
+  [[nodiscard]] static TraceView Of(const Trace& trace);
+
+  [[nodiscard]] UserId user() const noexcept { return user_; }
+  [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return time_.empty(); }
+
+  [[nodiscard]] double lat(std::size_t i) const { return lat_[i]; }
+  [[nodiscard]] double lng(std::size_t i) const { return lng_[i]; }
+  [[nodiscard]] util::Timestamp time(std::size_t i) const { return time_[i]; }
+  [[nodiscard]] geo::LatLng position(std::size_t i) const {
+    return geo::LatLng{lat_[i], lng_[i]};
+  }
+  [[nodiscard]] Event event(std::size_t i) const {
+    return Event{position(i), time_[i]};
+  }
+
+  /// Duration in seconds between first and last fix (0 if < 2 events).
+  [[nodiscard]] util::Timestamp Duration() const noexcept {
+    return size() < 2 ? 0 : time_[size() - 1] - time_[0];
+  }
+
+  /// Geographic path length in metres (haversine over consecutive fixes) —
+  /// same arithmetic as Trace::LengthMeters, term for term.
+  [[nodiscard]] double LengthMeters() const noexcept;
+
+  [[nodiscard]] geo::GeoBoundingBox BoundingBox() const;
+
+  /// Materializes an owning Trace (copies the events).
+  [[nodiscard]] Trace Materialize() const;
+
+ private:
+  UserId user_ = kInvalidUser;
+  StridedSpan<double> lat_;
+  StridedSpan<double> lng_;
+  StridedSpan<util::Timestamp> time_;
+};
+
+/// Position linearly interpolated at time `t` (clamped to the view's range).
+/// Requires a non-empty, time-ordered view; mirrors model::InterpolateAt.
+[[nodiscard]] geo::LatLng InterpolateAt(const TraceView& trace,
+                                        util::Timestamp t);
+
+/// Non-owning view of a whole dataset: a list of trace views plus the dense
+/// id -> name table (may be empty for anonymous/synthetic views).
+class DatasetView {
+ public:
+  DatasetView() = default;
+  DatasetView(std::vector<TraceView> traces, std::size_t user_count,
+              std::span<const std::string> names)
+      : traces_(std::move(traces)), user_count_(user_count), names_(names) {}
+
+  /// View over an AoS dataset. O(TraceCount) setup, zero event copies.
+  [[nodiscard]] static DatasetView Of(const Dataset& dataset);
+
+  [[nodiscard]] const std::vector<TraceView>& traces() const noexcept {
+    return traces_;
+  }
+  [[nodiscard]] const TraceView& trace(std::size_t i) const {
+    return traces_[i];
+  }
+  [[nodiscard]] std::size_t TraceCount() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] std::size_t UserCount() const noexcept { return user_count_; }
+  [[nodiscard]] std::size_t EventCount() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return traces_.empty(); }
+
+  /// External name for a dense id ("user<N>" fallback, like Dataset).
+  [[nodiscard]] std::string UserName(UserId id) const;
+  [[nodiscard]] std::span<const std::string> names() const noexcept {
+    return names_;
+  }
+
+  [[nodiscard]] geo::GeoBoundingBox BoundingBox() const;
+
+  /// Materializes an owning Dataset (re-interns names in id order, copies
+  /// every event).
+  [[nodiscard]] Dataset Materialize() const;
+
+ private:
+  std::vector<TraceView> traces_;
+  std::size_t user_count_ = 0;
+  std::span<const std::string> names_;
+};
+
+}  // namespace mobipriv::model

@@ -1,0 +1,63 @@
+#include "util/chunked_reader.h"
+
+#include <algorithm>
+#include <istream>
+
+namespace mobipriv::util {
+namespace {
+
+/// Number of line terminators in `text`, counting "\n", lone "\r" and
+/// "\r\n" (once) — the record-terminator rules of ForEachLine/CsvReader.
+std::size_t CountLineTerminators(std::string_view text) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++count;
+    } else if (text[i] == '\r') {
+      // "\r\n" is counted at its '\n'.
+      if (i + 1 >= text.size() || text[i + 1] != '\n') ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<LineChunk> SplitLineChunks(std::string_view text,
+                                       std::size_t max_chunks,
+                                       std::size_t min_chunk_bytes) {
+  std::vector<LineChunk> chunks;
+  if (text.empty()) return chunks;
+  if (max_chunks == 0) max_chunks = 1;
+  const std::size_t target =
+      std::max<std::size_t>(std::max<std::size_t>(min_chunk_bytes, 1),
+                            (text.size() + max_chunks - 1) / max_chunks);
+
+  std::size_t begin = 0;
+  std::size_t line = 1;
+  while (begin < text.size()) {
+    std::size_t end = text.size() - begin <= target ? text.size()
+                                                    : begin + target;
+    if (end < text.size()) {
+      // Extend to just past the next '\n' so no line spans two chunks
+      // (a candidate boundary already after '\n' stays put).
+      const std::size_t nl = text.find('\n', end - 1);
+      end = nl == std::string_view::npos ? text.size() : nl + 1;
+    }
+    chunks.push_back(LineChunk{begin, end, line});
+    line += CountLineTerminators(text.substr(begin, end - begin));
+    begin = end;
+  }
+  return chunks;
+}
+
+std::string ReadAll(std::istream& in) {
+  std::string out;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    out.append(buffer, static_cast<std::size_t>(in.gcount()));
+  }
+  return out;
+}
+
+}  // namespace mobipriv::util

@@ -1,0 +1,64 @@
+// Chunked reading of line-oriented text: the substrate of parallel
+// streaming ingestion. A file is slurped once, split into byte ranges whose
+// boundaries fall only on line breaks, and the ranges parse independently
+// on the thread pool. Because every physical line belongs to exactly one
+// chunk and chunks are merged in file order, the concatenated parse result
+// is identical to a serial scan for ANY chunking — worker count and chunk
+// count can vary freely without violating the byte-identical contract.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobipriv::util {
+
+/// One chunk of a line-split text buffer.
+struct LineChunk {
+  std::size_t begin = 0;      ///< byte offset of the first line's start
+  std::size_t end = 0;        ///< one past the last line's terminator (or EOF)
+  std::size_t first_line = 1; ///< 1-based physical line number at `begin`
+};
+
+/// Splits `text` into at most `max_chunks` ranges cut only immediately
+/// after '\n'. Chunks cover the text exactly, in order, and are at least
+/// `min_chunk_bytes` long (except possibly the last); a text smaller than
+/// `min_chunk_bytes` yields one chunk. `first_line` counts newlines before
+/// `begin`, so chunk parsers can report exact global line numbers.
+[[nodiscard]] std::vector<LineChunk> SplitLineChunks(
+    std::string_view text, std::size_t max_chunks,
+    std::size_t min_chunk_bytes = 64 * 1024);
+
+/// Calls fn(line, line_number) for every physical line of `chunk_text`
+/// (a range produced by SplitLineChunks). Line terminators handled exactly
+/// like the streaming CsvReader: "\n", "\r\n" and lone "\r" all end a line
+/// and are not part of it; a final line without a terminator still counts.
+template <typename Fn>
+void ForEachLine(std::string_view chunk_text, std::size_t first_line,
+                 Fn&& fn) {
+  std::size_t line_number = first_line;
+  std::size_t pos = 0;
+  while (pos < chunk_text.size()) {
+    std::size_t eol = pos;
+    while (eol < chunk_text.size() && chunk_text[eol] != '\n' &&
+           chunk_text[eol] != '\r') {
+      ++eol;
+    }
+    fn(chunk_text.substr(pos, eol - pos), line_number);
+    ++line_number;
+    if (eol >= chunk_text.size()) return;
+    // Swallow the terminator ("\r\n" counts as one).
+    if (chunk_text[eol] == '\r' && eol + 1 < chunk_text.size() &&
+        chunk_text[eol + 1] == '\n') {
+      ++eol;
+    }
+    pos = eol + 1;
+  }
+}
+
+/// Reads a whole stream into a string (the slurp that precedes chunking).
+[[nodiscard]] std::string ReadAll(std::istream& in);
+
+}  // namespace mobipriv::util

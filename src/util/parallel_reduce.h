@@ -1,0 +1,51 @@
+// Deterministic parallel map/reduce on top of ParallelFor.
+//
+// The determinism rule of the batch engine, applied to reductions: block
+// boundaries depend only on (n, grain) — never on the worker count — each
+// block maps to one partial result in parallel, and partials fold strictly
+// left to right on the calling thread. The result is byte-identical at any
+// parallelism level whenever `map` is a pure function of its index range
+// (the fold order is fixed, so even non-associative reductions — float
+// sums, first-error-wins — are stable).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace mobipriv::util {
+
+/// Maps fixed blocks of [0, n) to partial results in parallel, then folds
+/// them in block order. `map(begin, end)` -> Result; `reduce(acc, partial)`
+/// merges a partial into the running accumulator (called serially, in
+/// ascending block order, starting from the first block's result).
+/// `grain` is the block size; 0 means one block per ~2x parallelism lane
+/// (coarse enough to amortize, fine enough to balance).
+template <typename Result, typename MapFn, typename ReduceFn>
+Result ParallelReduce(std::size_t n, std::size_t grain, MapFn&& map,
+                      ReduceFn&& reduce) {
+  if (n == 0) return Result{};
+  if (grain == 0) {
+    // NOTE: this default ties block boundaries to the *configured*
+    // parallelism level. Callers that need worker-count-invariant results
+    // must pass an explicit grain (every ingestion call site does).
+    grain = std::max<std::size_t>(1, n / (ParallelismLevel() * 2));
+  }
+  const std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<Result> partials(blocks);
+  ParallelForEach(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    partials[b] = map(begin, end);
+  });
+  Result acc = std::move(partials[0]);
+  for (std::size_t b = 1; b < blocks; ++b) {
+    reduce(acc, std::move(partials[b]));
+  }
+  return acc;
+}
+
+}  // namespace mobipriv::util

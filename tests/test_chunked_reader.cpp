@@ -1,0 +1,132 @@
+// Chunked line-reader properties: chunks tile the input exactly, cut only
+// at line breaks, carry correct global line numbers, and ForEachLine agrees
+// with the streaming reader's record rules (CRLF, lone CR, missing final
+// newline).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/chunked_reader.h"
+
+namespace mobipriv::util {
+namespace {
+
+std::vector<std::pair<std::string, std::size_t>> CollectLines(
+    std::string_view text, std::size_t first_line = 1) {
+  std::vector<std::pair<std::string, std::size_t>> lines;
+  ForEachLine(text, first_line, [&](std::string_view line, std::size_t n) {
+    lines.emplace_back(std::string(line), n);
+  });
+  return lines;
+}
+
+TEST(ForEachLine, HandlesUnixCrlfAndLoneCr) {
+  const auto lines = CollectLines("a\nb\r\nc\rd");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], (std::pair<std::string, std::size_t>{"a", 1}));
+  EXPECT_EQ(lines[1], (std::pair<std::string, std::size_t>{"b", 2}));
+  EXPECT_EQ(lines[2], (std::pair<std::string, std::size_t>{"c", 3}));
+  EXPECT_EQ(lines[3], (std::pair<std::string, std::size_t>{"d", 4}));
+}
+
+TEST(ForEachLine, NoTrailingPhantomLine) {
+  EXPECT_EQ(CollectLines("a\n").size(), 1u);
+  EXPECT_EQ(CollectLines("a\r\n").size(), 1u);
+  EXPECT_EQ(CollectLines("a").size(), 1u);
+  EXPECT_EQ(CollectLines("").size(), 0u);
+}
+
+TEST(ForEachLine, EmptyLinesAreRecords) {
+  const auto lines = CollectLines("\n\na\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].first, "");
+  EXPECT_EQ(lines[1].first, "");
+  EXPECT_EQ(lines[2].first, "a");
+}
+
+TEST(SplitLineChunks, TilesTheInputExactly) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) {
+    text += "line" + std::to_string(i) + "\n";
+  }
+  for (const std::size_t max_chunks : {1u, 2u, 7u, 64u}) {
+    const auto chunks = SplitLineChunks(text, max_chunks, /*min=*/128);
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_EQ(chunks.front().begin, 0u);
+    EXPECT_EQ(chunks.back().end, text.size());
+    for (std::size_t c = 1; c < chunks.size(); ++c) {
+      EXPECT_EQ(chunks[c].begin, chunks[c - 1].end);
+      // Boundaries fall only right after a newline.
+      EXPECT_EQ(text[chunks[c].begin - 1], '\n');
+    }
+    EXPECT_LE(chunks.size(), max_chunks + 1);
+  }
+}
+
+TEST(SplitLineChunks, FirstLineNumbersAreGlobal) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "x\n";
+  const auto chunks = SplitLineChunks(text, 8, /*min=*/16);
+  ASSERT_GT(chunks.size(), 1u);
+  for (const auto& chunk : chunks) {
+    // first_line == 1 + newlines before begin.
+    std::size_t newlines = 0;
+    for (std::size_t i = 0; i < chunk.begin; ++i) {
+      if (text[i] == '\n') ++newlines;
+    }
+    EXPECT_EQ(chunk.first_line, newlines + 1);
+  }
+  // Re-parsing chunk by chunk yields the same (line, number) sequence as
+  // parsing the whole text at once — for ANY chunking.
+  const auto whole = CollectLines(text);
+  std::vector<std::pair<std::string, std::size_t>> stitched;
+  for (const auto& chunk : chunks) {
+    const auto part = CollectLines(
+        std::string_view(text).substr(chunk.begin, chunk.end - chunk.begin),
+        chunk.first_line);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(stitched, whole);
+}
+
+TEST(SplitLineChunks, RowLongerThanChunkTargetStaysWhole) {
+  // A row far longer than the min chunk size must not split: the boundary
+  // slides to the next newline.
+  const std::string long_row(1000, 'x');
+  const std::string text = "a\n" + long_row + "\nb\n";
+  const auto chunks = SplitLineChunks(text, 16, /*min=*/4);
+  const auto whole = CollectLines(text);
+  std::vector<std::pair<std::string, std::size_t>> stitched;
+  for (const auto& chunk : chunks) {
+    const auto part = CollectLines(
+        std::string_view(text).substr(chunk.begin, chunk.end - chunk.begin),
+        chunk.first_line);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(stitched, whole);
+}
+
+TEST(SplitLineChunks, SingleChunkWhenTiny) {
+  const auto chunks = SplitLineChunks("a\nb\n", 8);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].begin, 0u);
+  EXPECT_EQ(chunks[0].end, 4u);
+  EXPECT_EQ(chunks[0].first_line, 1u);
+}
+
+TEST(SplitLineChunks, EmptyText) {
+  EXPECT_TRUE(SplitLineChunks("", 8).empty());
+}
+
+TEST(ReadAll, ReadsWholeStream) {
+  std::string big(300000, 'z');
+  big += "\ntail";
+  std::istringstream in(big);
+  EXPECT_EQ(ReadAll(in), big);
+}
+
+}  // namespace
+}  // namespace mobipriv::util

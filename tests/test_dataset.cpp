@@ -50,6 +50,42 @@ TEST(Dataset, MultipleTracesPerUser) {
             (std::vector<std::size_t>{0, 1}));
 }
 
+TEST(Dataset, TracesOfUserIndexTracksInterleavedAdds) {
+  Dataset dataset;
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 1}});
+  dataset.AddTraceForUser("b", {{{45.0, 4.0}, 2}});
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 3}});
+  dataset.AddTraceForUser("c", {{{45.0, 4.0}, 4}});
+  dataset.AddTraceForUser("b", {{{45.0, 4.0}, 5}});
+  const auto a = dataset.FindUser("a");
+  const auto b = dataset.FindUser("b");
+  const auto c = dataset.FindUser("c");
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(dataset.TracesOfUser(*a), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(dataset.TracesOfUser(*b), (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(dataset.TracesOfUser(*c), (std::vector<std::size_t>{3}));
+}
+
+TEST(Dataset, TracesOfUserUnknownUserIsEmpty) {
+  Dataset dataset;
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 1}});
+  EXPECT_TRUE(dataset.TracesOfUser(42).empty());
+  EXPECT_TRUE(dataset.TracesOfUser(kInvalidUser).empty());
+}
+
+TEST(Dataset, RebuildUserIndexAfterOutOfBandMutation) {
+  Dataset dataset;
+  const UserId a = dataset.InternUser("a");
+  const UserId b = dataset.InternUser("b");
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 1}});
+  dataset.AddTraceForUser("a", {{{45.0, 4.0}, 2}});
+  // Reassign the second trace through the mutable accessor, then rebuild.
+  dataset.mutable_traces()[1].set_user(b);
+  dataset.RebuildUserIndex();
+  EXPECT_EQ(dataset.TracesOfUser(a), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dataset.TracesOfUser(b), (std::vector<std::size_t>{1}));
+}
+
 TEST(Dataset, EmptyDataset) {
   const Dataset dataset;
   EXPECT_TRUE(dataset.empty());

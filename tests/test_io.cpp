@@ -117,6 +117,21 @@ TEST(WriteCsv, RoundTrip) {
   EXPECT_NEAR(trace.front().position.lat, 45.764043, 1e-6);
 }
 
+TEST(ReadCsv, QuotedFieldsTakeTheStreamingPath) {
+  // Quoted user names (here with an embedded comma and newline) route the
+  // buffer through the streaming RFC-4180 reader — over the same bytes,
+  // with the same result as reading the stream directly.
+  const std::string text =
+      "user,lat,lng,timestamp\n"
+      "\"smith, alice\",45.0,4.0,100\n"
+      "\"multi\nline\",45.1,4.1,200\n";
+  const Dataset dataset = ReadCsvText(text);
+  EXPECT_EQ(dataset.UserCount(), 2u);
+  EXPECT_EQ(dataset.EventCount(), 2u);
+  EXPECT_TRUE(dataset.FindUser("smith, alice").has_value());
+  EXPECT_TRUE(dataset.FindUser("multi\nline").has_value());
+}
+
 TEST(ReadCsvFile, MissingFileThrows) {
   EXPECT_THROW(ReadCsvFile("/nonexistent/path.csv"), IoError);
 }

@@ -5,13 +5,21 @@
 // the same datasets, reports and attack results.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "attacks/poi_extraction.h"
 #include "attacks/reident.h"
 #include "core/anonymizer.h"
 #include "mechanisms/geo_indistinguishability.h"
+#include "model/geolife.h"
+#include "model/io.h"
+#include "model/sharded_dataset.h"
 #include "synth/population.h"
 #include "util/thread_pool.h"
 
@@ -149,6 +157,156 @@ TEST(ParallelDeterminism, AttackResultsAreWorkerCountInvariant) {
     EXPECT_EQ(serial_pois[i].visits, parallel_pois[i].visits);
     EXPECT_EQ(serial_pois[i].total_dwell_s, parallel_pois[i].total_dwell_s);
   }
+}
+
+// ---- Ingestion determinism -------------------------------------------------
+// Same bytes in -> byte-identical Dataset out, whatever the worker count,
+// chunk count or shard count. The CSV fixture deliberately interleaves
+// users, mixes line terminators and varies the trailing newline.
+
+/// A CSV whose rows interleave users and whose size forces multi-chunk
+/// parses even at tiny chunk bounds.
+std::string FixtureCsv(bool crlf, bool trailing_newline) {
+  std::ostringstream os;
+  os << "user,lat,lng,timestamp" << (crlf ? "\r\n" : "\n");
+  const char* eol = crlf ? "\r\n" : "\n";
+  for (int i = 0; i < 500; ++i) {
+    const int user = i % 7;
+    os << "u" << user << "," << (45.0 + 0.001 * (i % 100)) << ","
+       << (4.0 + 0.0007 * (i % 130)) << "," << (1000000 + i * 13) << eol;
+    if (i % 41 == 0) os << eol;  // occasional blank line
+  }
+  std::string text = os.str();
+  if (!trailing_newline) {
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+  }
+  return text;
+}
+
+TEST(IngestionDeterminism, CsvIsWorkerAndChunkCountInvariant) {
+  for (const bool crlf : {false, true}) {
+    for (const bool trailing : {true, false}) {
+      const std::string text = FixtureCsv(crlf, trailing);
+      model::Dataset reference;
+      {
+        const util::ScopedParallelism one(1);
+        reference = model::ReadCsvText(text);
+      }
+      ASSERT_GT(reference.EventCount(), 0u);
+      {
+        const util::ScopedParallelism four(4);
+        ExpectDatasetsIdentical(reference, model::ReadCsvText(text));
+        // Tiny chunk bounds force many chunks (and chunk boundaries that
+        // would split rows, which must slide to the newline).
+        for (const std::size_t max_chunks : {1u, 3u, 8u, 64u}) {
+          ExpectDatasetsIdentical(
+              reference,
+              model::ReadCsvTextChunked(text, max_chunks, /*min=*/64));
+        }
+      }
+      // The streaming single-pass reader must agree with the chunked one.
+      std::istringstream in(text);
+      ExpectDatasetsIdentical(reference, model::ReadCsvStreaming(in));
+    }
+  }
+}
+
+TEST(IngestionDeterminism, ShardCountNeverChangesTheDataset) {
+  const std::string text = FixtureCsv(false, true);
+  const model::Dataset dataset = model::ReadCsvText(text);
+  for (const std::size_t shards : {1u, 3u, 8u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      const util::ScopedParallelism scope(threads);
+      const auto sharded = model::ShardedDataset::Partition(dataset, shards);
+      ExpectDatasetsIdentical(dataset, sharded.Merge());
+    }
+  }
+}
+
+TEST(IngestionDeterminism, MalformedRowReportsSameRowAtAnyChunking) {
+  // Break one row deep in the fixture; every chunking must throw the same
+  // row-numbered error the serial reader produces.
+  std::string text = FixtureCsv(false, true);
+  const std::string needle = "u3,";
+  const std::size_t hit = text.rfind(needle);
+  ASSERT_NE(hit, std::string::npos);
+  text.replace(hit, needle.size(), "u3;");  // now a 3-field row
+  std::string serial_error;
+  try {
+    std::istringstream in(text);
+    (void)model::ReadCsvStreaming(in);
+    FAIL() << "expected IoError";
+  } catch (const model::IoError& e) {
+    serial_error = e.what();
+  }
+  EXPECT_NE(serial_error.find("row "), std::string::npos);
+  for (const std::size_t max_chunks : {1u, 5u, 32u}) {
+    try {
+      (void)model::ReadCsvTextChunked(text, max_chunks, /*min=*/64);
+      FAIL() << "expected IoError at max_chunks=" << max_chunks;
+    } catch (const model::IoError& e) {
+      EXPECT_EQ(serial_error, e.what()) << "max_chunks=" << max_chunks;
+    }
+  }
+}
+
+TEST(IngestionDeterminism, RowSplitAcrossChunkBoundaryCases) {
+  // Adversarial small inputs parsed at 1-byte chunk granularity: every
+  // possible boundary is exercised, including CRLF pairs and a final row
+  // with no terminator.
+  const std::string cases[] = {
+      "a,45.0,4.0,1\nb,45.0,4.0,2\n",
+      "a,45.0,4.0,1\r\nb,45.0,4.0,2\r\n",
+      "a,45.0,4.0,1\nb,45.0,4.0,2",
+      "user,lat,lng,timestamp\na,45.0,4.0,1\n\na,45.0,4.0,2\n",
+      "\n\nuser,lat,lng,timestamp\r\na,45.0,4.0,1\r\n",
+  };
+  for (const std::string& text : cases) {
+    std::istringstream in(text);
+    const model::Dataset reference = model::ReadCsvStreaming(in);
+    for (const std::size_t max_chunks : {1u, 2u, 1000u}) {
+      ExpectDatasetsIdentical(
+          reference, model::ReadCsvTextChunked(text, max_chunks, /*min=*/1));
+    }
+  }
+}
+
+TEST(IngestionDeterminism, GeolifeLoadIsWorkerCountInvariant) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("mobipriv_determinism_geolife_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  const char* header =
+      "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+      "0,2,255,My Track,0,0,2,8421376\n0\n";
+  for (int user = 0; user < 5; ++user) {
+    for (int file = 0; file < 3; ++file) {
+      const fs::path dir =
+          root / ("00" + std::to_string(user)) / "Trajectory";
+      fs::create_directories(dir);
+      std::ofstream out(dir / ("2009042" + std::to_string(file) + ".plt"));
+      out << header;
+      for (int row = 0; row < 40; ++row) {
+        out << (39.9 + 0.001 * row) << "," << (116.3 + 0.002 * row)
+            << ",0,492,39925.44,2009-04-2" << file << ",10:34:"
+            << (10 + row) % 60 << "\n";
+      }
+    }
+  }
+  model::Dataset serial;
+  {
+    const util::ScopedParallelism one(1);
+    serial = model::LoadGeolife(root.string());
+  }
+  ASSERT_EQ(serial.TraceCount(), 15u);
+  {
+    const util::ScopedParallelism four(4);
+    ExpectDatasetsIdentical(serial, model::LoadGeolife(root.string()));
+  }
+  fs::remove_all(root);
 }
 
 TEST(ParallelDeterminism, ParallelForCoversEveryIndexOnce) {

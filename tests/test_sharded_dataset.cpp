@@ -1,0 +1,150 @@
+// Sharding contracts: stable user->shard assignment, exact Partition/Merge
+// round trips at any shard count, and worker-count-invariant shard-wise
+// pipeline runs.
+#include <gtest/gtest.h>
+
+#include "core/anonymizer.h"
+#include "core/experiment.h"
+#include "mechanisms/identity.h"
+#include "model/sharded_dataset.h"
+#include "synth/population.h"
+#include "util/thread_pool.h"
+
+namespace mobipriv {
+namespace {
+
+model::Dataset TestWorld() {
+  synth::PopulationConfig config;
+  config.agents = 10;
+  config.days = 2;
+  config.seed = 321;
+  return synth::SyntheticWorld(config).dataset();
+}
+
+void ExpectDatasetsIdentical(const model::Dataset& a,
+                             const model::Dataset& b) {
+  ASSERT_EQ(a.UserCount(), b.UserCount());
+  for (model::UserId id = 0; id < a.UserCount(); ++id) {
+    EXPECT_EQ(a.UserName(id), b.UserName(id));
+  }
+  ASSERT_EQ(a.TraceCount(), b.TraceCount());
+  for (std::size_t t = 0; t < a.TraceCount(); ++t) {
+    const model::Trace& ta = a.traces()[t];
+    const model::Trace& tb = b.traces()[t];
+    ASSERT_EQ(ta.user(), tb.user()) << "trace " << t;
+    ASSERT_EQ(ta.size(), tb.size()) << "trace " << t;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].time, tb[i].time);
+      EXPECT_EQ(ta[i].position.lat, tb[i].position.lat);
+      EXPECT_EQ(ta[i].position.lng, tb[i].position.lng);
+    }
+  }
+}
+
+TEST(ShardOfUser, StableAndInRange) {
+  for (const std::size_t shards : {1u, 2u, 3u, 8u, 64u}) {
+    for (const char* name : {"alice", "bob", "000", "user42", ""}) {
+      const std::size_t s = model::ShardedDataset::ShardOfUser(name, shards);
+      EXPECT_LT(s, shards);
+      // Pure function: same inputs, same shard, every time.
+      EXPECT_EQ(s, model::ShardedDataset::ShardOfUser(name, shards));
+    }
+  }
+  // Single shard is always shard 0.
+  EXPECT_EQ(model::ShardedDataset::ShardOfUser("anyone", 1), 0u);
+}
+
+TEST(ShardOfUser, SpreadsUsersAcrossShards) {
+  // Not a statistical test — just: 100 users on 8 shards must not collapse
+  // onto one shard.
+  std::vector<std::size_t> counts(8, 0);
+  for (int u = 0; u < 100; ++u) {
+    ++counts[model::ShardedDataset::ShardOfUser("user" + std::to_string(u),
+                                                counts.size())];
+  }
+  std::size_t used = 0;
+  for (const std::size_t c : counts) used += c > 0 ? 1 : 0;
+  EXPECT_GE(used, 6u);
+}
+
+TEST(ShardedDataset, PartitionMergeRoundTripsAtAnyShardCount) {
+  const model::Dataset dataset = TestWorld();
+  for (const std::size_t shards : {1u, 3u, 8u, 16u}) {
+    const auto sharded = model::ShardedDataset::Partition(dataset, shards);
+    EXPECT_EQ(sharded.ShardCount(), shards);
+    EXPECT_EQ(sharded.TraceCount(), dataset.TraceCount());
+    EXPECT_EQ(sharded.EventCount(), dataset.EventCount());
+    EXPECT_EQ(sharded.UserCount(), dataset.UserCount());
+    ExpectDatasetsIdentical(sharded.Merge(), dataset);
+  }
+}
+
+TEST(ShardedDataset, AllTracesOfAUserLandInOneShard) {
+  const model::Dataset dataset = TestWorld();
+  const auto sharded = model::ShardedDataset::Partition(dataset, 4);
+  for (model::UserId id = 0; id < dataset.UserCount(); ++id) {
+    const std::string name = dataset.UserName(id);
+    std::size_t shards_holding = 0;
+    for (std::size_t s = 0; s < sharded.ShardCount(); ++s) {
+      const auto local = sharded.shard(s).FindUser(name);
+      if (!local.has_value()) continue;
+      ++shards_holding;
+      EXPECT_EQ(s, model::ShardedDataset::ShardOfUser(name, 4));
+    }
+    EXPECT_EQ(shards_holding, 1u) << name;
+  }
+}
+
+TEST(ShardedDataset, ApplyShardedIsWorkerCountInvariant) {
+  const model::Dataset dataset = TestWorld();
+  const auto sharded = model::ShardedDataset::Partition(dataset, 3);
+  const core::Anonymizer anonymizer;
+
+  util::Rng serial_rng(2015);
+  model::ShardedDataset serial_out;
+  std::vector<core::PipelineReport> serial_reports;
+  {
+    const util::ScopedParallelism one(1);
+    serial_out = anonymizer.ApplySharded(sharded, serial_rng, &serial_reports);
+  }
+  util::Rng parallel_rng(2015);
+  model::ShardedDataset parallel_out;
+  std::vector<core::PipelineReport> parallel_reports;
+  {
+    const util::ScopedParallelism eight(8);
+    parallel_out =
+        anonymizer.ApplySharded(sharded, parallel_rng, &parallel_reports);
+  }
+  EXPECT_EQ(serial_rng.NextU64(), parallel_rng.NextU64());
+  ASSERT_EQ(serial_reports.size(), parallel_reports.size());
+  for (std::size_t s = 0; s < serial_reports.size(); ++s) {
+    EXPECT_EQ(serial_reports[s].ToString(), parallel_reports[s].ToString());
+  }
+  ExpectDatasetsIdentical(serial_out.Merge(), parallel_out.Merge());
+}
+
+TEST(ShardedDataset, IdentityMechanismShardwisePreservesEverything) {
+  const model::Dataset dataset = TestWorld();
+  const auto sharded = model::ShardedDataset::Partition(dataset, 5);
+  util::Rng rng(1);
+  const mech::Identity identity;
+  const auto out = core::ApplyMechanismSharded(identity, sharded, rng);
+  EXPECT_EQ(out.ShardCount(), sharded.ShardCount());
+  EXPECT_EQ(out.EventCount(), dataset.EventCount());
+  EXPECT_EQ(out.TraceCount(), dataset.TraceCount());
+  // Identity keeps every shard's contents; the merged dataset holds the
+  // same users and events (trace order is shard-order after a rebuild).
+  const model::Dataset merged = out.Merge();
+  EXPECT_EQ(merged.UserCount(), dataset.UserCount());
+  EXPECT_EQ(merged.EventCount(), dataset.EventCount());
+}
+
+TEST(ShardedDataset, EmptyDatasetPartitions) {
+  const model::Dataset empty;
+  const auto sharded = model::ShardedDataset::Partition(empty, 4);
+  EXPECT_EQ(sharded.TraceCount(), 0u);
+  EXPECT_TRUE(sharded.Merge().empty());
+}
+
+}  // namespace
+}  // namespace mobipriv
