@@ -6,11 +6,14 @@
 // geometric kernels, over growing dataset sizes.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <sstream>
 
 #include "attacks/poi_extraction.h"
+#include "model/columnar_file.h"
+#include "model/event_store.h"
 #include "attacks/reident.h"
 #include "core/anonymizer.h"
 #include "geo/polyline.h"
@@ -223,6 +226,101 @@ void BM_IngestCsvStreaming(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_IngestCsvStreaming)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Columnar on-disk format (.mpc) ----------------------------------------
+// The startup-cost ladder the format exists for: parse CSV every run
+// (BM_IngestCsv), read a prebuilt columnar file (BM_ReadColumnar — owning,
+// every checksum verified), or mmap it (BM_OpenColumnarMmap — zero-copy,
+// lazily faulted; the acceptance bar is >= 10x over the CSV parse of the
+// same data). All three process the same dataset, so wall times compare
+// directly across rows of BENCH_throughput.json.
+
+/// Prebuilt .mpc of a world, written once per size into the temp dir.
+const std::string& ColumnarPathOfSize(std::size_t agents) {
+  static std::map<std::size_t, std::string> cache;
+  auto it = cache.find(agents);
+  if (it == cache.end()) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("mobipriv_bench_" + std::to_string(agents) + ".mpc"))
+            .string();
+    model::WriteColumnar(
+        model::EventStore::FromDataset(WorldOfSize(agents).dataset()), path);
+    it = cache.emplace(agents, path).first;
+  }
+  return it->second;
+}
+
+void BM_WriteColumnar(benchmark::State& state) {
+  const model::EventStore store = model::EventStore::FromDataset(
+      WorldOfSize(static_cast<std::size_t>(state.range(0))).dataset());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mobipriv_bench_write.mpc")
+          .string();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    model::WriteColumnar(store, path);
+    bytes += static_cast<std::size_t>(std::filesystem::file_size(path));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WriteColumnar)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ReadColumnar(benchmark::State& state) {
+  const std::string& path =
+      ColumnarPathOfSize(static_cast<std::size_t>(state.range(0)));
+  const auto file_bytes =
+      static_cast<std::size_t>(std::filesystem::file_size(path));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const model::EventStore store = model::ReadColumnar(path);
+    benchmark::DoNotOptimize(store.EventCount());
+    bytes += file_bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ReadColumnar)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_OpenColumnarMmap(benchmark::State& state) {
+  // Open + build the whole-file DatasetView: what a pipeline run pays
+  // before its first kernel touches a column. Pages fault lazily, so this
+  // is metadata-decode cost, independent of the event count.
+  const std::string& path =
+      ColumnarPathOfSize(static_cast<std::size_t>(state.range(0)));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const model::MappedColumnar mapped = model::MapColumnar(path);
+    benchmark::DoNotOptimize(mapped.View().EventCount());
+    events += mapped.EventCount();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_OpenColumnarMmap)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OpenColumnarMmapVerified(benchmark::State& state) {
+  // Same open with the column checksums verified: one sequential FNV pass
+  // over the mapping (the untrusted-media open).
+  const std::string& path =
+      ColumnarPathOfSize(static_cast<std::size_t>(state.range(0)));
+  const auto file_bytes =
+      static_cast<std::size_t>(std::filesystem::file_size(path));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const model::MappedColumnar mapped =
+        model::MapColumnar(path, {.verify_checksums = true});
+    benchmark::DoNotOptimize(mapped.View().EventCount());
+    bytes += file_bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_OpenColumnarMmapVerified)
     ->Arg(100)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);

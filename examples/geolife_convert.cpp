@@ -1,14 +1,18 @@
-// Real-data on-ramp: convert a Geolife-format corpus to the native CSV,
+// Real-data on-ramp: convert a Geolife-format corpus to the native CSV or
+// the binary columnar `.mpc` container (chosen by --output extension),
 // optionally pre-processing it (gap splitting, speed-glitch removal) into
 // publication-ready sessions and anonymizing on the way out. This is the
 // tool that swaps the synthetic substrate for the paper's intended
-// real-life datasets once you have them on disk.
+// real-life datasets once you have them on disk. Converting once to .mpc
+// makes every later run skip Geolife/CSV parsing entirely (see
+// docs/FORMAT.md).
 //
-//   $ ./geolife_convert --root "Geolife Trajectories 1.3/Data" \
-//         --output geolife.csv [--max-users 20] [--anonymize]
+//   $ ./geolife_convert --root "Geolife Trajectories 1.3/Data"
+//         --output geolife.mpc [--max-users 20] [--anonymize]
 #include <iostream>
 
 #include "core/anonymizer.h"
+#include "model/columnar_file.h"
 #include "model/filters.h"
 #include "model/geolife.h"
 #include "model/io.h"
@@ -21,7 +25,8 @@ int main(int argc, char** argv) {
   util::CliParser cli("Geolife -> mobipriv CSV converter");
   cli.AddOption("root", "Geolife Data directory (contains user folders)",
                 "");
-  cli.AddOption("output", "output CSV path", "geolife.csv");
+  cli.AddOption("output", "output path (.csv or .mpc columnar)",
+                "geolife.csv");
   cli.AddOption("max-users", "limit loaded users (0 = all)", "0");
   cli.AddOption("max-files", "limit PLT files per user (0 = all)", "0");
   cli.AddOption("gap", "split traces at recording gaps, seconds", "900");
@@ -67,7 +72,7 @@ int main(int argc, char** argv) {
       sessions = anonymizer.ApplyWithReport(sessions, rng, report);
       std::cout << anonymizer.Name() << ":\n" << report.ToString() << "\n";
     }
-    model::WriteCsvFile(sessions, cli.GetString("output"));
+    model::SaveDataset(sessions, cli.GetString("output"));
     std::cout << "Written to " << cli.GetString("output") << "\n";
   } catch (const model::IoError& e) {
     std::cerr << "I/O error: " << e.what() << "\n";

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Docs lint: the byte-level spec in docs/FORMAT.md must agree with the
+# code's format constants. Run from the repo root (CI does); fails with a
+# message naming every disagreement.
+set -euo pipefail
+
+header=src/model/columnar_file.h
+spec=docs/FORMAT.md
+fail=0
+
+[[ -f "$header" ]] || { echo "missing $header"; exit 1; }
+[[ -f "$spec" ]] || { echo "missing $spec"; exit 1; }
+
+# 1. kColumnarFormatVersion (code) == the version marked "current" in the
+#    spec's version table.
+code_version=$(grep -oE 'kColumnarFormatVersion = [0-9]+' "$header" | grep -oE '[0-9]+')
+doc_version=$(grep -E '^\| *[0-9]+ *\| *current *\|' "$spec" | grep -oE '[0-9]+' | head -1)
+if [[ -z "$code_version" ]]; then
+  echo "FAIL: kColumnarFormatVersion not found in $header"; fail=1
+elif [[ -z "$doc_version" ]]; then
+  echo "FAIL: no version marked 'current' in $spec version table"; fail=1
+elif [[ "$code_version" != "$doc_version" ]]; then
+  echo "FAIL: $header says version $code_version but $spec marks $doc_version as current"
+  fail=1
+else
+  echo "OK: format version $code_version agrees between code and spec"
+fi
+
+# 2. The magic bytes documented in the spec match the code's constants.
+check_magic() {
+  local name=$1 doc_hex=$2
+  # Extract the initializer list of the constant and normalize to hex.
+  local code_hex
+  code_hex=$(awk "/$name = \{/,/\};/" "$header" | tr -d '\n' |
+    sed -e "s/.*{//" -e "s/}.*//" | tr ',' '\n' |
+    sed -e "s/[[:space:]]//g" -e "/^$/d" |
+    while read -r tok || [[ -n "$tok" ]]; do
+      case "$tok" in
+        0x*) printf '%02X ' "$tok" ;;
+        \'\\r\') printf '0D ' ;;
+        \'\\n\') printf '0A ' ;;
+        *) printf '%02X ' "'${tok//\'/}" ;;
+      esac
+    done)
+  code_hex=${code_hex% }
+  if ! grep -qF "$doc_hex" "$spec"; then
+    echo "FAIL: $spec does not document magic '$doc_hex' for $name"; fail=1
+  elif [[ "$code_hex" != "$doc_hex" ]]; then
+    echo "FAIL: $name is '$code_hex' in code but '$doc_hex' in $spec"; fail=1
+  else
+    echo "OK: $name magic $code_hex agrees between code and spec"
+  fi
+}
+check_magic kColumnarMagic "89 4D 50 43 0D 0A 1A 0A"
+check_magic kManifestMagic "89 4D 50 4D 0D 0A 1A 0A"
+
+exit $fail

@@ -1,0 +1,213 @@
+// The `.mpc` binary columnar container: EventStore columns on disk.
+//
+// Every run of the pipeline used to pay a full CSV / Geolife parse on
+// startup. A `.mpc` file persists an EventStore verbatim — the three
+// contiguous lat / lng / time columns, the trace descriptor table and the
+// user name table — in a versioned little-endian container with
+// per-section FNV-1a checksums, so a prebuilt dataset opens in
+// microseconds instead of parsing for seconds. Byte-level layout is
+// specified in docs/FORMAT.md; `kColumnarFormatVersion` below is the
+// single source of truth for the on-disk version (CI lints the spec
+// against it).
+//
+// Three access paths:
+//   * WriteColumnar(store, path)  — serialize an EventStore.
+//   * ReadColumnar(path)          — owning load: every section checksum is
+//                                   verified, columns are copied into a
+//                                   fresh EventStore.
+//   * MapColumnar(path)           — mmap-backed zero-copy open: TraceView /
+//                                   DatasetView point straight into the
+//                                   read-only mapping; column pages fault
+//                                   in lazily on first touch.
+//
+// Round-trip contract (test-enforced): for any EventStore `s`,
+// ReadColumnar(WriteColumnar(s)) and MapColumnar(WriteColumnar(s)) expose
+// bit-identical columns, trace table and names — so CSV -> columnar ->
+// Dataset equals the directly parsed Dataset bitwise (doubles compared by
+// bit pattern, -0.0 and all).
+//
+// All failures (bad magic, version mismatch, truncation, checksum
+// mismatch, inconsistent tables) throw model::IoError with a description;
+// no partially-initialized object escapes and no out-of-bounds read
+// happens on corrupt input (exercised under ASan in CI).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/event_store.h"
+#include "model/io.h"
+
+namespace mobipriv::model {
+
+/// On-disk format version. Readers accept exactly this version; a bump
+/// means an incompatible layout change (see docs/FORMAT.md for the
+/// versioning rules). CI fails if docs/FORMAT.md disagrees with this value.
+inline constexpr std::uint32_t kColumnarFormatVersion = 1;
+
+/// First eight bytes of every `.mpc` file. PNG-style: a high bit to catch
+/// 7-bit transports, "MPC", CRLF + ^Z + LF to catch newline translation.
+inline constexpr std::array<std::uint8_t, 8> kColumnarMagic = {
+    0x89, 'M', 'P', 'C', '\r', '\n', 0x1a, '\n'};
+
+/// First eight bytes of a shard-directory manifest (`manifest.mpm`).
+inline constexpr std::array<std::uint8_t, 8> kManifestMagic = {
+    0x89, 'M', 'P', 'M', '\r', '\n', 0x1a, '\n'};
+
+/// Canonical file extension for columnar files (dispatch key for
+/// LoadDataset / SaveDataset).
+inline constexpr const char* kColumnarExtension = ".mpc";
+
+/// FNV-1a 64-bit over a byte range — the format's checksum function (the
+/// same hash ShardedDataset::ShardOfUser uses for shard assignment).
+/// Pure, platform independent.
+[[nodiscard]] std::uint64_t Fnv1a64(const void* data,
+                                    std::size_t size) noexcept;
+
+/// Shared low-level pieces of the on-disk encoding, used by both the
+/// `.mpc` container and the shard manifest so the format-critical logic
+/// exists exactly once. Not a stable API — reach for the functions above
+/// unless you are implementing a container.
+namespace detail {
+
+/// Little-endian scalar stores/loads (the host is static_assert'd LE in
+/// columnar_file.cpp; memcpy keeps them alignment-safe).
+void PutU32(std::byte* p, std::uint32_t v) noexcept;
+void PutU64(std::byte* p, std::uint64_t v) noexcept;
+[[nodiscard]] std::uint32_t GetU32(const std::byte* p) noexcept;
+[[nodiscard]] std::uint64_t GetU64(const std::byte* p) noexcept;
+
+/// Encodes a name table as specified for the NAME section (and the
+/// manifest's global name table): (names.size() + 1) u64 offsets into a
+/// trailing UTF-8 blob.
+[[nodiscard]] std::vector<std::byte> EncodeNameTable(
+    std::span<const std::string> names);
+
+/// Decodes and validates a name table of `count` entries from at most
+/// `available` bytes at `payload`: offsets must start at 0, be monotonic,
+/// end within the blob, and the decoded names must be unique (the
+/// in-memory stores require a name -> id map). `*consumed` gets the
+/// exact offsets+blob byte count. Throws IoError prefixed with `context`.
+[[nodiscard]] std::vector<std::string> DecodeNameTable(
+    const std::byte* payload, std::size_t available, std::uint64_t count,
+    std::size_t* consumed, const std::string& context);
+
+}  // namespace detail
+
+/// Serializes `store` to `path` in the `.mpc` container format
+/// (docs/FORMAT.md). Overwrites an existing file. Throws IoError on any
+/// filesystem failure.
+void WriteColumnar(const EventStore& store, const std::string& path);
+
+/// Owning load: reads `path`, verifies the header, directory and every
+/// section checksum, and copies the columns into a fresh EventStore.
+/// Bit-identical to the store that was written. Throws IoError on any
+/// corruption or I/O failure.
+[[nodiscard]] EventStore ReadColumnar(const std::string& path);
+
+struct ColumnarMapOptions {
+  /// Verify the lat/lng/time column checksums at open. Off by default:
+  /// eager verification touches every page, defeating the lazy-fault
+  /// startup win that is the point of mapping (the header, directory,
+  /// name table and trace table — everything decoded eagerly — are
+  /// ALWAYS verified). Turn on when reading files from untrusted media.
+  bool verify_checksums = false;
+};
+
+/// A read-only memory-mapped `.mpc` file. Views returned by View() point
+/// straight into the mapping (zero copy for the columns); the name table
+/// and trace descriptors are decoded eagerly at open (they are O(users +
+/// traces) metadata, not bulk data). The mapping lives until destruction;
+/// every view must not outlive the MappedColumnar it came from.
+///
+/// Falls back to an owned heap buffer on platforms without mmap — the API
+/// and validation behaviour are identical, only the laziness is lost.
+class MappedColumnar {
+ public:
+  MappedColumnar() = default;
+  MappedColumnar(MappedColumnar&& other) noexcept;
+  MappedColumnar& operator=(MappedColumnar&& other) noexcept;
+  MappedColumnar(const MappedColumnar&) = delete;
+  MappedColumnar& operator=(const MappedColumnar&) = delete;
+  ~MappedColumnar();
+
+  /// Maps `path` and validates it (see ColumnarMapOptions for how much).
+  /// Throws IoError on corruption or I/O failure.
+  [[nodiscard]] static MappedColumnar Open(const std::string& path,
+                                           ColumnarMapOptions options = {});
+
+  [[nodiscard]] std::size_t TraceCount() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] std::size_t EventCount() const noexcept { return events_; }
+  [[nodiscard]] std::size_t UserCount() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return traces_.empty(); }
+
+  /// User id of trace `t` (dense, < UserCount()).
+  [[nodiscard]] UserId TraceUser(std::size_t trace) const {
+    return traces_[trace].user;
+  }
+  /// Event count of trace `t`.
+  [[nodiscard]] std::size_t TraceSize(std::size_t trace) const {
+    return traces_[trace].end - traces_[trace].begin;
+  }
+
+  /// External name for a dense id ("user<N>" fallback, like Dataset).
+  [[nodiscard]] std::string UserName(UserId id) const;
+  /// Dense id -> name table (decoded at open; owned by this object).
+  [[nodiscard]] std::span<const std::string> names() const noexcept {
+    return names_;
+  }
+
+  /// Zero-copy view of one trace: the lat/lng/time spans alias the mapping.
+  [[nodiscard]] TraceView View(std::size_t trace) const;
+
+  /// Zero-copy view of the whole file. O(TraceCount) descriptor setup,
+  /// zero event copies. The mapping must outlive the view.
+  [[nodiscard]] DatasetView View() const;
+
+  /// Materializes an owning AoS Dataset (copies every event) — equivalent
+  /// to ReadColumnar(path).ToDataset().
+  [[nodiscard]] Dataset ToDataset() const;
+
+ private:
+  const std::byte* base_ = nullptr;  // mapping (or owned buffer) start
+  std::size_t size_ = 0;             // mapped length in bytes
+  bool is_mmap_ = false;             // true: munmap on destroy
+  std::vector<std::byte> owned_;     // fallback storage when !is_mmap_
+
+  const double* lat_ = nullptr;      // column pointers into base_
+  const double* lng_ = nullptr;
+  const util::Timestamp* time_ = nullptr;
+  std::size_t events_ = 0;
+
+  std::vector<EventStore::TraceRange> traces_;  // decoded trace table
+  std::vector<std::string> names_;              // decoded name table
+
+  void Reset() noexcept;
+};
+
+/// Convenience wrapper: MappedColumnar::Open.
+[[nodiscard]] MappedColumnar MapColumnar(const std::string& path,
+                                         ColumnarMapOptions options = {});
+
+/// True if `path` ends in the `.mpc` columnar extension.
+[[nodiscard]] bool IsColumnarPath(const std::string& path);
+
+/// Extension-dispatched dataset load: `.mpc` files go through ReadColumnar
+/// (owning, fully verified) and materialize to a Dataset; everything else
+/// is read as native CSV (ReadCsvFile, byte-identical at any worker
+/// count). Throws IoError on failure.
+[[nodiscard]] Dataset LoadDataset(const std::string& path);
+
+/// Extension-dispatched dataset save: `.mpc` writes the columnar
+/// container, everything else the native CSV. Throws IoError on failure.
+void SaveDataset(const Dataset& dataset, const std::string& path);
+
+}  // namespace mobipriv::model

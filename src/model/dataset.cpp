@@ -56,7 +56,34 @@ std::size_t Dataset::EventCount() const noexcept {
   return total;
 }
 
+bool Dataset::UserIndexConsistent() const {
+  // Count the traces that should be indexed, check that every indexed
+  // entry is valid and strictly increasing per user, and compare counts:
+  // together that proves the index is exactly the per-user partition of
+  // the valid-user traces.
+  std::size_t indexable = 0;
+  for (const Trace& trace : traces_) {
+    if (trace.user() != kInvalidUser) ++indexable;
+  }
+  std::size_t indexed = 0;
+  for (UserId user = 0; user < traces_by_user_.size(); ++user) {
+    std::size_t prev = 0;
+    bool first = true;
+    for (const std::size_t i : traces_by_user_[user]) {
+      if (i >= traces_.size() || traces_[i].user() != user) return false;
+      if (!first && i <= prev) return false;
+      prev = i;
+      first = false;
+      ++indexed;
+    }
+  }
+  return indexed == indexable;
+}
+
 const std::vector<std::size_t>& Dataset::TracesOfUser(UserId user) const {
+  // A stale index here means someone mutated users/trace order through
+  // mutable_traces() without calling RebuildUserIndex().
+  assert(UserIndexConsistent());
   static const std::vector<std::size_t> kEmpty;
   if (user >= traces_by_user_.size()) return kEmpty;
   return traces_by_user_[user];

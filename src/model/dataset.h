@@ -57,11 +57,22 @@ class Dataset {
   /// Indices into traces() for all traces of a given user, in insertion
   /// order. O(1): served from a per-user index maintained by AddTrace.
   /// The reference stays valid until the next non-const dataset operation.
+  /// Debug builds assert the index is consistent with traces() on every
+  /// call, so a forgotten RebuildUserIndex() fails fast instead of
+  /// silently returning stale indices.
   [[nodiscard]] const std::vector<std::size_t>& TracesOfUser(
       UserId user) const;
 
   /// Rebuilds the per-user trace index after out-of-band mutation through
-  /// mutable_traces() (user reassignment, trace reordering/erasure).
+  /// mutable_traces().
+  ///
+  /// INVARIANT: TracesOfUser is only correct while, for every user u,
+  /// traces_by_user_[u] lists exactly the indices i with
+  /// traces()[i].user() == u, in increasing order. AddTrace maintains
+  /// this; event-level edits through mutable_traces() preserve it; any
+  /// mutation that changes a trace's *user* or reorders/erases traces
+  /// breaks it and MUST be followed by RebuildUserIndex() before the next
+  /// TracesOfUser call (debug builds assert this).
   void RebuildUserIndex();
 
   /// Dense id -> external name table (names for every interned user).
@@ -79,6 +90,9 @@ class Dataset {
 
  private:
   void IndexTrace(std::size_t trace_index);
+  // Debug-only: true iff traces_by_user_ exactly matches traces_ (the
+  // TracesOfUser invariant). O(TraceCount) — asserted, never shipped.
+  [[nodiscard]] bool UserIndexConsistent() const;
 
   std::vector<std::string> names_;  // dense id -> external name
   std::unordered_map<std::string, UserId> ids_;

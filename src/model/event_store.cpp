@@ -1,5 +1,8 @@
 #include "model/event_store.h"
 
+#include <stdexcept>
+#include <utility>
+
 namespace mobipriv::model {
 
 EventStore EventStore::FromDataset(const Dataset& dataset) {
@@ -12,6 +15,40 @@ EventStore EventStore::FromDataset(const Dataset& dataset) {
   for (const Trace& trace : dataset.traces()) {
     store.AppendTrace(trace);
   }
+  return store;
+}
+
+EventStore EventStore::FromColumns(std::vector<std::string> names,
+                                   std::vector<TraceRange> traces,
+                                   std::vector<double> lat,
+                                   std::vector<double> lng,
+                                   std::vector<util::Timestamp> time) {
+  if (lat.size() != lng.size() || lat.size() != time.size()) {
+    throw std::invalid_argument("EventStore::FromColumns: column lengths differ");
+  }
+  for (const TraceRange& range : traces) {
+    if (range.begin > range.end || range.end > lat.size()) {
+      throw std::invalid_argument(
+          "EventStore::FromColumns: trace range out of bounds");
+    }
+    if (range.user >= names.size()) {
+      throw std::invalid_argument(
+          "EventStore::FromColumns: trace user id out of range");
+    }
+  }
+  EventStore store;
+  store.ids_.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!store.ids_.emplace(names[i], static_cast<UserId>(i)).second) {
+      throw std::invalid_argument(
+          "EventStore::FromColumns: duplicate user name");
+    }
+  }
+  store.names_ = std::move(names);
+  store.traces_ = std::move(traces);
+  store.lat_ = std::move(lat);
+  store.lng_ = std::move(lng);
+  store.time_ = std::move(time);
   return store;
 }
 

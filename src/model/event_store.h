@@ -28,10 +28,32 @@ namespace mobipriv::model {
 
 class EventStore {
  public:
+  /// One trace's descriptor: owning user plus the [begin, end) offset
+  /// range of its events in the columns. Public because the columnar file
+  /// layer (model/columnar_file.h) exchanges whole descriptor tables with
+  /// the store; everyone else should go through View()/TraceUser().
+  struct TraceRange {
+    UserId user = kInvalidUser;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
   EventStore() = default;
 
   /// Converts an AoS dataset. O(EventCount) copies into columns.
+  /// ToDataset() inverts it exactly (same names, ids, trace order, event
+  /// bit patterns) — the basis of the columnar round-trip guarantee.
   [[nodiscard]] static EventStore FromDataset(const Dataset& dataset);
+
+  /// Adopts pre-built columns and a descriptor table wholesale — the
+  /// columnar file reader's entry point; no per-event copies beyond the
+  /// moves. Requires columns of equal length, every range within bounds
+  /// with begin <= end, user ids < names.size(), and unique names; throws
+  /// std::invalid_argument otherwise (nothing is adopted on failure).
+  [[nodiscard]] static EventStore FromColumns(
+      std::vector<std::string> names, std::vector<TraceRange> traces,
+      std::vector<double> lat, std::vector<double> lng,
+      std::vector<util::Timestamp> time);
 
   /// Registers (or looks up) the dense id for an external user name.
   UserId InternUser(const std::string& name);
@@ -54,11 +76,18 @@ class EventStore {
   }
   [[nodiscard]] bool empty() const noexcept { return traces_.empty(); }
 
+  /// User id of trace `trace` (dense, < UserCount()).
   [[nodiscard]] UserId TraceUser(std::size_t trace) const {
     return traces_[trace].user;
   }
+  /// Event count of trace `trace`.
   [[nodiscard]] std::size_t TraceSize(std::size_t trace) const {
     return traces_[trace].end - traces_[trace].begin;
+  }
+
+  /// The full descriptor table (trace i's user + column offset range).
+  [[nodiscard]] std::span<const TraceRange> trace_table() const noexcept {
+    return traces_;
   }
 
   /// Raw columns (contiguous; event i of trace t is at offset begin + i).
@@ -84,12 +113,6 @@ class EventStore {
   [[nodiscard]] Dataset ToDataset() const;
 
  private:
-  struct TraceRange {
-    UserId user = kInvalidUser;
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-
   std::vector<double> lat_;
   std::vector<double> lng_;
   std::vector<util::Timestamp> time_;

@@ -1,6 +1,6 @@
-// Dataset serialization.
+// Dataset serialization (text formats).
 //
-// Two formats are supported:
+// Two text formats are supported here:
 //   * "mobipriv CSV": header `user,lat,lng,timestamp`, one event per row,
 //     timestamp either Unix seconds or "YYYY-MM-DD hh:mm:ss". This is the
 //     library's native publication format.
@@ -8,6 +8,9 @@
 //     dataset the paper's evaluation plan targets (lat, lng, 0, altitude,
 //     days-since-1899, date, time) — supported so real data can be dropped
 //     in when licensing permits.
+// The binary columnar `.mpc` container (parse once, then open in
+// microseconds) lives in model/columnar_file.h; LoadDataset/SaveDataset
+// there dispatch between it and this CSV reader by file extension.
 //
 // Ingestion is parallel and streaming-chunked: input splits into
 // line-aligned byte ranges (util::SplitLineChunks) parsed concurrently on

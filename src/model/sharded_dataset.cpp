@@ -1,8 +1,47 @@
 #include "model/sharded_dataset.h"
 
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "model/columnar_file.h"
+#include "model/event_store.h"
 
 namespace mobipriv::model {
+
+namespace {
+
+constexpr std::size_t kManifestHeaderSize = 48;
+constexpr std::uint32_t kManifestFlagHasOrigin = 1u;
+// Backstop against a corrupt shard count driving a huge open loop; far
+// above any deployment's process count.
+constexpr std::uint64_t kMaxShardCount = 1u << 20;
+
+using detail::GetU32;
+using detail::GetU64;
+using detail::PutU32;
+using detail::PutU64;
+
+constexpr std::size_t AlignUp8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
+
+std::string ShardFileName(std::size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%05zu.mpc", shard);
+  return buf;
+}
+
+std::filesystem::path ManifestPath(const std::string& dir) {
+  return std::filesystem::path(dir) / "manifest.mpm";
+}
+
+[[noreturn]] void CorruptManifest(const std::string& dir,
+                                  const std::string& what) {
+  throw IoError("shard manifest in " + dir + ": " + what);
+}
+
+}  // namespace
 
 ShardedDataset::ShardedDataset(std::size_t shard_count)
     : shards_(shard_count == 0 ? 1 : shard_count) {}
@@ -11,13 +50,10 @@ std::size_t ShardedDataset::ShardOfUser(std::string_view user_name,
                                         std::size_t shard_count) {
   if (shard_count <= 1) return 0;
   // FNV-1a, 64-bit: stable across platforms and standard libraries (unlike
-  // std::hash), so shard assignment is part of the format, not the build.
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : user_name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return static_cast<std::size_t>(h % shard_count);
+  // std::hash), so shard assignment is part of the format, not the build —
+  // the same Fnv1a64 the columnar container uses for its checksums.
+  return static_cast<std::size_t>(
+      Fnv1a64(user_name.data(), user_name.size()) % shard_count);
 }
 
 ShardedDataset ShardedDataset::Partition(const Dataset& dataset,
@@ -103,6 +139,193 @@ std::size_t ShardedDataset::EventCount() const noexcept {
   std::size_t total = 0;
   for (const Dataset& shard : shards_) total += shard.EventCount();
   return total;
+}
+
+void ShardedDataset::SaveShards(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw IoError("cannot create shard directory " + dir);
+
+  // Shard files are independent; serialize them concurrently (the pool
+  // rethrows the first failure).
+  util::ParallelForEach(shards_.size(), [&](std::size_t s) {
+    WriteColumnar(EventStore::FromDataset(shards_[s]),
+                  (fs::path(dir) / ShardFileName(s)).string());
+  });
+
+  // The recorded original order is persisted only while it still matches
+  // the shard contents (same condition Merge applies).
+  bool has_origin = origin_.size() == shards_.size();
+  for (std::size_t s = 0; has_origin && s < shards_.size(); ++s) {
+    has_origin = origin_[s].size() == shards_[s].TraceCount();
+  }
+
+  // Payload: name table (offsets + blob, zero-padded to 8 bytes), then —
+  // when present — per-shard origin runs (u64 count + count u64 indices).
+  const std::vector<std::byte> name_table =
+      detail::EncodeNameTable(global_names_);
+  std::size_t payload_size = AlignUp8(name_table.size());
+  if (has_origin) {
+    for (const auto& o : origin_) payload_size += 8 + o.size() * 8;
+  }
+
+  std::vector<std::byte> payload(payload_size, std::byte{0});
+  std::memcpy(payload.data(), name_table.data(), name_table.size());
+  if (has_origin) {
+    std::byte* p = payload.data() + AlignUp8(name_table.size());
+    for (const auto& o : origin_) {
+      PutU64(p, o.size());
+      p += 8;
+      for (const std::size_t index : o) {
+        PutU64(p, index);
+        p += 8;
+      }
+    }
+  }
+
+  std::vector<std::byte> head(kManifestHeaderSize, std::byte{0});
+  std::memcpy(head.data(), kManifestMagic.data(), kManifestMagic.size());
+  PutU32(head.data() + 8, kColumnarFormatVersion);
+  PutU32(head.data() + 12, has_origin ? kManifestFlagHasOrigin : 0u);
+  PutU64(head.data() + 16, shards_.size());
+  PutU64(head.data() + 24, global_names_.size());
+  PutU64(head.data() + 32, payload.size());
+  PutU64(head.data() + 40, Fnv1a64(payload.data(), payload.size()));
+
+  const std::string manifest = ManifestPath(dir).string();
+  std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open " + manifest + " for writing");
+  out.write(reinterpret_cast<const char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+  if (!payload.empty()) {
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  out.flush();
+  if (!out) throw IoError("write failed for " + manifest);
+}
+
+ShardedDataset ShardedDataset::OpenShards(const std::string& dir) {
+  return OpenShardsImpl(dir, nullptr);
+}
+
+ShardedDataset ShardedDataset::OpenShards(
+    const std::string& dir, const std::vector<std::size_t>& only) {
+  return OpenShardsImpl(dir, &only);
+}
+
+ShardedDataset ShardedDataset::OpenShardsImpl(
+    const std::string& dir, const std::vector<std::size_t>* only) {
+  namespace fs = std::filesystem;
+  const std::string manifest = ManifestPath(dir).string();
+  std::ifstream in(manifest, std::ios::binary);
+  if (!in) throw IoError("cannot open " + manifest);
+  in.seekg(0, std::ios::end);
+  const std::streamoff len = in.tellg();
+  in.seekg(0);
+  if (len < static_cast<std::streamoff>(kManifestHeaderSize)) {
+    CorruptManifest(dir, "shorter than the 48-byte header");
+  }
+  std::vector<std::byte> bytes(static_cast<std::size_t>(len));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), len)) {
+    throw IoError("cannot read " + manifest);
+  }
+
+  if (std::memcmp(bytes.data(), kManifestMagic.data(),
+                  kManifestMagic.size()) != 0) {
+    CorruptManifest(dir, "bad magic (not a .mpm manifest)");
+  }
+  const std::uint32_t version = GetU32(bytes.data() + 8);
+  if (version != kColumnarFormatVersion) {
+    CorruptManifest(dir, "unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t flags = GetU32(bytes.data() + 12);
+  if ((flags & ~kManifestFlagHasOrigin) != 0) {
+    CorruptManifest(dir, "unknown flag bits set");
+  }
+  const std::uint64_t shard_count = GetU64(bytes.data() + 16);
+  const std::uint64_t user_count = GetU64(bytes.data() + 24);
+  const std::uint64_t payload_size = GetU64(bytes.data() + 32);
+  if (shard_count == 0 || shard_count > kMaxShardCount) {
+    CorruptManifest(dir, "implausible shard count");
+  }
+  if (payload_size != bytes.size() - kManifestHeaderSize) {
+    CorruptManifest(dir, "payload size disagrees with file size");
+  }
+  const std::byte* payload = bytes.data() + kManifestHeaderSize;
+  if (GetU64(bytes.data() + 40) != Fnv1a64(payload, payload_size)) {
+    CorruptManifest(dir, "payload checksum mismatch");
+  }
+
+  // Name table (shared codec with the .mpc NAME section).
+  std::size_t names_consumed = 0;
+  std::vector<std::string> names = detail::DecodeNameTable(
+      payload, payload_size, user_count, &names_consumed,
+      "shard manifest in " + dir);
+
+  ShardedDataset out(static_cast<std::size_t>(shard_count));
+  out.global_names_ = std::move(names);
+
+  // Which shards to materialize (nullptr = all of them).
+  std::vector<bool> load(out.shards_.size(), only == nullptr);
+  if (only != nullptr) {
+    for (const std::size_t s : *only) {
+      if (s >= out.shards_.size()) {
+        throw IoError("shard index " + std::to_string(s) +
+                      " out of range for " + dir);
+      }
+      load[s] = true;
+    }
+  }
+  // Shard files are independent; parse them concurrently into their
+  // pre-sized slots (the pool rethrows the first failure).
+  util::ParallelForEach(out.shards_.size(), [&](std::size_t s) {
+    if (!load[s]) return;
+    out.shards_[s] =
+        ReadColumnar((fs::path(dir) / ShardFileName(s)).string()).ToDataset();
+  });
+
+  // The recorded original order only survives a full open: with shards
+  // missing, Merge must fall back to concatenating what was loaded.
+  if ((flags & kManifestFlagHasOrigin) != 0 && only == nullptr) {
+    std::size_t cursor = AlignUp8(names_consumed);
+    std::vector<std::vector<std::size_t>> origin(out.shards_.size());
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < out.shards_.size(); ++s) {
+      if (payload_size - cursor < 8) {
+        CorruptManifest(dir, "origin table truncated");
+      }
+      const std::uint64_t count = GetU64(payload + cursor);
+      cursor += 8;
+      if (count != out.shards_[s].TraceCount()) {
+        CorruptManifest(dir, "origin run disagrees with shard trace count");
+      }
+      if (count > (payload_size - cursor) / 8) {
+        CorruptManifest(dir, "origin table truncated");
+      }
+      origin[s].reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        origin[s].push_back(
+            static_cast<std::size_t>(GetU64(payload + cursor)));
+        cursor += 8;
+      }
+      total += static_cast<std::size_t>(count);
+    }
+    // The indices must form a permutation of [0, total) or Merge would
+    // read out of bounds on a corrupt manifest.
+    std::vector<bool> seen(total, false);
+    for (const auto& o : origin) {
+      for (const std::size_t index : o) {
+        if (index >= total || seen[index]) {
+          CorruptManifest(dir, "origin indices are not a permutation");
+        }
+        seen[index] = true;
+      }
+    }
+    out.origin_ = std::move(origin);
+  }
+  return out;
 }
 
 }  // namespace mobipriv::model

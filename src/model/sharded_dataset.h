@@ -57,6 +57,29 @@ class ShardedDataset {
   /// (the shape shard-wise transforms write their outputs into).
   [[nodiscard]] ShardedDataset EmptyLike() const;
 
+  /// Persists the partition: one columnar file per shard
+  /// (`shard-00000.mpc`, ... — see docs/FORMAT.md) plus `manifest.mpm`
+  /// (shard count, global name table, and — when still valid — the
+  /// original trace order so OpenShards().Merge() reproduces the
+  /// partitioned dataset exactly). Creates `dir` if missing; throws
+  /// model::IoError on any filesystem failure.
+  void SaveShards(const std::string& dir) const;
+
+  /// Opens a directory written by SaveShards. Restores shard count,
+  /// global names, every shard's contents and (when recorded) the
+  /// original trace order: OpenShards(Save(sd)).Merge() == sd.Merge().
+  /// Throws model::IoError on corruption (bad magic/version/checksum,
+  /// missing shard files, inconsistent origin table).
+  [[nodiscard]] static ShardedDataset OpenShards(const std::string& dir);
+
+  /// As OpenShards, but loads only the shard indices in `only` — the
+  /// per-process worker entry point: each worker opens just the shards it
+  /// owns; the rest stay empty. The recorded original order is dropped
+  /// (Merge concatenates the loaded shards in shard order). Indices must
+  /// be < the saved shard count.
+  [[nodiscard]] static ShardedDataset OpenShards(
+      const std::string& dir, const std::vector<std::size_t>& only);
+
   [[nodiscard]] std::size_t ShardCount() const noexcept {
     return shards_.size();
   }
@@ -81,6 +104,10 @@ class ShardedDataset {
   }
 
  private:
+  // Shared loader behind both OpenShards overloads (nullptr = all shards).
+  [[nodiscard]] static ShardedDataset OpenShardsImpl(
+      const std::string& dir, const std::vector<std::size_t>* only);
+
   std::vector<Dataset> shards_;
   // Original global trace index of shard s's local trace i (recorded by
   // Partition, cleared by mutable_shard). Valid only while every shard's

@@ -1,11 +1,13 @@
 // Non-owning span views over mobility data, the common currency of every
 // batch kernel after the columnar refactor.
 //
-// The same kernel must run over both storage layouts the library holds:
+// The same kernel must run over every storage layout the library holds:
 //   * AoS — model::Trace / model::Dataset (std::vector<Event>), the
-//     mutation-friendly layout mechanisms produce, and
+//     mutation-friendly layout mechanisms produce,
 //   * SoA — model::EventStore (contiguous lat / lng / time columns), the
-//     scan-friendly layout ingestion and sharding produce.
+//     scan-friendly layout ingestion and sharding produce, and
+//   * mapped — model::MappedColumnar (`.mpc` files, docs/FORMAT.md),
+//     whose views alias a read-only mmap of the on-disk columns.
 // StridedSpan bridges them: a (pointer, count, byte-stride) triple views a
 // column either inside an Event array (stride == sizeof(Event)) or inside a
 // flat column (stride == sizeof(T)) with zero copies either way.
@@ -37,9 +39,12 @@ class StridedSpan {
         count_(count),
         stride_(stride_bytes) {}
 
+  /// Value `i` (no bounds check, like std::span). The backing storage
+  /// must outlive the span.
   [[nodiscard]] const T& operator[](std::size_t i) const {
     return *reinterpret_cast<const T*>(data_ + i * stride_);
   }
+  /// Number of viewed values.
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
@@ -61,16 +66,21 @@ class TraceView {
   /// Zero-copy view over an AoS trace (strides through its Event array).
   [[nodiscard]] static TraceView Of(const Trace& trace);
 
+  /// Dense id of the trace's user (kInvalidUser for anonymous views).
   [[nodiscard]] UserId user() const noexcept { return user_; }
+  /// Number of events in the trace.
   [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
   [[nodiscard]] bool empty() const noexcept { return time_.empty(); }
 
+  /// Column reads for fix `i` (no bounds check; i < size()).
   [[nodiscard]] double lat(std::size_t i) const { return lat_[i]; }
   [[nodiscard]] double lng(std::size_t i) const { return lng_[i]; }
   [[nodiscard]] util::Timestamp time(std::size_t i) const { return time_[i]; }
+  /// Fix `i` assembled as a LatLng (two column reads).
   [[nodiscard]] geo::LatLng position(std::size_t i) const {
     return geo::LatLng{lat_[i], lng_[i]};
   }
+  /// Fix `i` assembled as an owning Event value.
   [[nodiscard]] Event event(std::size_t i) const {
     return Event{position(i), time_[i]};
   }
@@ -113,16 +123,20 @@ class DatasetView {
   /// View over an AoS dataset. O(TraceCount) setup, zero event copies.
   [[nodiscard]] static DatasetView Of(const Dataset& dataset);
 
+  /// All trace views, in dataset order.
   [[nodiscard]] const std::vector<TraceView>& traces() const noexcept {
     return traces_;
   }
+  /// Trace `i` (no bounds check).
   [[nodiscard]] const TraceView& trace(std::size_t i) const {
     return traces_[i];
   }
   [[nodiscard]] std::size_t TraceCount() const noexcept {
     return traces_.size();
   }
+  /// Number of users in the underlying id space (>= ids seen in traces).
   [[nodiscard]] std::size_t UserCount() const noexcept { return user_count_; }
+  /// Total events across all traces. O(TraceCount).
   [[nodiscard]] std::size_t EventCount() const noexcept;
   [[nodiscard]] bool empty() const noexcept { return traces_.empty(); }
 

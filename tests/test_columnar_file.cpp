@@ -1,0 +1,350 @@
+// Columnar container contracts: CSV -> .mpc -> Dataset round-trips
+// bitwise-identical to the parsed Dataset (owning and mmap paths), and
+// every class of corruption — bad magic, version skew, truncation, short
+// sections, checksum flips, inconsistent tables — fails with a clean
+// IoError instead of UB (this binary runs under ASan in CI).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "model/columnar_file.h"
+#include "model/event_store.h"
+#include "model/io.h"
+#include "synth/population.h"
+
+namespace mobipriv {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(testing::TempDir()) / name).string();
+}
+
+// Bit-level double equality: NaN payloads, -0.0 vs 0.0 and denormals all
+// distinguish — "bitwise identical" means exactly this.
+void ExpectSameBits(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+}
+
+void ExpectDatasetsBitwiseIdentical(const model::Dataset& a,
+                                    const model::Dataset& b) {
+  ASSERT_EQ(a.UserCount(), b.UserCount());
+  for (model::UserId id = 0; id < a.UserCount(); ++id) {
+    EXPECT_EQ(a.UserName(id), b.UserName(id));
+  }
+  ASSERT_EQ(a.TraceCount(), b.TraceCount());
+  for (std::size_t t = 0; t < a.TraceCount(); ++t) {
+    const model::Trace& ta = a.traces()[t];
+    const model::Trace& tb = b.traces()[t];
+    ASSERT_EQ(ta.user(), tb.user()) << "trace " << t;
+    ASSERT_EQ(ta.size(), tb.size()) << "trace " << t;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].time, tb[i].time);
+      ExpectSameBits(ta[i].position.lat, tb[i].position.lat);
+      ExpectSameBits(ta[i].position.lng, tb[i].position.lng);
+    }
+  }
+}
+
+model::Dataset SynthWorld() {
+  synth::PopulationConfig config;
+  config.agents = 8;
+  config.days = 1;
+  config.seed = 77;
+  return synth::SyntheticWorld(config).dataset();
+}
+
+/// A dataset built to stress the format: unicode names, an empty trace,
+/// a user interned without traces, multiple traces per user, and doubles
+/// whose bit patterns a text round trip would destroy.
+model::Dataset TrickyDataset() {
+  model::Dataset d;
+  d.AddTraceForUser("alice", {{{48.8566, 2.3522}, 1000}});
+  d.AddTraceForUser(
+      "b\xc3\xb6"
+      "b",  // "böb" in UTF-8
+      {{{-0.0, 0.0}, 0},
+       {{5e-324, -5e-324}, 1},                        // denormals
+       {{0.1 + 0.2, 1.0 / 3.0}, 2},                   // non-representable
+       {{90.0, -180.0}, 9223372036854775807LL}});     // extreme timestamp
+  d.AddTraceForUser("alice", {{{48.86, 2.36}, 2000}, {{48.87, 2.37}, 3000}});
+  d.AddTrace(model::Trace(d.InternUser("empty-trace-user"), {}));
+  d.InternUser("traceless");
+  return d;
+}
+
+std::vector<std::byte> Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  std::vector<char> chars{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  std::vector<std::byte> bytes(chars.size());
+  std::memcpy(bytes.data(), chars.data(), chars.size());
+  return bytes;
+}
+
+void Dump(const std::string& path, const std::vector<std::byte>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::uint64_t GetU64(const std::vector<std::byte>& b, std::size_t off) {
+  std::uint64_t v;
+  std::memcpy(&v, b.data() + off, 8);
+  return v;
+}
+void PutU64(std::vector<std::byte>& b, std::size_t off, std::uint64_t v) {
+  std::memcpy(b.data() + off, &v, 8);
+}
+
+// Directory entry for section `id` (32 bytes each, starting at 64).
+std::size_t DirEntryOffset(const std::vector<std::byte>& bytes,
+                           std::uint32_t id) {
+  std::uint32_t count;
+  std::memcpy(&count, bytes.data() + 12, 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t entry_id;
+    std::memcpy(&entry_id, bytes.data() + 64 + i * 32, 4);
+    if (entry_id == id) return 64 + i * 32;
+  }
+  ADD_FAILURE() << "section " << id << " not found";
+  return 0;
+}
+
+// Recomputes the directory checksum (header offset 56) after a test
+// patched directory bytes.
+void FixDirectoryChecksum(std::vector<std::byte>& bytes) {
+  std::uint32_t count;
+  std::memcpy(&count, bytes.data() + 12, 4);
+  PutU64(bytes, 56, model::Fnv1a64(bytes.data() + 64, count * 32));
+}
+
+// ---- Round trips ------------------------------------------------------------
+
+TEST(ColumnarRoundTrip, CsvToColumnarMatchesParsedDatasetBitwise) {
+  // The acceptance path: parse CSV, persist columnar, load both ways,
+  // compare against the parsed dataset bit for bit.
+  const model::Dataset world = SynthWorld();
+  std::ostringstream csv;
+  model::WriteCsv(world, csv);
+  const model::Dataset parsed = model::ReadCsvText(csv.str());
+
+  const std::string path = TempPath("roundtrip.mpc");
+  model::WriteColumnar(model::EventStore::FromDataset(parsed), path);
+
+  const model::Dataset read = model::ReadColumnar(path).ToDataset();
+  ExpectDatasetsBitwiseIdentical(parsed, read);
+
+  const model::MappedColumnar mapped = model::MapColumnar(path);
+  ExpectDatasetsBitwiseIdentical(parsed, mapped.ToDataset());
+}
+
+TEST(ColumnarRoundTrip, PreservesBitPatternsNamesAndEmptyTraces) {
+  const model::Dataset tricky = TrickyDataset();
+  const std::string path = TempPath("tricky.mpc");
+  model::WriteColumnar(model::EventStore::FromDataset(tricky), path);
+
+  const model::Dataset read = model::ReadColumnar(path).ToDataset();
+  ExpectDatasetsBitwiseIdentical(tricky, read);
+  // The traceless user survives (names are part of the format).
+  EXPECT_EQ(read.FindUser("traceless").has_value(), true);
+
+  const model::MappedColumnar mapped = model::MapColumnar(path);
+  ExpectDatasetsBitwiseIdentical(tricky, mapped.ToDataset());
+  EXPECT_EQ(mapped.UserCount(), tricky.UserCount());
+}
+
+TEST(ColumnarRoundTrip, EmptyStore) {
+  const std::string path = TempPath("empty.mpc");
+  model::WriteColumnar(model::EventStore(), path);
+  const model::EventStore read = model::ReadColumnar(path);
+  EXPECT_EQ(read.TraceCount(), 0u);
+  EXPECT_EQ(read.EventCount(), 0u);
+  EXPECT_EQ(read.UserCount(), 0u);
+  const model::MappedColumnar mapped = model::MapColumnar(path);
+  EXPECT_TRUE(mapped.empty());
+  EXPECT_EQ(mapped.View().TraceCount(), 0u);
+}
+
+TEST(ColumnarRoundTrip, MappedViewsAliasTheMappingZeroCopy) {
+  const model::Dataset world = SynthWorld();
+  const model::EventStore store = model::EventStore::FromDataset(world);
+  const std::string path = TempPath("zerocopy.mpc");
+  model::WriteColumnar(store, path);
+
+  const model::MappedColumnar mapped =
+      model::MapColumnar(path, {.verify_checksums = true});
+  ASSERT_EQ(mapped.TraceCount(), store.TraceCount());
+  ASSERT_EQ(mapped.EventCount(), store.EventCount());
+  for (std::size_t t = 0; t < store.TraceCount(); ++t) {
+    const model::TraceView a = store.View(t);
+    const model::TraceView b = mapped.View(t);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.user(), b.user());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ExpectSameBits(a.lat(i), b.lat(i));
+      ExpectSameBits(a.lng(i), b.lng(i));
+      EXPECT_EQ(a.time(i), b.time(i));
+    }
+  }
+}
+
+TEST(ColumnarRoundTrip, LoadSaveDatasetDispatchOnExtension) {
+  const model::Dataset world = SynthWorld();
+  const std::string mpc = TempPath("dispatch.mpc");
+  const std::string csv = TempPath("dispatch.csv");
+  model::SaveDataset(world, mpc);
+  model::SaveDataset(world, csv);
+  // The columnar path is bit-exact (trace boundaries included); the CSV
+  // path follows the text format's own semantics (rows regroup into one
+  // trace per user, precision per its own contract, pinned elsewhere).
+  ExpectDatasetsBitwiseIdentical(world, model::LoadDataset(mpc));
+  EXPECT_EQ(model::LoadDataset(csv).EventCount(), world.EventCount());
+  EXPECT_TRUE(model::IsColumnarPath("x/y/z.mpc"));
+  EXPECT_FALSE(model::IsColumnarPath("x/y/z.csv"));
+  EXPECT_FALSE(model::IsColumnarPath(".mpc.csv"));
+}
+
+// ---- Corruption -------------------------------------------------------------
+
+class ColumnarCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corrupt.mpc");
+    model::WriteColumnar(model::EventStore::FromDataset(SynthWorld()), path_);
+    bytes_ = Slurp(path_);
+    ASSERT_GE(bytes_.size(), 224u);
+  }
+
+  /// Writes `bytes_` back and expects both load paths to reject it.
+  void ExpectRejected(const std::string& label) {
+    Dump(path_, bytes_);
+    EXPECT_THROW(model::ReadColumnar(path_), model::IoError) << label;
+    EXPECT_THROW(model::MapColumnar(path_), model::IoError) << label;
+  }
+
+  std::string path_;
+  std::vector<std::byte> bytes_;
+};
+
+TEST_F(ColumnarCorruption, BadMagic) {
+  bytes_[0] = std::byte{'X'};
+  ExpectRejected("magic");
+}
+
+TEST_F(ColumnarCorruption, UnsupportedVersion) {
+  bytes_[8] = std::byte{0xEE};
+  ExpectRejected("version");
+}
+
+TEST_F(ColumnarCorruption, HeaderFieldFlip) {
+  bytes_[17] ^= std::byte{0x01};  // user_count
+  ExpectRejected("header checksum");
+}
+
+TEST_F(ColumnarCorruption, TruncatedToHalf) {
+  bytes_.resize(bytes_.size() / 2);
+  ExpectRejected("truncation");
+}
+
+TEST_F(ColumnarCorruption, TruncatedBelowHeader) {
+  bytes_.resize(17);
+  ExpectRejected("tiny file");
+}
+
+TEST_F(ColumnarCorruption, TrailingGarbageAppended) {
+  bytes_.push_back(std::byte{0xAB});
+  ExpectRejected("trailing bytes");
+}
+
+TEST_F(ColumnarCorruption, DirectoryFlip) {
+  bytes_[64 + 8] ^= std::byte{0x01};  // first entry's offset
+  ExpectRejected("directory checksum");
+}
+
+TEST_F(ColumnarCorruption, ShortColumnSection) {
+  // Shrink the lat section's recorded size (checksums recomputed so only
+  // the size/count consistency check can catch it).
+  const std::size_t entry = DirEntryOffset(bytes_, 3);
+  PutU64(bytes_, entry + 16, GetU64(bytes_, entry + 16) - 8);
+  FixDirectoryChecksum(bytes_);
+  ExpectRejected("short column section");
+}
+
+TEST_F(ColumnarCorruption, TraceRangeOutOfBounds) {
+  // Point the first trace record past the end of the columns, with all
+  // checksums made valid again: only the range validation is left.
+  const std::size_t entry = DirEntryOffset(bytes_, 2);
+  const std::size_t off = GetU64(bytes_, entry + 8);
+  const std::size_t size = GetU64(bytes_, entry + 16);
+  ASSERT_GE(size, 24u);
+  PutU64(bytes_, off + 16, 1u << 30);  // record 0's `end`
+  PutU64(bytes_, entry + 24, model::Fnv1a64(bytes_.data() + off, size));
+  FixDirectoryChecksum(bytes_);
+  ExpectRejected("trace range");
+}
+
+TEST_F(ColumnarCorruption, NameBlobFlip) {
+  // Names are decoded eagerly, so their checksum is enforced on BOTH
+  // load paths, unlike the columns.
+  const std::size_t entry = DirEntryOffset(bytes_, 1);
+  const std::size_t off = GetU64(bytes_, entry + 8);
+  const std::size_t size = GetU64(bytes_, entry + 16);
+  bytes_[off + size - 1] ^= std::byte{0x01};
+  ExpectRejected("name blob");
+}
+
+TEST_F(ColumnarCorruption, ColumnFlipCaughtByReadAndVerifiedMap) {
+  const std::size_t entry = DirEntryOffset(bytes_, 3);
+  const std::size_t off = GetU64(bytes_, entry + 8);
+  bytes_[off] ^= std::byte{0x01};
+  Dump(path_, bytes_);
+  // Owning read always verifies columns.
+  EXPECT_THROW(model::ReadColumnar(path_), model::IoError);
+  // Mapped open verifies them only on request (documented trade-off):
+  EXPECT_THROW(model::MapColumnar(path_, {.verify_checksums = true}),
+               model::IoError);
+  EXPECT_NO_THROW(model::MapColumnar(path_));
+}
+
+TEST(ColumnarCorruptionCrafted, DuplicateUserNamesRejectedOnBothPaths) {
+  // Forge a checksum-valid file whose NAME table holds the same name
+  // twice: both load paths must reject it identically (the mapped path
+  // must not silently mislabel users where the owning path errors).
+  model::Dataset d;
+  d.AddTraceForUser("aa", {{{1.0, 2.0}, 10}});
+  d.AddTraceForUser("ab", {{{3.0, 4.0}, 20}});
+  const std::string path = TempPath("dupnames.mpc");
+  model::WriteColumnar(model::EventStore::FromDataset(d), path);
+  std::vector<std::byte> bytes = Slurp(path);
+
+  const std::size_t entry = DirEntryOffset(bytes, 1);
+  const std::size_t off = GetU64(bytes, entry + 8);
+  const std::size_t size = GetU64(bytes, entry + 16);
+  // Blob "aaab" follows the 3 offsets; make it "aaaa" -> names {"aa","aa"}.
+  bytes[off + 3 * 8 + 3] = std::byte{'a'};
+  PutU64(bytes, entry + 24, model::Fnv1a64(bytes.data() + off, size));
+  FixDirectoryChecksum(bytes);
+  Dump(path, bytes);
+
+  EXPECT_THROW(model::ReadColumnar(path), model::IoError);
+  EXPECT_THROW(model::MapColumnar(path), model::IoError);
+}
+
+TEST_F(ColumnarCorruption, MissingFile) {
+  EXPECT_THROW(model::ReadColumnar(TempPath("does-not-exist.mpc")),
+               model::IoError);
+  EXPECT_THROW(model::MapColumnar(TempPath("does-not-exist.mpc")),
+               model::IoError);
+}
+
+}  // namespace
+}  // namespace mobipriv
