@@ -1,119 +1,103 @@
-// E2 — POI retrieval rate per mechanism.
+// E2 — POI retrieval per mechanism, as scenario-engine grids.
 //
 // The paper's Section II claim: on real-life data, geo-indistinguishability
 // "does not prevent the extraction of at least 60 % of the POIs even with a
 // high privacy level" [4], while the proposed constant-speed publication is
-// designed to hide them entirely (Section III). This bench runs the
-// POI-extraction attack of Gambs et al. [1] against every mechanism in the
-// roster and reports recall/precision against synthetic ground truth, plus
-// an epsilon sweep for geo-indistinguishability and a spacing sweep for the
-// constant-speed stage.
+// designed to hide them entirely (Section III). Three grids over one
+// synthetic world:
+//   1. the standard roster x the POI attack (poi_survival = fraction of
+//      POIs extractable from the raw data that survive publication),
+//   2. a geo-indistinguishability epsilon sweep, each eps attacked by
+//      both a naive and a noise-calibrated adaptive extractor,
+//   3. a constant-speed spacing sweep (ours, stage 1) — one row per eps.
+// Where the old bench re-ran every mechanism per table, the engine
+// memoizes: each mechanism runs once per grid.
 #include <algorithm>
 #include <iostream>
 
-#include "attacks/poi_extraction.h"
-#include "core/anonymizer.h"
-#include "core/experiment.h"
-#include "mechanisms/geo_indistinguishability.h"
-#include "metrics/poi_metrics.h"
-#include "synth/population.h"
+#include "core/engine.h"
+#include "util/cli.h"
 #include "util/string_utils.h"
 
-namespace {
-
-constexpr std::uint64_t kSeed = 2015;
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace mobipriv;
 
-  std::cout << "=== E2: POI extraction attack vs mechanism ===\n\n";
-  synth::PopulationConfig population;
-  population.agents = 40;
-  population.days = 2;
-  population.seed = kSeed;
-  const synth::SyntheticWorld world(population);
+  util::CliParser cli("E2: POI extraction attack vs mechanism");
+  cli.AddOption("agents", "synthetic world size", "40");
+  util::AddRunOptions(cli, 2015);
+  if (!cli.Parse(argc, argv)) return 1;
+  const util::RunOptions run = util::ApplyRunOptions(cli);
+  const auto agents = static_cast<std::size_t>(cli.GetInt("agents"));
 
-  const geo::LocalProjection frame =
-      attacks::DatasetProjection(world.dataset());
-  const auto truth = metrics::DistinctTruePlaces(
-      world.ground_truth(), world.projection(), frame);
-  const attacks::PoiExtractor extractor;
-
-  const auto attack = [&](const model::Dataset& published) {
-    return metrics::ScorePoiExtraction(extractor.Extract(published, frame),
-                                       truth);
+  const auto grid = [&](std::vector<std::string> mechanisms) {
+    core::ScenarioSpec spec;
+    spec.source = core::DatasetSourceSpec::Synthetic(agents, 2, run.seed);
+    spec.mechanisms = std::move(mechanisms);
+    spec.evaluators = {"poi_attack"};
+    spec.seeds = {run.seed + 1};
+    spec.threads = run.threads;
+    return spec;
   };
 
-  // ---- Main comparison table. ----
-  core::Table table(
-      {"mechanism", "POI recall", "POI precision", "extracted", "true"});
-  for (const auto& mechanism : core::StandardRoster()) {
-    util::Rng rng(kSeed + 1);
-    const auto score = attack(mechanism->Apply(world.dataset(), rng));
-    table.AddRow({mechanism->Name(), util::FormatDouble(score.Recall(), 3),
-                  util::FormatDouble(score.Precision(), 3),
-                  std::to_string(score.extracted),
-                  std::to_string(score.true_pois)});
+  std::cout << "=== E2: POI extraction attack vs mechanism ===\n\n";
+  {
+    core::ScenarioEngine engine(grid(core::StandardRosterSpecs()));
+    const core::Report report = engine.Run();
+    std::cout << report.Pivot("poi_attack[radius=250m]").ToString() << "\n"
+              << engine.stats().ToString() << "\n\n";
   }
-  std::cout << table.ToString() << "\n";
 
-  // ---- Geo-ind epsilon sweep (the >= 60 % claim). ----
-  // Two adversaries: the default extractor (fixed 200 m diameter — naive
-  // against heavy noise) and an *adaptive* one whose clustering diameter
-  // is calibrated to the mechanism's noise scale (2/eps). The adaptive
-  // attacker is the one the paper's Section II claim is about: even at
-  // strong epsilon, dwell clusters survive planar-Laplace noise because
-  // their centroid concentrates back on the POI.
-  std::cout << "--- geo-indistinguishability epsilon sweep ---\n";
-  core::Table sweep({"epsilon (1/m)", "noise scale ~2/eps (m)",
-                     "recall (naive)", "recall (adaptive)"});
-  for (const double eps : {0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001}) {
-    util::Rng rng_naive(kSeed + 2);
-    util::Rng rng_adaptive(kSeed + 2);
-    const mech::GeoIndistinguishability geo_ind(mech::GeoIndConfig{eps});
-    const auto naive = attack(geo_ind.Apply(world.dataset(), rng_naive));
-    attacks::PoiExtractionConfig adaptive_config;
-    // Clustering diameter tracks the noise scale; a POI counts as
-    // retrieved when the centroid lands within the noise scale of it
-    // (centroid averaging concentrates far tighter in practice).
-    adaptive_config.max_diameter_m = std::max(250.0, 3.0 * (2.0 / eps));
-    const attacks::PoiExtractor adaptive(adaptive_config);
-    metrics::PoiMatchConfig adaptive_match;
-    adaptive_match.match_radius_m = std::clamp(2.0 / eps, 250.0, 500.0);
-    const auto published = geo_ind.Apply(world.dataset(), rng_adaptive);
-    const auto adaptive_score = metrics::ScorePoiExtraction(
-        adaptive.Extract(published, frame), truth, adaptive_match);
-    sweep.AddRow({util::FormatDouble(eps, 4),
-                  util::FormatDouble(2.0 / eps, 0),
-                  util::FormatDouble(naive.Recall(), 3),
-                  util::FormatDouble(adaptive_score.Recall(), 3)});
+  // Two adversaries per epsilon: the default extractor (fixed 200 m
+  // diameter — naive against heavy noise) and an *adaptive* one whose
+  // clustering diameter is calibrated to the mechanism's noise scale
+  // (2/eps). The adaptive attacker is the one the paper's Section II
+  // ">= 60 %" claim is about: dwell clusters survive planar-Laplace noise
+  // because their centroid concentrates back on the POI. The adaptive
+  // evaluator depends on the row's epsilon, so each epsilon is its own
+  // small grid.
+  std::cout << "--- geo-indistinguishability epsilon sweep "
+               "(naive vs adaptive adversary) ---\n";
+  {
+    core::Table sweep({"epsilon (1/m)", "noise scale ~2/eps (m)",
+                       "survival (naive)", "survival (adaptive)"});
+    for (const double eps : {0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001}) {
+      const double noise = 2.0 / eps;
+      core::ScenarioSpec spec =
+          grid({"geo_ind[eps=" + util::FormatDouble(eps, 4) + "]"});
+      const std::string adaptive =
+          "poi_attack[radius=" +
+          util::FormatDouble(std::clamp(noise, 250.0, 500.0), 0) +
+          "m,diameter=" +
+          util::FormatDouble(std::max(250.0, 3.0 * noise), 0) + "m]";
+      spec.evaluators = {"poi_attack", adaptive};
+      const core::Report report = core::RunScenario(std::move(spec));
+      double naive = 0.0;
+      double adapted = 0.0;
+      for (const core::ReportRow& row : report.rows()) {
+        if (row.metric != "poi_survival") continue;
+        (row.evaluator == "poi_attack[radius=250m]" ? naive : adapted) =
+            row.value;
+      }
+      sweep.AddRow({util::FormatDouble(eps, 4),
+                    util::FormatDouble(noise, 0),
+                    util::FormatDouble(naive, 3),
+                    util::FormatDouble(adapted, 3)});
+    }
+    std::cout << sweep.ToString() << "\n";
   }
-  std::cout << sweep.ToString() << "\n";
 
-  // ---- Constant-speed spacing sweep. ----
   std::cout << "--- constant-speed spacing sweep (ours, stage 1) ---\n";
-  core::Table ours({"spacing (m)", "POI recall", "published events ratio"});
-  const double raw_events =
-      static_cast<double>(world.dataset().EventCount());
-  for (const double spacing : {25.0, 50.0, 100.0, 200.0, 400.0}) {
-    util::Rng rng(kSeed + 3);
-    core::AnonymizerConfig config;
-    config.enable_mixzones = false;
-    config.speed.spacing_m = spacing;
-    const core::Anonymizer anonymizer(config);
-    const model::Dataset published =
-        anonymizer.Apply(world.dataset(), rng);
-    const auto score = attack(published);
-    ours.AddRow({util::FormatDouble(spacing, 0),
-                 util::FormatDouble(score.Recall(), 3),
-                 util::FormatDouble(
-                     static_cast<double>(published.EventCount()) / raw_events,
-                     3)});
+  {
+    std::vector<std::string> sweep;
+    for (const double spacing : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+      sweep.push_back("ours[speed,eps=" + util::FormatDouble(spacing, 0) +
+                      "m]");
+    }
+    const core::Report report = core::RunScenario(grid(std::move(sweep)));
+    std::cout << report.Pivot("poi_attack[radius=250m]").ToString()
+              << "\nexpected shape: identity/cloaking survival high; "
+                 "geo_ind >= 0.6 at practical eps; ours ~= 0 at every "
+                 "spacing.\n";
   }
-  std::cout << ours.ToString()
-            << "\nexpected shape: identity/cloaking recall high; geo_ind "
-               ">= 0.6 at practical eps; ours ~= 0 at every spacing.\n";
   return 0;
 }

@@ -1,66 +1,40 @@
-// E3 — spatial distortion per mechanism.
+// E3 — spatial distortion per mechanism, as a scenario-engine grid.
 //
 // Section III's utility claim: "Our main utility goal was to minimally
 // distort the location … If the sampling rate is high enough, this
 // interpolation should be precise enough to introduce almost no spatial
-// inaccuracy." This bench quantifies both distortion views for every
-// mechanism:
-//   - path distortion (geometry-only): ours ~ metres (pure interpolation),
-//     noise baselines ~ their noise scale;
-//   - synchronized distortion (time-aware): ours pays the time-distortion
-//     cost here, by design — the paper trades exactly this for POI hiding.
-// Fréchet distance gives an order-aware third view.
+// inaccuracy." The grid crosses the standard roster with the
+// spatial-distortion evaluator: path distortion (geometry-only) stays ~
+// metres for ours while the sync columns carry the deliberate
+// time-distortion cost. The whole bench is a ScenarioSpec — the engine
+// applies every mechanism once and feeds the evaluator zero-copy views.
 #include <iostream>
 
-#include "core/experiment.h"
-#include "metrics/frechet.h"
-#include "metrics/spatial_distortion.h"
-#include "synth/population.h"
-#include "util/statistics.h"
-#include "util/string_utils.h"
+#include "core/engine.h"
+#include "util/cli.h"
 
-namespace {
-
-constexpr std::uint64_t kSeed = 31415;
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace mobipriv;
 
+  util::CliParser cli("E3: spatial distortion vs mechanism");
+  cli.AddOption("agents", "synthetic world size", "30");
+  util::AddRunOptions(cli, 31415);
+  if (!cli.Parse(argc, argv)) return 1;
+  const util::RunOptions run = util::ApplyRunOptions(cli);
+
   std::cout << "=== E3: spatial distortion vs mechanism ===\n\n";
-  synth::PopulationConfig population;
-  population.agents = 30;
-  population.days = 1;
-  population.seed = kSeed;
-  const synth::SyntheticWorld world(population);
-  const model::Dataset& original = world.dataset();
+  core::ScenarioSpec spec;
+  spec.source = core::DatasetSourceSpec::Synthetic(
+      static_cast<std::size_t>(cli.GetInt("agents")), 1, run.seed);
+  spec.mechanisms = core::StandardRosterSpecs();
+  spec.evaluators = {"spatial_distortion"};
+  spec.seeds = {run.seed + 1};
+  spec.threads = run.threads;
 
-  core::Table table({"mechanism", "path err mean (m)", "path err p95 (m)",
-                     "sync err mean (m)", "sync err p95 (m)",
-                     "frechet mean (m)"});
-  for (const auto& mechanism : core::StandardRoster()) {
-    util::Rng rng(kSeed + 1);
-    const model::Dataset published = mechanism->Apply(original, rng);
-    const auto distortion = metrics::MeasureDistortion(original, published);
-
-    // Mean Fréchet over matched user traces (best-overlap matching).
-    std::vector<double> frechets;
-    for (const auto& trace : original.traces()) {
-      const model::Trace* match = metrics::FindBestMatch(trace, published);
-      if (match != nullptr) {
-        frechets.push_back(metrics::DiscreteFrechet(trace, *match, 256));
-      }
-    }
-    table.AddRow(
-        {mechanism->Name(),
-         util::FormatDouble(distortion.path_m.mean, 1),
-         util::FormatDouble(distortion.path_m.p95, 1),
-         util::FormatDouble(distortion.synchronized_m.mean, 1),
-         util::FormatDouble(distortion.synchronized_m.p95, 1),
-         util::FormatDouble(util::Mean(frechets), 1)});
-  }
-  std::cout << table.ToString()
+  core::ScenarioEngine engine(std::move(spec));
+  const core::Report report = engine.Run();
+  std::cout << report.Pivot("spatial_distortion").ToString() << "\n"
+            << engine.stats().ToString() << "\n"
             << "\nexpected shape: ours[speed] path error ~ metres (far "
                "below every noise baseline); its sync error is the "
                "deliberate time-distortion cost; wait4me distorts heavily "

@@ -45,7 +45,7 @@ util::Timestamp HomeWorkAttack::DailyWindowOverlap(
 }
 
 std::vector<HomeWorkGuess> HomeWorkAttack::Infer(
-    const model::Dataset& dataset,
+    const model::DatasetView& dataset,
     const geo::LocalProjection& projection) const {
   const PoiExtractor extractor(config_.extraction);
   struct Candidate {
@@ -108,6 +108,12 @@ std::vector<HomeWorkGuess> HomeWorkAttack::Infer(
     guesses.push_back(guess);
   }
   return guesses;
+}
+
+std::vector<HomeWorkGuess> HomeWorkAttack::Infer(
+    const model::Dataset& dataset,
+    const geo::LocalProjection& projection) const {
+  return Infer(model::DatasetView::Of(dataset), projection);
 }
 
 }  // namespace mobipriv::attacks

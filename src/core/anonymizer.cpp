@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/string_utils.h"
 #include "util/thread_pool.h"
 
 namespace mobipriv::core {
@@ -19,10 +20,43 @@ Anonymizer::Anonymizer(AnonymizerConfig config)
     : config_(config), speed_(config.speed), mixzone_(config.mixzone) {}
 
 std::string Anonymizer::Name() const {
+  // Stage flags plus every non-default stage knob: the name must be
+  // injective on the config (the scenario engine memoizes mechanism runs
+  // by name, so two differently-tuned pipelines must never collide) and
+  // round-trippable through mech::CreateMechanism (parameter names match
+  // the registry's "ours" factory).
   std::string name = "ours[";
   if (config_.enable_speed_smoothing) name += "speed";
   if (config_.enable_speed_smoothing && config_.enable_mixzones) name += "+";
   if (config_.enable_mixzones) name += "mix";
+  const mech::SpeedSmoothingConfig speed_defaults;
+  const mech::MixZoneConfig mix_defaults;
+  if (config_.enable_speed_smoothing) {
+    if (config_.speed.spacing_m != speed_defaults.spacing_m) {
+      name += ",eps=" + util::FormatDouble(config_.speed.spacing_m, 0) + "m";
+    }
+    if (config_.speed.min_length_m != speed_defaults.min_length_m) {
+      name +=
+          ",min_len=" + util::FormatDouble(config_.speed.min_length_m, 0) +
+          "m";
+    }
+  }
+  if (config_.enable_mixzones) {
+    if (config_.mixzone.zone_radius_m != mix_defaults.zone_radius_m) {
+      name += ",r=" +
+              util::FormatDouble(config_.mixzone.zone_radius_m, 0) + "m";
+    }
+    if (config_.mixzone.time_window_s != mix_defaults.time_window_s) {
+      name += ",w=" + std::to_string(config_.mixzone.time_window_s) + "s";
+    }
+    if (config_.mixzone.min_users != mix_defaults.min_users) {
+      name += ",min_users=" + std::to_string(config_.mixzone.min_users);
+    }
+    if (config_.mixzone.suppress_zone_points !=
+        mix_defaults.suppress_zone_points) {
+      name += ",suppress=0";
+    }
+  }
   name += "]";
   return name;
 }

@@ -1,0 +1,318 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "attacks/poi_extraction.h"
+#include "core/evaluator.h"
+#include "mechanisms/registry.h"
+#include "model/columnar_file.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+#include "util/thread_pool.h"
+
+namespace mobipriv::core {
+namespace {
+
+/// One node of the compiled DAG. Nodes are stored in topological order
+/// (mechanisms before their evaluations), so the serial fallback is a
+/// plain index loop.
+struct DagNode {
+  std::function<void()> work;
+  std::vector<std::size_t> dependents;
+  std::size_t dependency_count = 0;
+};
+
+/// Executes the DAG. Parallel path: every dependency-free node is
+/// submitted to the shared pool; completions decrement their dependents'
+/// pending counts and submit newly-ready nodes. All results land in
+/// pre-sized slots, so scheduling order never shows in the output. The
+/// first exception wins and is rethrown after the DAG drains.
+void ExecuteDag(std::vector<DagNode>& nodes) {
+  if (util::ParallelismLevel() <= 1) {
+    for (DagNode& node : nodes) node.work();
+    return;
+  }
+
+  std::vector<std::atomic<std::size_t>> pending(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    pending[i].store(nodes[i].dependency_count, std::memory_order_relaxed);
+  }
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t completed = 0;
+  std::exception_ptr error;
+
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  std::function<void(std::size_t)> run_node = [&](std::size_t index) {
+    bool poisoned;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      poisoned = error != nullptr;
+    }
+    if (!poisoned) {
+      try {
+        nodes[index].work();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+    // Dependents still drain after a failure so `completed` reaches the
+    // node count and the waiter wakes.
+    for (const std::size_t dependent : nodes[index].dependents) {
+      if (pending[dependent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pool.Submit([&run_node, dependent] { run_node(dependent); });
+      }
+    }
+    {
+      // Notify under the lock: the waiter owns this stack frame, so it
+      // must not be able to wake, return and destroy the cv while this
+      // worker is still inside notify_one.
+      const std::lock_guard<std::mutex> lock(mutex);
+      ++completed;
+      done_cv.notify_one();
+    }
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].dependency_count == 0) {
+      pool.Submit([&run_node, i] { run_node(i); });
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return completed == nodes.size(); });
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+Table Report::ToTable() const {
+  Table table({"mechanism", "seed", "evaluator", "metric", "value"});
+  for (const ReportRow& row : rows_) {
+    table.AddRow({row.mechanism, std::to_string(row.seed), row.evaluator,
+                  row.metric,
+                  util::FormatDouble(row.value, kValuePrecision)});
+  }
+  return table;
+}
+
+std::string Report::ToCsv() const { return ToTable().ToCsv(); }
+
+Table Report::Pivot(std::string_view evaluator) const {
+  // Collect metric columns in first-appearance order, then one wide row
+  // per (mechanism, seed) in row order.
+  std::vector<std::string> metrics;
+  for (const ReportRow& row : rows_) {
+    if (row.evaluator != evaluator) continue;
+    if (std::find(metrics.begin(), metrics.end(), row.metric) ==
+        metrics.end()) {
+      metrics.push_back(row.metric);
+    }
+  }
+  std::vector<std::string> headers = {"mechanism", "seed"};
+  headers.insert(headers.end(), metrics.begin(), metrics.end());
+  Table table(std::move(headers));
+
+  std::vector<std::pair<std::string, std::uint64_t>> keys;
+  std::map<std::pair<std::string, std::uint64_t>,
+           std::vector<std::string>> cells;
+  for (const ReportRow& row : rows_) {
+    if (row.evaluator != evaluator) continue;
+    const auto key = std::make_pair(row.mechanism, row.seed);
+    auto it = cells.find(key);
+    if (it == cells.end()) {
+      keys.push_back(key);
+      it = cells.emplace(key, std::vector<std::string>(metrics.size()))
+               .first;
+    }
+    const auto column = std::find(metrics.begin(), metrics.end(), row.metric);
+    it->second[static_cast<std::size_t>(column - metrics.begin())] =
+        util::FormatDouble(row.value, kValuePrecision);
+  }
+  for (const auto& key : keys) {
+    std::vector<std::string> row = {key.first, std::to_string(key.second)};
+    const auto& values = cells[key];
+    row.insert(row.end(), values.begin(), values.end());
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string EngineStats::ToString() const {
+  std::ostringstream os;
+  os << "grid_cells=" << grid_cells
+     << " mechanism_nodes=" << mechanism_nodes
+     << " evaluator_nodes=" << evaluator_nodes << " bind_ms="
+     << util::FormatDouble(bind_ms, 2)
+     << " run_ms=" << util::FormatDouble(run_ms, 2);
+  return os.str();
+}
+
+struct ScenarioEngine::Compiled {
+  ScenarioSpec spec;
+  // Deduped canonical mechanism names in first-appearance order, each
+  // keeping the ORIGINAL spec text it first appeared as: instances are
+  // built from the text, never from the canonical name — Name() prints
+  // numbers at fixed precision, so re-parsing it could silently change
+  // parameters (e.g. eps=0.00004 -> "eps=0.0000" -> 0.0). One instance
+  // per (mechanism, seed) node because some baselines keep mutable
+  // per-Apply scratch (e.g. Wait4Me's suppression ratio) that must not
+  // be shared between concurrently-running nodes.
+  std::vector<std::string> mech_names;
+  std::vector<std::string> mech_texts;  // parallel to mech_names
+  std::vector<std::unique_ptr<mech::Mechanism>> mech_instances;  // M x S
+  std::vector<std::string> eval_names;
+  std::vector<std::unique_ptr<Evaluator>> evaluators;
+  bool ran = false;
+};
+
+ScenarioEngine::ScenarioEngine(ScenarioSpec spec)
+    : compiled_(std::make_unique<Compiled>()) {
+  compiled_->spec = std::move(spec);
+  const ScenarioSpec& s = compiled_->spec;
+  if (s.mechanisms.empty()) {
+    throw util::SpecError("scenario has no mechanisms");
+  }
+  if (s.evaluators.empty()) {
+    throw util::SpecError("scenario has no evaluators");
+  }
+  if (s.seeds.empty()) throw util::SpecError("scenario has no seeds");
+
+  // Dedupe by canonical Name(): spec entries that round-trip to the same
+  // mechanism share one memoized node per seed (first spec text wins).
+  for (const std::string& text : s.mechanisms) {
+    const std::string name = mech::CreateMechanism(text)->Name();
+    if (std::find(compiled_->mech_names.begin(),
+                  compiled_->mech_names.end(),
+                  name) == compiled_->mech_names.end()) {
+      compiled_->mech_names.push_back(name);
+      compiled_->mech_texts.push_back(text);
+    }
+  }
+  for (const std::string& text : compiled_->mech_texts) {
+    for (std::size_t i = 0; i < s.seeds.size(); ++i) {
+      compiled_->mech_instances.push_back(mech::CreateMechanism(text));
+    }
+  }
+  for (const std::string& text : s.evaluators) {
+    auto evaluator = CreateEvaluator(text);
+    std::string name = evaluator->Name();
+    if (std::find(compiled_->eval_names.begin(),
+                  compiled_->eval_names.end(),
+                  name) == compiled_->eval_names.end()) {
+      compiled_->eval_names.push_back(std::move(name));
+      compiled_->evaluators.push_back(std::move(evaluator));
+    }
+  }
+}
+
+ScenarioEngine::~ScenarioEngine() = default;
+
+Report ScenarioEngine::Run() {
+  Compiled& c = *compiled_;
+  if (c.ran) throw std::logic_error("ScenarioEngine::Run called twice");
+  c.ran = true;
+
+  // threads == 0 inherits the ambient level (a --threads flag or an
+  // enclosing ScopedParallelism); ScopedParallelism(0) would instead
+  // RESET to the hardware default, so only scope when explicitly set.
+  std::optional<util::ScopedParallelism> scope;
+  if (c.spec.threads != 0) scope.emplace(c.spec.threads);
+
+  // Bind is timed separately from the DAG: it is the mmap/parse startup
+  // cost the columnar format exists to shrink.
+  const auto bind_start = std::chrono::steady_clock::now();
+  BoundSource source = BoundSource::Bind(c.spec.source);
+  stats_.bind_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - bind_start)
+                       .count();
+
+  const std::vector<std::uint64_t>& seeds = c.spec.seeds;
+  const std::size_t mech_count = c.mech_names.size();
+  const std::size_t seed_count = seeds.size();
+  const std::size_t eval_count = c.evaluators.size();
+  const std::size_t mech_nodes = mech_count * seed_count;
+
+  stats_.grid_cells =
+      c.spec.mechanisms.size() * seed_count * c.spec.evaluators.size();
+  stats_.mechanism_nodes = mech_nodes;
+  stats_.evaluator_nodes = mech_nodes * eval_count;
+
+  const geo::LocalProjection frame =
+      attacks::DatasetProjection(source.view());
+
+  // Result slots, pre-sized so DAG workers never allocate shared state.
+  std::vector<model::Dataset> outputs(mech_nodes);
+  std::vector<model::DatasetView> published(mech_nodes);
+  std::vector<std::vector<MetricValue>> results(mech_nodes * eval_count);
+
+  // ---- Compile the DAG (topological layout: mechanisms, then evals). --
+  std::vector<DagNode> nodes;
+  nodes.reserve(mech_nodes + mech_nodes * eval_count);
+  for (std::size_t m = 0; m < mech_count; ++m) {
+    const std::uint64_t name_hash =
+        model::Fnv1a64(c.mech_names[m].data(), c.mech_names[m].size());
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      const std::size_t node = m * seed_count + s;
+      DagNode dag_node;
+      dag_node.work = [&, node, name_hash, s] {
+        // Every (mechanism, seed) node owns an independent stream derived
+        // from the cell seed and the canonical name, so adding grid rows
+        // never perturbs existing ones.
+        util::Rng rng(util::DeriveStreamSeed(seeds[s], name_hash, 0));
+        outputs[node] =
+            c.mech_instances[node]->ApplyView(source.view(), rng);
+        published[node] = model::DatasetView::Of(outputs[node]);
+      };
+      nodes.push_back(std::move(dag_node));
+    }
+  }
+  for (std::size_t node = 0; node < mech_nodes; ++node) {
+    for (std::size_t e = 0; e < eval_count; ++e) {
+      const std::size_t result_slot = node * eval_count + e;
+      DagNode dag_node;
+      dag_node.dependency_count = 1;
+      dag_node.work = [&, node, e, result_slot] {
+        const EvalInput input{source.view(), published[node], frame,
+                              seeds[node % seed_count]};
+        results[result_slot] = c.evaluators[e]->Evaluate(input);
+      };
+      nodes[node].dependents.push_back(nodes.size());
+      nodes.push_back(std::move(dag_node));
+    }
+  }
+
+  stats_.run_ms = TimeMs([&] { ExecuteDag(nodes); });
+
+  // ---- Assemble the report in canonical order. ------------------------
+  Report report;
+  for (std::size_t m = 0; m < mech_count; ++m) {
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      const std::size_t node = m * seed_count + s;
+      for (std::size_t e = 0; e < eval_count; ++e) {
+        for (const MetricValue& value : results[node * eval_count + e]) {
+          report.rows_.push_back({c.mech_names[m], seeds[s],
+                                  c.eval_names[e], value.metric,
+                                  value.value});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Report RunScenario(ScenarioSpec spec) {
+  ScenarioEngine engine(std::move(spec));
+  return engine.Run();
+}
+
+}  // namespace mobipriv::core

@@ -1,0 +1,110 @@
+// The scenario engine: compiles a declarative ScenarioSpec into a task
+// DAG and executes it on the shared thread pool.
+//
+//   bind source ──► mechanism(m, seed) ──► evaluate(m, seed, e) ──► Report
+//                      (memoized)                (fan-out)
+//
+// Memoization rule: one mechanism node exists per distinct
+// (canonical mechanism Name(), seed) pair — spec entries that
+// canonicalize to the same mechanism share it, and every evaluator of the
+// grid consumes that single node's output as a zero-copy DatasetView. A
+// grid of M mechanisms x E evaluators therefore applies each mechanism
+// once, not E times — the reason an engine grid is measurably faster than
+// the equivalent standalone bench runs (bench_throughput's
+// BM_EngineGrid / BM_EngineGridIndependent pair). Instances always run
+// from the ORIGINAL spec text (names print numbers at fixed precision and
+// are not re-parsed), with one caveat: two spec entries whose configs are
+// so close that their canonical names print identically (e.g. geo_ind
+// epsilons differing below 1e-4) are treated as the same grid cell — the
+// first entry's text wins.
+//
+// Determinism contract (test-enforced): same spec + seeds => byte-identical
+// Report at any worker count (spec.threads, MOBIPRIV_THREADS) and any
+// shard count of a shard-dir source. Each mechanism node draws from its
+// own stream, derived from (cell seed, FNV of the canonical name), so
+// grid composition never perturbs results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace mobipriv::core {
+
+/// One scored number of the grid: (mechanism, seed, evaluator, metric).
+struct ReportRow {
+  std::string mechanism;  ///< canonical mechanism Name()
+  std::uint64_t seed = 0;
+  std::string evaluator;  ///< canonical evaluator Name()
+  std::string metric;
+  double value = 0.0;
+};
+
+/// The unified result of one engine run. Row order is canonical
+/// (mechanism in first-appearance spec order, then seed, then evaluator,
+/// then metric), so rendering is reproducible byte for byte.
+class Report {
+ public:
+  [[nodiscard]] const std::vector<ReportRow>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Long-form table: mechanism, seed, evaluator, metric, value.
+  [[nodiscard]] Table ToTable() const;
+  /// Long-form CSV (RFC-4180 quoted; spec strings contain commas).
+  [[nodiscard]] std::string ToCsv() const;
+
+  /// Wide table for one evaluator: a row per (mechanism, seed), a column
+  /// per metric — the shape the comparison benches print.
+  [[nodiscard]] Table Pivot(std::string_view evaluator) const;
+
+  /// Values are rendered with this precision in all three renderings.
+  static constexpr int kValuePrecision = 6;
+
+ private:
+  friend class ScenarioEngine;
+  std::vector<ReportRow> rows_;
+};
+
+/// Execution accounting of one run (the memoization evidence).
+struct EngineStats {
+  std::size_t grid_cells = 0;       ///< spec mechanisms x seeds x evaluators
+  std::size_t mechanism_nodes = 0;  ///< memoized (mechanism, seed) nodes run
+  std::size_t evaluator_nodes = 0;  ///< evaluation nodes run
+  double bind_ms = 0.0;             ///< source open/map/parse time
+  double run_ms = 0.0;              ///< DAG execution wall clock
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+class ScenarioEngine {
+ public:
+  /// Validates and compiles the spec: creates the mechanism and evaluator
+  /// instances (throwing util::SpecError on any unknown spec string) and
+  /// lays out the DAG. No dataset is touched until Run().
+  explicit ScenarioEngine(ScenarioSpec spec);
+  ~ScenarioEngine();
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Binds the source and executes the DAG. Safe to call once.
+  [[nodiscard]] Report Run();
+
+  /// Valid after Run().
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Compiled;
+  std::unique_ptr<Compiled> compiled_;
+  EngineStats stats_;
+};
+
+/// One-call form: compile, run, return the report.
+[[nodiscard]] Report RunScenario(ScenarioSpec spec);
+
+}  // namespace mobipriv::core

@@ -1,0 +1,76 @@
+// The uniform evaluation interface of the scenario engine: one Evaluator
+// scores one aspect (a utility metric or a privacy attack) of an
+// (original, published) dataset pair, consuming non-owning DatasetViews so
+// mmap-opened `.mpc` files and shard slices feed it without materializing
+// an AoS dataset first.
+//
+// metrics/evaluators.h and attacks/evaluators.h implement this interface
+// over the existing metric/attack kernels; the registry below turns spec
+// strings ("coverage[cell=200m]", "reident", ...) into instances, exactly
+// like mechanisms/registry.h does for mechanisms — a scenario grid is
+// mechanism spec strings x evaluator spec strings.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/projection.h"
+#include "model/views.h"
+#include "util/spec.h"
+
+namespace mobipriv::core {
+
+/// One grid cell's evaluation input. The views alias storage owned by the
+/// engine (an mmap, an event store or an AoS dataset) and must outlive the
+/// Evaluate call; `frame` is the shared planar projection centred on the
+/// original dataset, so attack geometry agrees across evaluators.
+struct EvalInput {
+  model::DatasetView original;
+  model::DatasetView published;
+  geo::LocalProjection frame;
+  /// Scenario seed of this grid cell — evaluators with sampled workloads
+  /// (range queries) derive their streams from it, so one seed pins the
+  /// whole report.
+  std::uint64_t seed = 0;
+};
+
+/// One scored number under a stable metric name ("coverage_jaccard").
+struct MetricValue {
+  std::string metric;
+  double value = 0.0;
+};
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Stable identifier, round-trippable through CreateEvaluator.
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Scores the pair. Implementations must be stateless const calls (the
+  /// engine invokes one instance from many DAG workers concurrently) and
+  /// deterministic at any thread count.
+  [[nodiscard]] virtual std::vector<MetricValue> Evaluate(
+      const EvalInput& input) const = 0;
+};
+
+using EvaluatorFactory =
+    std::function<std::unique_ptr<Evaluator>(const util::Spec&)>;
+
+/// Registers (or replaces) the factory for `base`. The library's
+/// evaluators are pre-registered; downstream metrics/attacks hook in here
+/// and then participate in scenario grids like any built-in.
+void RegisterEvaluator(std::string base, EvaluatorFactory factory);
+
+/// Instantiates an evaluator from its spec string. Throws util::SpecError
+/// on malformed specs, unknown bases or unknown parameters.
+[[nodiscard]] std::unique_ptr<Evaluator> CreateEvaluator(
+    std::string_view spec);
+
+/// Registered base names, sorted.
+[[nodiscard]] std::vector<std::string> RegisteredEvaluatorBases();
+
+}  // namespace mobipriv::core

@@ -3,13 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
-#include "core/anonymizer.h"
-#include "mechanisms/cloaking.h"
-#include "mechanisms/downsampling.h"
-#include "mechanisms/gaussian_noise.h"
-#include "mechanisms/geo_indistinguishability.h"
-#include "mechanisms/identity.h"
-#include "mechanisms/wait4me.h"
+#include "mechanisms/registry.h"
+#include "util/string_utils.h"
 #include "util/thread_pool.h"
 
 namespace mobipriv::core {
@@ -48,11 +43,23 @@ std::string Table::ToString() const {
 }
 
 std::string Table::ToCsv() const {
+  // RFC 4180: quote any cell containing a comma, quote, CR or LF; double
+  // embedded quotes.
+  const auto escape = [](const std::string& cell) -> std::string {
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
   std::ostringstream os;
   const auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c > 0) os << ",";
-      os << cells[c];
+      os << escape(cells[c]);
     }
     os << "\n";
   };
@@ -68,29 +75,24 @@ double TimeMs(const std::function<void()>& fn) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+std::vector<std::string> StandardRosterSpecs(
+    const std::vector<double>& geo_ind_epsilons) {
+  std::vector<std::string> specs = {"identity", "ours[speed+mix]",
+                                    "ours[speed]", "ours[mix]"};
+  for (const double eps : geo_ind_epsilons) {
+    specs.push_back("geo_ind[eps=" + util::FormatDouble(eps, 4) + "]");
+  }
+  specs.insert(specs.end(), {"wait4me", "cloaking", "gaussian",
+                             "downsampling"});
+  return specs;
+}
+
 std::vector<std::unique_ptr<mech::Mechanism>> StandardRoster(
     const std::vector<double>& geo_ind_epsilons) {
   std::vector<std::unique_ptr<mech::Mechanism>> roster;
-  roster.push_back(std::make_unique<mech::Identity>());
-
-  // Ours: full pipeline and each stage alone.
-  AnonymizerConfig full;
-  roster.push_back(std::make_unique<Anonymizer>(full));
-  AnonymizerConfig speed_only;
-  speed_only.enable_mixzones = false;
-  roster.push_back(std::make_unique<Anonymizer>(speed_only));
-  AnonymizerConfig mix_only;
-  mix_only.enable_speed_smoothing = false;
-  roster.push_back(std::make_unique<Anonymizer>(mix_only));
-
-  for (const double eps : geo_ind_epsilons) {
-    roster.push_back(std::make_unique<mech::GeoIndistinguishability>(
-        mech::GeoIndConfig{eps}));
+  for (const std::string& spec : StandardRosterSpecs(geo_ind_epsilons)) {
+    roster.push_back(mech::CreateMechanism(spec));
   }
-  roster.push_back(std::make_unique<mech::Wait4Me>());
-  roster.push_back(std::make_unique<mech::Cloaking>());
-  roster.push_back(std::make_unique<mech::GaussianNoise>());
-  roster.push_back(std::make_unique<mech::Downsampling>());
   return roster;
 }
 

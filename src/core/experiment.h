@@ -23,7 +23,9 @@ class Table {
   void AddRow(std::vector<std::string> cells);
   /// Renders with aligned columns to a string (header, separator, rows).
   [[nodiscard]] std::string ToString() const;
-  /// Strict CSV rendering (no padding).
+  /// Strict CSV rendering (no padding). Cells containing commas, quotes,
+  /// CR or LF are RFC-4180 quoted (mechanism spec strings like
+  /// "geo_ind[eps=0.001,0.01]" contain commas).
   [[nodiscard]] std::string ToCsv() const;
 
  private:
@@ -34,9 +36,16 @@ class Table {
 /// Milliseconds elapsed while running `fn`.
 [[nodiscard]] double TimeMs(const std::function<void()>& fn);
 
-/// The standard mechanism roster of the comparison benches: identity, the
-/// paper's pipeline (full and each stage alone), geo-indistinguishability at
-/// the given epsilons, Wait4Me, cloaking, Gaussian noise and downsampling.
+/// The standard mechanism roster of the comparison benches as registry
+/// spec strings: identity, the paper's pipeline (full and each stage
+/// alone), geo-indistinguishability at the given epsilons, Wait4Me,
+/// cloaking, Gaussian noise and downsampling. This is the canned grid a
+/// ScenarioSpec names; mech::CreateMechanism turns each entry into an
+/// instance.
+[[nodiscard]] std::vector<std::string> StandardRosterSpecs(
+    const std::vector<double>& geo_ind_epsilons = {0.001, 0.01, 0.1});
+
+/// StandardRosterSpecs instantiated through the mechanism registry.
 [[nodiscard]] std::vector<std::unique_ptr<mech::Mechanism>> StandardRoster(
     const std::vector<double>& geo_ind_epsilons = {0.001, 0.01, 0.1});
 

@@ -1,0 +1,183 @@
+#include "core/scenario.h"
+
+#include <filesystem>
+#include <unordered_map>
+
+#include "model/io.h"
+#include "synth/population.h"
+#include "util/thread_pool.h"
+
+namespace mobipriv::core {
+
+BoundSource::BoundSource(BoundSource&&) noexcept = default;
+BoundSource& BoundSource::operator=(BoundSource&&) noexcept = default;
+BoundSource::~BoundSource() = default;
+
+DatasetSourceSpec DatasetSourceSpec::CsvFile(std::string path) {
+  DatasetSourceSpec spec;
+  spec.kind = Kind::kCsvFile;
+  spec.path = std::move(path);
+  return spec;
+}
+
+DatasetSourceSpec DatasetSourceSpec::ColumnarFile(std::string path) {
+  DatasetSourceSpec spec;
+  spec.kind = Kind::kColumnarFile;
+  spec.path = std::move(path);
+  return spec;
+}
+
+DatasetSourceSpec DatasetSourceSpec::ShardDir(std::string path) {
+  DatasetSourceSpec spec;
+  spec.kind = Kind::kShardDir;
+  spec.path = std::move(path);
+  return spec;
+}
+
+DatasetSourceSpec DatasetSourceSpec::Synthetic(std::size_t agents,
+                                               std::size_t days,
+                                               std::uint64_t world_seed) {
+  DatasetSourceSpec spec;
+  spec.kind = Kind::kSynthetic;
+  spec.agents = agents;
+  spec.days = days;
+  spec.world_seed = world_seed;
+  return spec;
+}
+
+DatasetSourceSpec DatasetSourceSpec::Borrowed(const model::Dataset& dataset) {
+  DatasetSourceSpec spec;
+  spec.kind = Kind::kBorrowed;
+  spec.borrowed = &dataset;
+  return spec;
+}
+
+DatasetSourceSpec DatasetSourceSpec::FromPath(std::string path) {
+  namespace fs = std::filesystem;
+  if (fs::is_directory(path) && fs::exists(fs::path(path) / "manifest.mpm")) {
+    return ShardDir(std::move(path));
+  }
+  if (model::IsColumnarPath(path)) return ColumnarFile(std::move(path));
+  return CsvFile(std::move(path));
+}
+
+std::string DatasetSourceSpec::Describe() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kCsvFile:
+      return "csv:" + path;
+    case Kind::kColumnarFile:
+      return "mpc:" + path;
+    case Kind::kShardDir:
+      return "shards:" + path;
+    case Kind::kSynthetic:
+      return "synth:agents=" + std::to_string(agents) +
+             ",days=" + std::to_string(days) +
+             ",seed=" + std::to_string(world_seed);
+    case Kind::kBorrowed:
+      return "borrowed";
+  }
+  return "unknown";
+}
+
+BoundSource BoundSource::Bind(const DatasetSourceSpec& spec) {
+  BoundSource source;
+  source.description_ = spec.Describe();
+  switch (spec.kind) {
+    case DatasetSourceSpec::Kind::kNone:
+      throw model::IoError("scenario source is unset (Kind::kNone)");
+    case DatasetSourceSpec::Kind::kCsvFile:
+      source.owned_ = model::ReadCsvFile(spec.path);
+      source.view_ = model::DatasetView::Of(source.owned_);
+      break;
+    case DatasetSourceSpec::Kind::kColumnarFile:
+      // Zero-copy: every downstream view aliases the read-only mapping.
+      source.mapped_ = model::MapColumnar(spec.path);
+      source.view_ = source.mapped_.View();
+      break;
+    case DatasetSourceSpec::Kind::kShardDir: {
+      model::ShardManifest manifest = model::ReadShardManifest(spec.path);
+      source.shard_names_ = std::move(manifest.global_names);
+
+      // Map every shard file concurrently (independent opens; the pool
+      // rethrows the first failure). Pages still fault lazily.
+      source.shard_maps_.resize(manifest.shard_count);
+      util::ParallelForEach(manifest.shard_count, [&](std::size_t s) {
+        source.shard_maps_[s] =
+            model::MapColumnar(model::ShardDataPath(spec.path, s));
+      });
+
+      // Shard-local ids -> global ids, via the manifest's name table.
+      std::unordered_map<std::string_view, model::UserId> global_id;
+      global_id.reserve(source.shard_names_.size());
+      for (std::size_t g = 0; g < source.shard_names_.size(); ++g) {
+        global_id.emplace(source.shard_names_[g],
+                          static_cast<model::UserId>(g));
+      }
+      std::size_t total_traces = 0;
+      for (const auto& mapped : source.shard_maps_) {
+        total_traces += mapped.TraceCount();
+      }
+
+      // Canonical trace order: the recorded original order when the
+      // manifest carries one (so the view is bit-identical to the
+      // pre-partition dataset), shard-major order otherwise.
+      const bool use_origin = manifest.has_origin();
+      if (use_origin) {
+        std::size_t origin_total = 0;
+        for (const auto& o : manifest.origin) origin_total += o.size();
+        if (manifest.origin.size() != source.shard_maps_.size() ||
+            origin_total != total_traces) {
+          throw model::IoError("shard manifest in " + spec.path +
+                               ": origin table disagrees with shard files");
+        }
+      }
+      std::vector<model::TraceView> traces(total_traces);
+      std::size_t cursor = 0;
+      for (std::size_t s = 0; s < source.shard_maps_.size(); ++s) {
+        const model::MappedColumnar& mapped = source.shard_maps_[s];
+        if (use_origin &&
+            manifest.origin[s].size() != mapped.TraceCount()) {
+          throw model::IoError("shard manifest in " + spec.path +
+                               ": origin run disagrees with shard " +
+                               std::to_string(s));
+        }
+        for (std::size_t i = 0; i < mapped.TraceCount(); ++i) {
+          const auto it = global_id.find(mapped.names()[mapped.TraceUser(i)]);
+          if (it == global_id.end()) {
+            throw model::IoError("shard " + std::to_string(s) + " in " +
+                                 spec.path +
+                                 " holds a user missing from the manifest");
+          }
+          const std::size_t slot =
+              use_origin ? manifest.origin[s][i] : cursor;
+          traces[slot] = mapped.View(i).WithUser(it->second);
+          ++cursor;
+        }
+      }
+      source.view_ = model::DatasetView(std::move(traces),
+                                        source.shard_names_.size(),
+                                        source.shard_names_);
+      break;
+    }
+    case DatasetSourceSpec::Kind::kSynthetic: {
+      synth::PopulationConfig config;
+      config.agents = spec.agents;
+      config.days = spec.days;
+      config.seed = spec.world_seed;
+      source.world_ = std::make_unique<synth::SyntheticWorld>(config);
+      source.view_ = model::DatasetView::Of(source.world_->dataset());
+      break;
+    }
+    case DatasetSourceSpec::Kind::kBorrowed:
+      if (spec.borrowed == nullptr) {
+        throw model::IoError("borrowed scenario source is null");
+      }
+      source.view_ = model::DatasetView::Of(*spec.borrowed);
+      break;
+  }
+  return source;
+}
+
+}  // namespace mobipriv::core

@@ -1,0 +1,126 @@
+// Declarative experiment scenarios: WHAT to run, not HOW.
+//
+// A ScenarioSpec names a dataset source, a list of mechanism spec strings
+// (mechanisms/registry.h), a list of evaluator spec strings
+// (core/evaluator.h), the seeds of the grid and an optional thread
+// override. core/engine.h compiles the spec into a task DAG and executes
+// it; every bench binary is now a spec plus a table dump instead of its
+// own mechanism loop.
+//
+// The dataset source abstracts every way the library can obtain data:
+//   * a CSV / Geolife text file (parsed once at bind time),
+//   * a `.mpc` columnar file (mmap-opened; mechanisms and evaluators are
+//     fed zero-copy views of the mapping — no full-dataset Materialize),
+//   * a SaveShards directory (every shard `.mpc` mmap-opened; the
+//     manifest's global name table and recorded trace order reassemble
+//     the canonical view zero-copy, so the report is byte-identical
+//     whatever the shard count),
+//   * a synthetic world (generated at bind time), or
+//   * a borrowed in-memory Dataset (tests, composition).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/columnar_file.h"
+#include "model/dataset.h"
+#include "model/sharded_dataset.h"
+#include "model/views.h"
+
+namespace mobipriv::synth {
+class SyntheticWorld;
+}  // namespace mobipriv::synth
+
+namespace mobipriv::core {
+
+struct DatasetSourceSpec {
+  enum class Kind {
+    kNone,
+    kCsvFile,
+    kColumnarFile,
+    kShardDir,
+    kSynthetic,
+    kBorrowed,
+  };
+
+  Kind kind = Kind::kNone;
+  std::string path;  ///< kCsvFile / kColumnarFile / kShardDir
+  // kSynthetic parameters.
+  std::size_t agents = 50;
+  std::size_t days = 1;
+  std::uint64_t world_seed = 42;
+  // kBorrowed: non-owning; must outlive the bound source.
+  const model::Dataset* borrowed = nullptr;
+
+  [[nodiscard]] static DatasetSourceSpec CsvFile(std::string path);
+  [[nodiscard]] static DatasetSourceSpec ColumnarFile(std::string path);
+  [[nodiscard]] static DatasetSourceSpec ShardDir(std::string path);
+  [[nodiscard]] static DatasetSourceSpec Synthetic(
+      std::size_t agents, std::size_t days, std::uint64_t world_seed);
+  [[nodiscard]] static DatasetSourceSpec Borrowed(
+      const model::Dataset& dataset);
+  /// Dispatches on the path: a directory containing `manifest.mpm` is a
+  /// shard dir, a `.mpc` file is columnar, anything else is CSV/text.
+  [[nodiscard]] static DatasetSourceSpec FromPath(std::string path);
+
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// One declarative experiment grid:
+///   source x mechanisms x evaluators x seeds.
+struct ScenarioSpec {
+  DatasetSourceSpec source;
+  /// Mechanism spec strings (mech::CreateMechanism). Entries that
+  /// canonicalize to the same Name() share one memoized node per seed.
+  std::vector<std::string> mechanisms;
+  /// Evaluator spec strings (core::CreateEvaluator).
+  std::vector<std::string> evaluators;
+  std::vector<std::uint64_t> seeds = {1};
+  /// Worker override for the run (0 = ambient). Reports are byte-identical
+  /// at any value — this is a resource knob, never a semantic one.
+  std::size_t threads = 0;
+};
+
+/// A bound dataset source: owns whatever storage the source kind needs
+/// (parsed dataset, synthetic world, mmap mappings) and serves one
+/// canonical zero-copy DatasetView over it. For shard directories the
+/// canonical view replays the manifest's recorded original trace order
+/// under the global user-id space, so the SAME view (and therefore the
+/// same downstream report) emerges from any shard count.
+class BoundSource {
+ public:
+  /// Binds `spec`, loading/mapping as needed (shard files map
+  /// concurrently). Throws model::IoError on I/O or corruption problems.
+  [[nodiscard]] static BoundSource Bind(const DatasetSourceSpec& spec);
+
+  // Out of line: unique_ptr<SyntheticWorld> needs the complete type.
+  BoundSource(BoundSource&&) noexcept;
+  BoundSource& operator=(BoundSource&&) noexcept;
+  ~BoundSource();
+  BoundSource(const BoundSource&) = delete;
+  BoundSource& operator=(const BoundSource&) = delete;
+
+  /// The canonical view. Valid while this BoundSource lives.
+  [[nodiscard]] const model::DatasetView& view() const noexcept {
+    return view_;
+  }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+
+ private:
+  BoundSource() = default;
+
+  std::string description_;
+  // Exactly one of these owns the events, depending on the source kind.
+  model::Dataset owned_;
+  std::unique_ptr<synth::SyntheticWorld> world_;
+  model::MappedColumnar mapped_;
+  std::vector<model::MappedColumnar> shard_maps_;
+  std::vector<std::string> shard_names_;  // manifest global name table
+  model::DatasetView view_;
+};
+
+}  // namespace mobipriv::core

@@ -1,0 +1,114 @@
+#include "metrics/evaluators.h"
+
+#include "metrics/spatial_distortion.h"
+#include "metrics/trajectory_stats.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::metrics {
+namespace {
+
+// Stream salt separating the range-query workload from every other
+// consumer of the grid cell's seed.
+constexpr std::uint64_t kRangeQuerySalt = 0x5251554552590001ULL;
+
+}  // namespace
+
+std::string SpatialDistortionEvaluator::Name() const {
+  return "spatial_distortion";
+}
+
+std::vector<core::MetricValue> SpatialDistortionEvaluator::Evaluate(
+    const core::EvalInput& input) const {
+  const DistortionSummary summary =
+      MeasureDistortion(input.original, input.published);
+  return {{"path_mean_m", summary.path_m.mean},
+          {"path_p95_m", summary.path_m.p95},
+          {"sync_mean_m", summary.synchronized_m.mean},
+          {"sync_p95_m", summary.synchronized_m.p95},
+          {"compared_traces", static_cast<double>(summary.compared_traces)}};
+}
+
+CoverageEvaluator::CoverageEvaluator(CoverageConfig config)
+    : config_(config) {}
+
+std::string CoverageEvaluator::Name() const {
+  return "coverage[cell=" + util::FormatDouble(config_.cell_size_m, 0) + "m]";
+}
+
+std::vector<core::MetricValue> CoverageEvaluator::Evaluate(
+    const core::EvalInput& input) const {
+  return {{"coverage_jaccard",
+           CoverageJaccard(input.original, input.published, config_)}};
+}
+
+HeatmapEvaluator::HeatmapEvaluator(HeatmapConfig config) : config_(config) {}
+
+std::string HeatmapEvaluator::Name() const {
+  return "heatmap[cell=" + util::FormatDouble(config_.cell_size_m, 0) + "m]";
+}
+
+std::vector<core::MetricValue> HeatmapEvaluator::Evaluate(
+    const core::EvalInput& input) const {
+  return {{"heatmap_cosine",
+           HeatmapSimilarity(input.original, input.published, config_)}};
+}
+
+RangeQueryEvaluator::RangeQueryEvaluator(RangeQueryConfig config)
+    : config_(config) {}
+
+std::string RangeQueryEvaluator::Name() const {
+  return "range_queries[n=" + std::to_string(config_.query_count) + "]";
+}
+
+std::vector<core::MetricValue> RangeQueryEvaluator::Evaluate(
+    const core::EvalInput& input) const {
+  util::Rng rng(util::DeriveStreamSeed(input.seed, kRangeQuerySalt, 0));
+  const std::vector<RangeQuery> queries =
+      SampleQueries(input.original, config_, rng);
+  const RangeQueryReport report =
+      MeasureRangeQueryError(input.original, input.published, queries);
+  return {{"range_err_median", report.relative_error.median},
+          {"range_err_p95", report.relative_error.p95},
+          {"range_err_mean", report.relative_error.mean}};
+}
+
+std::string TrajectoryStatsEvaluator::Name() const {
+  return "trajectory_stats";
+}
+
+std::vector<core::MetricValue> TrajectoryStatsEvaluator::Evaluate(
+    const core::EvalInput& input) const {
+  const TrajectoryStatsReport report =
+      CompareTrajectoryStats(input.original, input.published);
+  return {{"trip_len_emd_m", report.trip_length_emd},
+          {"gyration_rel_err", report.gyration_relative_error},
+          {"trip_len_pub_mean_m", report.trip_length_published.mean}};
+}
+
+KDeltaEvaluator::KDeltaEvaluator(KDeltaConfig config) : config_(config) {}
+
+std::string KDeltaEvaluator::Name() const {
+  // Injective on the config (the engine dedupes evaluators by name).
+  const KDeltaConfig defaults;
+  std::string name =
+      "kdelta[delta=" + util::FormatDouble(config_.delta_m, 0) + "m";
+  if (config_.grid_step_s != defaults.grid_step_s) {
+    name += ",grid=" + std::to_string(config_.grid_step_s) + "s";
+  }
+  if (config_.tolerance != defaults.tolerance) {
+    name += ",tolerance=" + util::FormatDouble(config_.tolerance, 3);
+  }
+  return name + "]";
+}
+
+std::vector<core::MetricValue> KDeltaEvaluator::Evaluate(
+    const core::EvalInput& input) const {
+  const KDeltaReport report =
+      MeasureKDeltaAnonymity(input.published, config_);
+  return {{"kdelta_mean_k", report.k_distribution.mean},
+          {"kdelta_frac_k2", report.FractionWithK(2)},
+          {"kdelta_frac_k4", report.FractionWithK(4)}};
+}
+
+}  // namespace mobipriv::metrics

@@ -1,0 +1,83 @@
+// Utility-metric implementations of the scenario engine's Evaluator
+// interface (core/evaluator.h). Each wraps an existing view-based metric
+// kernel; all are registered with core::CreateEvaluator under the base
+// name in their Name().
+#pragma once
+
+#include "core/evaluator.h"
+#include "metrics/coverage.h"
+#include "metrics/heatmap.h"
+#include "metrics/kdelta.h"
+#include "metrics/range_queries.h"
+
+namespace mobipriv::metrics {
+
+/// "spatial_distortion": path/synchronized error of published vs original
+/// traces (metres) — the paper's headline utility metric.
+class SpatialDistortionEvaluator final : public core::Evaluator {
+ public:
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+};
+
+/// "coverage[cell=...m]": Jaccard similarity of visited grid cells.
+class CoverageEvaluator final : public core::Evaluator {
+ public:
+  explicit CoverageEvaluator(CoverageConfig config = {});
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+
+ private:
+  CoverageConfig config_;
+};
+
+/// "heatmap[cell=...m]": cosine similarity of event-density rasters.
+class HeatmapEvaluator final : public core::Evaluator {
+ public:
+  explicit HeatmapEvaluator(HeatmapConfig config = {});
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+
+ private:
+  HeatmapConfig config_;
+};
+
+/// "range_queries[n=...]": relative-error distribution of a random
+/// spatio-temporal counting workload sampled (deterministically from the
+/// grid cell's seed) on the original dataset.
+class RangeQueryEvaluator final : public core::Evaluator {
+ public:
+  explicit RangeQueryEvaluator(RangeQueryConfig config = {});
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+
+ private:
+  RangeQueryConfig config_;
+};
+
+/// "trajectory_stats": trip-length EMD and radius-of-gyration error.
+class TrajectoryStatsEvaluator final : public core::Evaluator {
+ public:
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+};
+
+/// "kdelta[delta=...m]": measured (k, delta)-anonymity of the published
+/// dataset (single-dataset privacy metric; the original is ignored).
+class KDeltaEvaluator final : public core::Evaluator {
+ public:
+  explicit KDeltaEvaluator(KDeltaConfig config = {});
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+
+ private:
+  KDeltaConfig config_;
+};
+
+}  // namespace mobipriv::metrics

@@ -14,17 +14,22 @@ std::uint64_t CellKey(geo::Point2 p, double cell) {
 
 }  // namespace
 
-Heatmap::Heatmap(const model::Dataset& dataset,
+Heatmap::Heatmap(const model::DatasetView& dataset,
                  const geo::LocalProjection& projection,
                  const HeatmapConfig& config) {
   for (const auto& trace : dataset.traces()) {
-    for (const auto& event : trace) {
-      counts_[CellKey(projection.Project(event.position),
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      counts_[CellKey(projection.Project(trace.position(i)),
                       config.cell_size_m)] += 1.0;
       ++total_;
     }
   }
 }
+
+Heatmap::Heatmap(const model::Dataset& dataset,
+                 const geo::LocalProjection& projection,
+                 const HeatmapConfig& config)
+    : Heatmap(model::DatasetView::Of(dataset), projection, config) {}
 
 double Heatmap::Cosine(const Heatmap& a, const Heatmap& b) {
   if (a.counts_.empty() && b.counts_.empty()) return 1.0;
@@ -59,8 +64,8 @@ double Heatmap::NormalizedL1(const Heatmap& a, const Heatmap& b) {
   return l1;
 }
 
-double HeatmapSimilarity(const model::Dataset& original,
-                         const model::Dataset& published,
+double HeatmapSimilarity(const model::DatasetView& original,
+                         const model::DatasetView& published,
                          const HeatmapConfig& config) {
   geo::GeoBoundingBox bbox = original.BoundingBox();
   bbox.Extend(published.BoundingBox());
@@ -69,6 +74,13 @@ double HeatmapSimilarity(const model::Dataset& original,
   const Heatmap a(original, projection, config);
   const Heatmap b(published, projection, config);
   return Heatmap::Cosine(a, b);
+}
+
+double HeatmapSimilarity(const model::Dataset& original,
+                         const model::Dataset& published,
+                         const HeatmapConfig& config) {
+  return HeatmapSimilarity(model::DatasetView::Of(original),
+                           model::DatasetView::Of(published), config);
 }
 
 }  // namespace mobipriv::metrics

@@ -11,6 +11,7 @@
 
 #include "geo/projection.h"
 #include "model/dataset.h"
+#include "model/views.h"
 
 namespace mobipriv::metrics {
 
@@ -18,9 +19,14 @@ struct HeatmapConfig {
   double cell_size_m = 200.0;
 };
 
-/// Sparse event-count raster.
+/// Sparse event-count raster. The view constructor is the implementation
+/// (mmap-opened shards rasterize without materializing); the Dataset
+/// constructor adapts zero-copy.
 class Heatmap {
  public:
+  Heatmap(const model::DatasetView& dataset,
+          const geo::LocalProjection& projection,
+          const HeatmapConfig& config = {});
   Heatmap(const model::Dataset& dataset, const geo::LocalProjection& projection,
           const HeatmapConfig& config = {});
 
@@ -42,6 +48,9 @@ class Heatmap {
 };
 
 /// Convenience: cosine similarity of heatmaps on the union frame.
+[[nodiscard]] double HeatmapSimilarity(const model::DatasetView& original,
+                                       const model::DatasetView& published,
+                                       const HeatmapConfig& config = {});
 [[nodiscard]] double HeatmapSimilarity(const model::Dataset& original,
                                        const model::Dataset& published,
                                        const HeatmapConfig& config = {});

@@ -6,22 +6,29 @@
 #include <sstream>
 
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace mobipriv::metrics {
 
-std::size_t CountEvents(const model::Dataset& dataset,
+std::size_t CountEvents(const model::DatasetView& dataset,
                         const RangeQuery& query) {
   std::size_t count = 0;
   for (const auto& trace : dataset.traces()) {
-    for (const auto& event : trace) {
-      if (event.time < query.from || event.time > query.to) continue;
-      if (query.box.Contains(event.position)) ++count;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const util::Timestamp time = trace.time(i);
+      if (time < query.from || time > query.to) continue;
+      if (query.box.Contains(trace.position(i))) ++count;
     }
   }
   return count;
 }
 
-std::vector<RangeQuery> SampleQueries(const model::Dataset& dataset,
+std::size_t CountEvents(const model::Dataset& dataset,
+                        const RangeQuery& query) {
+  return CountEvents(model::DatasetView::Of(dataset), query);
+}
+
+std::vector<RangeQuery> SampleQueries(const model::DatasetView& dataset,
                                       const RangeQueryConfig& config,
                                       util::Rng& rng) {
   std::vector<RangeQuery> queries;
@@ -33,8 +40,8 @@ std::vector<RangeQuery> SampleQueries(const model::Dataset& dataset,
   util::Timestamp t_max = std::numeric_limits<util::Timestamp>::min();
   for (const auto& trace : dataset.traces()) {
     if (trace.empty()) continue;
-    t_min = std::min(t_min, trace.front().time);
-    t_max = std::max(t_max, trace.back().time);
+    t_min = std::min(t_min, trace.time(0));
+    t_max = std::max(t_max, trace.time(trace.size() - 1));
   }
   if (t_min > t_max) return queries;
 
@@ -68,6 +75,12 @@ std::vector<RangeQuery> SampleQueries(const model::Dataset& dataset,
   return queries;
 }
 
+std::vector<RangeQuery> SampleQueries(const model::Dataset& dataset,
+                                      const RangeQueryConfig& config,
+                                      util::Rng& rng) {
+  return SampleQueries(model::DatasetView::Of(dataset), config, rng);
+}
+
 std::string RangeQueryReport::ToString() const {
   std::ostringstream os;
   os << "queries=" << queries << " empty_on_original=" << empty_on_original
@@ -76,24 +89,34 @@ std::string RangeQueryReport::ToString() const {
 }
 
 RangeQueryReport MeasureRangeQueryError(
-    const model::Dataset& original, const model::Dataset& published,
+    const model::DatasetView& original, const model::DatasetView& published,
     const std::vector<RangeQuery>& queries) {
   RangeQueryReport report;
   report.queries = queries.size();
-  std::vector<double> errors;
-  errors.reserve(queries.size());
-  for (const auto& query : queries) {
-    const auto count_orig = CountEvents(original, query);
-    const auto count_pub = CountEvents(published, query);
-    if (count_orig == 0) ++report.empty_on_original;
+  // Queries are independent full scans; fan them out into pre-sized slots
+  // (fixed merge order keeps the summary byte-identical at any worker
+  // count).
+  std::vector<double> errors(queries.size());
+  std::vector<unsigned char> empty(queries.size(), 0);
+  util::ParallelForEach(queries.size(), [&](std::size_t q) {
+    const auto count_orig = CountEvents(original, queries[q]);
+    const auto count_pub = CountEvents(published, queries[q]);
+    if (count_orig == 0) empty[q] = 1;
     const double denom = std::max<double>(1.0, static_cast<double>(count_orig));
-    errors.push_back(
-        std::abs(static_cast<double>(count_orig) -
-                 static_cast<double>(count_pub)) /
-        denom);
-  }
+    errors[q] = std::abs(static_cast<double>(count_orig) -
+                         static_cast<double>(count_pub)) /
+                denom;
+  });
+  for (const unsigned char e : empty) report.empty_on_original += e;
   report.relative_error = util::Summary::Of(errors);
   return report;
+}
+
+RangeQueryReport MeasureRangeQueryError(
+    const model::Dataset& original, const model::Dataset& published,
+    const std::vector<RangeQuery>& queries) {
+  return MeasureRangeQueryError(model::DatasetView::Of(original),
+                                model::DatasetView::Of(published), queries);
 }
 
 }  // namespace mobipriv::metrics

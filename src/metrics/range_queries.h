@@ -11,6 +11,7 @@
 
 #include "geo/bounding_box.h"
 #include "model/dataset.h"
+#include "model/views.h"
 #include "util/rng.h"
 #include "util/statistics.h"
 
@@ -32,11 +33,17 @@ struct RangeQueryConfig {
   util::Timestamp max_duration_s = 4 * 3600;
 };
 
-/// Number of events inside the query (closed bounds).
+/// Number of events inside the query (closed bounds). The view form is
+/// the implementation; the Dataset form adapts zero-copy.
+[[nodiscard]] std::size_t CountEvents(const model::DatasetView& dataset,
+                                      const RangeQuery& query);
 [[nodiscard]] std::size_t CountEvents(const model::Dataset& dataset,
                                       const RangeQuery& query);
 
 /// Samples a query workload covering the dataset's extent and time span.
+[[nodiscard]] std::vector<RangeQuery> SampleQueries(
+    const model::DatasetView& dataset, const RangeQueryConfig& config,
+    util::Rng& rng);
 [[nodiscard]] std::vector<RangeQuery> SampleQueries(
     const model::Dataset& dataset, const RangeQueryConfig& config,
     util::Rng& rng);
@@ -50,6 +57,12 @@ struct RangeQueryReport {
 };
 
 /// Runs the workload on both datasets and reports the error distribution.
+/// Queries fan out on the thread pool into pre-sized slots, so the report
+/// is byte-identical at any worker count. The view form is the
+/// implementation; the Dataset form adapts zero-copy.
+[[nodiscard]] RangeQueryReport MeasureRangeQueryError(
+    const model::DatasetView& original, const model::DatasetView& published,
+    const std::vector<RangeQuery>& queries);
 [[nodiscard]] RangeQueryReport MeasureRangeQueryError(
     const model::Dataset& original, const model::Dataset& published,
     const std::vector<RangeQuery>& queries);

@@ -215,9 +215,7 @@ ShardedDataset ShardedDataset::OpenShards(
   return OpenShardsImpl(dir, &only);
 }
 
-ShardedDataset ShardedDataset::OpenShardsImpl(
-    const std::string& dir, const std::vector<std::size_t>* only) {
-  namespace fs = std::filesystem;
+ShardManifest ReadShardManifest(const std::string& dir) {
   const std::string manifest = ManifestPath(dir).string();
   std::ifstream in(manifest, std::ios::binary);
   if (!in) throw IoError("cannot open " + manifest);
@@ -258,14 +256,62 @@ ShardedDataset ShardedDataset::OpenShardsImpl(
     CorruptManifest(dir, "payload checksum mismatch");
   }
 
+  ShardManifest out;
+  out.shard_count = static_cast<std::size_t>(shard_count);
+
   // Name table (shared codec with the .mpc NAME section).
   std::size_t names_consumed = 0;
-  std::vector<std::string> names = detail::DecodeNameTable(
+  out.global_names = detail::DecodeNameTable(
       payload, payload_size, user_count, &names_consumed,
       "shard manifest in " + dir);
 
-  ShardedDataset out(static_cast<std::size_t>(shard_count));
-  out.global_names_ = std::move(names);
+  if ((flags & kManifestFlagHasOrigin) != 0) {
+    std::size_t cursor = AlignUp8(names_consumed);
+    std::vector<std::vector<std::size_t>> origin(out.shard_count);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < out.shard_count; ++s) {
+      if (payload_size - cursor < 8) {
+        CorruptManifest(dir, "origin table truncated");
+      }
+      const std::uint64_t count = GetU64(payload + cursor);
+      cursor += 8;
+      if (count > (payload_size - cursor) / 8) {
+        CorruptManifest(dir, "origin table truncated");
+      }
+      origin[s].reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        origin[s].push_back(
+            static_cast<std::size_t>(GetU64(payload + cursor)));
+        cursor += 8;
+      }
+      total += static_cast<std::size_t>(count);
+    }
+    // The indices must form a permutation of [0, total) or origin-order
+    // replay would read out of bounds on a corrupt manifest.
+    std::vector<bool> seen(total, false);
+    for (const auto& o : origin) {
+      for (const std::size_t index : o) {
+        if (index >= total || seen[index]) {
+          CorruptManifest(dir, "origin indices are not a permutation");
+        }
+        seen[index] = true;
+      }
+    }
+    out.origin = std::move(origin);
+  }
+  return out;
+}
+
+std::string ShardDataPath(const std::string& dir, std::size_t shard) {
+  return (std::filesystem::path(dir) / ShardFileName(shard)).string();
+}
+
+ShardedDataset ShardedDataset::OpenShardsImpl(
+    const std::string& dir, const std::vector<std::size_t>* only) {
+  ShardManifest manifest = ReadShardManifest(dir);
+
+  ShardedDataset out(manifest.shard_count);
+  out.global_names_ = std::move(manifest.global_names);
 
   // Which shards to materialize (nullptr = all of them).
   std::vector<bool> load(out.shards_.size(), only == nullptr);
@@ -282,48 +328,18 @@ ShardedDataset ShardedDataset::OpenShardsImpl(
   // pre-sized slots (the pool rethrows the first failure).
   util::ParallelForEach(out.shards_.size(), [&](std::size_t s) {
     if (!load[s]) return;
-    out.shards_[s] =
-        ReadColumnar((fs::path(dir) / ShardFileName(s)).string()).ToDataset();
+    out.shards_[s] = ReadColumnar(ShardDataPath(dir, s)).ToDataset();
   });
 
   // The recorded original order only survives a full open: with shards
   // missing, Merge must fall back to concatenating what was loaded.
-  if ((flags & kManifestFlagHasOrigin) != 0 && only == nullptr) {
-    std::size_t cursor = AlignUp8(names_consumed);
-    std::vector<std::vector<std::size_t>> origin(out.shards_.size());
-    std::size_t total = 0;
+  if (manifest.has_origin() && only == nullptr) {
     for (std::size_t s = 0; s < out.shards_.size(); ++s) {
-      if (payload_size - cursor < 8) {
-        CorruptManifest(dir, "origin table truncated");
-      }
-      const std::uint64_t count = GetU64(payload + cursor);
-      cursor += 8;
-      if (count != out.shards_[s].TraceCount()) {
+      if (manifest.origin[s].size() != out.shards_[s].TraceCount()) {
         CorruptManifest(dir, "origin run disagrees with shard trace count");
       }
-      if (count > (payload_size - cursor) / 8) {
-        CorruptManifest(dir, "origin table truncated");
-      }
-      origin[s].reserve(static_cast<std::size_t>(count));
-      for (std::uint64_t i = 0; i < count; ++i) {
-        origin[s].push_back(
-            static_cast<std::size_t>(GetU64(payload + cursor)));
-        cursor += 8;
-      }
-      total += static_cast<std::size_t>(count);
     }
-    // The indices must form a permutation of [0, total) or Merge would
-    // read out of bounds on a corrupt manifest.
-    std::vector<bool> seen(total, false);
-    for (const auto& o : origin) {
-      for (const std::size_t index : o) {
-        if (index >= total || seen[index]) {
-          CorruptManifest(dir, "origin indices are not a permutation");
-        }
-        seen[index] = true;
-      }
-    }
-    out.origin_ = std::move(origin);
+    out.origin_ = std::move(manifest.origin);
   }
   return out;
 }

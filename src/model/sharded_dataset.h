@@ -116,6 +116,34 @@ class ShardedDataset {
   std::vector<std::string> global_names_;  // global dense id -> name
 };
 
+/// Decoded `manifest.mpm` metadata of a shard directory: everything a
+/// per-process worker (or the scenario engine's mmap-fed shard source)
+/// needs to know before touching any shard file.
+struct ShardManifest {
+  std::size_t shard_count = 0;
+  /// Global dense id -> external user name (the id space shards merge
+  /// back into).
+  std::vector<std::string> global_names;
+  /// Original global trace index of shard s's local trace i, when the
+  /// save recorded it (empty otherwise). Validated as a permutation of
+  /// [0, total); per-shard counts are validated against shard contents
+  /// only when the shards themselves load.
+  std::vector<std::vector<std::size_t>> origin;
+
+  [[nodiscard]] bool has_origin() const noexcept { return !origin.empty(); }
+};
+
+/// Reads and validates `dir`/manifest.mpm without opening any shard file.
+/// Throws IoError on corruption (bad magic/version/checksum, non-permutation
+/// origin table).
+[[nodiscard]] ShardManifest ReadShardManifest(const std::string& dir);
+
+/// Path of shard `s`'s columnar file inside a SaveShards directory
+/// ("<dir>/shard-00005.mpc") — the file a worker owning shard `s` opens
+/// (model::MapColumnar for the zero-copy path).
+[[nodiscard]] std::string ShardDataPath(const std::string& dir,
+                                        std::size_t shard);
+
 /// The shard fan-out scaffold every shard-wise runner shares (so the
 /// determinism scheme lives in exactly one place): one master draw from
 /// `rng`, per-shard streams seeded DeriveStreamSeed(master, shard, 0),

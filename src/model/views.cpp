@@ -1,5 +1,7 @@
 #include "model/views.h"
 
+#include <atomic>
+
 #include "geo/distance.h"
 #include "model/dataset.h"
 
@@ -94,11 +96,20 @@ geo::GeoBoundingBox DatasetView::BoundingBox() const {
   return box;
 }
 
+namespace {
+std::atomic<std::size_t> full_materialize_count{0};
+}  // namespace
+
 Dataset DatasetView::Materialize() const {
+  full_materialize_count.fetch_add(1, std::memory_order_relaxed);
   Dataset out;
   for (UserId id = 0; id < user_count_; ++id) out.InternUser(UserName(id));
   for (const TraceView& t : traces_) out.AddTrace(t.Materialize());
   return out;
+}
+
+std::size_t FullMaterializeCount() noexcept {
+  return full_materialize_count.load(std::memory_order_relaxed);
 }
 
 }  // namespace mobipriv::model

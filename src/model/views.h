@@ -99,6 +99,14 @@ class TraceView {
   /// Materializes an owning Trace (copies the events).
   [[nodiscard]] Trace Materialize() const;
 
+  /// Same spans under a different user id — how shard-local views are
+  /// re-labelled into a global id space without touching event data.
+  [[nodiscard]] TraceView WithUser(UserId user) const {
+    TraceView out = *this;
+    out.user_ = user;
+    return out;
+  }
+
  private:
   UserId user_ = kInvalidUser;
   StridedSpan<double> lat_;
@@ -157,5 +165,12 @@ class DatasetView {
   std::size_t user_count_ = 0;
   std::span<const std::string> names_;
 };
+
+/// Process-wide count of DatasetView::Materialize calls (full-dataset
+/// copies; per-trace materialization is not counted). The scenario
+/// engine's contract is that mmap-fed sources reach mechanisms and
+/// evaluators without any full materialization — tests pin that by
+/// sampling this counter around an engine run.
+[[nodiscard]] std::size_t FullMaterializeCount() noexcept;
 
 }  // namespace mobipriv::model

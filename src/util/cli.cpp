@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace mobipriv::util {
 
@@ -102,6 +103,23 @@ std::string CliParser::Usage() const {
   }
   os << "  --help\n      Show this message\n";
   return os.str();
+}
+
+void AddRunOptions(CliParser& cli, std::uint64_t default_seed) {
+  cli.AddOption("threads",
+                "worker threads (0 = all cores; results are identical at "
+                "any value)",
+                "0");
+  cli.AddOption("seed", "random seed of the run", std::to_string(default_seed));
+}
+
+RunOptions ApplyRunOptions(const CliParser& cli) {
+  RunOptions options;
+  const std::int64_t threads = cli.GetInt("threads");
+  options.threads = threads < 0 ? 0 : static_cast<std::size_t>(threads);
+  options.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+  SetParallelismLevel(options.threads);
+  return options;
 }
 
 }  // namespace mobipriv::util

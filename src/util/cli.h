@@ -54,4 +54,20 @@ class CliParser {
   std::vector<std::string> positional_;
 };
 
+/// The shared reproducibility flag pair of every engine-backed binary.
+struct RunOptions {
+  std::size_t threads = 0;  ///< 0 = ambient parallelism
+  std::uint64_t seed = 0;
+};
+
+/// Declares `--threads N` (worker override, 0 = ambient) and `--seed N`
+/// on `cli`. Call before Parse.
+void AddRunOptions(CliParser& cli, std::uint64_t default_seed);
+
+/// Reads the pair back after Parse and applies the thread override
+/// process-wide (util::SetParallelismLevel), so a bench run is
+/// reproducible from the command line: same --seed + any --threads =>
+/// identical output.
+RunOptions ApplyRunOptions(const CliParser& cli);
+
 }  // namespace mobipriv::util

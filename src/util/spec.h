@@ -1,0 +1,82 @@
+// Spec strings: the tiny declarative grammar shared by the mechanism
+// registry and the evaluator registry.
+//
+//   spec      := base [ "[" entry ("," entry)* "]" ]
+//   entry     := key "=" value   (parameter)
+//              | token           (flag, e.g. "speed+mix")
+//   base/key  := [A-Za-z0-9_+.-]+
+//   value     := anything up to the next "," or "]"
+//
+// A spec is what Mechanism::Name() already prints ("geo_ind[eps=0.0100]",
+// "wait4me[k=4,delta=500m]"): this module makes those names parse back.
+// Numeric values may carry a trailing unit suffix ("500m", "600s") which
+// NumberOf strips — units are documentation, not semantics.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobipriv::util {
+
+/// Raised on malformed spec strings, unknown bases, or bad parameters.
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Spec {
+ public:
+  struct Entry {
+    std::string key;    ///< flag token when value is empty and !has_value
+    std::string value;  ///< verbatim, unit suffix included
+    bool has_value = false;
+  };
+
+  Spec() = default;
+  explicit Spec(std::string base) : base_(std::move(base)) {}
+
+  /// Parses `text`. Throws SpecError on empty base, unbalanced brackets,
+  /// empty entries or trailing garbage after "]".
+  [[nodiscard]] static Spec Parse(std::string_view text);
+
+  /// Canonical rendering: base, then "[k=v,...]" when entries exist —
+  /// Parse(s).ToString() == s for any already-canonical spec string.
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] const std::string& base() const noexcept { return base_; }
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  void Add(std::string key, std::string value);
+  void AddFlag(std::string token);
+
+  /// Value of key=value entry `key`, or nullopt (flags don't count).
+  [[nodiscard]] std::optional<std::string> Get(std::string_view key) const;
+  /// True when a valueless `token` flag entry is present.
+  [[nodiscard]] bool HasFlag(std::string_view token) const;
+
+  /// Numeric lookups; `fallback` when the key is absent. A trailing
+  /// alphabetic unit suffix ("m", "s", "ms") is ignored. Throws SpecError
+  /// when the value is present but not a number.
+  [[nodiscard]] double NumberOf(std::string_view key, double fallback) const;
+  [[nodiscard]] std::int64_t IntOf(std::string_view key,
+                                   std::int64_t fallback) const;
+
+  /// Throws SpecError unless every key=value key is in `known` (flags are
+  /// checked against `known` too). `context` prefixes the message.
+  void RequireKnownKeys(std::initializer_list<std::string_view> known,
+                        const std::string& context) const;
+
+ private:
+  std::string base_;
+  std::vector<Entry> entries_;
+};
+
+/// Strips one trailing run of alphabetic characters ("500m" -> "500").
+[[nodiscard]] std::string_view StripUnitSuffix(std::string_view value);
+
+}  // namespace mobipriv::util

@@ -12,6 +12,13 @@ namespace {
 /// parallel regions then degrade to inline loops.
 thread_local bool t_in_parallel_region = false;
 
+/// True on pool worker threads. A worker must never block waiting for
+/// other pool tasks (every worker could be doing the same — e.g. scenario
+/// DAG nodes whose kernels call ParallelFor — and the queue would
+/// deadlock), so ParallelFor degrades to an inline loop on workers too:
+/// tasks submitted directly to the pool are the parallelism grain.
+thread_local bool t_is_pool_worker = false;
+
 /// 0 = no override (use the default below).
 std::atomic<std::size_t> g_parallelism_override{0};
 
@@ -64,6 +71,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_is_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -100,7 +108,7 @@ void ParallelFor(std::size_t n,
                  std::size_t grain) {
   if (n == 0) return;
   const std::size_t lanes = ParallelismLevel();
-  if (lanes <= 1 || n == 1 || t_in_parallel_region) {
+  if (lanes <= 1 || n == 1 || t_in_parallel_region || t_is_pool_worker) {
     struct Reset {
       bool previous;
       ~Reset() { t_in_parallel_region = previous; }

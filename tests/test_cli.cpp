@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/thread_pool.h"
+
 namespace mobipriv::util {
 namespace {
 
@@ -88,6 +90,34 @@ TEST(CliParser, BoolParsingVariants) {
   const char* argv[] = {"tool", "--verbose=yes"};
   ASSERT_TRUE(parser.Parse(2, argv));
   EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(RunOptions, SharedFlagPairParsesAndAppliesThreads) {
+  const std::size_t previous = ParallelismOverride();
+  CliParser parser("engine-backed tool");
+  AddRunOptions(parser, 42);
+  EXPECT_NE(parser.Usage().find("--threads"), std::string::npos);
+  EXPECT_NE(parser.Usage().find("--seed"), std::string::npos);
+
+  const char* argv[] = {"tool", "--threads", "2", "--seed", "99"};
+  ASSERT_TRUE(parser.Parse(5, argv));
+  const RunOptions options = ApplyRunOptions(parser);
+  EXPECT_EQ(options.threads, 2u);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(ParallelismOverride(), 2u);
+  SetParallelismLevel(previous);  // restore for other tests
+}
+
+TEST(RunOptions, DefaultsAreAmbientThreadsAndGivenSeed) {
+  const std::size_t previous = ParallelismOverride();
+  CliParser parser("engine-backed tool");
+  AddRunOptions(parser, 42);
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(parser.Parse(1, argv));
+  const RunOptions options = ApplyRunOptions(parser);
+  EXPECT_EQ(options.threads, 0u);
+  EXPECT_EQ(options.seed, 42u);
+  SetParallelismLevel(previous);
 }
 
 }  // namespace

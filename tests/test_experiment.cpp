@@ -34,6 +34,19 @@ TEST(Table, ShortRowsPadded) {
   EXPECT_EQ(csv, "a,b,c\nonly-one,,\n");
 }
 
+TEST(Table, ToCsvQuotesRfc4180) {
+  Table table({"mechanism", "note"});
+  // Mechanism spec strings contain commas; quotes and newlines must
+  // survive a round trip through any CSV reader too.
+  table.AddRow({"geo_ind[eps=0.001,0.01]", "plain"});
+  table.AddRow({"say \"hi\"", "line\nbreak"});
+  const std::string csv = table.ToCsv();
+  EXPECT_EQ(csv,
+            "mechanism,note\n"
+            "\"geo_ind[eps=0.001,0.01]\",plain\n"
+            "\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
 TEST(TimeMs, MeasuresSomething) {
   const double ms = TimeMs([] {
     // Unsigned: the sum wraps (sum of 0..99999 overflows 32 bits), and
@@ -64,6 +77,16 @@ TEST(StandardRoster, ContainsExpectedMechanisms) {
 
 TEST(StandardRoster, EpsilonSweepSize) {
   EXPECT_EQ(StandardRoster({0.001, 0.01, 0.1}).size(), 11u);
+}
+
+TEST(StandardRoster, IsACannedSpecList) {
+  // The roster is now spec strings over the mechanism registry; the
+  // instances are exactly what the specs name.
+  const auto specs = StandardRosterSpecs({0.01});
+  const auto roster = StandardRoster({0.01});
+  ASSERT_EQ(specs.size(), roster.size());
+  EXPECT_EQ(specs.front(), "identity");
+  EXPECT_EQ(specs[1], "ours[speed+mix]");
 }
 
 }  // namespace

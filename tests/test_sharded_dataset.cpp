@@ -8,8 +8,10 @@
 
 #include "core/anonymizer.h"
 #include "core/experiment.h"
-#include "model/io.h"
 #include "mechanisms/identity.h"
+#include "model/columnar_file.h"
+#include "model/event_store.h"
+#include "model/io.h"
 #include "model/sharded_dataset.h"
 #include "synth/population.h"
 #include "util/thread_pool.h"
@@ -241,6 +243,64 @@ TEST(ShardPersistence, CorruptManifestAndMissingShardAreCleanErrors) {
   const model::ShardedDataset survivor =
       model::ShardedDataset::OpenShards(dir, {0});
   ExpectDatasetsIdentical(partition.shard(0), survivor.shard(0));
+}
+
+TEST(ShardPersistence, ReadShardManifestExposesMetadataWithoutShardLoads) {
+  namespace fs = std::filesystem;
+  const model::Dataset world = TestWorld();
+  const model::ShardedDataset partition =
+      model::ShardedDataset::Partition(world, 3);
+  const std::string dir =
+      (fs::path(testing::TempDir()) / "shards_manifest_api").string();
+  partition.SaveShards(dir);
+
+  const model::ShardManifest manifest = model::ReadShardManifest(dir);
+  EXPECT_EQ(manifest.shard_count, 3u);
+  EXPECT_EQ(manifest.global_names.size(), world.UserCount());
+  ASSERT_TRUE(manifest.has_origin());
+  std::size_t total = 0;
+  for (const auto& o : manifest.origin) total += o.size();
+  EXPECT_EQ(total, world.TraceCount());
+
+  // ShardDataPath names the files SaveShards wrote.
+  EXPECT_TRUE(fs::exists(model::ShardDataPath(dir, 0)));
+  EXPECT_TRUE(fs::exists(model::ShardDataPath(dir, 2)));
+  EXPECT_TRUE(model::ShardDataPath(dir, 1).ends_with("shard-00001.mpc"));
+}
+
+TEST(ShardPersistence, OpenShardsErrorPaths) {
+  namespace fs = std::filesystem;
+  const model::Dataset world = TestWorld();
+  const model::ShardedDataset partition =
+      model::ShardedDataset::Partition(world, 3);
+  const std::string dir =
+      (fs::path(testing::TempDir()) / "shards_error_paths").string();
+  partition.SaveShards(dir);
+
+  // Opening a shard subset that doesn't exist: clean IoError, no crash.
+  EXPECT_THROW((void)model::ShardedDataset::OpenShards(dir, {7}),
+               model::IoError);
+  EXPECT_THROW((void)model::ShardedDataset::OpenShards(dir, {0, 3}),
+               model::IoError);
+
+  // Manifest/shard contents mismatch: replace one shard file with a valid
+  // .mpc holding a different trace count — the recorded origin table no
+  // longer matches and the open must fail loudly.
+  model::Dataset tiny;
+  tiny.AddTraceForUser("intruder",
+                       {{{45.0, 4.0}, 100}, {{45.001, 4.001}, 160}});
+  model::WriteColumnar(model::EventStore::FromDataset(tiny),
+                       model::ShardDataPath(dir, 0));
+  EXPECT_THROW((void)model::ShardedDataset::OpenShards(dir),
+               model::IoError);
+
+  // A directory with no manifest at all.
+  const std::string empty_dir =
+      (fs::path(testing::TempDir()) / "shards_no_manifest").string();
+  fs::create_directories(empty_dir);
+  EXPECT_THROW((void)model::ShardedDataset::OpenShards(empty_dir),
+               model::IoError);
+  EXPECT_THROW((void)model::ReadShardManifest(empty_dir), model::IoError);
 }
 
 }  // namespace
