@@ -375,6 +375,45 @@ void BM_EngineGrid(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineGrid)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+void BM_EngineGridCached(benchmark::State& state) {
+  // Same grid with the `.mpc` output cache on: iteration 1 spills every
+  // mechanism output (cold), later iterations reuse them (warm) — the
+  // cross-run reuse path. cache_hits/cache_misses counters accumulate
+  // across iterations, so hits > 0 proves reuse happened in-run.
+  const auto agents = static_cast<std::size_t>(state.range(0));
+  const std::string& path = ColumnarPathOfSize(agents);
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() /
+       ("mobipriv_bench_mech_cache_" + std::to_string(agents)))
+          .string();
+  std::filesystem::remove_all(cache_dir);
+  std::size_t events = 0;
+  double hits = 0.0;
+  double misses = 0.0;
+  for (auto _ : state) {
+    core::ScenarioSpec spec;
+    spec.source = core::DatasetSourceSpec::ColumnarFile(path);
+    spec.mechanisms = GridMechanisms();
+    spec.evaluators = GridEvaluators();
+    spec.seeds = {1};
+    spec.mechanism_cache_dir = cache_dir;
+    core::ScenarioEngine engine(std::move(spec));
+    const core::Report report = engine.Run();
+    benchmark::DoNotOptimize(report.rows().size());
+    hits += static_cast<double>(engine.stats().cache_hits);
+    misses += static_cast<double>(engine.stats().cache_misses);
+    events += WorldOfSize(agents).dataset().EventCount();
+  }
+  state.counters["cache_hits"] = hits;
+  state.counters["cache_misses"] = misses;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  std::filesystem::remove_all(cache_dir);
+}
+BENCHMARK(BM_EngineGridCached)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EngineGridIndependent(benchmark::State& state) {
   const auto agents = static_cast<std::size_t>(state.range(0));
   const std::string& path = ColumnarPathOfSize(agents);

@@ -9,7 +9,7 @@
 //         [--mechanism "ours[speed+mix]"] [--seed 1] [--threads 0]
 //         [--shards 0] [--evaluate coverage,spatial_distortion]
 //         [--spacing 100] [--zone-radius 150] [--window 600]
-//         [--no-mixzones] [--no-smoothing]
+//         [--no-mixzones] [--no-smoothing] [--mech-cache DIR]
 //
 // Input format is dispatched on the path (`.mpc` = columnar, a directory
 // with manifest.mpm = shard dir, else CSV); `.mpc` inputs are mmap-opened
@@ -84,6 +84,10 @@ int main(int argc, char** argv) {
   cli.AddOption("spacing", "constant-speed spacing epsilon, metres", "100");
   cli.AddOption("zone-radius", "mix-zone radius, metres", "150");
   cli.AddOption("window", "mix-zone time window, seconds", "600");
+  cli.AddOption("mech-cache",
+                "directory for the engine's .mpc mechanism-output cache "
+                "(reused across runs keyed by mechanism+data+seed; applies "
+                "to the --evaluate engine run; empty = off)", "");
   cli.AddFlag("no-mixzones", "disable stage 2 (swapping)");
   cli.AddFlag("no-smoothing", "disable stage 1 (constant speed)");
   cli.AddFlag("demo", "generate a synthetic input instead of reading one");
@@ -178,6 +182,10 @@ int main(int argc, char** argv) {
     // for .mpc inputs the re-bind is a microsecond mmap; for huge CSV
     // inputs prefer converting to .mpc first (see README quickstart). ---
     const std::string evaluate = cli.GetString("evaluate");
+    if (evaluate.empty() && !cli.GetString("mech-cache").empty()) {
+      std::cout << "note: --mech-cache only affects the --evaluate engine "
+                   "run; the publish path above did not use it.\n";
+    }
     if (!evaluate.empty()) {
       if (shards_arg > 0) {
         std::cout << "\nnote: --evaluate scores an unsharded realization "
@@ -191,6 +199,7 @@ int main(int argc, char** argv) {
       spec.evaluators = SplitSpecList(evaluate);
       spec.seeds = {run.seed};
       spec.threads = run.threads;
+      spec.mechanism_cache_dir = cli.GetString("mech-cache");
       core::ScenarioEngine engine(std::move(spec));
       const core::Report report = engine.Run();
       std::cout << "\nEvaluation (" << engine.stats().ToString() << "):\n"

@@ -67,6 +67,33 @@ model::Dataset Anonymizer::Apply(const model::Dataset& input,
   return ApplyWithReport(input, rng, report);
 }
 
+model::Dataset Anonymizer::ApplyView(const model::DatasetView& input,
+                                     util::Rng& rng) const {
+  // Mirrors ApplyWithReport stage for stage (same rng draw order), with
+  // every stage consuming a view: no full materialization of the source.
+  if (config_.enable_speed_smoothing) {
+    const model::Dataset smoothed = speed_.ApplyView(input, rng);
+    if (!config_.enable_mixzones) return smoothed;
+    return mixzone_.ApplyView(model::DatasetView::Of(smoothed), rng);
+  }
+  if (config_.enable_mixzones) return mixzone_.ApplyView(input, rng);
+  return input.Materialize();  // no stage ran: publish the input as-is
+}
+
+model::EventStore Anonymizer::ApplyToStore(const model::DatasetView& input,
+                                           util::Rng& rng) const {
+  // Stage 1 produces columns directly (two-pass per-trace fill); stage 2's
+  // detector reads those columns as a view. Only the final (heavily
+  // suppressed) mix-zone output pays an AoS->SoA conversion.
+  if (config_.enable_speed_smoothing) {
+    const model::EventStore smoothed = speed_.ApplyToStore(input, rng);
+    if (!config_.enable_mixzones) return smoothed;
+    return model::EventStore::FromDataset(
+        mixzone_.ApplyView(smoothed.View(), rng));
+  }
+  return Mechanism::ApplyToStore(input, rng);
+}
+
 model::Dataset Anonymizer::ApplyWithReport(const model::Dataset& input,
                                            util::Rng& rng,
                                            PipelineReport& report) const {

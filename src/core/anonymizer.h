@@ -47,6 +47,18 @@ class Anonymizer final : public mech::Mechanism {
   [[nodiscard]] model::Dataset Apply(const model::Dataset& input,
                                      util::Rng& rng) const override;
 
+  /// View-native pipeline: stage 1 streams the view per trace, stage 2
+  /// runs the view-native mix-zone engine — no full-dataset materialization
+  /// of the source for mmap'd `.mpc` inputs.
+  [[nodiscard]] model::Dataset ApplyView(const model::DatasetView& input,
+                                         util::Rng& rng) const override;
+
+  /// SoA-native pipeline: stage 1 fills an EventStore via the two-pass
+  /// per-trace path, stage 2 consumes that store's view directly. Draws
+  /// from `rng` exactly like Apply, so outputs are bit-identical.
+  [[nodiscard]] model::EventStore ApplyToStore(const model::DatasetView& input,
+                                               util::Rng& rng) const override;
+
   [[nodiscard]] model::Dataset ApplyWithReport(const model::Dataset& input,
                                                util::Rng& rng,
                                                PipelineReport& report) const;

@@ -4,22 +4,154 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include <unistd.h>
+
 #include "attacks/poi_extraction.h"
 #include "core/evaluator.h"
 #include "mechanisms/registry.h"
 #include "model/columnar_file.h"
+#include "model/event_store.h"
 #include "util/rng.h"
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 
 namespace mobipriv::core {
 namespace {
+
+// ---- Mechanism output cache (.mpc spill/reuse) ------------------------------
+
+/// Incremental FNV-1a64 over heterogeneous values.
+struct Fnv1aStream {
+  std::uint64_t h = 14695981039346656037ULL;
+  void Bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void Value(const T& v) noexcept {
+    Bytes(&v, sizeof(v));
+  }
+};
+
+/// Content fingerprint of a bound source: user names, trace structure
+/// (user id + length per trace) and every column bit pattern. Two sources
+/// fingerprint equal iff a mechanism sees identical input — the dataset
+/// component of the cache key.
+std::uint64_t FingerprintView(const model::DatasetView& view) {
+  Fnv1aStream fnv;
+  fnv.Value(view.UserCount());
+  for (model::UserId id = 0;
+       id < static_cast<model::UserId>(view.UserCount()); ++id) {
+    const std::string name = view.UserName(id);
+    fnv.Value(name.size());
+    fnv.Bytes(name.data(), name.size());
+  }
+  fnv.Value(view.TraceCount());
+  for (const model::TraceView& trace : view.traces()) {
+    fnv.Value(trace.user());
+    fnv.Value(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      fnv.Value(trace.lat(i));
+      fnv.Value(trace.lng(i));
+      fnv.Value(trace.time(i));
+    }
+  }
+  return fnv.h;
+}
+
+/// Cache epoch: the mechanism-implementation version component of the
+/// cache key. A cached output is only as valid as the code that produced
+/// it — bump this on ANY change to a mechanism's algorithm or rng stream
+/// discipline, and every existing entry reads as stale (recomputed, never
+/// reused) instead of silently replaying pre-change outputs.
+constexpr std::uint32_t kMechanismCacheEpoch = 1;
+
+/// The sidecar text identifying one cache entry. Reuse requires an exact
+/// match — a hash collision in the file name can therefore never serve the
+/// wrong output, and any fingerprint/seed/name/epoch drift reads as stale.
+std::string CacheKeyText(const std::string& mechanism_name,
+                         std::uint64_t fingerprint, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "mechanism " << mechanism_name << "\n"
+     << "fingerprint " << util::ToHex(fingerprint) << "\n"
+     << "seed " << seed << "\n"
+     << "format " << model::kColumnarFormatVersion << "\n"
+     << "epoch " << kMechanismCacheEpoch << "\n";
+  return os.str();
+}
+
+/// File stem for one cache entry (content-addressed by the key text).
+std::string CacheStem(const std::string& key_text) {
+  return util::ToHex(model::Fnv1a64(key_text.data(), key_text.size()));
+}
+
+/// Attempts to reuse a cache entry. Returns true and fills `store` only
+/// when the sidecar matches `key_text` exactly AND the `.mpc` payload
+/// reads back clean (every section checksum verified). Any mismatch or
+/// corruption is a miss — the caller recomputes and overwrites.
+bool TryLoadCachedOutput(const std::filesystem::path& dir,
+                         const std::string& key_text,
+                         model::EventStore& store) {
+  const std::string stem = CacheStem(key_text);
+  const std::filesystem::path key_path = dir / (stem + ".key");
+  const std::filesystem::path mpc_path = dir / (stem + ".mpc");
+  std::ifstream key_in(key_path, std::ios::binary);
+  if (!key_in) return false;
+  std::ostringstream recorded;
+  recorded << key_in.rdbuf();
+  if (recorded.str() != key_text) return false;  // stale: never reuse
+  try {
+    store = model::ReadColumnar(mpc_path.string());
+  } catch (const model::IoError&) {
+    return false;  // corrupt payload: recompute
+  }
+  return true;
+}
+
+/// Spills one node output: payload first, sidecar last (the sidecar is the
+/// commit marker TryLoadCachedOutput requires), both via rename so a
+/// concurrent reader never sees a half-written file. Cache write failures
+/// are non-fatal: the run already holds the computed store.
+void StoreCachedOutput(const std::filesystem::path& dir,
+                       const std::string& key_text,
+                       const model::EventStore& store) {
+  try {
+    const std::string stem = CacheStem(key_text);
+    // Writer-unique temp names: two processes sharing a cache dir can
+    // cold-miss the same key concurrently, and a shared ".tmp" would
+    // interleave their writes before one rename published the garble.
+    static std::atomic<std::uint64_t> spill_counter{0};
+    std::ostringstream unique;
+    unique << '.' << ::getpid() << '.'
+           << spill_counter.fetch_add(1, std::memory_order_relaxed)
+           << ".tmp";
+    const std::filesystem::path mpc_tmp =
+        dir / (stem + ".mpc" + unique.str());
+    model::WriteColumnar(store, mpc_tmp.string());
+    std::filesystem::rename(mpc_tmp, dir / (stem + ".mpc"));
+    const std::filesystem::path key_tmp =
+        dir / (stem + ".key" + unique.str());
+    {
+      std::ofstream key_out(key_tmp, std::ios::binary | std::ios::trunc);
+      key_out << key_text;
+    }
+    std::filesystem::rename(key_tmp, dir / (stem + ".key"));
+  } catch (const std::exception&) {
+    // Best effort: a failed spill costs the next run a recompute, nothing
+    // else.
+  }
+}
 
 /// One node of the compiled DAG. Nodes are stored in topological order
 /// (mechanisms before their evaluations), so the serial fallback is a
@@ -36,7 +168,10 @@ struct DagNode {
 /// pre-sized slots, so scheduling order never shows in the output. The
 /// first exception wins and is rethrown after the DAG drains.
 void ExecuteDag(std::vector<DagNode>& nodes) {
-  if (util::ParallelismLevel() <= 1) {
+  // Effective worker count 1, or a DAG too small to amortize a pool
+  // round-trip: run the topological order inline (nodes are stored in
+  // dependency order, so a plain index loop is a valid schedule).
+  if (util::ParallelismLevel() <= 1 || nodes.size() <= 1) {
     for (DagNode& node : nodes) node.work();
     return;
   }
@@ -151,8 +286,11 @@ std::string EngineStats::ToString() const {
   std::ostringstream os;
   os << "grid_cells=" << grid_cells
      << " mechanism_nodes=" << mechanism_nodes
-     << " evaluator_nodes=" << evaluator_nodes << " bind_ms="
-     << util::FormatDouble(bind_ms, 2)
+     << " evaluator_nodes=" << evaluator_nodes;
+  if (cache_hits + cache_misses > 0) {
+    os << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses;
+  }
+  os << " bind_ms=" << util::FormatDouble(bind_ms, 2)
      << " run_ms=" << util::FormatDouble(run_ms, 2);
   return os.str();
 }
@@ -250,8 +388,23 @@ Report ScenarioEngine::Run() {
   const geo::LocalProjection frame =
       attacks::DatasetProjection(source.view());
 
+  // The `.mpc` output cache (optional). The dataset fingerprint is one
+  // O(events) column scan, paid only when the cache is on.
+  const bool cache_enabled = !c.spec.mechanism_cache_dir.empty();
+  const std::filesystem::path cache_dir(c.spec.mechanism_cache_dir);
+  std::uint64_t source_fingerprint = 0;
+  if (cache_enabled) {
+    std::filesystem::create_directories(cache_dir);
+    source_fingerprint = FingerprintView(source.view());
+  }
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> cache_misses{0};
+
   // Result slots, pre-sized so DAG workers never allocate shared state.
-  std::vector<model::Dataset> outputs(mech_nodes);
+  // Mechanism outputs are columnar stores — the SoA-native path: no AoS
+  // dataset is ever built for a node, and every evaluator of the node
+  // reads the same store through a zero-copy view.
+  std::vector<model::EventStore> outputs(mech_nodes);
   std::vector<model::DatasetView> published(mech_nodes);
   std::vector<std::vector<MetricValue>> results(mech_nodes * eval_count);
 
@@ -264,14 +417,29 @@ Report ScenarioEngine::Run() {
     for (std::size_t s = 0; s < seed_count; ++s) {
       const std::size_t node = m * seed_count + s;
       DagNode dag_node;
-      dag_node.work = [&, node, name_hash, s] {
+      dag_node.work = [&, node, name_hash, m, s] {
         // Every (mechanism, seed) node owns an independent stream derived
         // from the cell seed and the canonical name, so adding grid rows
         // never perturbs existing ones.
         util::Rng rng(util::DeriveStreamSeed(seeds[s], name_hash, 0));
-        outputs[node] =
-            c.mech_instances[node]->ApplyView(source.view(), rng);
-        published[node] = model::DatasetView::Of(outputs[node]);
+        std::string key_text;
+        bool loaded = false;
+        if (cache_enabled) {
+          key_text = CacheKeyText(c.mech_names[m], source_fingerprint,
+                                  seeds[s]);
+          loaded = TryLoadCachedOutput(cache_dir, key_text, outputs[node]);
+        }
+        if (loaded) {
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          outputs[node] =
+              c.mech_instances[node]->ApplyToStore(source.view(), rng);
+          if (cache_enabled) {
+            StoreCachedOutput(cache_dir, key_text, outputs[node]);
+            cache_misses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        published[node] = outputs[node].View();
       };
       nodes.push_back(std::move(dag_node));
     }
@@ -292,6 +460,8 @@ Report ScenarioEngine::Run() {
   }
 
   stats_.run_ms = TimeMs([&] { ExecuteDag(nodes); });
+  stats_.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  stats_.cache_misses = cache_misses.load(std::memory_order_relaxed);
 
   // ---- Assemble the report in canonical order. ------------------------
   Report report;

@@ -11,7 +11,15 @@
 // grid of M mechanisms x E evaluators therefore applies each mechanism
 // once, not E times — the reason an engine grid is measurably faster than
 // the equivalent standalone bench runs (bench_throughput's
-// BM_EngineGrid / BM_EngineGridIndependent pair). Instances always run
+// BM_EngineGrid / BM_EngineGridIndependent pair).
+//
+// Mechanism nodes run the SoA-native path (Mechanism::ApplyToStore): each
+// node's output is a columnar EventStore — no per-trace std::vector<Event>,
+// no name re-interning — whose View() fans out to the node's evaluators.
+// With ScenarioSpec::mechanism_cache_dir set, node outputs are also
+// spilled to `.mpc` files content-addressed by (canonical name, dataset
+// fingerprint, seed) and reused across runs; stale or corrupt entries are
+// recomputed, never reused (docs/FORMAT.md, "Cached mechanism outputs"). Instances always run
 // from the ORIGINAL spec text (names print numbers at fixed precision and
 // are not re-parsed), with one caveat: two spec entries whose configs are
 // so close that their canonical names print identically (e.g. geo_ind
@@ -75,6 +83,10 @@ struct EngineStats {
   std::size_t grid_cells = 0;       ///< spec mechanisms x seeds x evaluators
   std::size_t mechanism_nodes = 0;  ///< memoized (mechanism, seed) nodes run
   std::size_t evaluator_nodes = 0;  ///< evaluation nodes run
+  /// Mechanism outputs reused from / recomputed into the `.mpc` output
+  /// cache (both 0 when ScenarioSpec::mechanism_cache_dir is empty).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
   double bind_ms = 0.0;             ///< source open/map/parse time
   double run_ms = 0.0;              ///< DAG execution wall clock
 

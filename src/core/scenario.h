@@ -81,6 +81,13 @@ struct ScenarioSpec {
   /// Worker override for the run (0 = ambient). Reports are byte-identical
   /// at any value — this is a resource knob, never a semantic one.
   std::size_t threads = 0;
+  /// When non-empty, mechanism outputs are spilled to / reused from this
+  /// directory as `.mpc` files, content-addressed by (canonical mechanism
+  /// name, dataset fingerprint, seed) — see docs/FORMAT.md "Cached
+  /// mechanism outputs". A stale or corrupt entry is never reused: the
+  /// engine recomputes and overwrites it. Purely a performance knob;
+  /// reports are byte-identical with the cache on, off, cold or warm.
+  std::string mechanism_cache_dir;
 };
 
 /// A bound dataset source: owns whatever storage the source kind needs

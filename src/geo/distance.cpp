@@ -4,28 +4,16 @@
 
 namespace mobipriv::geo {
 
-GeoDistanceFn DefaultGeoDistance() {
-  return [](LatLng a, LatLng b) { return HaversineDistance(a, b); };
-}
+GeoDistanceFn DefaultGeoDistance() { return HaversineMetric{}; }
 
-GeoDistanceFn FastGeoDistance() {
-  return [](LatLng a, LatLng b) { return EquirectangularDistance(a, b); };
-}
+GeoDistanceFn FastGeoDistance() { return EquirectangularMetric{}; }
 
 double PathLength(const std::vector<LatLng>& path) noexcept {
-  double total = 0.0;
-  for (std::size_t i = 1; i < path.size(); ++i) {
-    total += HaversineDistance(path[i - 1], path[i]);
-  }
-  return total;
+  return PathLength(path, HaversineMetric{});
 }
 
 double PathLength(const std::vector<Point2>& path) noexcept {
-  double total = 0.0;
-  for (std::size_t i = 1; i < path.size(); ++i) {
-    total += Distance(path[i - 1], path[i]);
-  }
-  return total;
+  return PathLength(path, [](Point2 a, Point2 b) { return Distance(a, b); });
 }
 
 }  // namespace mobipriv::geo

@@ -1,17 +1,69 @@
-// Distance-function abstraction. Algorithms that must run both on raw
+// Distance-metric abstraction. Algorithms that must run both on raw
 // geographic coordinates and on projected planar points (clustering, the
-// tracker, mix-zone detection) take a DistanceFn so tests can exercise them
+// tracker, mix-zone detection) take a metric so tests can exercise them
 // in exact planar space while production paths use geographic distance.
+//
+// Two forms:
+//   * metric FUNCTORS (HaversineMetric, EquirectangularMetric,
+//     ProjectedMetric) — empty/inline-able structs for templated kernels:
+//     the distance call compiles down to the arithmetic itself, no
+//     std::function dispatch in the inner loop. Prefer these in any loop
+//     that runs per event.
+//   * GeoDistanceFn (std::function) — type-erased form for configuration
+//     boundaries (pick-a-metric-at-runtime call sites), NOT for hot loops:
+//     every call is an indirect dispatch.
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "geo/latlng.h"
 #include "geo/point2.h"
+#include "geo/projection.h"
 
 namespace mobipriv::geo {
 
-/// Metric on WGS84 coordinates, metres.
+/// Exact great-circle metric on WGS84 coordinates, metres. Stateless and
+/// inlineable — `Metric{}(a, b)` in a template compiles to the haversine
+/// arithmetic directly.
+struct HaversineMetric {
+  [[nodiscard]] double operator()(LatLng a, LatLng b) const noexcept {
+    return HaversineDistance(a, b);
+  }
+};
+
+/// Fast approximate metric (equirectangular) on WGS84 coordinates, for
+/// city-scale data where the flat-earth error is negligible.
+struct EquirectangularMetric {
+  [[nodiscard]] double operator()(LatLng a, LatLng b) const noexcept {
+    return EquirectangularDistance(a, b);
+  }
+};
+
+/// Planar metric through a per-dataset local tangent frame: endpoints are
+/// projected (one cached-cosine multiply each, no per-call trig beyond the
+/// frame's construction) and measured with plain Euclidean arithmetic.
+/// This is the trig-free inner-loop form — project the dataset once,
+/// measure millions of times.
+class ProjectedMetric {
+ public:
+  explicit ProjectedMetric(const LocalProjection& frame) noexcept
+      : frame_(&frame) {}
+
+  [[nodiscard]] double operator()(LatLng a, LatLng b) const noexcept {
+    return Distance(frame_->Project(a), frame_->Project(b));
+  }
+  [[nodiscard]] double operator()(Point2 a, Point2 b) const noexcept {
+    return Distance(a, b);
+  }
+
+ private:
+  const LocalProjection* frame_;
+};
+
+/// Type-erased metric on WGS84 coordinates, metres. Configuration-boundary
+/// form only — inner loops should take one of the functors above as a
+/// template parameter instead.
 using GeoDistanceFn = std::function<double(LatLng, LatLng)>;
 
 /// Default geographic metric (haversine).
@@ -20,6 +72,16 @@ using GeoDistanceFn = std::function<double(LatLng, LatLng)>;
 /// Fast approximate metric (equirectangular), for hot loops over
 /// city-scale data.
 [[nodiscard]] GeoDistanceFn FastGeoDistance();
+
+/// Length in metres of a path under any inlineable metric.
+template <typename Points, typename Metric>
+[[nodiscard]] double PathLength(const Points& path, Metric&& metric) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    total += metric(path[i - 1], path[i]);
+  }
+  return total;
+}
 
 /// Length in metres of a geographic path given as consecutive coordinates.
 [[nodiscard]] double PathLength(const std::vector<LatLng>& path) noexcept;

@@ -2,18 +2,78 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <limits>
 
 namespace mobipriv::geo {
+
+namespace {
+/// Smallest power-of-two table that keeps the load factor under ~0.75
+/// for `cells` occupied slots.
+std::size_t TableCapacityFor(std::size_t cells) {
+  std::size_t capacity = 16;
+  while (capacity * 3 / 4 < cells) capacity *= 2;
+  return capacity;
+}
+}  // namespace
 
 GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
   assert(cell_size > 0.0);
 }
 
-GridIndex::CellKey GridIndex::KeyFor(Point2 p) const noexcept {
-  return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
-          static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+void GridIndex::Rehash(std::size_t min_capacity) {
+  const std::size_t capacity = TableCapacityFor(
+      std::max(min_capacity, cell_count_));
+  if (capacity == cells_.size()) return;
+  std::vector<Cell> old = std::move(cells_);
+  cells_.assign(capacity, Cell{});
+  const std::size_t mask = capacity - 1;
+  for (const Cell& cell : old) {
+    if (!cell.used) continue;
+    std::size_t i = HashKey(cell.key) & mask;
+    while (cells_[i].used) i = (i + 1) & mask;
+    cells_[i] = cell;
+  }
+}
+
+std::size_t GridIndex::FindOrInsertCell(CellKey key) {
+  if (cells_.empty() || (cell_count_ + 1) * 4 > cells_.size() * 3) {
+    Rehash(cell_count_ + 1);
+  }
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t i = HashKey(key) & mask;
+  while (cells_[i].used) {
+    if (cells_[i].key == key) return i;
+    i = (i + 1) & mask;
+  }
+  cells_[i].key = key;
+  cells_[i].bucket = Bucket{};
+  cells_[i].used = true;
+  ++cell_count_;
+  return i;
+}
+
+void GridIndex::EraseCellSlot(std::size_t slot) {
+  // Backward-shift deletion: walk the probe chain after `slot` and pull
+  // back any cell whose ideal position lies at or before the hole, so
+  // lookups never need tombstones.
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t hole = slot;
+  std::size_t i = (hole + 1) & mask;
+  while (cells_[i].used) {
+    const std::size_t ideal = HashKey(cells_[i].key) & mask;
+    // Distance from ideal to current position (mod table size) >= distance
+    // from ideal to the hole means the cell may legally move into the hole.
+    const std::size_t dist_cur = (i - ideal) & mask;
+    const std::size_t dist_hole = (hole - ideal) & mask;
+    if (dist_cur >= dist_hole) {
+      cells_[hole] = cells_[i];
+      hole = i;
+    }
+    i = (i + 1) & mask;
+  }
+  cells_[hole].used = false;
+  cells_[hole].bucket = Bucket{};
+  --cell_count_;
 }
 
 std::int32_t GridIndex::AcquireSlot(Point2 p, std::uint64_t id) {
@@ -53,14 +113,15 @@ void GridIndex::Insert(Point2 p, std::uint64_t id) {
     min_cy_ = std::min(min_cy_, key.cy);
     max_cy_ = std::max(max_cy_, key.cy);
   }
-  AppendToBucket(cells_[key], AcquireSlot(p, id));
+  const std::int32_t slot = AcquireSlot(p, id);
+  AppendToBucket(cells_[FindOrInsertCell(key)].bucket, slot);
   ++count_;
 }
 
 void GridIndex::UnlinkFromCell(CellKey key, std::int32_t slot) {
-  const auto it = cells_.find(key);
-  assert(it != cells_.end());
-  Bucket& bucket = it->second;
+  const std::size_t cell = FindCell(key);
+  assert(cell != kNpos);
+  Bucket& bucket = cells_[cell].bucket;
   std::int32_t prev = -1;
   for (std::int32_t cur = bucket.head; cur != -1;
        cur = entries_[static_cast<std::size_t>(cur)].next) {
@@ -72,7 +133,7 @@ void GridIndex::UnlinkFromCell(CellKey key, std::int32_t slot) {
         entries_[static_cast<std::size_t>(prev)].next = next;
       }
       if (bucket.tail == slot) bucket.tail = prev;
-      if (bucket.head == -1) cells_.erase(it);
+      if (bucket.head == -1) EraseCellSlot(cell);
       return;
     }
     prev = cur;
@@ -82,9 +143,9 @@ void GridIndex::UnlinkFromCell(CellKey key, std::int32_t slot) {
 
 bool GridIndex::Remove(Point2 p, std::uint64_t id) {
   const CellKey key = KeyFor(p);
-  const auto it = cells_.find(key);
-  if (it == cells_.end()) return false;
-  for (std::int32_t cur = it->second.head; cur != -1;
+  const std::size_t cell = FindCell(key);
+  if (cell == kNpos) return false;
+  for (std::int32_t cur = cells_[cell].bucket.head; cur != -1;
        cur = entries_[static_cast<std::size_t>(cur)].next) {
     Entry& e = entries_[static_cast<std::size_t>(cur)];
     if (e.id == id && e.point.x == p.x && e.point.y == p.y) {
@@ -100,9 +161,9 @@ bool GridIndex::Remove(Point2 p, std::uint64_t id) {
 
 bool GridIndex::Move(Point2 from, Point2 to, std::uint64_t id) {
   const CellKey from_key = KeyFor(from);
-  const auto it = cells_.find(from_key);
-  if (it == cells_.end()) return false;
-  for (std::int32_t cur = it->second.head; cur != -1;
+  const std::size_t cell = FindCell(from_key);
+  if (cell == kNpos) return false;
+  for (std::int32_t cur = cells_[cell].bucket.head; cur != -1;
        cur = entries_[static_cast<std::size_t>(cur)].next) {
     Entry& e = entries_[static_cast<std::size_t>(cur)];
     if (e.id != id || e.point.x != from.x || e.point.y != from.y) continue;
@@ -113,7 +174,7 @@ bool GridIndex::Move(Point2 from, Point2 to, std::uint64_t id) {
       UnlinkFromCell(from_key, cur);
       e.point = to;
       e.next = -1;
-      AppendToBucket(cells_[to_key], cur);
+      AppendToBucket(cells_[FindOrInsertCell(to_key)].bucket, cur);
       min_cx_ = std::min(min_cx_, to_key.cx);
       max_cx_ = std::max(max_cx_, to_key.cx);
       min_cy_ = std::min(min_cy_, to_key.cy);
@@ -126,30 +187,15 @@ bool GridIndex::Move(Point2 from, Point2 to, std::uint64_t id) {
 
 void GridIndex::Reserve(std::size_t n) {
   entries_.reserve(n);
-  cells_.reserve(n);
+  Rehash(n);
 }
 
 void GridIndex::QueryRadius(Point2 center, double radius,
                             std::vector<std::uint64_t>& out) const {
   assert(radius >= 0.0);
   out.clear();
-  const double r_sq = radius * radius;
-  // Number of cells the radius spans (>=1 so the 3x3 case stays fast).
-  const auto span =
-      static_cast<std::int64_t>(std::ceil(radius / cell_size_));
-  const CellKey center_key = KeyFor(center);
-  for (std::int64_t dx = -span; dx <= span; ++dx) {
-    for (std::int64_t dy = -span; dy <= span; ++dy) {
-      const auto it =
-          cells_.find(CellKey{center_key.cx + dx, center_key.cy + dy});
-      if (it == cells_.end()) continue;
-      for (std::int32_t cur = it->second.head; cur != -1;
-           cur = entries_[static_cast<std::size_t>(cur)].next) {
-        const Entry& e = entries_[static_cast<std::size_t>(cur)];
-        if (DistanceSquared(e.point, center) <= r_sq) out.push_back(e.id);
-      }
-    }
-  }
+  ForEachInRadius(center, radius,
+                  [&](std::uint64_t id, Point2) { out.push_back(id); });
 }
 
 std::vector<std::uint64_t> GridIndex::QueryRadius(Point2 center,
@@ -163,21 +209,14 @@ void GridIndex::QueryBoxCandidates(
     Point2 center, double radius,
     std::vector<std::pair<std::uint64_t, Point2>>& out) const {
   out.clear();
-  const auto span =
-      static_cast<std::int64_t>(std::ceil(radius / cell_size_));
-  const CellKey center_key = KeyFor(center);
-  for (std::int64_t dx = -span; dx <= span; ++dx) {
-    for (std::int64_t dy = -span; dy <= span; ++dy) {
-      const auto it =
-          cells_.find(CellKey{center_key.cx + dx, center_key.cy + dy});
-      if (it == cells_.end()) continue;
-      for (std::int32_t cur = it->second.head; cur != -1;
-           cur = entries_[static_cast<std::size_t>(cur)].next) {
-        const Entry& e = entries_[static_cast<std::size_t>(cur)];
-        out.emplace_back(e.id, e.point);
-      }
+  ForEachCellInBox(center, radius, [&](std::int32_t head) {
+    for (std::int32_t cur = head; cur != -1;
+         cur = entries_[static_cast<std::size_t>(cur)].next) {
+      const Entry& e = entries_[static_cast<std::size_t>(cur)];
+      out.emplace_back(e.id, e.point);
     }
-  }
+    return true;
+  });
 }
 
 std::vector<std::pair<std::uint64_t, Point2>> GridIndex::QueryBoxCandidates(
@@ -195,9 +234,7 @@ std::optional<NearestResult> GridIndex::QueryNearest(Point2 center) const {
   const Entry* best = nullptr;
 
   const auto consider_cell = [&](std::int64_t cx, std::int64_t cy) {
-    const auto it = cells_.find(CellKey{cx, cy});
-    if (it == cells_.end()) return;
-    for (std::int32_t cur = it->second.head; cur != -1;
+    for (std::int32_t cur = CellHead(CellKey{cx, cy}); cur != -1;
          cur = entries_[static_cast<std::size_t>(cur)].next) {
       const Entry& e = entries_[static_cast<std::size_t>(cur)];
       const double d_sq = DistanceSquared(e.point, center);
@@ -250,6 +287,7 @@ std::optional<NearestResult> GridIndex::QueryNearest(Point2 center) const {
 
 void GridIndex::Clear() {
   cells_.clear();
+  cell_count_ = 0;
   entries_.clear();
   free_head_ = -1;
   count_ = 0;

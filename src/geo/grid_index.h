@@ -5,13 +5,23 @@
 //
 // Storage is flat: one entries array plus per-cell intrusive FIFO chains, so
 // inserts never allocate per-cell vectors and queries touch one contiguous
-// pool. The query path has caller-provided-buffer overloads that perform no
-// allocation at all — hot loops reuse one buffer across millions of queries.
+// pool. Cells live in an open-addressed, power-of-two hash table (linear
+// probing, backward-shift deletion) instead of std::unordered_map: a cell
+// lookup is a multiply-mix plus a masked probe — no prime modulo, no bucket
+// node chase — which matters because radius queries perform one lookup per
+// covered cell and the mix-zone detector issues millions of them.
+//
+// The query path has caller-provided-buffer overloads that perform no
+// allocation at all, and templated visitor queries (ForEachInRadius /
+// AnyWithin) that inline the per-hit predicate into the cell scan — hot
+// loops pay neither a std::function dispatch nor an output buffer write.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "geo/point2.h"
@@ -24,6 +34,22 @@ struct NearestResult {
   Point2 point;
   double distance = 0.0;
 };
+
+/// 2-D grid-cell coordinate mix (large odd constants, xor-fold, finalizer)
+/// shared by every open-addressed cell table in the library (GridIndex,
+/// the mix-zone detector's CSR grid). Tables are power-of-two sized and
+/// masked, so the mix must scramble low bits well.
+[[nodiscard]] inline std::size_t HashCell2D(std::int64_t cx,
+                                            std::int64_t cy) noexcept {
+  const auto ux = static_cast<std::uint64_t>(cx);
+  const auto uy = static_cast<std::uint64_t>(cy);
+  std::uint64_t h = ux * 0x9E3779B97F4A7C15ULL;
+  h ^= uy * 0xC2B2AE3D27D4EB4FULL + (h << 6) + (h >> 2);
+  h ^= h >> 29;  // fold high entropy into the masked low bits
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
 
 /// Maps points (with caller-supplied payload ids) to grid cells and answers
 /// radius / nearest queries by scanning cell neighbourhoods. Results are
@@ -50,6 +76,47 @@ class GridIndex {
 
   /// Pre-allocates storage for `n` entries.
   void Reserve(std::size_t n);
+
+  /// Visits every inserted (id, point) within `radius` of `center`
+  /// (inclusive), in cell-scan order (x-major over the covered cells,
+  /// insertion order within a cell — the order QueryRadius reports).
+  /// `visit` is invoked as visit(id, point); if it returns bool, a false
+  /// return stops the scan early. The visitor is inlined into the cell
+  /// walk — this is the allocation- and indirection-free form every hot
+  /// kernel should prefer.
+  template <typename Visitor>
+  void ForEachInRadius(Point2 center, double radius, Visitor&& visit) const {
+    const double r_sq = radius * radius;
+    ForEachCellInBox(center, radius, [&](std::int32_t head) {
+      for (std::int32_t cur = head; cur != -1;
+           cur = entries_[static_cast<std::size_t>(cur)].next) {
+        const Entry& e = entries_[static_cast<std::size_t>(cur)];
+        if (DistanceSquared(e.point, center) <= r_sq) {
+          if constexpr (std::is_same_v<decltype(visit(e.id, e.point)),
+                                       bool>) {
+            if (!visit(e.id, e.point)) return false;
+          } else {
+            visit(e.id, e.point);
+          }
+        }
+      }
+      return true;
+    });
+  }
+
+  /// True when any inserted point lies within `radius` of `center`
+  /// (inclusive). Early-exits on the first hit — the cheap form of the
+  /// "is anything nearby?" probe (greedy first-fit clustering), which a
+  /// QueryRadius + empty() test would answer only after collecting every
+  /// neighbour.
+  [[nodiscard]] bool AnyWithin(Point2 center, double radius) const {
+    bool found = false;
+    ForEachInRadius(center, radius, [&](std::uint64_t, Point2) {
+      found = true;
+      return false;  // stop at the first hit
+    });
+    return found;
+  }
 
   /// Ids of all inserted points within `radius` of `center` (inclusive).
   /// The overload taking `out` clears and fills it without allocating
@@ -85,29 +152,83 @@ class GridIndex {
       return a.cx == b.cx && a.cy == b.cy;
     }
   };
-  struct CellKeyHash {
-    std::size_t operator()(CellKey k) const noexcept {
-      // 2-D -> 1-D mix (large odd constants, xor-fold).
-      const auto ux = static_cast<std::uint64_t>(k.cx);
-      const auto uy = static_cast<std::uint64_t>(k.cy);
-      std::uint64_t h = ux * 0x9E3779B97F4A7C15ULL;
-      h ^= uy * 0xC2B2AE3D27D4EB4FULL + (h << 6) + (h >> 2);
-      return static_cast<std::size_t>(h);
-    }
-  };
-  struct Entry {
-    Point2 point;
-    std::uint64_t id;
-    std::int32_t next;  ///< next entry in the cell chain, -1 = end
-  };
   /// Intrusive FIFO chain into entries_ (FIFO keeps query output in
   /// insertion order, matching the historical per-cell vector behaviour).
   struct Bucket {
     std::int32_t head = -1;
     std::int32_t tail = -1;
   };
+  /// One open-addressing slot: a cell key plus its chain. `used` marks
+  /// occupancy (deletion backward-shifts, so there are no tombstones).
+  struct Cell {
+    CellKey key;
+    Bucket bucket;
+    bool used = false;
+  };
+  struct Entry {
+    Point2 point;
+    std::uint64_t id;
+    std::int32_t next;  ///< next entry in the cell chain, -1 = end
+  };
 
-  [[nodiscard]] CellKey KeyFor(Point2 p) const noexcept;
+  [[nodiscard]] static std::size_t HashKey(CellKey k) noexcept {
+    return HashCell2D(k.cx, k.cy);
+  }
+
+  [[nodiscard]] CellKey KeyFor(Point2 p) const noexcept {
+    return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+            static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+  }
+
+  /// Linear probe for `key`. Returns the occupied slot index, or npos.
+  [[nodiscard]] std::size_t FindCell(CellKey key) const noexcept {
+    if (cells_.empty()) return kNpos;
+    const std::size_t mask = cells_.size() - 1;
+    std::size_t i = HashKey(key) & mask;
+    while (cells_[i].used) {
+      if (cells_[i].key == key) return i;
+      i = (i + 1) & mask;
+    }
+    return kNpos;
+  }
+
+  /// Chain head of the cell holding `key`, or -1 when the cell is empty —
+  /// the inlineable primitive every query builds on.
+  [[nodiscard]] std::int32_t CellHead(CellKey key) const noexcept {
+    const std::size_t slot = FindCell(key);
+    return slot == kNpos ? -1 : cells_[slot].bucket.head;
+  }
+
+  /// Invokes visit(head) for every non-empty cell intersecting the
+  /// axis-aligned square of half-width `radius` around `center`, x-major.
+  /// `visit` returns false to stop early.
+  template <typename CellVisitor>
+  void ForEachCellInBox(Point2 center, double radius,
+                        CellVisitor&& visit) const {
+    const auto span = static_cast<std::int64_t>(
+        std::ceil(radius / cell_size_));
+    const CellKey center_key = KeyFor(center);
+    for (std::int64_t dx = -span; dx <= span; ++dx) {
+      for (std::int64_t dy = -span; dy <= span; ++dy) {
+        const std::int32_t head =
+            CellHead(CellKey{center_key.cx + dx, center_key.cy + dy});
+        if (head == -1) continue;
+        if (!visit(head)) return;
+      }
+    }
+  }
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// Occupied slot for `key`, inserting an empty cell (growing the table
+  /// as needed) when absent.
+  std::size_t FindOrInsertCell(CellKey key);
+  /// Doubles the table (or sets the initial capacity) and re-seats every
+  /// occupied cell.
+  void Rehash(std::size_t min_capacity);
+  /// Backward-shift removal of the occupied slot `slot`.
+  void EraseCellSlot(std::size_t slot);
+
   std::int32_t AcquireSlot(Point2 p, std::uint64_t id);
   void AppendToBucket(Bucket& bucket, std::int32_t slot);
   /// Unlinks `slot` from its bucket; erases the cell when it empties.
@@ -115,7 +236,8 @@ class GridIndex {
 
   double cell_size_;
   std::size_t count_ = 0;
-  std::unordered_map<CellKey, Bucket, CellKeyHash> cells_;
+  std::vector<Cell> cells_;        ///< open-addressed, power-of-two size
+  std::size_t cell_count_ = 0;     ///< occupied slots in cells_
   std::vector<Entry> entries_;
   std::int32_t free_head_ = -1;  ///< recycled entry slots (chained via next)
   // Occupied-cell extent, used to terminate the nearest-neighbour ring

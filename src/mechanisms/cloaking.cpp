@@ -16,22 +16,25 @@ std::string Cloaking::Name() const {
   return "cloaking[cell=" + util::FormatDouble(config_.cell_size_m, 0) + "m]";
 }
 
-model::Trace Cloaking::ApplyToTrace(const model::Trace& trace,
-                                    util::Rng& rng) const {
+void Cloaking::ApplyToTraceColumns(const model::TraceView& trace,
+                                   model::TraceBuffer& out,
+                                   util::Rng& rng) const {
   (void)rng;
-  model::Trace out;
-  out.set_user(trace.user());
-  if (trace.empty()) return out;
+  if (trace.empty()) return;
   const geo::LocalProjection projection(trace.BoundingBox().Center());
   const double cell = config_.cell_size_m;
-  for (const auto& event : trace) {
-    const geo::Point2 p = projection.Project(event.position);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const geo::Point2 p = projection.Project(trace.position(i));
     const geo::Point2 snapped{
         (std::floor(p.x / cell) + 0.5) * cell,
         (std::floor(p.y / cell) + 0.5) * cell};
-    out.Append(model::Event{projection.Unproject(snapped), event.time});
+    out.Append(projection.Unproject(snapped), trace.time(i));
   }
-  return out;
+}
+
+model::Trace Cloaking::ApplyToTrace(const model::Trace& trace,
+                                    util::Rng& rng) const {
+  return ApplyToTraceViaColumns(trace, rng);
 }
 
 }  // namespace mobipriv::mech

@@ -12,18 +12,27 @@ std::string Downsampling::Name() const {
   return "downsampling[dt=" + std::to_string(config_.min_interval_s) + "s]";
 }
 
-model::Trace Downsampling::ApplyToTrace(const model::Trace& trace,
-                                        util::Rng& rng) const {
+void Downsampling::ApplyToTraceColumns(const model::TraceView& trace,
+                                       model::TraceBuffer& out,
+                                       util::Rng& rng) const {
   (void)rng;
-  model::Trace out;
-  out.set_user(trace.user());
-  for (const auto& event : trace) {
-    if (out.empty() ||
-        event.time - out.back().time >= config_.min_interval_s) {
-      out.Append(event);
+  // `out` may already hold earlier traces; track this trace's last kept
+  // timestamp locally instead of peeking at the buffer tail.
+  bool any = false;
+  util::Timestamp last = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const util::Timestamp t = trace.time(i);
+    if (!any || t - last >= config_.min_interval_s) {
+      out.Append(trace.position(i), t);
+      any = true;
+      last = t;
     }
   }
-  return out;
+}
+
+model::Trace Downsampling::ApplyToTrace(const model::Trace& trace,
+                                        util::Rng& rng) const {
+  return ApplyToTraceViaColumns(trace, rng);
 }
 
 }  // namespace mobipriv::mech

@@ -15,19 +15,22 @@ std::string GaussianNoise::Name() const {
   return "gaussian[sigma=" + util::FormatDouble(config_.sigma_m, 0) + "m]";
 }
 
-model::Trace GaussianNoise::ApplyToTrace(const model::Trace& trace,
-                                         util::Rng& rng) const {
-  model::Trace out;
-  out.set_user(trace.user());
-  if (trace.empty()) return out;
+void GaussianNoise::ApplyToTraceColumns(const model::TraceView& trace,
+                                        model::TraceBuffer& out,
+                                        util::Rng& rng) const {
+  if (trace.empty()) return;
   const geo::LocalProjection projection(trace.BoundingBox().Center());
-  for (const auto& event : trace) {
-    geo::Point2 p = projection.Project(event.position);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    geo::Point2 p = projection.Project(trace.position(i));
     p.x += rng.Gaussian(0.0, config_.sigma_m);
     p.y += rng.Gaussian(0.0, config_.sigma_m);
-    out.Append(model::Event{projection.Unproject(p), event.time});
+    out.Append(projection.Unproject(p), trace.time(i));
   }
-  return out;
+}
+
+model::Trace GaussianNoise::ApplyToTrace(const model::Trace& trace,
+                                         util::Rng& rng) const {
+  return ApplyToTraceViaColumns(trace, rng);
 }
 
 }  // namespace mobipriv::mech

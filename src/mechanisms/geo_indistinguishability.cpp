@@ -63,21 +63,24 @@ std::string GeoIndistinguishability::Name() const {
   return "geo_ind[eps=" + util::FormatDouble(config_.epsilon, 4) + "]";
 }
 
-model::Trace GeoIndistinguishability::ApplyToTrace(const model::Trace& trace,
-                                                   util::Rng& rng) const {
-  model::Trace out;
-  out.set_user(trace.user());
-  if (trace.empty()) return out;
+void GeoIndistinguishability::ApplyToTraceColumns(
+    const model::TraceView& trace, model::TraceBuffer& out,
+    util::Rng& rng) const {
+  if (trace.empty()) return;
   const geo::LocalProjection projection(trace.BoundingBox().Center());
-  for (const auto& event : trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
     const double r = SamplePlanarLaplaceRadius(config_.epsilon, rng);
     const double theta = rng.Angle();
-    geo::Point2 p = projection.Project(event.position);
+    geo::Point2 p = projection.Project(trace.position(i));
     p.x += r * std::cos(theta);
     p.y += r * std::sin(theta);
-    out.Append(model::Event{projection.Unproject(p), event.time});
+    out.Append(projection.Unproject(p), trace.time(i));
   }
-  return out;
+}
+
+model::Trace GeoIndistinguishability::ApplyToTrace(const model::Trace& trace,
+                                                   util::Rng& rng) const {
+  return ApplyToTraceViaColumns(trace, rng);
 }
 
 }  // namespace mobipriv::mech

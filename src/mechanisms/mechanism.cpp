@@ -1,5 +1,8 @@
 #include "mechanisms/mechanism.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "util/thread_pool.h"
 
 namespace mobipriv::mech {
@@ -11,11 +14,39 @@ model::Dataset Mechanism::ApplyView(const model::DatasetView& input,
   return Apply(materialized, rng);
 }
 
-template <typename NameOf, typename UserOf, typename TraceOf>
+model::EventStore Mechanism::ApplyToStore(const model::DatasetView& input,
+                                          util::Rng& rng) const {
+  // Default adapter: run the view path, convert the output once. The
+  // conversion is O(output events) column scatter — mechanisms whose
+  // output is much smaller than their input (mixzone, wait4me) lose
+  // little; per-trace mechanisms override this with the two-pass fill.
+  return model::EventStore::FromDataset(ApplyView(input, rng));
+}
+
+void PerTraceMechanism::ApplyToTraceColumns(const model::TraceView& trace,
+                                            model::TraceBuffer& out,
+                                            util::Rng& rng) const {
+  // Default adapter for subclasses that only implement ApplyToTrace:
+  // materialize the one trace (counted by model::TraceCopyCount), run the
+  // AoS kernel, append its output.
+  const model::Trace transformed = ApplyToTrace(trace.Materialize(), rng);
+  for (const model::Event& e : transformed) {
+    out.Append(e.position, e.time);
+  }
+}
+
+model::Trace PerTraceMechanism::ApplyToTraceViaColumns(
+    const model::Trace& trace, util::Rng& rng) const {
+  model::TraceBuffer buffer;
+  ApplyToTraceColumns(model::TraceView::Of(trace), buffer, rng);
+  return buffer.ToTrace(trace.user());
+}
+
+template <typename NameOf, typename UserOf, typename Transform>
 model::Dataset PerTraceMechanism::ApplyEngine(model::UserId user_count,
                                               NameOf&& name_of, std::size_t n,
                                               UserOf&& user_of,
-                                              TraceOf&& trace_of,
+                                              Transform&& transform,
                                               util::Rng& rng) const {
   model::Dataset output;
   // Re-intern users in id order so ids are identical in input and output.
@@ -26,17 +57,17 @@ model::Dataset PerTraceMechanism::ApplyEngine(model::UserId user_count,
   // identically in serial and parallel runs, and every trace derives its
   // own independent stream from (master, user, trace index). Output is
   // therefore byte-identical at any parallelism level — and identical
-  // between the AoS and view entry points, which both land here.
+  // between the AoS, view and store entry points, which all use this
+  // stream scheme.
   const std::uint64_t master = rng.NextU64();
   std::vector<model::Trace> transformed(n);
   util::ParallelFor(n, [&](std::size_t begin, std::size_t end) {
+    model::TraceBuffer buffer;  // per-chunk scratch, reused across traces
     for (std::size_t t = begin; t < end; ++t) {
       util::Rng trace_rng(util::DeriveStreamSeed(
           master, static_cast<std::uint64_t>(user_of(t)),
           static_cast<std::uint64_t>(t)));
-      // Lifetime-extended when trace_of materializes a temporary.
-      const model::Trace& trace = trace_of(t);
-      transformed[t] = ApplyToTrace(trace, trace_rng);
+      transformed[t] = transform(t, trace_rng, buffer);
     }
   });
 
@@ -55,7 +86,10 @@ model::Dataset PerTraceMechanism::Apply(const model::Dataset& input,
       static_cast<model::UserId>(input.UserCount()),
       [&](model::UserId id) { return input.UserName(id); }, traces.size(),
       [&](std::size_t t) { return traces[t].user(); },
-      [&](std::size_t t) -> const model::Trace& { return traces[t]; }, rng);
+      [&](std::size_t t, util::Rng& trace_rng, model::TraceBuffer&) {
+        return ApplyToTrace(traces[t], trace_rng);
+      },
+      rng);
 }
 
 model::Dataset PerTraceMechanism::ApplyView(const model::DatasetView& input,
@@ -65,7 +99,97 @@ model::Dataset PerTraceMechanism::ApplyView(const model::DatasetView& input,
       static_cast<model::UserId>(input.UserCount()),
       [&](model::UserId id) { return input.UserName(id); }, traces.size(),
       [&](std::size_t t) { return traces[t].user(); },
-      [&](std::size_t t) { return traces[t].Materialize(); }, rng);
+      [&](std::size_t t, util::Rng& trace_rng, model::TraceBuffer& buffer) {
+        buffer.Clear();
+        ApplyToTraceColumns(traces[t], buffer, trace_rng);
+        return buffer.ToTrace(traces[t].user());
+      },
+      rng);
+}
+
+model::EventStore PerTraceMechanism::ApplyToStore(
+    const model::DatasetView& input, util::Rng& rng) const {
+  const auto& traces = input.traces();
+  const std::size_t n = traces.size();
+  const std::uint64_t master = rng.NextU64();
+
+  // ---- Pass 1: transform. ----
+  // Traces are split into fixed-size blocks (independent of the worker
+  // count, so the layout below is deterministic). Each block appends its
+  // traces' output to ONE reused column buffer and records per-trace
+  // sizes — zero per-trace allocations, amortized-O(1) appends.
+  constexpr std::size_t kBlockTraces = 64;
+  const std::size_t blocks = (n + kBlockTraces - 1) / kBlockTraces;
+  struct Block {
+    model::TraceBuffer buffer;
+    std::vector<std::uint32_t> sizes;
+  };
+  std::vector<Block> results(blocks);
+  util::ParallelForEach(blocks, [&](std::size_t b) {
+    Block& block = results[b];
+    const std::size_t lo = b * kBlockTraces;
+    const std::size_t hi = std::min(n, lo + kBlockTraces);
+    block.sizes.reserve(hi - lo);
+    for (std::size_t t = lo; t < hi; ++t) {
+      util::Rng trace_rng(util::DeriveStreamSeed(
+          master, static_cast<std::uint64_t>(traces[t].user()),
+          static_cast<std::uint64_t>(t)));
+      const std::size_t before = block.buffer.size();
+      ApplyToTraceColumns(traces[t], block.buffer, trace_rng);
+      block.sizes.push_back(
+          static_cast<std::uint32_t>(block.buffer.size() - before));
+    }
+  });
+
+  // ---- Pass 2: lay out and fill. ----
+  // Prefix-sum block sizes into final column offsets, then copy every
+  // block's buffer into its pre-sized slot in parallel (pure memcpy of
+  // column slices; order-independent because slots are disjoint).
+  std::vector<std::size_t> block_offset(blocks + 1, 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    block_offset[b + 1] = block_offset[b] + results[b].buffer.size();
+  }
+  const std::size_t total = block_offset[blocks];
+
+  std::vector<double> lat(total);
+  std::vector<double> lng(total);
+  std::vector<util::Timestamp> time(total);
+  util::ParallelForEach(blocks, [&](std::size_t b) {
+    const model::TraceBuffer& buffer = results[b].buffer;
+    const std::size_t at = block_offset[b];
+    std::copy(buffer.lat().begin(), buffer.lat().end(), lat.begin() + at);
+    std::copy(buffer.lng().begin(), buffer.lng().end(), lng.begin() + at);
+    std::copy(buffer.time().begin(), buffer.time().end(), time.begin() + at);
+  });
+
+  // Trace table in input order, skipping suppressed (empty) outputs —
+  // exactly the traces Apply would keep.
+  std::vector<model::EventStore::TraceRange> table;
+  table.reserve(n);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t at = block_offset[b];
+    const std::size_t lo = b * kBlockTraces;
+    for (std::size_t k = 0; k < results[b].sizes.size(); ++k) {
+      const std::size_t len = results[b].sizes[k];
+      if (len > 0) {
+        table.push_back(model::EventStore::TraceRange{
+            traces[lo + k].user(), at, at + len});
+      }
+      at += len;
+    }
+  }
+
+  // Names carried through in id order — a straight copy of the input's
+  // table, no hash-map re-interning of event data.
+  std::vector<std::string> names;
+  names.reserve(input.UserCount());
+  for (model::UserId id = 0;
+       id < static_cast<model::UserId>(input.UserCount()); ++id) {
+    names.push_back(input.UserName(id));
+  }
+  return model::EventStore::FromColumns(std::move(names), std::move(table),
+                                        std::move(lat), std::move(lng),
+                                        std::move(time));
 }
 
 }  // namespace mobipriv::mech

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <numeric>
@@ -39,6 +40,142 @@ struct ZonePassage {
   std::uint32_t last_event = 0;  // inclusive
 };
 
+/// Cell-bucketed CSR layout of the flat events, replacing per-event
+/// GridIndex radius queries in the detection hot loop. Events are grouped
+/// by grid cell into contiguous SoA slices ordered by flat id, so
+///   * a cell scan streams packed x/y/time/user arrays (no intrusive-chain
+///     pointer chasing), and
+///   * the encounter rule's "only pairs (a, b) with b > a" filter becomes a
+///     binary search for the first in-cell id greater than a — candidates
+///     below a are never visited instead of being visited and discarded.
+/// Scanning a cell slice in storage order reproduces the GridIndex FIFO
+/// (insertion == id) order exactly, which pins the encounter sequence — and
+/// with it zone clustering and the final output — bit for bit.
+class EventCellGrid {
+ public:
+  EventCellGrid(double cell_size, const std::vector<FlatEvent>& flat)
+      : cell_size_(cell_size) {
+    const std::size_t n = flat.size();
+    event_cx_.resize(n);
+    event_cy_.resize(n);
+    event_cell_.resize(n);
+
+    // Open-addressed (cx, cy) -> dense cell id table (power-of-two,
+    // linear probing; sized once — n events bound the live cell count).
+    std::size_t capacity = 16;
+    while (capacity * 3 / 4 < n + 1) capacity *= 2;
+    tab_cx_.assign(capacity, 0);
+    tab_cy_.assign(capacity, 0);
+    tab_cell_.assign(capacity, -1);
+
+    std::vector<std::uint32_t> counts;
+    for (std::size_t id = 0; id < n; ++id) {
+      const auto cx = static_cast<std::int64_t>(
+          std::floor(flat[id].position.x / cell_size_));
+      const auto cy = static_cast<std::int64_t>(
+          std::floor(flat[id].position.y / cell_size_));
+      event_cx_[id] = cx;
+      event_cy_[id] = cy;
+      const std::size_t mask = capacity - 1;
+      std::size_t i = Hash(cx, cy) & mask;
+      while (tab_cell_[i] != -1 &&
+             (tab_cx_[i] != cx || tab_cy_[i] != cy)) {
+        i = (i + 1) & mask;
+      }
+      if (tab_cell_[i] == -1) {
+        tab_cx_[i] = cx;
+        tab_cy_[i] = cy;
+        tab_cell_[i] = static_cast<std::int32_t>(counts.size());
+        counts.push_back(0);
+      }
+      event_cell_[id] = tab_cell_[i];
+      ++counts[static_cast<std::size_t>(tab_cell_[i])];
+    }
+
+    begin_.resize(counts.size() + 1, 0);
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      begin_[c + 1] = begin_[c] + counts[c];
+    }
+    x_.resize(n);
+    y_.resize(n);
+    time_.resize(n);
+    user_.resize(n);
+    id_.resize(n);
+    std::vector<std::uint32_t> fill(counts.size(), 0);
+    for (std::size_t id = 0; id < n; ++id) {
+      const auto cell = static_cast<std::size_t>(event_cell_[id]);
+      const std::size_t pos = begin_[cell] + fill[cell]++;
+      x_[pos] = flat[id].position.x;
+      y_[pos] = flat[id].position.y;
+      time_[pos] = flat[id].time;
+      user_[pos] = flat[id].user;
+      id_[pos] = static_cast<std::uint32_t>(id);
+    }
+  }
+
+  /// Dense cell id for grid coordinates, or -1 when the cell is empty.
+  [[nodiscard]] std::int32_t Find(std::int64_t cx,
+                                  std::int64_t cy) const noexcept {
+    const std::size_t mask = tab_cell_.size() - 1;
+    std::size_t i = Hash(cx, cy) & mask;
+    while (tab_cell_[i] != -1) {
+      if (tab_cx_[i] == cx && tab_cy_[i] == cy) return tab_cell_[i];
+      i = (i + 1) & mask;
+    }
+    return -1;
+  }
+
+  /// Grid coordinates of event `id`'s cell.
+  [[nodiscard]] std::int64_t EventCx(std::size_t id) const {
+    return event_cx_[id];
+  }
+  [[nodiscard]] std::int64_t EventCy(std::size_t id) const {
+    return event_cy_[id];
+  }
+
+  /// [begin, end) slice of a dense cell in the SoA arrays (id-ascending).
+  [[nodiscard]] std::size_t CellBegin(std::int32_t cell) const {
+    return begin_[static_cast<std::size_t>(cell)];
+  }
+  [[nodiscard]] std::size_t CellEnd(std::int32_t cell) const {
+    return begin_[static_cast<std::size_t>(cell) + 1];
+  }
+
+  [[nodiscard]] double x(std::size_t i) const { return x_[i]; }
+  [[nodiscard]] double y(std::size_t i) const { return y_[i]; }
+  [[nodiscard]] util::Timestamp time(std::size_t i) const { return time_[i]; }
+  [[nodiscard]] model::UserId user(std::size_t i) const { return user_[i]; }
+  [[nodiscard]] std::uint32_t id(std::size_t i) const { return id_[i]; }
+
+  /// First index in the cell slice whose flat id exceeds `flat_id`.
+  [[nodiscard]] std::size_t FirstAbove(std::int32_t cell,
+                                       std::uint32_t flat_id) const {
+    const auto first = id_.begin() + static_cast<std::ptrdiff_t>(
+                                         CellBegin(cell));
+    const auto last =
+        id_.begin() + static_cast<std::ptrdiff_t>(CellEnd(cell));
+    return static_cast<std::size_t>(
+        std::upper_bound(first, last, flat_id) - id_.begin());
+  }
+
+ private:
+  [[nodiscard]] static std::size_t Hash(std::int64_t cx,
+                                        std::int64_t cy) noexcept {
+    return geo::HashCell2D(cx, cy);
+  }
+
+  double cell_size_;
+  std::vector<std::int64_t> tab_cx_, tab_cy_;
+  std::vector<std::int32_t> tab_cell_;
+  std::vector<std::int64_t> event_cx_, event_cy_;
+  std::vector<std::int32_t> event_cell_;
+  std::vector<std::size_t> begin_;
+  std::vector<double> x_, y_;
+  std::vector<util::Timestamp> time_;
+  std::vector<model::UserId> user_;
+  std::vector<std::uint32_t> id_;
+};
+
 }  // namespace
 
 std::string MixZoneReport::ToString() const {
@@ -67,9 +204,21 @@ model::Dataset MixZone::Apply(const model::Dataset& input,
   return ApplyWithReport(input, rng, report);
 }
 
+model::Dataset MixZone::ApplyView(const model::DatasetView& input,
+                                  util::Rng& rng) const {
+  MixZoneReport report;
+  return ApplyViewWithReport(input, rng, report);
+}
+
 model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
                                         util::Rng& rng,
                                         MixZoneReport& report) const {
+  return ApplyViewWithReport(model::DatasetView::Of(input), rng, report);
+}
+
+model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
+                                            util::Rng& rng,
+                                            MixZoneReport& report) const {
   report = MixZoneReport{};
   report.total_events = input.EventCount();
 
@@ -86,20 +235,21 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
   }
   std::vector<FlatEvent> flat(offset.back());
   util::ParallelForEach(traces.size(), [&](std::size_t t) {
-    for (std::uint32_t i = 0; i < traces[t].size(); ++i) {
-      const geo::Point2 p = projection.Project(traces[t][i].position);
-      flat[offset[t] + i] =
-          FlatEvent{static_cast<std::uint32_t>(t), i, p, traces[t][i].time,
-                    traces[t].user()};
+    const model::TraceView& trace = traces[t];
+    for (std::uint32_t i = 0; i < trace.size(); ++i) {
+      const geo::Point2 p = projection.Project(trace.position(i));
+      flat[offset[t] + i] = FlatEvent{static_cast<std::uint32_t>(t), i, p,
+                                      trace.time(i), trace.user()};
     }
   });
 
-  // ---- 1. Encounter detection via the spatial grid. ----
-  geo::GridIndex index(config_.zone_radius_m);
-  index.Reserve(flat.size());
-  for (std::uint64_t id = 0; id < flat.size(); ++id) {
-    index.Insert(flat[id].position, id);
-  }
+  // ---- 1. Encounter detection via the cell-bucketed event grid. ----
+  const double radius = config_.zone_radius_m;
+  const double r_sq = radius * radius;
+  // Cell size equals the query radius, so every radius-r disc is covered
+  // by the 3x3 cell neighbourhood of its centre.
+  const std::int64_t span = 1;
+  const EventCellGrid grid(radius, flat);
   // Each id-range block collects its encounters independently; blocks are
   // concatenated in id order afterwards, so the encounter sequence (and
   // with it the greedy zone clustering below) is byte-identical to a
@@ -108,20 +258,33 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
   const std::size_t blocks = (flat.size() + block_size - 1) / block_size;
   std::vector<std::vector<Encounter>> block_encounters(blocks);
   util::ParallelForEach(blocks, [&](std::size_t block) {
-    std::vector<std::uint64_t> hits;  // reused: allocation-free queries
     const std::uint64_t lo = block * block_size;
     const std::uint64_t hi =
         std::min<std::uint64_t>(flat.size(), lo + block_size);
     for (std::uint64_t id = lo; id < hi; ++id) {
       const FlatEvent& a = flat[id];
-      index.QueryRadius(a.position, config_.zone_radius_m, hits);
-      for (const std::uint64_t other : hits) {
-        if (other <= id) continue;  // each unordered pair once
-        const FlatEvent& b = flat[other];
-        if (a.user == b.user) continue;
-        if (std::abs(a.time - b.time) > config_.time_window_s) continue;
-        block_encounters[block].push_back(Encounter{
-            geo::Midpoint(a.position, b.position), std::min(a.time, b.time)});
+      const std::int64_t acx = grid.EventCx(id);
+      const std::int64_t acy = grid.EventCy(id);
+      for (std::int64_t dx = -span; dx <= span; ++dx) {
+        for (std::int64_t dy = -span; dy <= span; ++dy) {
+          const std::int32_t cell = grid.Find(acx + dx, acy + dy);
+          if (cell < 0) continue;
+          const std::size_t end = grid.CellEnd(cell);
+          for (std::size_t j = grid.FirstAbove(
+                   cell, static_cast<std::uint32_t>(id));
+               j < end; ++j) {
+            const double ddx = grid.x(j) - a.position.x;
+            const double ddy = grid.y(j) - a.position.y;
+            if (ddx * ddx + ddy * ddy > r_sq) continue;
+            if (a.user == grid.user(j)) continue;
+            if (std::abs(a.time - grid.time(j)) > config_.time_window_s) {
+              continue;
+            }
+            block_encounters[block].push_back(Encounter{
+                geo::Midpoint(a.position, {grid.x(j), grid.y(j)}),
+                std::min(a.time, grid.time(j))});
+          }
+        }
       }
     }
   });
@@ -134,13 +297,12 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
   // ---- 2. Greedy zone clustering (first-fit by centre distance). ----
   // Centers are immutable once created, so a grid over them answers the
   // first-fit probe ("is any existing center within the zone radius?") in
-  // O(1) instead of scanning every center per encounter.
+  // O(1) instead of scanning every center per encounter — AnyWithin
+  // early-exits on the first hit, never collecting the neighbour list.
   std::vector<geo::Point2> zone_centers;
   geo::GridIndex center_index(config_.zone_radius_m);
-  std::vector<std::uint64_t> center_hits;
   for (const Encounter& e : encounters) {
-    center_index.QueryRadius(e.midpoint, config_.zone_radius_m, center_hits);
-    if (!center_hits.empty()) continue;
+    if (center_index.AnyWithin(e.midpoint, config_.zone_radius_m)) continue;
     center_index.Insert(e.midpoint,
                         static_cast<std::uint64_t>(zone_centers.size()));
     zone_centers.push_back(e.midpoint);
@@ -170,7 +332,22 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
     // are assigned per trace in time order). Traces that never touch the
     // zone cost nothing.
     std::vector<std::uint64_t> hits;
-    index.QueryRadius(center, config_.zone_radius_m, hits);
+    const auto ccx =
+        static_cast<std::int64_t>(std::floor(center.x / radius));
+    const auto ccy =
+        static_cast<std::int64_t>(std::floor(center.y / radius));
+    for (std::int64_t dx = -span; dx <= span; ++dx) {
+      for (std::int64_t dy = -span; dy <= span; ++dy) {
+        const std::int32_t cell = grid.Find(ccx + dx, ccy + dy);
+        if (cell < 0) continue;
+        const std::size_t end = grid.CellEnd(cell);
+        for (std::size_t j = grid.CellBegin(cell); j < end; ++j) {
+          const double ddx = grid.x(j) - center.x;
+          const double ddy = grid.y(j) - center.y;
+          if (ddx * ddx + ddy * ddy <= r_sq) hits.push_back(grid.id(j));
+        }
+      }
+    }
     std::sort(hits.begin(), hits.end());
     std::vector<ZonePassage> passages;
     std::size_t h = 0;
@@ -183,9 +360,9 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
         ++run_end;
       }
       const FlatEvent& last = flat[hits[run_end]];
-      passages.push_back(ZonePassage{first.trace, traces[first.trace].user(),
-                                     first.time, last.time, first.index,
-                                     last.index});
+      passages.push_back(ZonePassage{first.trace,
+                                     traces[first.trace].user(), first.time,
+                                     last.time, first.index, last.index});
       h = run_end + 1;
     }
     // Group passages whose intervals (dilated by the time window) overlap.
@@ -376,14 +553,15 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
   std::vector<std::vector<std::pair<model::UserId, Segment>>> trace_segments(
       traces.size());
   util::ParallelForEach(traces.size(), [&](std::size_t t) {
+    const model::TraceView& trace = traces[t];
     const auto& sw = switches[t];
     auto& out_segments = trace_segments[t];
     Segment current;
-    model::UserId current_owner = traces[t].user();
-    for (std::uint32_t i = 0; i < traces[t].size(); ++i) {
+    model::UserId current_owner = trace.user();
+    for (std::uint32_t i = 0; i < trace.size(); ++i) {
       if (suppressed[t][i]) continue;
-      const util::Timestamp time = traces[t][i].time;
-      model::UserId who = traces[t].user();
+      const util::Timestamp time = trace.time(i);
+      model::UserId who = trace.user();
       for (const auto& [switch_time, new_owner] : sw) {
         if (time > switch_time) {
           who = new_owner;
@@ -398,7 +576,7 @@ model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
         current.starts_at_zone = true;
       }
       current_owner = who;
-      current.events.push_back(traces[t][i]);
+      current.events.push_back(trace.event(i));
     }
     if (!current.events.empty()) {
       out_segments.emplace_back(current_owner, std::move(current));

@@ -89,10 +89,23 @@ class MixZone final : public Mechanism {
   [[nodiscard]] model::Dataset Apply(const model::Dataset& input,
                                      util::Rng& rng) const override;
 
+  /// View-native entry point: detection, clustering and reassembly all run
+  /// off the view's columns directly — mmap'd `.mpc` sources and EventStore
+  /// outputs feed the detector without a full-dataset materialization.
+  [[nodiscard]] model::Dataset ApplyView(const model::DatasetView& input,
+                                         util::Rng& rng) const override;
+
   /// Apply() variant that also returns the detection/swap report.
   [[nodiscard]] model::Dataset ApplyWithReport(const model::Dataset& input,
                                                util::Rng& rng,
                                                MixZoneReport& report) const;
+
+  /// The shared engine: every other entry point wraps this one (the AoS
+  /// overloads view their input zero-copy), so all paths are byte-identical
+  /// by construction.
+  [[nodiscard]] model::Dataset ApplyViewWithReport(
+      const model::DatasetView& input, util::Rng& rng,
+      MixZoneReport& report) const;
 
  private:
   MixZoneConfig config_;

@@ -7,6 +7,59 @@
 #include "util/string_utils.h"
 
 namespace mobipriv::mech {
+namespace {
+
+/// The whole algorithm over a view, appending published fixes to `out`.
+/// Appends nothing when the trace is suppressed (too short / too little
+/// published geometry).
+void SmoothColumns(const model::TraceView& trace, double spacing_m,
+                   double min_length_m, model::TraceBuffer& out) {
+  if (trace.size() < 2) return;  // nothing publishable
+
+  // Project on a per-trace tangent plane centred on the trace itself: the
+  // projection error is then bounded by the trace extent, not the dataset's.
+  const geo::LocalProjection projection(trace.BoundingBox().Center());
+  std::vector<geo::Point2> path;
+  path.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    path.push_back(projection.Project(trace.position(i)));
+  }
+
+  std::vector<geo::Point2> resampled = geo::ChordResample(path, spacing_m);
+  // ChordResample keeps the exact final fix, which usually sits less than
+  // one spacing from the previous point. Trim it (as Promesse does) so
+  // every published hop is exactly one spacing and the speed is exactly
+  // constant; keep it only when it happens to land a full spacing away.
+  if (resampled.size() >= 3) {
+    const double last_hop = geo::Distance(resampled[resampled.size() - 2],
+                                          resampled.back());
+    if (last_hop < spacing_m * 0.999) resampled.pop_back();
+  }
+  // Chord length of the *published* geometry, jitter excluded: a user who
+  // never got far from one place yields a near-empty resample and is
+  // dropped entirely (publishing it would reveal a single POI).
+  if (resampled.size() < 2 ||
+      geo::PolylineLength(resampled) < min_length_m) {
+    return;
+  }
+
+  // Uniform timestamps across the original time span. Interior timestamps
+  // are fractional seconds rounded to the nearest second; the rounding error
+  // (<= 0.5 s) is the only deviation from exact constant speed.
+  const util::Timestamp t0 = trace.time(0);
+  const util::Timestamp t1 = trace.time(trace.size() - 1);
+  const auto n = resampled.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double alpha =
+        static_cast<double>(k) / static_cast<double>(n - 1);
+    const auto t = static_cast<util::Timestamp>(
+        std::llround(static_cast<double>(t0) +
+                     alpha * static_cast<double>(t1 - t0)));
+    out.Append(projection.Unproject(resampled[k]), t);
+  }
+}
+
+}  // namespace
 
 SpeedSmoothing::SpeedSmoothing(SpeedSmoothingConfig config)
     : config_(config) {
@@ -19,54 +72,22 @@ std::string SpeedSmoothing::Name() const {
 }
 
 model::Trace SpeedSmoothing::Smooth(const model::Trace& trace) const {
-  model::Trace out;
-  out.set_user(trace.user());
-  if (trace.size() < 2) return out;  // nothing publishable
+  model::TraceBuffer buffer;
+  SmoothColumns(model::TraceView::Of(trace), config_.spacing_m,
+                config_.min_length_m, buffer);
+  return buffer.ToTrace(trace.user());
+}
 
-  // Project on a per-trace tangent plane centred on the trace itself: the
-  // projection error is then bounded by the trace extent, not the dataset's.
-  const geo::LocalProjection projection(trace.BoundingBox().Center());
-  const std::vector<geo::Point2> path = projection.Project(trace.Positions());
-
-  std::vector<geo::Point2> resampled =
-      geo::ChordResample(path, config_.spacing_m);
-  // ChordResample keeps the exact final fix, which usually sits less than
-  // one spacing from the previous point. Trim it (as Promesse does) so
-  // every published hop is exactly one spacing and the speed is exactly
-  // constant; keep it only when it happens to land a full spacing away.
-  if (resampled.size() >= 3) {
-    const double last_hop = geo::Distance(resampled[resampled.size() - 2],
-                                          resampled.back());
-    if (last_hop < config_.spacing_m * 0.999) resampled.pop_back();
-  }
-  // Chord length of the *published* geometry, jitter excluded: a user who
-  // never got far from one place yields a near-empty resample and is
-  // dropped entirely (publishing it would reveal a single POI).
-  if (resampled.size() < 2 ||
-      geo::PolylineLength(resampled) < config_.min_length_m) {
-    return out;
-  }
-
-  // Uniform timestamps across the original time span. Interior timestamps
-  // are fractional seconds rounded to the nearest second; the rounding error
-  // (<= 0.5 s) is the only deviation from exact constant speed.
-  const util::Timestamp t0 = trace.front().time;
-  const util::Timestamp t1 = trace.back().time;
-  const auto n = resampled.size();
-  for (std::size_t k = 0; k < n; ++k) {
-    const double alpha =
-        static_cast<double>(k) / static_cast<double>(n - 1);
-    const auto t = static_cast<util::Timestamp>(
-        std::llround(static_cast<double>(t0) +
-                     alpha * static_cast<double>(t1 - t0)));
-    out.Append(model::Event{projection.Unproject(resampled[k]), t});
-  }
-  return out;
+void SpeedSmoothing::ApplyToTraceColumns(const model::TraceView& trace,
+                                         model::TraceBuffer& out,
+                                         util::Rng& rng) const {
+  (void)rng;  // deterministic mechanism
+  SmoothColumns(trace, config_.spacing_m, config_.min_length_m, out);
 }
 
 model::Trace SpeedSmoothing::ApplyToTrace(const model::Trace& trace,
                                           util::Rng& rng) const {
-  (void)rng;  // deterministic mechanism
+  (void)rng;
   return Smooth(trace);
 }
 

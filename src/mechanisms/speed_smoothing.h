@@ -61,6 +61,11 @@ class SpeedSmoothing final : public PerTraceMechanism {
  protected:
   [[nodiscard]] model::Trace ApplyToTrace(const model::Trace& trace,
                                           util::Rng& rng) const override;
+  /// The real kernel: projects the view's columns, chord-resamples, and
+  /// appends the published fixes — no AoS trace is ever built on this path.
+  void ApplyToTraceColumns(const model::TraceView& trace,
+                           model::TraceBuffer& out,
+                           util::Rng& rng) const override;
 
  private:
   SpeedSmoothingConfig config_;

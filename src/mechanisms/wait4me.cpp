@@ -6,7 +6,6 @@
 #include <limits>
 
 #include "geo/projection.h"
-#include "model/filters.h"
 #include "util/string_utils.h"
 
 namespace mobipriv::mech {
@@ -40,6 +39,11 @@ std::string Wait4Me::Name() const {
 
 model::Dataset Wait4Me::Apply(const model::Dataset& input,
                               util::Rng& rng) const {
+  return ApplyView(model::DatasetView::Of(input), rng);
+}
+
+model::Dataset Wait4Me::ApplyView(const model::DatasetView& input,
+                                  util::Rng& rng) const {
   (void)rng;  // deterministic given the input
   model::Dataset output;
   for (model::UserId id = 0; id < input.UserCount(); ++id) {
@@ -53,10 +57,10 @@ model::Dataset Wait4Me::Apply(const model::Dataset& input,
   // Use the span covered by most traces: [median of starts, median of ends].
   std::vector<double> starts;
   std::vector<double> ends;
-  for (const auto& t : traces) {
+  for (const model::TraceView& t : traces) {
     if (t.size() < 2) continue;
-    starts.push_back(static_cast<double>(t.front().time));
-    ends.push_back(static_cast<double>(t.back().time));
+    starts.push_back(static_cast<double>(t.time(0)));
+    ends.push_back(static_cast<double>(t.time(t.size() - 1)));
   }
   if (starts.empty()) {
     last_suppression_ratio_ = 1.0;
@@ -81,11 +85,12 @@ model::Dataset Wait4Me::Apply(const model::Dataset& input,
     grid.push_back(t);
   }
   for (std::size_t i = 0; i < traces.size(); ++i) {
-    const auto& trace = traces[i];
+    const model::TraceView& trace = traces[i];
     if (trace.size() < 2) continue;
     // Overlap check.
-    const auto overlap_start = std::max(span_start, trace.front().time);
-    const auto overlap_end = std::min(span_end, trace.back().time);
+    const auto overlap_start = std::max(span_start, trace.time(0));
+    const auto overlap_end =
+        std::min(span_end, trace.time(trace.size() - 1));
     const double overlap = static_cast<double>(
         std::max<util::Timestamp>(0, overlap_end - overlap_start));
     if (overlap < config_.min_overlap_fraction *

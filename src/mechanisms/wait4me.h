@@ -41,6 +41,13 @@ class Wait4Me final : public Mechanism {
   [[nodiscard]] model::Dataset Apply(const model::Dataset& input,
                                      util::Rng& rng) const override;
 
+  /// View-native entry point: alignment, clustering and translation build
+  /// their working sets (aligned planar tracks) straight from the view's
+  /// columns — no full-dataset materialization for mmap'd sources. Apply
+  /// wraps this with a zero-copy view, so both paths are one algorithm.
+  [[nodiscard]] model::Dataset ApplyView(const model::DatasetView& input,
+                                         util::Rng& rng) const override;
+
   /// Fraction of input traces suppressed on the last Apply call (the
   /// original paper's headline utility cost). Valid after Apply.
   [[nodiscard]] double LastSuppressionRatio() const noexcept {

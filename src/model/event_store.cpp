@@ -114,6 +114,15 @@ DatasetView EventStore::View() const {
   return DatasetView(std::move(traces), names_.size(), names_);
 }
 
+Trace TraceBuffer::ToTrace(UserId user) const {
+  std::vector<Event> events;
+  events.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    events.push_back(Event{geo::LatLng{lat_[i], lng_[i]}, time_[i]});
+  }
+  return Trace(user, std::move(events));
+}
+
 Dataset EventStore::ToDataset() const {
   Dataset out;
   for (const std::string& name : names_) out.InternUser(name);

@@ -26,6 +26,49 @@
 
 namespace mobipriv::model {
 
+/// Growable SoA scratch columns — the output buffer of the allocation-free
+/// mechanism path (Mechanism::ApplyToStore). A worker appends one or more
+/// transformed traces' fixes to a buffer it reuses across traces, so the
+/// per-trace cost is amortized-O(1) appends instead of a fresh
+/// std::vector<Event> per trace; the engine then bulk-copies buffer slices
+/// into a pre-sized EventStore. Plain columns, no user ids: trace
+/// boundaries and ownership are tracked by the caller.
+class TraceBuffer {
+ public:
+  /// Appends one fix.
+  void Append(geo::LatLng p, util::Timestamp t) {
+    lat_.push_back(p.lat);
+    lng_.push_back(p.lng);
+    time_.push_back(t);
+  }
+
+  /// Fixes appended so far.
+  [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return time_.empty(); }
+
+  /// Drops the content, keeping the capacity (the reuse contract).
+  void Clear() noexcept {
+    lat_.clear();
+    lng_.clear();
+    time_.clear();
+  }
+
+  [[nodiscard]] std::span<const double> lat() const noexcept { return lat_; }
+  [[nodiscard]] std::span<const double> lng() const noexcept { return lng_; }
+  [[nodiscard]] std::span<const util::Timestamp> time() const noexcept {
+    return time_;
+  }
+
+  /// Owning Trace over the whole buffer content (used by the AoS adapter;
+  /// the store path copies columns directly and never assembles Events).
+  [[nodiscard]] Trace ToTrace(UserId user) const;
+
+ private:
+  std::vector<double> lat_;
+  std::vector<double> lng_;
+  std::vector<util::Timestamp> time_;
+};
+
 class EventStore {
  public:
   /// One trace's descriptor: owning user plus the [begin, end) offset

@@ -35,11 +35,20 @@ geo::GeoBoundingBox TraceView::BoundingBox() const {
   return box;
 }
 
+namespace {
+std::atomic<std::size_t> trace_copy_count{0};
+}  // namespace
+
 Trace TraceView::Materialize() const {
+  trace_copy_count.fetch_add(1, std::memory_order_relaxed);
   std::vector<Event> events;
   events.reserve(size());
   for (std::size_t i = 0; i < size(); ++i) events.push_back(event(i));
   return Trace(user_, std::move(events));
+}
+
+std::size_t TraceCopyCount() noexcept {
+  return trace_copy_count.load(std::memory_order_relaxed);
 }
 
 geo::LatLng InterpolateAt(const TraceView& trace, util::Timestamp t) {

@@ -173,4 +173,13 @@ class DatasetView {
 /// sampling this counter around an engine run.
 [[nodiscard]] std::size_t FullMaterializeCount() noexcept;
 
+/// Process-wide count of TraceView::Materialize calls (per-trace copies:
+/// one owning std::vector<Event> built from a view). The SoA-native
+/// mechanism path (Mechanism::ApplyToStore with a columns kernel) performs
+/// ZERO of these — kernels read the view's columns and write column
+/// buffers; only the legacy adapters (default ApplyToTraceColumns,
+/// EventStore::ToDataset) copy traces. test_scenario_engine pins that an
+/// engine grid over an mmap'd `.mpc` source leaves this counter unchanged.
+[[nodiscard]] std::size_t TraceCopyCount() noexcept;
+
 }  // namespace mobipriv::model

@@ -81,4 +81,11 @@ std::string FormatDouble(double value, int precision) {
   return buffer;
 }
 
+std::string ToHex(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
 }  // namespace mobipriv::util

@@ -2,6 +2,7 @@
 // writers. Kept deliberately minimal: only what the library actually uses.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -35,5 +36,9 @@ namespace mobipriv::util {
 /// Formats a double with fixed precision (used by report tables so output is
 /// stable across locales).
 [[nodiscard]] std::string FormatDouble(double value, int precision = 4);
+
+/// 16-digit lower-case zero-padded hex of a 64-bit value ("00ab..."), used
+/// for content-addressed file names and fingerprints in cache sidecars.
+[[nodiscard]] std::string ToHex(std::uint64_t value);
 
 }  // namespace mobipriv::util

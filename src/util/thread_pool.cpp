@@ -107,8 +107,7 @@ void ParallelFor(std::size_t n,
                  const std::function<void(std::size_t, std::size_t)>& body,
                  std::size_t grain) {
   if (n == 0) return;
-  const std::size_t lanes = ParallelismLevel();
-  if (lanes <= 1 || n == 1 || t_in_parallel_region || t_is_pool_worker) {
+  const auto run_inline = [&body, n] {
     struct Reset {
       bool previous;
       ~Reset() { t_in_parallel_region = previous; }
@@ -116,6 +115,12 @@ void ParallelFor(std::size_t n,
     (void)reset;
     t_in_parallel_region = true;
     body(0, n);
+  };
+  const std::size_t lanes = ParallelismLevel();
+  if (lanes <= 1 || n == 1 || t_in_parallel_region || t_is_pool_worker) {
+    // Effective worker count 1 (or already inside a parallel region):
+    // plain loop, zero pool round-trips, no shared state.
+    run_inline();
     return;
   }
 
@@ -125,6 +130,12 @@ void ParallelFor(std::size_t n,
     grain = std::max<std::size_t>(1, n / (lanes * 4));
   }
   const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks <= 1) {
+    // The whole range fits one chunk (n <= grain): fan-out would buy one
+    // lane of work for a full pool round-trip — run it inline instead.
+    run_inline();
+    return;
+  }
   const std::size_t helpers = std::min(lanes - 1, chunks - 1);
 
   struct Shared {

@@ -1,0 +1,142 @@
+// ApplyToStore equivalence: the SoA-native mechanism path must be
+// bit-for-bit the AoS path for EVERY registry mechanism —
+//   EventStore::ToDataset(ApplyToStore(view)) == Apply(dataset)
+// for the same input and rng seed, at worker counts 1 and 4 (lat/lng/time
+// bit patterns, trace order, user ids and the full name table), with the
+// caller's rng advanced identically by both entry points.
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "mechanisms/registry.h"
+#include "mechanisms/speed_smoothing.h"
+#include "model/event_store.h"
+#include "model/views.h"
+#include "synth/population.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mobipriv {
+namespace {
+
+const model::Dataset& World() {
+  static const synth::SyntheticWorld* world = [] {
+    synth::PopulationConfig config;
+    config.agents = 12;
+    config.days = 1;
+    config.seed = 321;
+    return new synth::SyntheticWorld(config);
+  }();
+  return world->dataset();
+}
+
+/// Bitwise dataset comparison (EXPECTs with context instead of one opaque
+/// bool, so a parity break names the first diverging trace).
+void ExpectBitIdentical(const model::Dataset& expected,
+                        const model::Dataset& actual,
+                        const std::string& context) {
+  ASSERT_EQ(expected.UserCount(), actual.UserCount()) << context;
+  for (model::UserId id = 0;
+       id < static_cast<model::UserId>(expected.UserCount()); ++id) {
+    ASSERT_EQ(expected.UserName(id), actual.UserName(id)) << context;
+  }
+  ASSERT_EQ(expected.TraceCount(), actual.TraceCount()) << context;
+  for (std::size_t t = 0; t < expected.TraceCount(); ++t) {
+    const model::Trace& a = expected.traces()[t];
+    const model::Trace& b = actual.traces()[t];
+    ASSERT_EQ(a.user(), b.user()) << context << " trace " << t;
+    ASSERT_EQ(a.size(), b.size()) << context << " trace " << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Bit casts: -0.0 vs 0.0 or NaN payload drift must fail too.
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i].position.lat),
+                std::bit_cast<std::uint64_t>(b[i].position.lat))
+          << context << " trace " << t << " fix " << i;
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i].position.lng),
+                std::bit_cast<std::uint64_t>(b[i].position.lng))
+          << context << " trace " << t << " fix " << i;
+      ASSERT_EQ(a[i].time, b[i].time)
+          << context << " trace " << t << " fix " << i;
+    }
+  }
+}
+
+/// Every mechanism the registry can spell, including the whole-dataset
+/// ones (mixzone, wait4me, the composed "ours" pipelines).
+std::vector<std::string> AllSpecs() {
+  std::vector<std::string> specs =
+      core::StandardRosterSpecs({0.1, 0.01});
+  specs.push_back("mixzone");
+  specs.push_back("speed_smoothing");
+  specs.push_back("wait4me[k=2,delta=800m]");
+  return specs;
+}
+
+TEST(ApplyToStore, BitIdenticalToApplyForEveryRegistryMechanism) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const util::ScopedParallelism scope(threads);
+    for (const std::string& spec : AllSpecs()) {
+      const auto mechanism = mech::CreateMechanism(spec);
+      util::Rng aos_rng(99);
+      const model::Dataset via_apply = mechanism->Apply(World(), aos_rng);
+
+      util::Rng soa_rng(99);
+      const model::EventStore store = mechanism->ApplyToStore(
+          model::DatasetView::Of(World()), soa_rng);
+      const std::string context =
+          spec + " @threads=" + std::to_string(threads);
+      ExpectBitIdentical(via_apply, store.ToDataset(), context);
+      // Both entry points must advance the caller's rng identically, or
+      // mixing them mid-stream would silently fork experiment results.
+      EXPECT_EQ(aos_rng.NextU64(), soa_rng.NextU64()) << context;
+    }
+  }
+}
+
+TEST(ApplyToStore, ApplyViewMatchesToo) {
+  // The three-way contract on one noisy mechanism: view in, AoS out.
+  const auto mechanism = mech::CreateMechanism("gaussian[sigma=25m]");
+  util::Rng aos_rng(7);
+  const model::Dataset via_apply = mechanism->Apply(World(), aos_rng);
+  util::Rng view_rng(7);
+  const model::Dataset via_view =
+      mechanism->ApplyView(model::DatasetView::Of(World()), view_rng);
+  ExpectBitIdentical(via_apply, via_view, "gaussian ApplyView");
+}
+
+TEST(ApplyToStore, PerTraceMechanismsPerformZeroTraceCopies) {
+  // The columns kernels read views and write column buffers: no
+  // TraceView::Materialize anywhere on the store path.
+  const model::EventStore source = model::EventStore::FromDataset(World());
+  for (const char* spec :
+       {"speed_smoothing", "geo_ind[eps=0.01]", "cloaking", "gaussian",
+        "downsampling", "identity"}) {
+    const auto mechanism = mech::CreateMechanism(spec);
+    util::Rng rng(5);
+    const std::size_t copies_before = model::TraceCopyCount();
+    const model::EventStore out =
+        mechanism->ApplyToStore(source.View(), rng);
+    EXPECT_EQ(model::TraceCopyCount(), copies_before) << spec;
+    EXPECT_GT(out.EventCount(), 0u) << spec;
+  }
+}
+
+TEST(ApplyToStore, SuppressedTracesAreSkippedNamesKept) {
+  // speed_smoothing drops short traces: the store must skip their ranges
+  // but keep the full user name table (ids stay aligned with the input).
+  mech::SpeedSmoothing smoothing;  // default min_length drops short traces
+  util::Rng rng(1);
+  const model::EventStore store =
+      smoothing.ApplyToStore(model::DatasetView::Of(World()), rng);
+  EXPECT_EQ(store.UserCount(), World().UserCount());
+  EXPECT_LE(store.TraceCount(), World().TraceCount());
+  for (std::size_t t = 0; t < store.TraceCount(); ++t) {
+    EXPECT_GT(store.TraceSize(t), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mobipriv

@@ -152,11 +152,18 @@ TEST(ScenarioEngine, MpcSourceFeedsGridWithoutFullMaterialize) {
   spec.seeds = {5};
 
   const std::size_t before = model::FullMaterializeCount();
+  const std::size_t copies_before = model::TraceCopyCount();
   core::ScenarioEngine engine(spec);
   const core::Report report = engine.Run();
   EXPECT_EQ(model::FullMaterializeCount(), before)
       << "engine or a per-trace mechanism/evaluator materialized the "
          "full source";
+  // The SoA-native contract: mechanism nodes fill EventStore columns
+  // straight from the mmap'd view — not one owning per-trace copy
+  // (TraceView::Materialize) anywhere between source and report.
+  EXPECT_EQ(model::TraceCopyCount(), copies_before)
+      << "a mechanism or evaluator built an owning Trace from a view on "
+         "the store path";
   EXPECT_EQ(engine.stats().mechanism_nodes, 6u);
   EXPECT_EQ(engine.stats().evaluator_nodes, 24u);
   EXPECT_FALSE(report.rows().empty());
