@@ -211,6 +211,11 @@ int main(int argc, char** argv) {
   } catch (const util::SpecError& e) {
     std::cerr << "Spec error: " << e.what() << "\n";
     return 1;
+  } catch (const std::exception& e) {
+    // Last-resort containment: no failure (injected or real) escapes as
+    // an unhandled-exception abort from a CLI tool.
+    std::cerr << "Error: " << e.what() << "\n";
+    return 1;
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "model/io.h"
 #include "model/stats.h"
 #include "util/cli.h"
+#include "util/spec.h"
 
 int main(int argc, char** argv) {
   using namespace mobipriv;
@@ -76,6 +77,14 @@ int main(int argc, char** argv) {
     std::cout << "Written to " << cli.GetString("output") << "\n";
   } catch (const model::IoError& e) {
     std::cerr << "I/O error: " << e.what() << "\n";
+    return 1;
+  } catch (const util::SpecError& e) {
+    std::cerr << "Spec error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Last-resort containment: no failure (injected or real) escapes as
+    // an unhandled-exception abort from a CLI tool.
+    std::cerr << "Error: " << e.what() << "\n";
     return 1;
   }
   return 0;

@@ -54,4 +54,35 @@ check_magic() {
 check_magic kColumnarMagic "89 4D 50 43 0D 0A 1A 0A"
 check_magic kManifestMagic "89 4D 50 4D 0D 0A 1A 0A"
 
+# 3. The injection-point table in docs/ROBUSTNESS.md must agree with the
+#    registered points in util/fault.h — both directions.
+fault_header=src/util/fault.h
+robustness=docs/ROBUSTNESS.md
+[[ -f "$fault_header" ]] || { echo "missing $fault_header"; exit 1; }
+[[ -f "$robustness" ]] || { echo "missing $robustness"; exit 1; }
+
+code_points=$(grep -oE 'inline constexpr std::string_view k[A-Za-z]+ = "[^"]+"' \
+  "$fault_header" | grep -oE '"[^"]+"' | tr -d '"' | sort)
+doc_points=$(grep -oE '^\| `[a-z.]+`' "$robustness" | tr -d '|` ' | sort)
+
+points_ok=1
+while read -r point; do
+  [[ -z "$point" ]] && continue
+  if ! grep -qx "$point" <<<"$doc_points"; then
+    echo "FAIL: injection point '$point' ($fault_header) missing from $robustness table"
+    fail=1; points_ok=0
+  fi
+done <<<"$code_points"
+while read -r point; do
+  [[ -z "$point" ]] && continue
+  if ! grep -qx "$point" <<<"$code_points"; then
+    echo "FAIL: $robustness documents injection point '$point' not present in $fault_header"
+    fail=1; points_ok=0
+  fi
+done <<<"$doc_points"
+if [[ "$points_ok" == 1 ]]; then
+  count=$(wc -l <<<"$code_points")
+  echo "OK: $count injection points agree between $fault_header and $robustness"
+fi
+
 exit $fail

@@ -12,19 +12,23 @@
 #include <sstream>
 #include <stdexcept>
 
-#include <unistd.h>
+#include <thread>
 
 #include "attacks/poi_extraction.h"
 #include "core/evaluator.h"
 #include "mechanisms/registry.h"
+#include "model/atomic_file.h"
 #include "model/columnar_file.h"
 #include "model/event_store.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 
 namespace mobipriv::core {
 namespace {
+
+namespace fault = util::fault;
 
 // ---- Mechanism output cache (.mpc spill/reuse) ------------------------------
 
@@ -96,13 +100,24 @@ std::string CacheStem(const std::string& key_text) {
   return util::ToHex(model::Fnv1a64(key_text.data(), key_text.size()));
 }
 
+/// Bounded retry budget for transient I/O failures on cache reads: up to
+/// 2 retries with 1ms / 4ms backoff. A cache entry that still fails after
+/// the budget is treated as a miss (recompute), never as a run failure —
+/// the cache is a performance layer, not a correctness dependency.
+constexpr int kCacheReadRetries = 2;
+constexpr std::chrono::milliseconds kCacheReadBackoff[] = {
+    std::chrono::milliseconds(1), std::chrono::milliseconds(4)};
+
 /// Attempts to reuse a cache entry. Returns true and fills `store` only
 /// when the sidecar matches `key_text` exactly AND the `.mpc` payload
-/// reads back clean (every section checksum verified). Any mismatch or
-/// corruption is a miss — the caller recomputes and overwrites.
+/// reads back clean (every section checksum verified). A transient
+/// IoError is retried with backoff (counted into `retries`); persistent
+/// failure, staleness or corruption is a miss — the caller recomputes
+/// and overwrites.
 bool TryLoadCachedOutput(const std::filesystem::path& dir,
                          const std::string& key_text,
-                         model::EventStore& store) {
+                         model::EventStore& store,
+                         std::atomic<std::size_t>& retries) {
   const std::string stem = CacheStem(key_text);
   const std::filesystem::path key_path = dir / (stem + ".key");
   const std::filesystem::path mpc_path = dir / (stem + ".mpc");
@@ -111,42 +126,43 @@ bool TryLoadCachedOutput(const std::filesystem::path& dir,
   std::ostringstream recorded;
   recorded << key_in.rdbuf();
   if (recorded.str() != key_text) return false;  // stale: never reuse
-  try {
-    store = model::ReadColumnar(mpc_path.string());
-  } catch (const model::IoError&) {
-    return false;  // corrupt payload: recompute
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (MOBIPRIV_FAULT_POINT(fault::points::kCacheReadLoad)) {
+        throw model::IoError("injected fault (" +
+                             std::string(fault::points::kCacheReadLoad) +
+                             "): " + mpc_path.string());
+      }
+      store = model::ReadColumnar(mpc_path.string());
+      return true;
+    } catch (const model::IoError&) {
+      if (attempt >= kCacheReadRetries) return false;  // miss: recompute
+      retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(kCacheReadBackoff[attempt]);
+    }
   }
-  return true;
 }
 
-/// Spills one node output: payload first, sidecar last (the sidecar is the
-/// commit marker TryLoadCachedOutput requires), both via rename so a
-/// concurrent reader never sees a half-written file. Cache write failures
-/// are non-fatal: the run already holds the computed store.
+/// Spills one node output: payload first, sidecar last (the sidecar is
+/// the commit marker TryLoadCachedOutput requires). Both files go through
+/// the atomic-commit helper (temp -> fsync -> rename), so neither a crash
+/// nor an injected fault between payload and sidecar can ever publish a
+/// half-written entry — the worst outcome is a payload with no sidecar,
+/// which every reader treats as a miss. Cache write failures are
+/// non-fatal: the run already holds the computed store.
 void StoreCachedOutput(const std::filesystem::path& dir,
                        const std::string& key_text,
                        const model::EventStore& store) {
   try {
-    const std::string stem = CacheStem(key_text);
-    // Writer-unique temp names: two processes sharing a cache dir can
-    // cold-miss the same key concurrently, and a shared ".tmp" would
-    // interleave their writes before one rename published the garble.
-    static std::atomic<std::uint64_t> spill_counter{0};
-    std::ostringstream unique;
-    unique << '.' << ::getpid() << '.'
-           << spill_counter.fetch_add(1, std::memory_order_relaxed)
-           << ".tmp";
-    const std::filesystem::path mpc_tmp =
-        dir / (stem + ".mpc" + unique.str());
-    model::WriteColumnar(store, mpc_tmp.string());
-    std::filesystem::rename(mpc_tmp, dir / (stem + ".mpc"));
-    const std::filesystem::path key_tmp =
-        dir / (stem + ".key" + unique.str());
-    {
-      std::ofstream key_out(key_tmp, std::ios::binary | std::ios::trunc);
-      key_out << key_text;
+    if (MOBIPRIV_FAULT_POINT(fault::points::kCacheWriteSpill)) {
+      throw model::IoError("injected fault (" +
+                           std::string(fault::points::kCacheWriteSpill) +
+                           "): cache spill");
     }
-    std::filesystem::rename(key_tmp, dir / (stem + ".key"));
+    const std::string stem = CacheStem(key_text);
+    model::WriteColumnar(store, (dir / (stem + ".mpc")).string());
+    model::WriteFileAtomic((dir / (stem + ".key")).string(),
+                           key_text.data(), key_text.size());
   } catch (const std::exception&) {
     // Best effort: a failed spill costs the next run a recompute, nothing
     // else.
@@ -162,18 +178,89 @@ struct DagNode {
   std::size_t dependency_count = 0;
 };
 
-/// Executes the DAG. Parallel path: every dependency-free node is
-/// submitted to the shared pool; completions decrement their dependents'
-/// pending counts and submit newly-ready nodes. All results land in
-/// pre-sized slots, so scheduling order never shows in the output. The
-/// first exception wins and is rethrown after the DAG drains.
-void ExecuteDag(std::vector<DagNode>& nodes) {
+/// Per-node outcome of one DAG execution (graceful degradation: nothing
+/// rethrows; every node gets a verdict).
+enum class NodeStatus { kOk, kFailed, kSkipped };
+struct NodeResult {
+  NodeStatus status = NodeStatus::kOk;
+  std::string error;  ///< exception text / watchdog verdict; empty when ok
+};
+
+/// Canonical watchdog verdict. Deliberately free of measured times: the
+/// error row must be byte-identical at any thread count and on any
+/// machine, so only the (deterministic) configured limit appears.
+std::string WatchdogError(double timeout_ms) {
+  return "node exceeded node_timeout (" +
+         util::FormatDouble(timeout_ms, 0) + " ms watchdog)";
+}
+
+/// Executes the DAG with per-node error containment. A node that throws
+/// is recorded kFailed (exception text captured); every transitive
+/// dependent is recorded kSkipped with the root cause, WITHOUT running;
+/// all other branches complete normally. With `node_timeout_ms` > 0, a
+/// node whose work exceeds the wall-clock budget is recorded kFailed
+/// after completion (containment, not preemption — see ScenarioSpec).
+///
+/// Parallel path: every dependency-free node is submitted to the shared
+/// pool; completions decrement their dependents' pending counts and
+/// submit newly-ready nodes. All results land in pre-sized slots, so
+/// scheduling order never shows in the output.
+std::vector<NodeResult> ExecuteDag(std::vector<DagNode>& nodes,
+                                   double node_timeout_ms) {
+  std::vector<NodeResult> results(nodes.size());
+
+  // Runs one node's work in containment: records ok/failed (+ watchdog).
+  const auto run_contained = [&](std::size_t index) {
+    NodeResult& result = results[index];
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      nodes[index].work();
+    } catch (const std::exception& e) {
+      result.status = NodeStatus::kFailed;
+      result.error = e.what();
+      return;
+    } catch (...) {
+      result.status = NodeStatus::kFailed;
+      result.error = "unknown exception";
+      return;
+    }
+    if (node_timeout_ms > 0.0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (elapsed_ms > node_timeout_ms) {
+        result.status = NodeStatus::kFailed;
+        result.error = WatchdogError(node_timeout_ms);
+      }
+    }
+  };
+  // Marks `dependent` skipped because `index` did not finish ok. First
+  // cause wins (a node with two failed dependencies reports the one that
+  // reached it first — in the serial schedule that is the lower index,
+  // and the parallel path pins the same choice via the skip guard below).
+  const auto skip_reason = [&](std::size_t index) {
+    const NodeResult& cause = results[index];
+    return cause.status == NodeStatus::kFailed
+               ? "dependency failed: " + cause.error
+               : cause.error;  // transitively skipped: forward root cause
+  };
+
   // Effective worker count 1, or a DAG too small to amortize a pool
   // round-trip: run the topological order inline (nodes are stored in
   // dependency order, so a plain index loop is a valid schedule).
   if (util::ParallelismLevel() <= 1 || nodes.size() <= 1) {
-    for (DagNode& node : nodes) node.work();
-    return;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (results[i].status == NodeStatus::kOk) run_contained(i);
+      if (results[i].status == NodeStatus::kOk) continue;
+      for (const std::size_t dependent : nodes[i].dependents) {
+        if (results[dependent].status == NodeStatus::kOk) {
+          results[dependent].status = NodeStatus::kSkipped;
+          results[dependent].error = skip_reason(i);
+        }
+      }
+    }
+    return results;
   }
 
   std::vector<std::atomic<std::size_t>> pending(nodes.size());
@@ -184,26 +271,29 @@ void ExecuteDag(std::vector<DagNode>& nodes) {
   std::mutex mutex;
   std::condition_variable done_cv;
   std::size_t completed = 0;
-  std::exception_ptr error;
 
   util::ThreadPool& pool = util::ThreadPool::Global();
   std::function<void(std::size_t)> run_node = [&](std::size_t index) {
-    bool poisoned;
+    bool skipped;
     {
+      // The skip mark (written by a failed parent under this mutex,
+      // before it decrements our pending count) is visible here: the
+      // last decrement happens-before this node runs.
       const std::lock_guard<std::mutex> lock(mutex);
-      poisoned = error != nullptr;
+      skipped = results[index].status == NodeStatus::kSkipped;
     }
-    if (!poisoned) {
-      try {
-        nodes[index].work();
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
-        if (error == nullptr) error = std::current_exception();
-      }
-    }
-    // Dependents still drain after a failure so `completed` reaches the
-    // node count and the waiter wakes.
+    if (!skipped) run_contained(index);
+    const bool propagate = results[index].status != NodeStatus::kOk;
     for (const std::size_t dependent : nodes[index].dependents) {
+      if (propagate) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        // First cause wins; a dependent two failed parents race for is
+        // claimed exactly once.
+        if (results[dependent].status == NodeStatus::kOk) {
+          results[dependent].status = NodeStatus::kSkipped;
+          results[dependent].error = skip_reason(index);
+        }
+      }
       if (pending[dependent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
         pool.Submit([&run_node, dependent] { run_node(dependent); });
       }
@@ -225,17 +315,40 @@ void ExecuteDag(std::vector<DagNode>& nodes) {
   }
   std::unique_lock<std::mutex> lock(mutex);
   done_cv.wait(lock, [&] { return completed == nodes.size(); });
-  if (error != nullptr) std::rethrow_exception(error);
+  return results;
 }
 
 }  // namespace
 
+std::string_view ToString(RowStatus status) noexcept {
+  switch (status) {
+    case RowStatus::kOk:
+      return "ok";
+    case RowStatus::kFailed:
+      return "failed";
+    case RowStatus::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+bool Report::AllOk() const noexcept {
+  return std::all_of(rows_.begin(), rows_.end(), [](const ReportRow& row) {
+    return row.status == RowStatus::kOk;
+  });
+}
+
 Table Report::ToTable() const {
-  Table table({"mechanism", "seed", "evaluator", "metric", "value"});
+  Table table({"mechanism", "seed", "evaluator", "metric", "value", "status",
+               "error"});
   for (const ReportRow& row : rows_) {
+    // Non-ok rows render a blank value: 0.0 would read as a measurement.
     table.AddRow({row.mechanism, std::to_string(row.seed), row.evaluator,
                   row.metric,
-                  util::FormatDouble(row.value, kValuePrecision)});
+                  row.status == RowStatus::kOk
+                      ? util::FormatDouble(row.value, kValuePrecision)
+                      : std::string(),
+                  std::string(ToString(row.status)), row.error});
   }
   return table;
 }
@@ -248,6 +361,7 @@ Table Report::Pivot(std::string_view evaluator) const {
   std::vector<std::string> metrics;
   for (const ReportRow& row : rows_) {
     if (row.evaluator != evaluator) continue;
+    if (row.status != RowStatus::kOk) continue;  // no "" metric column
     if (std::find(metrics.begin(), metrics.end(), row.metric) ==
         metrics.end()) {
       metrics.push_back(row.metric);
@@ -262,6 +376,7 @@ Table Report::Pivot(std::string_view evaluator) const {
            std::vector<std::string>> cells;
   for (const ReportRow& row : rows_) {
     if (row.evaluator != evaluator) continue;
+    if (row.status != RowStatus::kOk) continue;  // degraded cells stay blank
     const auto key = std::make_pair(row.mechanism, row.seed);
     auto it = cells.find(key);
     if (it == cells.end()) {
@@ -289,6 +404,13 @@ std::string EngineStats::ToString() const {
      << " evaluator_nodes=" << evaluator_nodes;
   if (cache_hits + cache_misses > 0) {
     os << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses;
+  }
+  if (cache_read_retries > 0) {
+    os << " cache_read_retries=" << cache_read_retries;
+  }
+  if (failed_nodes + skipped_nodes > 0) {
+    os << " failed_nodes=" << failed_nodes
+       << " skipped_nodes=" << skipped_nodes;
   }
   os << " bind_ms=" << util::FormatDouble(bind_ms, 2)
      << " run_ms=" << util::FormatDouble(run_ms, 2);
@@ -399,6 +521,7 @@ Report ScenarioEngine::Run() {
   }
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> cache_misses{0};
+  std::atomic<std::size_t> cache_read_retries{0};
 
   // Result slots, pre-sized so DAG workers never allocate shared state.
   // Mechanism outputs are columnar stores — the SoA-native path: no AoS
@@ -418,6 +541,18 @@ Report ScenarioEngine::Run() {
       const std::size_t node = m * seed_count + s;
       DagNode dag_node;
       dag_node.work = [&, node, name_hash, m, s] {
+        // Keyed by canonical name: an armed fault trips for exactly the
+        // chosen mechanism's nodes, whichever worker runs them — the
+        // degraded report stays byte-identical at any thread count. A
+        // kDelay spec at this point slows the node instead (the watchdog
+        // test hook).
+        if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineMechanismRun,
+                                       c.mech_names[m])) {
+          throw std::runtime_error(
+              "injected fault (" +
+              std::string(fault::points::kEngineMechanismRun) +
+              "): " + c.mech_names[m]);
+        }
         // Every (mechanism, seed) node owns an independent stream derived
         // from the cell seed and the canonical name, so adding grid rows
         // never perturbs existing ones.
@@ -427,7 +562,8 @@ Report ScenarioEngine::Run() {
         if (cache_enabled) {
           key_text = CacheKeyText(c.mech_names[m], source_fingerprint,
                                   seeds[s]);
-          loaded = TryLoadCachedOutput(cache_dir, key_text, outputs[node]);
+          loaded = TryLoadCachedOutput(cache_dir, key_text, outputs[node],
+                                       cache_read_retries);
         }
         if (loaded) {
           cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -450,6 +586,13 @@ Report ScenarioEngine::Run() {
       DagNode dag_node;
       dag_node.dependency_count = 1;
       dag_node.work = [&, node, e, result_slot] {
+        if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineEvaluatorRun,
+                                       c.eval_names[e])) {
+          throw std::runtime_error(
+              "injected fault (" +
+              std::string(fault::points::kEngineEvaluatorRun) +
+              "): " + c.eval_names[e]);
+        }
         const EvalInput input{source.view(), published[node], frame,
                               seeds[node % seed_count]};
         results[result_slot] = c.evaluators[e]->Evaluate(input);
@@ -459,20 +602,53 @@ Report ScenarioEngine::Run() {
     }
   }
 
-  stats_.run_ms = TimeMs([&] { ExecuteDag(nodes); });
+  std::vector<NodeResult> node_results;
+  stats_.run_ms = TimeMs(
+      [&] { node_results = ExecuteDag(nodes, c.spec.node_timeout_ms); });
   stats_.cache_hits = cache_hits.load(std::memory_order_relaxed);
   stats_.cache_misses = cache_misses.load(std::memory_order_relaxed);
+  stats_.cache_read_retries =
+      cache_read_retries.load(std::memory_order_relaxed);
+  for (const NodeResult& result : node_results) {
+    if (result.status == NodeStatus::kFailed) ++stats_.failed_nodes;
+    if (result.status == NodeStatus::kSkipped) ++stats_.skipped_nodes;
+  }
 
   // ---- Assemble the report in canonical order. ------------------------
+  // A failed mechanism node contributes one mechanism-level error row
+  // (empty evaluator/metric) followed by one skipped row per evaluator;
+  // a failed evaluator node contributes one error row for its cell. The
+  // assembly reads only node_results and results slots — both indexed,
+  // never schedule-ordered — so degraded reports are as reproducible as
+  // healthy ones.
+  const auto to_row_status = [](NodeStatus status) {
+    return status == NodeStatus::kFailed ? RowStatus::kFailed
+                                         : RowStatus::kSkipped;
+  };
   Report report;
   for (std::size_t m = 0; m < mech_count; ++m) {
     for (std::size_t s = 0; s < seed_count; ++s) {
       const std::size_t node = m * seed_count + s;
+      const NodeResult& mech_result = node_results[node];
+      if (mech_result.status != NodeStatus::kOk) {
+        report.rows_.push_back({c.mech_names[m], seeds[s], "", "", 0.0,
+                                to_row_status(mech_result.status),
+                                mech_result.error});
+      }
       for (std::size_t e = 0; e < eval_count; ++e) {
+        const NodeResult& eval_result =
+            node_results[mech_nodes + node * eval_count + e];
+        if (eval_result.status != NodeStatus::kOk) {
+          report.rows_.push_back({c.mech_names[m], seeds[s],
+                                  c.eval_names[e], "", 0.0,
+                                  to_row_status(eval_result.status),
+                                  eval_result.error});
+          continue;
+        }
         for (const MetricValue& value : results[node * eval_count + e]) {
           report.rows_.push_back({c.mech_names[m], seeds[s],
                                   c.eval_names[e], value.metric,
-                                  value.value});
+                                  value.value, RowStatus::kOk, {}});
         }
       }
     }

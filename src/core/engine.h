@@ -43,13 +43,31 @@
 
 namespace mobipriv::core {
 
+/// Outcome of the node(s) behind one report row. The engine degrades
+/// gracefully: a throwing node never kills the run — its row(s) carry the
+/// error, dependents are marked skipped, and every surviving grid cell
+/// still reports (byte-identically at any thread count, error rows
+/// included).
+enum class RowStatus {
+  kOk,       ///< node ran, value is valid
+  kFailed,   ///< this node threw (or tripped the watchdog); see `error`
+  kSkipped,  ///< an upstream dependency failed; see `error` for the cause
+};
+
+/// Canonical rendering of a RowStatus ("ok" / "failed" / "skipped").
+[[nodiscard]] std::string_view ToString(RowStatus status) noexcept;
+
 /// One scored number of the grid: (mechanism, seed, evaluator, metric).
+/// Non-ok rows have an empty metric and no meaningful value; `error`
+/// carries the captured exception text instead.
 struct ReportRow {
   std::string mechanism;  ///< canonical mechanism Name()
   std::uint64_t seed = 0;
   std::string evaluator;  ///< canonical evaluator Name()
   std::string metric;
   double value = 0.0;
+  RowStatus status = RowStatus::kOk;
+  std::string error;  ///< empty for ok rows
 };
 
 /// The unified result of one engine run. Row order is canonical
@@ -61,14 +79,20 @@ class Report {
     return rows_;
   }
 
-  /// Long-form table: mechanism, seed, evaluator, metric, value.
+  /// Long-form table: mechanism, seed, evaluator, metric, value, status,
+  /// error. Status/error make degraded runs self-describing; on a fully
+  /// healthy run every status cell is "ok" and every error cell empty.
   [[nodiscard]] Table ToTable() const;
   /// Long-form CSV (RFC-4180 quoted; spec strings contain commas).
   [[nodiscard]] std::string ToCsv() const;
 
   /// Wide table for one evaluator: a row per (mechanism, seed), a column
-  /// per metric — the shape the comparison benches print.
+  /// per metric — the shape the comparison benches print. Only ok rows
+  /// pivot (failed/skipped cells stay blank).
   [[nodiscard]] Table Pivot(std::string_view evaluator) const;
+
+  /// True when every row is ok (no failed or skipped nodes).
+  [[nodiscard]] bool AllOk() const noexcept;
 
   /// Values are rendered with this precision in all three renderings.
   static constexpr int kValuePrecision = 6;
@@ -87,6 +111,14 @@ struct EngineStats {
   /// cache (both 0 when ScenarioSpec::mechanism_cache_dir is empty).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Transient cache-read failures absorbed by the bounded
+  /// retry-with-backoff (docs/ROBUSTNESS.md); > 0 never affects results.
+  std::size_t cache_read_retries = 0;
+  /// Graceful-degradation accounting: nodes that threw (or tripped the
+  /// node_timeout_ms watchdog) and nodes skipped because a dependency
+  /// failed. Both 0 on a healthy run.
+  std::size_t failed_nodes = 0;
+  std::size_t skipped_nodes = 0;
   double bind_ms = 0.0;             ///< source open/map/parse time
   double run_ms = 0.0;              ///< DAG execution wall clock
 

@@ -88,6 +88,13 @@ struct ScenarioSpec {
   /// engine recomputes and overwrites it. Purely a performance knob;
   /// reports are byte-identical with the cache on, off, cold or warm.
   std::string mechanism_cache_dir;
+  /// Per-node wall-clock watchdog, milliseconds (0 = off). A node whose
+  /// execution exceeds this is recorded as failed ("node exceeded
+  /// node_timeout" error row) and its dependents are skipped; the rest of
+  /// the grid completes normally. The check is applied at node completion
+  /// — it contains a slow node's blast radius, it does not preempt it
+  /// (preemption needs the multi-process workers of ROADMAP item 2).
+  double node_timeout_ms = 0.0;
 };
 
 /// A bound dataset source: owns whatever storage the source kind needs

@@ -1,0 +1,195 @@
+#include "model/atomic_file.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/fault.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MOBIPRIV_HAS_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MOBIPRIV_HAS_POSIX_IO 0
+#endif
+
+namespace mobipriv::model {
+namespace {
+
+namespace fault = util::fault;
+
+/// Writer-unique temp sibling of `path`: same directory (rename must not
+/// cross filesystems), pid + counter so concurrent writers of the same
+/// final name never interleave into one temp.
+std::string TempName(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream name;
+  name << path << '.'
+#if MOBIPRIV_HAS_POSIX_IO
+       << ::getpid()
+#else
+       << 0
+#endif
+       << '.' << counter.fetch_add(1, std::memory_order_relaxed) << ".tmp";
+  return name.str();
+}
+
+[[noreturn]] void FailAndCleanup(const std::string& temp,
+                                 const std::string& message) {
+  std::error_code ignored;
+  std::filesystem::remove(temp, ignored);
+  throw IoError(message);
+}
+
+}  // namespace
+
+void WriteFileAtomic(const std::string& path,
+                     std::span<const std::span<const std::byte>> parts,
+                     const AtomicWriteFaultPoints& faults) {
+  const bool faults_on = fault::Enabled();
+  if (faults_on && !faults.open.empty() &&
+      fault::Evaluate(faults.open).fail) {
+    throw IoError("injected fault (" + std::string(faults.open) +
+                  "): cannot open " + path + " for writing");
+  }
+
+  // The short-write budget for the whole payload: an injected cap means
+  // the temp file receives only that prefix before the write "fails" —
+  // exactly the torn state a crash mid-write leaves behind.
+  std::size_t io_cap = std::numeric_limits<std::size_t>::max();
+  bool injected_short = false;
+  if (faults_on && !faults.write.empty()) {
+    const fault::Decision d = fault::Evaluate(faults.write);
+    if (d.fail) {
+      io_cap = d.io_cap;
+      injected_short = true;
+    }
+  }
+
+  const std::string temp = TempName(path);
+#if MOBIPRIV_HAS_POSIX_IO
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw IoError("cannot open " + temp + " for writing: " +
+                  std::strerror(errno));
+  }
+  std::size_t written_total = 0;
+  bool short_tripped = false;
+  for (const std::span<const std::byte> part : parts) {
+    std::size_t want = part.size();
+    if (written_total + want > io_cap) {
+      want = io_cap - std::min(io_cap, written_total);
+      short_tripped = true;
+    }
+    const std::byte* cursor = part.data();
+    while (want > 0) {
+      const ::ssize_t n = ::write(fd, cursor, want);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        FailAndCleanup(temp, "write failed for " + temp + ": " +
+                                 std::strerror(err));
+      }
+      cursor += n;
+      want -= static_cast<std::size_t>(n);
+      written_total += static_cast<std::size_t>(n);
+    }
+    if (short_tripped) break;
+  }
+  // An injected write failure throws whether or not the byte cap bit:
+  // kShortIo leaves a torn prefix in the temp, kFailTimes a complete one
+  // (an end-of-write ENOSPC shape) — either way the final path is never
+  // touched.
+  if (injected_short) {
+    ::close(fd);
+    FailAndCleanup(temp, "injected fault (" + std::string(faults.write) +
+                             "): short write publishing " + path);
+  }
+  // Durability point: the payload bytes reach stable storage BEFORE any
+  // name points at them. A crash after this fsync but before the rename
+  // loses nothing but a stray temp.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    FailAndCleanup(temp, "fsync failed for " + temp + ": " +
+                             std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    FailAndCleanup(temp, "close failed for " + temp + ": " +
+                             std::strerror(errno));
+  }
+#else
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open " + temp + " for writing");
+    std::size_t written_total = 0;
+    bool short_tripped = false;
+    for (const std::span<const std::byte> part : parts) {
+      std::size_t want = part.size();
+      if (written_total + want > io_cap) {
+        want = io_cap - std::min(io_cap, written_total);
+        short_tripped = true;
+      }
+      out.write(reinterpret_cast<const char*>(part.data()),
+                static_cast<std::streamsize>(want));
+      written_total += want;
+      if (short_tripped) break;
+    }
+    out.flush();
+    if (!out) FailAndCleanup(temp, "write failed for " + temp);
+    if (injected_short) {
+      FailAndCleanup(temp, "injected fault (" + std::string(faults.write) +
+                               "): short write publishing " + path);
+    }
+  }
+#endif
+
+  if (faults_on && !faults.commit.empty() &&
+      fault::Evaluate(faults.commit).fail) {
+    FailAndCleanup(temp, "injected fault (" + std::string(faults.commit) +
+                             "): cannot commit " + path);
+  }
+
+  // The atomic publication: readers see the old content or the new file,
+  // never a mixture.
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    FailAndCleanup(temp, "cannot rename " + temp + " to " + path + ": " +
+                             ec.message());
+  }
+
+#if MOBIPRIV_HAS_POSIX_IO
+  // Make the rename itself durable. Best effort: some filesystems refuse
+  // O_RDONLY directory fsync — the commit is still correct, only the
+  // durability of the *name* rides on the next journal flush.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
+}
+
+void WriteFileAtomic(const std::string& path, const void* data,
+                     std::size_t size,
+                     const AtomicWriteFaultPoints& faults) {
+  const std::span<const std::byte> part(
+      static_cast<const std::byte*>(data), size);
+  WriteFileAtomic(path, std::span<const std::span<const std::byte>>(&part, 1),
+                  faults);
+}
+
+}  // namespace mobipriv::model

@@ -1,0 +1,61 @@
+// Crash-safe file publication: the atomic-commit protocol every on-disk
+// artifact (`.mpc` containers, shard manifests, engine cache sidecars)
+// goes through.
+//
+// The problem: a plain `ofstream(path)` that dies mid-write — process
+// crash, injected fault, full disk — leaves a torn file at its FINAL
+// name, and the next reader sees garbage (at best a checksum error, at
+// worst silent truncation accepted by a lenient parser). The fix is the
+// classic commit protocol:
+//
+//   1. write the full payload to a writer-unique temp name in the SAME
+//      directory (`<final>.<pid>.<n>.tmp` — same filesystem, so rename
+//      is atomic);
+//   2. flush + fsync the temp file (the bytes are durable before any
+//      name points at them);
+//   3. rename(temp, final) — POSIX guarantees readers see either the old
+//      file or the complete new one, never a mixture;
+//   4. fsync the directory (the rename itself is durable).
+//
+// On ANY failure the temp file is unlinked and IoError is thrown; the
+// final path is untouched. A crash between (1) and (3) leaves only a
+// `*.tmp` stray that no reader ever opens (readers open exact final
+// names). docs/ROBUSTNESS.md documents the protocol; the fault-matrix
+// test drives every failure edge.
+//
+// Fault injection: callers pass a `FaultPoints` triple naming the
+// injection points for open / short-write / commit so each writer keeps
+// its own identity in the fault table ("columnar.write.short" vs
+// "manifest.write.short").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "model/io.h"
+
+namespace mobipriv::model {
+
+/// Injection-point names for one atomic write (see util/fault.h). Empty
+/// views disable injection for that edge.
+struct AtomicWriteFaultPoints {
+  std::string_view open;   ///< evaluated before the temp file is created
+  std::string_view write;  ///< short-write capable (honors Decision::io_cap)
+  std::string_view commit; ///< evaluated before the rename
+};
+
+/// Writes the concatenation of `parts` to `path` via the temp-file →
+/// fsync → atomic-rename protocol above. Throws IoError on any failure
+/// (the temp is cleaned up; `path` keeps its previous content, if any).
+void WriteFileAtomic(const std::string& path,
+                     std::span<const std::span<const std::byte>> parts,
+                     const AtomicWriteFaultPoints& faults = {});
+
+/// Single-buffer convenience overload.
+void WriteFileAtomic(const std::string& path, const void* data,
+                     std::size_t size,
+                     const AtomicWriteFaultPoints& faults = {});
+
+}  // namespace mobipriv::model

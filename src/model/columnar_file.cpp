@@ -1,5 +1,9 @@
 #include "model/columnar_file.h"
 
+#include "model/atomic_file.h"
+#include "util/fault.h"
+
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <fstream>
@@ -222,16 +226,34 @@ std::vector<EventStore::TraceRange> DecodeTraces(const std::byte* data,
   return traces;
 }
 
+namespace fault = util::fault;
+
 std::vector<std::byte> SlurpFile(const std::string& path) {
+  if (MOBIPRIV_FAULT_POINT(fault::points::kColumnarReadOpen)) {
+    throw IoError("injected fault (" +
+                  std::string(fault::points::kColumnarReadOpen) +
+                  "): cannot open " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open " + path);
   in.seekg(0, std::ios::end);
   const std::streamoff len = in.tellg();
   if (len < 0) throw IoError("cannot stat " + path);
   in.seekg(0);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(len));
-  if (len > 0 &&
-      !in.read(reinterpret_cast<char*>(bytes.data()), len)) {
+  std::size_t want = static_cast<std::size_t>(len);
+  // Injected short read: hand back only a prefix of the file, exactly
+  // what a failing disk or a concurrent truncation produces. The format
+  // validation (recorded size, section bounds, checksums) must turn this
+  // into a clean IoError downstream — never an out-of-bounds read.
+  if (fault::Enabled()) {
+    const fault::Decision d =
+        fault::Evaluate(fault::points::kColumnarReadShort);
+    if (d.fail) want = std::min(want, d.io_cap);
+  }
+  std::vector<std::byte> bytes(want);
+  if (want > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(want))) {
     throw IoError("cannot read " + path);
   }
   return bytes;
@@ -388,23 +410,26 @@ void WriteColumnar(const EventStore& store, const std::string& path) {
          Fnv1a64(head.data() + kHeaderSize,
                  kKnownSections * kDirEntrySize));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot open " + path + " for writing");
-  const auto write_bytes = [&out](const void* data, std::size_t size) {
-    if (size == 0) return;
-    out.write(static_cast<const char*>(data),
-              static_cast<std::streamsize>(size));
-  };
-  write_bytes(head.data(), head.size());
+  // Gather-list of the exact on-disk byte image (header+directory, then
+  // each section with its alignment padding), published through the
+  // crash-safe temp-file -> fsync -> rename protocol: a crash or injected
+  // fault at ANY step leaves `path` untouched — no torn `.mpc` file ever
+  // carries the final name (docs/ROBUSTNESS.md).
+  static constexpr std::byte kPad[8] = {};
+  std::vector<std::span<const std::byte>> parts;
+  parts.reserve(1 + 2 * kKnownSections);
+  parts.emplace_back(head.data(), head.size());
   std::size_t written = head.size();
-  constexpr std::byte kPad[8] = {};
   for (const Plan& plan : plans) {
-    if (plan.offset > written) write_bytes(kPad, plan.offset - written);
-    write_bytes(plan.payload, plan.size);
+    if (plan.offset > written) parts.emplace_back(kPad, plan.offset - written);
+    parts.emplace_back(static_cast<const std::byte*>(plan.payload),
+                       plan.size);
     written = plan.offset + plan.size;
   }
-  out.flush();
-  if (!out) throw IoError("write failed for " + path);
+  WriteFileAtomic(path, parts,
+                  {.open = util::fault::points::kColumnarWriteOpen,
+                   .write = util::fault::points::kColumnarWriteShort,
+                   .commit = util::fault::points::kColumnarWriteCommit});
 }
 
 EventStore ReadColumnar(const std::string& path) {
@@ -484,6 +509,11 @@ MappedColumnar& MappedColumnar::operator=(MappedColumnar&& other) noexcept {
 
 MappedColumnar MappedColumnar::Open(const std::string& path,
                                     ColumnarMapOptions options) {
+  if (MOBIPRIV_FAULT_POINT(fault::points::kColumnarMapOpen)) {
+    throw IoError("injected fault (" +
+                  std::string(fault::points::kColumnarMapOpen) +
+                  "): cannot mmap " + path);
+  }
   MappedColumnar mapped;
 #if MOBIPRIV_HAS_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -511,6 +541,10 @@ MappedColumnar MappedColumnar::Open(const std::string& path,
 #endif
 
   try {
+    // ParseAndValidate checks the recorded file size against the actual
+    // mapped length and every section's bounds BEFORE any column pointer
+    // below is formed — a truncated file is a clean IoError here, never a
+    // SIGBUS on first page touch past EOF.
     const ParsedLayout layout = ParseAndValidate(
         mapped.base_, mapped.size_, path, options.verify_checksums);
     mapped.names_ = DecodeNames(mapped.base_, layout, path);

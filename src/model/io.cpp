@@ -1,5 +1,6 @@
 #include "model/io.h"
 
+#include <algorithm>
 #include <array>
 #include <fstream>
 #include <map>
@@ -11,6 +12,7 @@
 
 #include "util/chunked_reader.h"
 #include "util/csv.h"
+#include "util/fault.h"
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 #include "util/time_utils.h"
@@ -255,9 +257,29 @@ Dataset ReadCsv(std::istream& in) {
 }
 
 Dataset ReadCsvFile(const std::string& path) {
+  namespace fault = util::fault;
+  if (MOBIPRIV_FAULT_POINT(fault::points::kCsvReadOpen)) {
+    throw IoError("injected fault (" +
+                  std::string(fault::points::kCsvReadOpen) +
+                  "): cannot open " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open " + path);
   const std::string text = util::ReadAll(in);
+  // CSV carries no integrity metadata, so a short read CANNOT be detected
+  // by validation the way a truncated `.mpc` is — silently parsing a
+  // prefix would publish wrong data. The injected short read therefore
+  // throws after the capped transfer, modeling a read() failure mid-file.
+  if (fault::Enabled()) {
+    const fault::Decision d = fault::Evaluate(fault::points::kCsvReadShort);
+    if (d.fail) {
+      throw IoError("injected fault (" +
+                    std::string(fault::points::kCsvReadShort) +
+                    "): short read after " +
+                    std::to_string(std::min(d.io_cap, text.size())) +
+                    " bytes of " + path);
+    }
+  }
   return ReadCsvText(text);
 }
 

@@ -6,12 +6,16 @@
 #include <fstream>
 #include <vector>
 
+#include "model/atomic_file.h"
 #include "model/columnar_file.h"
 #include "model/event_store.h"
+#include "util/fault.h"
 
 namespace mobipriv::model {
 
 namespace {
+
+namespace fault = util::fault;
 
 constexpr std::size_t kManifestHeaderSize = 48;
 constexpr std::uint32_t kManifestFlagHasOrigin = 1u;
@@ -193,30 +197,42 @@ void ShardedDataset::SaveShards(const std::string& dir) const {
   PutU64(head.data() + 32, payload.size());
   PutU64(head.data() + 40, Fnv1a64(payload.data(), payload.size()));
 
+  // Crash-safe publication (docs/ROBUSTNESS.md): the manifest is the
+  // directory's commit marker — writing it last, atomically, means a
+  // crash mid-SaveShards leaves either the previous manifest (old
+  // partition still opens) or no manifest (open fails cleanly), never a
+  // torn one.
   const std::string manifest = ManifestPath(dir).string();
-  std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot open " + manifest + " for writing");
-  out.write(reinterpret_cast<const char*>(head.data()),
-            static_cast<std::streamsize>(head.size()));
-  if (!payload.empty()) {
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-  }
-  out.flush();
-  if (!out) throw IoError("write failed for " + manifest);
+  const std::span<const std::byte> parts[] = {
+      {head.data(), head.size()}, {payload.data(), payload.size()}};
+  WriteFileAtomic(manifest, parts,
+                  {.open = fault::points::kManifestWriteOpen,
+                   .write = fault::points::kManifestWriteShort,
+                   .commit = fault::points::kManifestWriteCommit});
 }
 
 ShardedDataset ShardedDataset::OpenShards(const std::string& dir) {
-  return OpenShardsImpl(dir, nullptr);
+  return OpenShardsImpl(dir, nullptr, OpenPolicy::kFailFast, nullptr);
 }
 
 ShardedDataset ShardedDataset::OpenShards(
     const std::string& dir, const std::vector<std::size_t>& only) {
-  return OpenShardsImpl(dir, &only);
+  return OpenShardsImpl(dir, &only, OpenPolicy::kFailFast, nullptr);
+}
+
+ShardedDataset ShardedDataset::OpenShards(const std::string& dir,
+                                          OpenPolicy policy,
+                                          OpenReport* report) {
+  return OpenShardsImpl(dir, nullptr, policy, report);
 }
 
 ShardManifest ReadShardManifest(const std::string& dir) {
   const std::string manifest = ManifestPath(dir).string();
+  if (MOBIPRIV_FAULT_POINT(fault::points::kManifestReadOpen)) {
+    throw IoError("injected fault (" +
+                  std::string(fault::points::kManifestReadOpen) +
+                  "): cannot open " + manifest);
+  }
   std::ifstream in(manifest, std::ios::binary);
   if (!in) throw IoError("cannot open " + manifest);
   in.seekg(0, std::ios::end);
@@ -307,7 +323,8 @@ std::string ShardDataPath(const std::string& dir, std::size_t shard) {
 }
 
 ShardedDataset ShardedDataset::OpenShardsImpl(
-    const std::string& dir, const std::vector<std::size_t>* only) {
+    const std::string& dir, const std::vector<std::size_t>* only,
+    OpenPolicy policy, OpenReport* report) {
   ShardManifest manifest = ReadShardManifest(dir);
 
   ShardedDataset out(manifest.shard_count);
@@ -325,15 +342,47 @@ ShardedDataset ShardedDataset::OpenShardsImpl(
     }
   }
   // Shard files are independent; parse them concurrently into their
-  // pre-sized slots (the pool rethrows the first failure).
+  // pre-sized slots. kFailFast: the pool rethrows the first failure.
+  // kSkipCorrupt: failures land in per-slot error strings — healthy
+  // shards finish loading, and the quarantine record below is assembled
+  // in shard order, so the outcome is identical at any worker count.
+  std::vector<std::string> shard_errors(out.shards_.size());
+  std::vector<bool> shard_failed(out.shards_.size(), false);
   util::ParallelForEach(out.shards_.size(), [&](std::size_t s) {
     if (!load[s]) return;
-    out.shards_[s] = ReadColumnar(ShardDataPath(dir, s)).ToDataset();
+    const std::string shard_path = ShardDataPath(dir, s);
+    try {
+      if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kShardOpenRead,
+                                     ShardFileName(s))) {
+        throw IoError("injected fault (" +
+                      std::string(fault::points::kShardOpenRead) + "): " +
+                      shard_path);
+      }
+      out.shards_[s] = ReadColumnar(shard_path).ToDataset();
+    } catch (const IoError& e) {
+      if (policy == OpenPolicy::kFailFast) throw;
+      shard_failed[s] = true;
+      shard_errors[s] = e.what();
+    }
   });
+  bool any_skipped = false;
+  for (std::size_t s = 0; s < out.shards_.size(); ++s) {
+    if (!shard_failed[s]) continue;
+    any_skipped = true;
+    // A quarantined shard keeps the global name table but loses its
+    // traces; interning nothing here is intentional — UserCount() and
+    // Merge() stay consistent with what actually loaded.
+    out.shards_[s] = Dataset();
+    if (report != nullptr) {
+      report->skipped_shards.push_back(s);
+      report->errors.push_back(shard_errors[s]);
+    }
+  }
 
-  // The recorded original order only survives a full open: with shards
-  // missing, Merge must fall back to concatenating what was loaded.
-  if (manifest.has_origin() && only == nullptr) {
+  // The recorded original order only survives a full, complete open:
+  // with shards missing or quarantined, Merge must fall back to
+  // concatenating what was loaded.
+  if (manifest.has_origin() && only == nullptr && !any_skipped) {
     for (std::size_t s = 0; s < out.shards_.size(); ++s) {
       if (manifest.origin[s].size() != out.shards_[s].TraceCount()) {
         CorruptManifest(dir, "origin run disagrees with shard trace count");

@@ -80,6 +80,34 @@ class ShardedDataset {
   [[nodiscard]] static ShardedDataset OpenShards(
       const std::string& dir, const std::vector<std::size_t>& only);
 
+  /// What OpenShards does with a shard file that fails to load (missing,
+  /// truncated, checksum mismatch).
+  enum class OpenPolicy {
+    /// Default: the first corrupt shard aborts the whole open (IoError).
+    kFailFast,
+    /// Graceful degradation: corrupt shards are quarantined — recorded in
+    /// the OpenReport, left empty in the result — and every healthy shard
+    /// still loads. The recorded original trace order is dropped whenever
+    /// anything was skipped (Merge falls back to shard-order concat).
+    kSkipCorrupt,
+  };
+
+  /// Quarantine record of one OpenShards call (parallel vectors, shard
+  /// index ascending — deterministic at any worker count).
+  struct OpenReport {
+    std::vector<std::size_t> skipped_shards;
+    std::vector<std::string> errors;  ///< IoError text per skipped shard
+    [[nodiscard]] bool ok() const noexcept { return skipped_shards.empty(); }
+  };
+
+  /// Policy-explicit open. With kFailFast this is OpenShards(dir); with
+  /// kSkipCorrupt it survives corrupt shard files and records them in
+  /// `report` (optional). The manifest itself must always be healthy —
+  /// without it there is no shard count or name table to degrade onto.
+  [[nodiscard]] static ShardedDataset OpenShards(const std::string& dir,
+                                                OpenPolicy policy,
+                                                OpenReport* report = nullptr);
+
   [[nodiscard]] std::size_t ShardCount() const noexcept {
     return shards_.size();
   }
@@ -104,9 +132,10 @@ class ShardedDataset {
   }
 
  private:
-  // Shared loader behind both OpenShards overloads (nullptr = all shards).
+  // Shared loader behind every OpenShards overload (nullptr = all shards).
   [[nodiscard]] static ShardedDataset OpenShardsImpl(
-      const std::string& dir, const std::vector<std::size_t>* only);
+      const std::string& dir, const std::vector<std::size_t>* only,
+      OpenPolicy policy, OpenReport* report);
 
   std::vector<Dataset> shards_;
   // Original global trace index of shard s's local trace i (recorded by
