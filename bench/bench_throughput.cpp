@@ -19,6 +19,7 @@
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "mechanisms/registry.h"
+#include "geo/distance_batch.h"
 #include "geo/polyline.h"
 #include "mechanisms/cloaking.h"
 #include "mechanisms/geo_indistinguishability.h"
@@ -27,6 +28,7 @@
 #include "mechanisms/wait4me.h"
 #include "model/io.h"
 #include "synth/population.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -447,6 +449,191 @@ BENCHMARK(BM_EngineGridIndependent)
     ->Arg(100)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
+
+// ---- SIMD batch kernels (roofline-annotated) --------------------------------
+// Each kernel bench sets BOTH counters so the JSON carries a roofline
+// coordinate: items_per_second (elements/s) and bytes_per_second (the
+// kernel's streamed traffic, counted per the attribution schema in
+// bench/README.md — input columns read + output columns written, payload
+// only). The simd_backend counter records which shim backend was compiled
+// in, so an off/auto A-B run labels itself.
+
+/// Deterministic coordinate columns for the batch-distance kernels.
+struct BatchColumns {
+  std::vector<double> a, b;  // x/y (planar) or lat/lng (geodetic)
+};
+
+const BatchColumns& BatchColumnsOfSize(std::size_t n, bool geodetic) {
+  static std::map<std::size_t, BatchColumns> planar, geo_cols;
+  auto& cache = geodetic ? geo_cols : planar;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    util::Rng rng(1234 + n);
+    BatchColumns columns;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (geodetic) {
+        columns.a.push_back(45.0 + (rng.NextDouble() - 0.5) * 0.5);
+        columns.b.push_back(4.8 + (rng.NextDouble() - 0.5) * 0.5);
+      } else {
+        columns.a.push_back((rng.NextDouble() - 0.5) * 5000.0);
+        columns.b.push_back((rng.NextDouble() - 0.5) * 5000.0);
+      }
+    }
+    it = cache.emplace(n, std::move(columns)).first;
+  }
+  return it->second;
+}
+
+void AnnotateKernel(benchmark::State& state, std::size_t items,
+                    std::size_t bytes) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["simd_backend"] =
+      util::kSimdEnabled ? 1.0 : 0.0;  // 1 = vector ISA, 0 = scalar
+}
+
+void BM_DistanceBatchProjected(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BatchColumns& columns = BatchColumnsOfSize(n, false);
+  std::vector<double> out(n);
+  std::size_t items = 0;
+  for (auto _ : state) {
+    geo::ProjectedMetricBatch(columns.a.data(), columns.b.data(), n,
+                              geo::Point2{17.0, -23.0}, out.data());
+    benchmark::DoNotOptimize(out.data());
+    items += n;
+  }
+  // Traffic: reads x + y, writes out (3 doubles per element).
+  AnnotateKernel(state, items, items * 3 * sizeof(double));
+}
+BENCHMARK(BM_DistanceBatchProjected)->Arg(4096)->Arg(65536);
+
+void BM_DistanceBatchEquirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BatchColumns& columns = BatchColumnsOfSize(n, true);
+  std::vector<double> out(n);
+  std::size_t items = 0;
+  for (auto _ : state) {
+    geo::EquirectangularBatch(columns.a.data(), columns.b.data(), n,
+                              geo::LatLng{45.76, 4.84}, out.data());
+    benchmark::DoNotOptimize(out.data());
+    items += n;
+  }
+  AnnotateKernel(state, items, items * 3 * sizeof(double));
+}
+BENCHMARK(BM_DistanceBatchEquirect)->Arg(4096)->Arg(65536);
+
+void BM_DistanceBatchHaversine(benchmark::State& state) {
+  // The libm-bound reference point: per-lane scalar by contract, so the
+  // off/auto delta should be ~1x — a control for the other kernel rows.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BatchColumns& columns = BatchColumnsOfSize(n, true);
+  std::vector<double> out(n);
+  std::size_t items = 0;
+  for (auto _ : state) {
+    geo::HaversineBatch(columns.a.data(), columns.b.data(), n,
+                        geo::LatLng{45.76, 4.84}, out.data());
+    benchmark::DoNotOptimize(out.data());
+    items += n;
+  }
+  AnnotateKernel(state, items, items * 3 * sizeof(double));
+}
+BENCHMARK(BM_DistanceBatchHaversine)->Arg(4096)->Arg(65536);
+
+void BM_DistanceBatchMask(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BatchColumns& columns = BatchColumnsOfSize(n, false);
+  std::vector<std::uint8_t> mask(n);
+  std::size_t items = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geo::WithinRadiusMask(columns.a.data(), columns.b.data(), n,
+                              geo::Point2{0.0, 0.0}, 1000.0, mask.data()));
+    items += n;
+  }
+  // Traffic: reads x + y (doubles), writes 1 mask byte per element.
+  AnnotateKernel(state, items, items * (2 * sizeof(double) + 1));
+}
+BENCHMARK(BM_DistanceBatchMask)->Arg(4096)->Arg(65536);
+
+void BM_MixZoneEncounterScan(benchmark::State& state) {
+  // Detection only (flatten + projection + CSR-grid encounter scan): the
+  // vectorized hot loop of BM_MixZone without clustering, permutation or
+  // output assembly diluting it.
+  const auto& world = WorldOfSize(static_cast<std::size_t>(state.range(0)));
+  const mech::MixZone mixzone;
+  const model::DatasetView view = model::DatasetView::Of(world.dataset());
+  std::size_t events = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixzone.CountEncounters(view));
+    events += world.dataset().EventCount();
+  }
+  // Traffic: reads lat/lng/time per event once during flatten+project;
+  // the cell scans re-read x/y slices (amortized ~1 extra pass).
+  AnnotateKernel(state, events, events * 5 * sizeof(double));
+}
+BENCHMARK(BM_MixZoneEncounterScan)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- ApplyToTraceColumns kernels, SoA in -> SoA out ------------------------
+// The per-trace mechanism kernels measured on the columnar path they were
+// vectorized for: EventStore view in, EventStore out, no AoS assembly on
+// either side (BM_Cloaking et al. above measure the same mechanisms
+// through the AoS Apply adapter, whose Dataset assembly dilutes kernel
+// gains). items = input events; bytes = input columns read + output
+// columns written (24 B/event each way, rounded by suppression).
+
+const model::EventStore& StoreOfSize(std::size_t agents) {
+  static std::map<std::size_t, std::unique_ptr<model::EventStore>> cache;
+  auto it = cache.find(agents);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(agents, std::make_unique<model::EventStore>(
+                                  model::EventStore::FromDataset(
+                                      WorldOfSize(agents).dataset())))
+             .first;
+  }
+  return *it->second;
+}
+
+template <typename MechanismT>
+void RunKernelToStore(benchmark::State& state, const MechanismT& mechanism) {
+  const auto agents = static_cast<std::size_t>(state.range(0));
+  const model::EventStore& store = StoreOfSize(agents);
+  util::Rng rng(1);
+  std::size_t events = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const model::EventStore out = mechanism.ApplyToStore(store.View(), rng);
+    benchmark::DoNotOptimize(out.EventCount());
+    events += store.EventCount();
+    bytes += (store.EventCount() + out.EventCount()) * 3 * sizeof(double);
+  }
+  AnnotateKernel(state, events, bytes);
+}
+
+void BM_KernelCloaking(benchmark::State& state) {
+  RunKernelToStore(state, mech::Cloaking{});
+}
+BENCHMARK(BM_KernelCloaking)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_KernelGeoInd(benchmark::State& state) {
+  RunKernelToStore(state, mech::GeoIndistinguishability{});
+}
+BENCHMARK(BM_KernelGeoInd)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_KernelSpeedSmoothing(benchmark::State& state) {
+  RunKernelToStore(state, mech::SpeedSmoothing{});
+}
+BENCHMARK(BM_KernelSpeedSmoothing)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_KernelMixZone(benchmark::State& state) {
+  RunKernelToStore(state, mech::MixZone{});
+}
+BENCHMARK(BM_KernelMixZone)->Arg(20)->Unit(benchmark::kMillisecond);
 
 void BM_ResampleUniform(benchmark::State& state) {
   // A 1000-vertex zig-zag path resampled at 10 m.

@@ -85,4 +85,35 @@ if [[ "$points_ok" == 1 ]]; then
   echo "OK: $count injection points agree between $fault_header and $robustness"
 fi
 
+# 4. The SIMD call-site table in docs/PERFORMANCE.md must agree with the
+#    actual `#include "util/simd.h"` sites under src/ — both directions.
+#    Every file that consumes the shim needs a documented numerical
+#    contract; every table row must point at a file that still uses it.
+performance=docs/PERFORMANCE.md
+[[ -f "$performance" ]] || { echo "missing $performance"; exit 1; }
+
+simd_users=$(grep -rlF '#include "util/simd.h"' src/ --include='*.h' \
+  --include='*.cpp' | grep -v '^src/util/simd.h$' | sort)
+doc_sites=$(grep -oE '^\| `src/[a-z_/.]+`' "$performance" | tr -d '|` ' | sort)
+
+sites_ok=1
+while read -r site; do
+  [[ -z "$site" ]] && continue
+  if ! grep -qx "$site" <<<"$doc_sites"; then
+    echo "FAIL: $site includes util/simd.h but has no contract row in $performance"
+    fail=1; sites_ok=0
+  fi
+done <<<"$simd_users"
+while read -r site; do
+  [[ -z "$site" ]] && continue
+  if ! grep -qx "$site" <<<"$simd_users"; then
+    echo "FAIL: $performance documents SIMD call site '$site' which does not include util/simd.h"
+    fail=1; sites_ok=0
+  fi
+done <<<"$doc_sites"
+if [[ "$sites_ok" == 1 ]]; then
+  count=$(wc -l <<<"$simd_users")
+  echo "OK: $count SIMD call sites agree between src/ and $performance"
+fi
+
 exit $fail

@@ -52,7 +52,8 @@ import sys
 
 DEFAULT_GATED = (
     r"^BM_(FullPipeline/1000|EngineGrid[^/]*/\d+|IngestCsv[^/]*/\d+"
-    r"|ReadColumnar/\d+|OpenColumnarMmap[^/]*/\d+|WriteColumnar/\d+)$"
+    r"|ReadColumnar/\d+|OpenColumnarMmap[^/]*/\d+|WriteColumnar/\d+"
+    r"|DistanceBatch[^/]*/\d+|MixZoneEncounterScan/\d+|Kernel[^/]*/\d+)$"
 )
 # mhz_per_cpu drifts a little run to run on throttling hosts; num_cpus
 # must match exactly.
@@ -139,6 +140,23 @@ def main():
         "armed" if armed else "DISARMED: " + (reason or "skip requested")))
     for name, text in rows:
         print("  %-*s  %s" % (width, name, text))
+
+    if not armed:
+        # Foreign hardware (or skip mode): absolute gating is off, but the
+        # deltas are still the most useful signal the run produces — print
+        # the FULL table (every benchmark in both files, gated or not) so
+        # perf drift stays visible in the logs of every runner.
+        common = sorted(set(base) & set(cur))
+        if common:
+            full_width = max(len(name) for name in common)
+            print("delta table (gate disarmed; informational, "
+                  "%d benchmarks):" % len(common))
+            for name in common:
+                ratio = cur[name] / base[name] if base[name] > 0 \
+                    else float("inf")
+                print("  %-*s  %10.3f -> %10.3f ms  %+7.1f%%" % (
+                    full_width, name, base[name], cur[name],
+                    100.0 * (ratio - 1.0)))
 
     invariant_failures = []
     invariants_checked = [0]

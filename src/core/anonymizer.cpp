@@ -83,14 +83,14 @@ model::Dataset Anonymizer::ApplyView(const model::DatasetView& input,
 model::EventStore Anonymizer::ApplyToStore(const model::DatasetView& input,
                                            util::Rng& rng) const {
   // Stage 1 produces columns directly (two-pass per-trace fill); stage 2's
-  // detector reads those columns as a view. Only the final (heavily
-  // suppressed) mix-zone output pays an AoS->SoA conversion.
+  // detector reads those columns as a view and assembles its output
+  // straight into store columns — the whole pipeline is SoA end to end.
   if (config_.enable_speed_smoothing) {
     const model::EventStore smoothed = speed_.ApplyToStore(input, rng);
     if (!config_.enable_mixzones) return smoothed;
-    return model::EventStore::FromDataset(
-        mixzone_.ApplyView(smoothed.View(), rng));
+    return mixzone_.ApplyToStore(smoothed.View(), rng);
   }
+  if (config_.enable_mixzones) return mixzone_.ApplyToStore(input, rng);
   return Mechanism::ApplyToStore(input, rng);
 }
 

@@ -1,0 +1,98 @@
+#include "geo/distance_batch.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/simd.h"
+
+namespace mobipriv::geo {
+
+using util::F64x4;
+
+void ProjectedMetricBatch(const double* x, const double* y, std::size_t n,
+                          Point2 anchor, double* out) noexcept {
+  const F64x4 ax = F64x4::Set1(anchor.x);
+  const F64x4 ay = F64x4::Set1(anchor.y);
+  std::size_t i = 0;
+  for (; i + util::kSimdWidth <= n; i += util::kSimdWidth) {
+    const F64x4 dx = F64x4::Load(x + i) - ax;
+    const F64x4 dy = F64x4::Load(y + i) - ay;
+    util::Sqrt(util::Fma(dx, dx, dy * dy)).Store(out + i);
+  }
+  for (; i < n; ++i) {
+    const double dx = x[i] - anchor.x;
+    const double dy = y[i] - anchor.y;
+    out[i] = std::sqrt(std::fma(dx, dx, dy * dy));
+  }
+}
+
+void EquirectangularBatch(const double* lat, const double* lng, std::size_t n,
+                          LatLng anchor, double* out) noexcept {
+  // Scalar reference (geo::EquirectangularDistance with a <-> b roles
+  // fixed): mean_lat = (anchor.lat + lat)*0.5*kDegToRad;
+  // dx = (lng - anchor.lng)*kDegToRad*cos(mean_lat);
+  // dy = (lat - anchor.lat)*kDegToRad; R*hypot(dx, dy).
+  const F64x4 alat = F64x4::Set1(anchor.lat);
+  const F64x4 alng = F64x4::Set1(anchor.lng);
+  const F64x4 half = F64x4::Set1(0.5);
+  const F64x4 deg_to_rad = F64x4::Set1(kDegToRad);
+  const F64x4 radius = F64x4::Set1(kEarthRadiusMeters);
+  std::size_t i = 0;
+  for (; i + util::kSimdWidth <= n; i += util::kSimdWidth) {
+    const F64x4 plat = F64x4::Load(lat + i);
+    // cos has no vector form with known rounding — evaluate per lane on
+    // the vector-computed mean latitudes (same op order as the scalar
+    // routine, so the cos inputs are bit-equal to its).
+    double mean[4];
+    ((alat + plat) * half * deg_to_rad).Store(mean);
+    const F64x4 cos_mean = F64x4::Set(std::cos(mean[0]), std::cos(mean[1]),
+                                      std::cos(mean[2]), std::cos(mean[3]));
+    const F64x4 dx = (F64x4::Load(lng + i) - alng) * deg_to_rad * cos_mean;
+    const F64x4 dy = (plat - alat) * deg_to_rad;
+    (radius * util::Sqrt(util::Fma(dx, dx, dy * dy))).Store(out + i);
+  }
+  for (; i < n; ++i) {
+    const double mean_lat = (anchor.lat + lat[i]) * 0.5 * kDegToRad;
+    const double dx = (lng[i] - anchor.lng) * kDegToRad * std::cos(mean_lat);
+    const double dy = (lat[i] - anchor.lat) * kDegToRad;
+    out[i] = kEarthRadiusMeters * std::sqrt(std::fma(dx, dx, dy * dy));
+  }
+}
+
+void HaversineBatch(const double* lat, const double* lng, std::size_t n,
+                    LatLng anchor, double* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = HaversineDistance(LatLng{lat[i], lng[i]}, anchor);
+  }
+}
+
+std::size_t WithinRadiusMask(const double* x, const double* y, std::size_t n,
+                             Point2 anchor, double radius,
+                             std::uint8_t* mask) noexcept {
+  const double r_sq = radius * radius;
+  const F64x4 ax = F64x4::Set1(anchor.x);
+  const F64x4 ay = F64x4::Set1(anchor.y);
+  const F64x4 vr2 = F64x4::Set1(r_sq);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + util::kSimdWidth <= n; i += util::kSimdWidth) {
+    const F64x4 dx = F64x4::Load(x + i) - ax;
+    const F64x4 dy = F64x4::Load(y + i) - ay;
+    const int m = util::MoveMask(util::CmpLe(dx * dx + dy * dy, vr2));
+    mask[i] = static_cast<std::uint8_t>(m & 1);
+    mask[i + 1] = static_cast<std::uint8_t>((m >> 1) & 1);
+    mask[i + 2] = static_cast<std::uint8_t>((m >> 2) & 1);
+    mask[i + 3] = static_cast<std::uint8_t>((m >> 3) & 1);
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(m)));
+  }
+  for (; i < n; ++i) {
+    const double dx = x[i] - anchor.x;
+    const double dy = y[i] - anchor.y;
+    mask[i] = dx * dx + dy * dy <= r_sq ? 1 : 0;
+    count += mask[i];
+  }
+  return count;
+}
+
+}  // namespace mobipriv::geo

@@ -1,0 +1,64 @@
+// Batch geometry kernels: N source points against one anchor, built on the
+// util/simd.h shim. These are the bulk forms of the scalar primitives in
+// geo/latlng.h and geo/point2.h, each with an explicit numerical contract
+// (mirrored in docs/PERFORMANCE.md):
+//
+//   * ProjectedMetricBatch — planar distances. Computes
+//     sqrt(dx*dx + dy*dy) instead of std::hypot(dx, dy): both are within
+//     a few ULP of the true distance but are NOT bit-equal, so the
+//     contract is <= 4 ULP of geo::Distance. (hypot defends against
+//     overflow/underflow of dx^2; metric-frame coordinates are metres
+//     within one metropolitan area, so the squares are far from both.)
+//   * EquirectangularBatch — flat-earth WGS84 distances. The per-point
+//     cos(mean_lat) stays a scalar libm call (there is no correctly-
+//     rounded vector cos); everything around it vectorizes, and the
+//     final hypot is replaced as above. Contract: <= 4 ULP of
+//     geo::EquirectangularDistance.
+//   * HaversineBatch — great-circle distances. sin/cos/asin error near
+//     antipodal points amplifies without bound (d asin/dh -> inf as
+//     h -> 1), so no useful ULP bound exists for a reordered evaluation;
+//     the batch form therefore calls the scalar routine per lane and is
+//     bit-identical to geo::HaversineDistance by construction. It exists
+//     so call sites can choose the metric per element without changing
+//     loop shape.
+//   * WithinRadiusMask — the pairwise-within-radius predicate
+//     (dx*dx + dy*dy <= r*r) as a byte mask. Squared comparison only, no
+//     sqrt: bit-identical to the scalar predicate used by GridIndex and
+//     the mix-zone scans.
+//
+// All kernels accept unaligned, contiguous columns and any n (vector body
+// + scalar tail that performs the same arithmetic).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geo/latlng.h"
+#include "geo/point2.h"
+
+namespace mobipriv::geo {
+
+/// out[i] = planar distance from (x[i], y[i]) to `anchor`, metres.
+/// Contract: <= 4 ULP of geo::Distance (sqrt of squares vs hypot).
+void ProjectedMetricBatch(const double* x, const double* y, std::size_t n,
+                          Point2 anchor, double* out) noexcept;
+
+/// out[i] = equirectangular distance from (lat[i], lng[i]) to `anchor`,
+/// metres. Contract: <= 4 ULP of geo::EquirectangularDistance.
+void EquirectangularBatch(const double* lat, const double* lng, std::size_t n,
+                          LatLng anchor, double* out) noexcept;
+
+/// out[i] = great-circle distance from (lat[i], lng[i]) to `anchor`,
+/// metres. Contract: bit-identical to geo::HaversineDistance (per-lane
+/// scalar; libm-bound, provided for call-site uniformity).
+void HaversineBatch(const double* lat, const double* lng, std::size_t n,
+                    LatLng anchor, double* out) noexcept;
+
+/// mask[i] = 1 when (x[i], y[i]) lies within `radius` of `anchor`
+/// (inclusive), else 0; returns the number of set entries. Contract:
+/// bit-identical to the scalar predicate dx*dx + dy*dy <= radius*radius.
+std::size_t WithinRadiusMask(const double* x, const double* y, std::size_t n,
+                             Point2 anchor, double radius,
+                             std::uint8_t* mask) noexcept;
+
+}  // namespace mobipriv::geo

@@ -17,6 +17,7 @@
 // loops pay neither a std::function dispatch nor an output buffer write.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <optional>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "geo/point2.h"
+#include "util/simd.h"
 
 namespace mobipriv::geo {
 
@@ -87,16 +89,59 @@ class GridIndex {
   template <typename Visitor>
   void ForEachInRadius(Point2 center, double radius, Visitor&& visit) const {
     const double r_sq = radius * radius;
+    const util::F64x4 vcx = util::F64x4::Set1(center.x);
+    const util::F64x4 vcy = util::F64x4::Set1(center.y);
+    const util::F64x4 vr2 = util::F64x4::Set1(r_sq);
+    // Whether the visitor can stop the scan (returns bool) — resolved at
+    // compile time, shared by the vector and tail emission below.
+    using VisitResult = decltype(visit(std::uint64_t{}, Point2{}));
+    constexpr bool kStoppable = std::is_same_v<VisitResult, bool>;
     ForEachCellInBox(center, radius, [&](std::int32_t head) {
-      for (std::int32_t cur = head; cur != -1;
-           cur = entries_[static_cast<std::size_t>(cur)].next) {
-        const Entry& e = entries_[static_cast<std::size_t>(cur)];
-        if (DistanceSquared(e.point, center) <= r_sq) {
-          if constexpr (std::is_same_v<decltype(visit(e.id, e.point)),
-                                       bool>) {
-            if (!visit(e.id, e.point)) return false;
-          } else {
-            visit(e.id, e.point);
+      // The chain walk IS the gather: batches of entries go into stack
+      // lanes, the distance test runs 4-wide, and hits are emitted from
+      // the mask in lane order — the exact chain (insertion) order and
+      // the exact scalar predicate dx*dx + dy*dy <= r*r, so results and
+      // visit order are bit-identical to the scalar walk, early exit
+      // included.
+      constexpr int kBuf = 32;
+      double xs[kBuf], ys[kBuf];
+      std::uint64_t ids[kBuf];
+      std::int32_t cur = head;
+      while (cur != -1) {
+        int n = 0;
+        while (cur != -1 && n < kBuf) {
+          const Entry& e = entries_[static_cast<std::size_t>(cur)];
+          xs[n] = e.point.x;
+          ys[n] = e.point.y;
+          ids[n] = e.id;
+          ++n;
+          cur = e.next;
+        }
+        int i = 0;
+        for (; i + util::kSimdWidth <= n; i += util::kSimdWidth) {
+          const util::F64x4 dx = util::F64x4::Load(xs + i) - vcx;
+          const util::F64x4 dy = util::F64x4::Load(ys + i) - vcy;
+          int m = util::MoveMask(util::CmpLe(dx * dx + dy * dy, vr2));
+          while (m != 0) {
+            const int at =
+                i + std::countr_zero(static_cast<unsigned>(m));
+            m &= m - 1;
+            if constexpr (kStoppable) {
+              if (!visit(ids[at], Point2{xs[at], ys[at]})) return false;
+            } else {
+              visit(ids[at], Point2{xs[at], ys[at]});
+            }
+          }
+        }
+        for (; i < n; ++i) {
+          const double ddx = xs[i] - center.x;
+          const double ddy = ys[i] - center.y;
+          if (ddx * ddx + ddy * ddy <= r_sq) {
+            if constexpr (kStoppable) {
+              if (!visit(ids[i], Point2{xs[i], ys[i]})) return false;
+            } else {
+              visit(ids[i], Point2{xs[i], ys[i]});
+            }
           }
         }
       }

@@ -9,6 +9,7 @@
 
 #include "geo/latlng.h"
 #include "geo/point2.h"
+#include "util/simd.h"
 
 #include <vector>
 
@@ -27,6 +28,31 @@ class LocalProjection {
 
   /// Metres east/north of the origin -> WGS84.
   [[nodiscard]] LatLng Unproject(Point2 p) const noexcept;
+
+  /// 4-wide Project: lanes are bit-identical to Project on the same inputs
+  /// (same operations in the same order, no fused contractions), so
+  /// vectorized kernels keep the byte-identity contracts of their scalar
+  /// originals. Lane i of (x, y) is Project({lat[i], lng[i]}).
+  void Project4(util::F64x4 lat, util::F64x4 lng, util::F64x4& x,
+                util::F64x4& y) const noexcept {
+    using util::F64x4;
+    const F64x4 deg_to_rad = F64x4::Set1(kDegToRad);
+    const F64x4 radius = F64x4::Set1(kEarthRadiusMeters);
+    x = (lng - F64x4::Set1(origin_.lng)) * deg_to_rad *
+        F64x4::Set1(cos_lat_) * radius;
+    y = (lat - F64x4::Set1(origin_.lat)) * deg_to_rad * radius;
+  }
+
+  /// 4-wide Unproject, bit-identical per lane to Unproject (see Project4).
+  void Unproject4(util::F64x4 x, util::F64x4 y, util::F64x4& lat,
+                  util::F64x4& lng) const noexcept {
+    using util::F64x4;
+    const F64x4 rad_to_deg = F64x4::Set1(kRadToDeg);
+    lat = F64x4::Set1(origin_.lat) +
+          (y / F64x4::Set1(kEarthRadiusMeters)) * rad_to_deg;
+    lng = F64x4::Set1(origin_.lng) +
+          (x / F64x4::Set1(kEarthRadiusMeters * cos_lat_)) * rad_to_deg;
+  }
 
   [[nodiscard]] std::vector<Point2> Project(
       const std::vector<LatLng>& path) const;

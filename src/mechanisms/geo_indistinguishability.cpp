@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "geo/projection.h"
+#include "util/simd.h"
 #include "util/string_utils.h"
 
 namespace mobipriv::mech {
@@ -68,13 +69,49 @@ void GeoIndistinguishability::ApplyToTraceColumns(
     util::Rng& rng) const {
   if (trace.empty()) return;
   const geo::LocalProjection projection(trace.BoundingBox().Center());
-  for (std::size_t i = 0; i < trace.size(); ++i) {
+  const std::size_t n = trace.size();
+  const auto rows = out.Extend(n);
+  using util::F64x4;
+  std::size_t i = 0;
+  // The planar-Laplace draws (radius, angle, and the r*cos/r*sin offset
+  // products) stay scalar in the exact per-fix order of the scalar loop;
+  // the projection round trip and offset addition run 4-wide. Same ops
+  // in the same order -> bit-identical to the tail.
+  for (; i + util::kSimdWidth <= n; i += util::kSimdWidth) {
+    double ox[4], oy[4];
+    for (int k = 0; k < util::kSimdWidth; ++k) {
+      const double r = SamplePlanarLaplaceRadius(config_.epsilon, rng);
+      const double theta = rng.Angle();
+      ox[k] = r * std::cos(theta);
+      oy[k] = r * std::sin(theta);
+    }
+    const F64x4 lat = F64x4::Set(trace.lat(i), trace.lat(i + 1),
+                                 trace.lat(i + 2), trace.lat(i + 3));
+    const F64x4 lng = F64x4::Set(trace.lng(i), trace.lng(i + 1),
+                                 trace.lng(i + 2), trace.lng(i + 3));
+    F64x4 x, y;
+    projection.Project4(lat, lng, x, y);
+    x = x + F64x4::Load(ox);
+    y = y + F64x4::Load(oy);
+    F64x4 olat, olng;
+    projection.Unproject4(x, y, olat, olng);
+    olat.Store(rows.lat + i);
+    olng.Store(rows.lng + i);
+    rows.time[i] = trace.time(i);
+    rows.time[i + 1] = trace.time(i + 1);
+    rows.time[i + 2] = trace.time(i + 2);
+    rows.time[i + 3] = trace.time(i + 3);
+  }
+  for (; i < n; ++i) {
     const double r = SamplePlanarLaplaceRadius(config_.epsilon, rng);
     const double theta = rng.Angle();
     geo::Point2 p = projection.Project(trace.position(i));
     p.x += r * std::cos(theta);
     p.y += r * std::sin(theta);
-    out.Append(projection.Unproject(p), trace.time(i));
+    const geo::LatLng q = projection.Unproject(p);
+    rows.lat[i] = q.lat;
+    rows.lng[i] = q.lng;
+    rows.time[i] = trace.time(i);
   }
 }
 

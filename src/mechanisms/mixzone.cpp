@@ -1,6 +1,8 @@
 #include "mechanisms/mixzone.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <limits>
@@ -9,6 +11,7 @@
 #include <sstream>
 
 #include "geo/grid_index.h"
+#include "util/simd.h"
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 
@@ -40,6 +43,17 @@ struct ZonePassage {
   std::uint32_t last_event = 0;  // inclusive
 };
 
+/// One output trace as bare columns — the mechanism's native result form.
+/// The Dataset entry points assemble Events from these; the store entry
+/// point concatenates them into EventStore columns without ever building
+/// an Event.
+struct StitchedColumns {
+  model::UserId user = model::kInvalidUser;
+  std::vector<double> lat, lng;
+  std::vector<util::Timestamp> time;
+  [[nodiscard]] std::size_t size() const noexcept { return time.size(); }
+};
+
 /// Cell-bucketed CSR layout of the flat events, replacing per-event
 /// GridIndex radius queries in the detection hot loop. Events are grouped
 /// by grid cell into contiguous SoA slices ordered by flat id, so
@@ -56,8 +70,6 @@ class EventCellGrid {
   EventCellGrid(double cell_size, const std::vector<FlatEvent>& flat)
       : cell_size_(cell_size) {
     const std::size_t n = flat.size();
-    event_cx_.resize(n);
-    event_cy_.resize(n);
     event_cell_.resize(n);
 
     // Open-addressed (cx, cy) -> dense cell id table (power-of-two,
@@ -74,8 +86,6 @@ class EventCellGrid {
           std::floor(flat[id].position.x / cell_size_));
       const auto cy = static_cast<std::int64_t>(
           std::floor(flat[id].position.y / cell_size_));
-      event_cx_[id] = cx;
-      event_cy_[id] = cy;
       const std::size_t mask = capacity - 1;
       std::size_t i = Hash(cx, cy) & mask;
       while (tab_cell_[i] != -1 &&
@@ -87,9 +97,26 @@ class EventCellGrid {
         tab_cy_[i] = cy;
         tab_cell_[i] = static_cast<std::int32_t>(counts.size());
         counts.push_back(0);
+        cell_cx_.push_back(cx);
+        cell_cy_.push_back(cy);
       }
       event_cell_[id] = tab_cell_[i];
       ++counts[static_cast<std::size_t>(tab_cell_[i])];
+    }
+
+    // Per-cell 3x3 neighbour table, resolved once: the detection loop
+    // then costs one array load per event instead of nine hash probes.
+    // Entry order is (dx, dy) row-major, matching the scan's historical
+    // iteration order exactly.
+    neighbors_.resize(counts.size());
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      int k = 0;
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+          neighbors_[c][static_cast<std::size_t>(k++)] =
+              Find(cell_cx_[c] + dx, cell_cy_[c] + dy);
+        }
+      }
     }
 
     begin_.resize(counts.size() + 1, 0);
@@ -125,12 +152,14 @@ class EventCellGrid {
     return -1;
   }
 
-  /// Grid coordinates of event `id`'s cell.
-  [[nodiscard]] std::int64_t EventCx(std::size_t id) const {
-    return event_cx_[id];
+  /// Dense cell id of event `id`, and that cell's resolved 3x3
+  /// neighbourhood in (dx, dy) row-major scan order (-1 = empty cell).
+  [[nodiscard]] std::int32_t EventCell(std::size_t id) const {
+    return event_cell_[id];
   }
-  [[nodiscard]] std::int64_t EventCy(std::size_t id) const {
-    return event_cy_[id];
+  [[nodiscard]] const std::array<std::int32_t, 9>& Neighbors(
+      std::int32_t cell) const {
+    return neighbors_[static_cast<std::size_t>(cell)];
   }
 
   /// [begin, end) slice of a dense cell in the SoA arrays (id-ascending).
@@ -146,6 +175,10 @@ class EventCellGrid {
   [[nodiscard]] util::Timestamp time(std::size_t i) const { return time_[i]; }
   [[nodiscard]] model::UserId user(std::size_t i) const { return user_[i]; }
   [[nodiscard]] std::uint32_t id(std::size_t i) const { return id_[i]; }
+
+  /// Contiguous coordinate slices, the vector scans' load targets.
+  [[nodiscard]] const double* x_data() const noexcept { return x_.data(); }
+  [[nodiscard]] const double* y_data() const noexcept { return y_.data(); }
 
   /// First index in the cell slice whose flat id exceeds `flat_id`.
   [[nodiscard]] std::size_t FirstAbove(std::int32_t cell,
@@ -167,7 +200,8 @@ class EventCellGrid {
   double cell_size_;
   std::vector<std::int64_t> tab_cx_, tab_cy_;
   std::vector<std::int32_t> tab_cell_;
-  std::vector<std::int64_t> event_cx_, event_cy_;
+  std::vector<std::int64_t> cell_cx_, cell_cy_;
+  std::vector<std::array<std::int32_t, 9>> neighbors_;
   std::vector<std::int32_t> event_cell_;
   std::vector<std::size_t> begin_;
   std::vector<double> x_, y_;
@@ -176,114 +210,114 @@ class EventCellGrid {
   std::vector<std::uint32_t> id_;
 };
 
-}  // namespace
-
-std::string MixZoneReport::ToString() const {
-  std::ostringstream os;
-  os << "zones=" << zones.size() << " occurrences=" << occurrences
-     << " encounters=" << encounters << " swaps=" << swaps_applied
-     << " suppressed=" << suppressed_events << "/" << total_events << " ("
-     << util::FormatDouble(100.0 * SuppressionRatio(), 2) << "%)";
-  return os.str();
-}
-
-MixZone::MixZone(MixZoneConfig config) : config_(config) {
-  assert(config_.zone_radius_m > 0.0);
-  assert(config_.time_window_s > 0);
-  assert(config_.min_users >= 2);
-}
-
-std::string MixZone::Name() const {
-  return "mixzone[r=" + util::FormatDouble(config_.zone_radius_m, 0) +
-         "m,w=" + std::to_string(config_.time_window_s) + "s]";
-}
-
-model::Dataset MixZone::Apply(const model::Dataset& input,
-                              util::Rng& rng) const {
-  MixZoneReport report;
-  return ApplyWithReport(input, rng, report);
-}
-
-model::Dataset MixZone::ApplyView(const model::DatasetView& input,
-                                  util::Rng& rng) const {
-  MixZoneReport report;
-  return ApplyViewWithReport(input, rng, report);
-}
-
-model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
-                                        util::Rng& rng,
-                                        MixZoneReport& report) const {
-  return ApplyViewWithReport(model::DatasetView::Of(input), rng, report);
-}
-
-model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
-                                            util::Rng& rng,
-                                            MixZoneReport& report) const {
-  report = MixZoneReport{};
-  report.total_events = input.EventCount();
-
-  // ---- 0. Project everything onto one dataset-wide tangent plane. ----
-  const geo::GeoBoundingBox bbox = input.BoundingBox();
-  const geo::LocalProjection projection(
-      bbox.IsEmpty() ? geo::LatLng{0.0, 0.0} : bbox.Center());
+/// Flat slot per event, computed up front so projection parallelizes; the
+/// projection itself runs 4 fixes per step with the scalar op order
+/// preserved (Project4 lanes are bit-identical to Project).
+std::vector<FlatEvent> FlattenAndProject(const model::DatasetView& input,
+                                         const geo::LocalProjection& projection) {
   const auto& traces = input.traces();
-
-  // Flat slot per event, computed up front so projection parallelizes.
   std::vector<std::size_t> offset(traces.size() + 1, 0);
   for (std::size_t t = 0; t < traces.size(); ++t) {
     offset[t + 1] = offset[t] + traces[t].size();
   }
   std::vector<FlatEvent> flat(offset.back());
   util::ParallelForEach(traces.size(), [&](std::size_t t) {
+    using util::F64x4;
     const model::TraceView& trace = traces[t];
-    for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    const model::UserId user = trace.user();
+    const auto tt = static_cast<std::uint32_t>(t);
+    FlatEvent* slot = flat.data() + offset[t];
+    std::uint32_t i = 0;
+    const auto n = static_cast<std::uint32_t>(trace.size());
+    for (; i + util::kSimdWidth <= n; i += util::kSimdWidth) {
+      const F64x4 lat = F64x4::Set(trace.lat(i), trace.lat(i + 1),
+                                   trace.lat(i + 2), trace.lat(i + 3));
+      const F64x4 lng = F64x4::Set(trace.lng(i), trace.lng(i + 1),
+                                   trace.lng(i + 2), trace.lng(i + 3));
+      F64x4 x, y;
+      projection.Project4(lat, lng, x, y);
+      double tx[4], ty[4];
+      x.Store(tx);
+      y.Store(ty);
+      for (int k = 0; k < util::kSimdWidth; ++k) {
+        slot[i + k] = FlatEvent{tt, i + static_cast<std::uint32_t>(k),
+                                geo::Point2{tx[k], ty[k]},
+                                trace.time(i + k), user};
+      }
+    }
+    for (; i < n; ++i) {
       const geo::Point2 p = projection.Project(trace.position(i));
-      flat[offset[t] + i] = FlatEvent{static_cast<std::uint32_t>(t), i, p,
-                                      trace.time(i), trace.user()};
+      slot[i] = FlatEvent{tt, i, p, trace.time(i), user};
     }
   });
+  return flat;
+}
 
-  // ---- 1. Encounter detection via the cell-bucketed event grid. ----
-  const double radius = config_.zone_radius_m;
+/// Encounter detection via the cell-bucketed event grid. The per-cell
+/// position window test runs 4 candidates per step; the cheap user/time
+/// checks and pair emission stay scalar on the surviving mask bits, in
+/// ascending candidate order — the sequence is byte-identical to the
+/// scalar scan (the vector mask is the exact inverse of the scalar
+/// `d2 > r2` skip, so NaN coordinates survive it identically too).
+std::vector<Encounter> DetectEncounters(const MixZoneConfig& config,
+                                        const std::vector<FlatEvent>& flat,
+                                        const EventCellGrid& grid) {
+  const double radius = config.zone_radius_m;
   const double r_sq = radius * radius;
   // Cell size equals the query radius, so every radius-r disc is covered
-  // by the 3x3 cell neighbourhood of its centre.
-  const std::int64_t span = 1;
-  const EventCellGrid grid(radius, flat);
+  // by the 3x3 cell neighbourhood of its centre (grid.Neighbors).
   // Each id-range block collects its encounters independently; blocks are
   // concatenated in id order afterwards, so the encounter sequence (and
-  // with it the greedy zone clustering below) is byte-identical to a
-  // serial scan whatever the worker count.
+  // with it the greedy zone clustering) is byte-identical to a serial
+  // scan whatever the worker count.
   const std::size_t block_size = 1024;
   const std::size_t blocks = (flat.size() + block_size - 1) / block_size;
   std::vector<std::vector<Encounter>> block_encounters(blocks);
   util::ParallelForEach(blocks, [&](std::size_t block) {
+    using util::F64x4;
+    const F64x4 vr2 = F64x4::Set1(r_sq);
     const std::uint64_t lo = block * block_size;
     const std::uint64_t hi =
         std::min<std::uint64_t>(flat.size(), lo + block_size);
     for (std::uint64_t id = lo; id < hi; ++id) {
       const FlatEvent& a = flat[id];
-      const std::int64_t acx = grid.EventCx(id);
-      const std::int64_t acy = grid.EventCy(id);
-      for (std::int64_t dx = -span; dx <= span; ++dx) {
-        for (std::int64_t dy = -span; dy <= span; ++dy) {
-          const std::int32_t cell = grid.Find(acx + dx, acy + dy);
-          if (cell < 0) continue;
-          const std::size_t end = grid.CellEnd(cell);
-          for (std::size_t j = grid.FirstAbove(
-                   cell, static_cast<std::uint32_t>(id));
-               j < end; ++j) {
-            const double ddx = grid.x(j) - a.position.x;
-            const double ddy = grid.y(j) - a.position.y;
-            if (ddx * ddx + ddy * ddy > r_sq) continue;
-            if (a.user == grid.user(j)) continue;
-            if (std::abs(a.time - grid.time(j)) > config_.time_window_s) {
-              continue;
-            }
-            block_encounters[block].push_back(Encounter{
-                geo::Midpoint(a.position, {grid.x(j), grid.y(j)}),
-                std::min(a.time, grid.time(j))});
+      const F64x4 vax = F64x4::Set1(a.position.x);
+      const F64x4 vay = F64x4::Set1(a.position.y);
+      // Scalar user/time filter + emission for one in-radius candidate.
+      const auto emit = [&](std::size_t j) {
+        if (a.user == grid.user(j)) return;
+        if (std::abs(a.time - grid.time(j)) > config.time_window_s) return;
+        block_encounters[block].push_back(Encounter{
+            geo::Midpoint(a.position, {grid.x(j), grid.y(j)}),
+            std::min(a.time, grid.time(j))});
+      };
+      // The grid pre-resolves each cell's 3x3 neighbourhood in the same
+      // (dx, dy) order the historical nested loop probed, so swapping the
+      // nine hash lookups for one table row keeps the candidate sequence
+      // byte-identical.
+      for (const std::int32_t cell : grid.Neighbors(grid.EventCell(id))) {
+        if (cell < 0) continue;
+        const std::size_t end = grid.CellEnd(cell);
+        std::size_t j =
+            grid.FirstAbove(cell, static_cast<std::uint32_t>(id));
+        for (; j + util::kSimdWidth <= end; j += util::kSimdWidth) {
+          const F64x4 ddx = F64x4::Load(grid.x_data() + j) - vax;
+          const F64x4 ddy = F64x4::Load(grid.y_data() + j) - vay;
+          // Candidates are the lanes NOT skipped by d2 > r2.
+          int m = ~util::MoveMask(
+                      util::CmpLt(vr2, ddx * ddx + ddy * ddy)) &
+                  0xF;
+          while (m != 0) {
+            emit(j + static_cast<std::size_t>(
+                         std::countr_zero(static_cast<unsigned>(m))));
+            m &= m - 1;
           }
+        }
+        for (; j < end; ++j) {
+          const double ddx = grid.x(j) - a.position.x;
+          const double ddy = grid.y(j) - a.position.y;
+          if (ddx * ddx + ddy * ddy > r_sq) continue;
+          emit(j);
         }
       }
     }
@@ -292,6 +326,58 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
   for (const auto& block : block_encounters) {
     encounters.insert(encounters.end(), block.begin(), block.end());
   }
+  return encounters;
+}
+
+/// Stable per-trace time ordering on columns — the exact permutation
+/// Trace::SortByTime (std::stable_sort on time <) applies to events.
+void SortColumnsByTime(StitchedColumns& st) {
+  if (std::is_sorted(st.time.begin(), st.time.end())) return;
+  const std::size_t n = st.time.size();
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return st.time[a] < st.time[b];
+                   });
+  std::vector<double> lat(n), lng(n);
+  std::vector<util::Timestamp> time(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lat[i] = st.lat[idx[i]];
+    lng[i] = st.lng[idx[i]];
+    time[i] = st.time[idx[i]];
+  }
+  st.lat = std::move(lat);
+  st.lng = std::move(lng);
+  st.time = std::move(time);
+}
+
+/// The whole mechanism: detection, clustering, occurrence grouping,
+/// identity permutation and reassembly — everything except the final
+/// packaging of the stitched columns, which the Dataset and EventStore
+/// entry points each do natively. Output traces arrive per-trace
+/// time-sorted, in (ascending final identity, chronological) order — the
+/// exact trace order and bytes of the historical Dataset path.
+std::vector<StitchedColumns> MixCore(const MixZoneConfig& config,
+                                     const model::DatasetView& input,
+                                     util::Rng& rng, MixZoneReport& report) {
+  report = MixZoneReport{};
+  report.total_events = input.EventCount();
+
+  // ---- 0. Project everything onto one dataset-wide tangent plane. ----
+  const geo::GeoBoundingBox bbox = input.BoundingBox();
+  const geo::LocalProjection projection(
+      bbox.IsEmpty() ? geo::LatLng{0.0, 0.0} : bbox.Center());
+  const auto& traces = input.traces();
+  const std::vector<FlatEvent> flat = FlattenAndProject(input, projection);
+
+  // ---- 1. Encounter detection via the cell-bucketed event grid. ----
+  const double radius = config.zone_radius_m;
+  const double r_sq = radius * radius;
+  const std::int64_t span = 1;
+  const EventCellGrid grid(radius, flat);
+  const std::vector<Encounter> encounters =
+      DetectEncounters(config, flat, grid);
   report.encounters = encounters.size();
 
   // ---- 2. Greedy zone clustering (first-fit by centre distance). ----
@@ -300,9 +386,9 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
   // O(1) instead of scanning every center per encounter — AnyWithin
   // early-exits on the first hit, never collecting the neighbour list.
   std::vector<geo::Point2> zone_centers;
-  geo::GridIndex center_index(config_.zone_radius_m);
+  geo::GridIndex center_index(config.zone_radius_m);
   for (const Encounter& e : encounters) {
-    if (center_index.AnyWithin(e.midpoint, config_.zone_radius_m)) continue;
+    if (center_index.AnyWithin(e.midpoint, config.zone_radius_m)) continue;
     center_index.Insert(e.midpoint,
                         static_cast<std::uint64_t>(zone_centers.size()));
     zone_centers.push_back(e.midpoint);
@@ -324,14 +410,19 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
   };
   std::vector<ZoneOutcome> outcomes(zone_centers.size());
   util::ParallelForEach(zone_centers.size(), [&](std::size_t z) {
+    using util::F64x4;
     ZoneOutcome& outcome = outcomes[z];
     const geo::Point2 center = zone_centers[z];
     // In-zone events come straight from the event grid; a passage is a
     // maximal run of consecutive fixes of one trace inside the disc, i.e.
     // a maximal run of consecutive flat indices among the hits (flat ids
     // are assigned per trace in time order). Traces that never touch the
-    // zone cost nothing.
+    // zone cost nothing. The disc test runs 4 events per step (the same
+    // d2 <= r2 predicate as the scalar tail).
     std::vector<std::uint64_t> hits;
+    const F64x4 vcx = F64x4::Set1(center.x);
+    const F64x4 vcy = F64x4::Set1(center.y);
+    const F64x4 vr2 = F64x4::Set1(r_sq);
     const auto ccx =
         static_cast<std::int64_t>(std::floor(center.x / radius));
     const auto ccy =
@@ -341,7 +432,19 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
         const std::int32_t cell = grid.Find(ccx + dx, ccy + dy);
         if (cell < 0) continue;
         const std::size_t end = grid.CellEnd(cell);
-        for (std::size_t j = grid.CellBegin(cell); j < end; ++j) {
+        std::size_t j = grid.CellBegin(cell);
+        for (; j + util::kSimdWidth <= end; j += util::kSimdWidth) {
+          const F64x4 ddx = F64x4::Load(grid.x_data() + j) - vcx;
+          const F64x4 ddy = F64x4::Load(grid.y_data() + j) - vcy;
+          int m = util::MoveMask(util::CmpLe(ddx * ddx + ddy * ddy, vr2));
+          while (m != 0) {
+            hits.push_back(grid.id(
+                j + static_cast<std::size_t>(
+                        std::countr_zero(static_cast<unsigned>(m)))));
+            m &= m - 1;
+          }
+        }
+        for (; j < end; ++j) {
           const double ddx = grid.x(j) - center.x;
           const double ddy = grid.y(j) - center.y;
           if (ddx * ddx + ddy * ddy <= r_sq) hits.push_back(grid.id(j));
@@ -372,7 +475,7 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
               });
     MixZoneInfo& info = outcome.info;
     info.center = center;
-    info.radius_m = config_.zone_radius_m;
+    info.radius_m = config.zone_radius_m;
     std::size_t group_start = 0;
     util::Timestamp group_end = std::numeric_limits<util::Timestamp>::min();
     const auto flush_group = [&](std::size_t first, std::size_t last) {
@@ -389,7 +492,7 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
         distinct_users = static_cast<std::size_t>(
             std::unique(users.begin(), users.end()) - users.begin());
       }
-      if (distinct_users < config_.min_users) return;
+      if (distinct_users < config.min_users) return;
       occ.end = 0;
       for (const auto& p : occ.passages) occ.end = std::max(occ.end, p.exit);
       ++info.occurrences;
@@ -403,7 +506,7 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
         group_end = passages[k].exit;
         continue;
       }
-      if (passages[k].enter <= group_end + config_.time_window_s) {
+      if (passages[k].enter <= group_end + config.time_window_s) {
         group_end = std::max(group_end, passages[k].exit);
       } else {
         flush_group(group_start, k);
@@ -452,7 +555,7 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
       switches(traces.size());
 
   for (const Occurrence& occ : occurrences) {
-    if (config_.suppress_zone_points) {
+    if (config.suppress_zone_points) {
       for (const ZonePassage& p : occ.passages) {
         for (std::uint32_t i = p.first_event; i <= p.last_event; ++i) {
           if (!suppressed[p.trace][i]) {
@@ -532,19 +635,22 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
   // Pooling an identity's whole day into one trace would fabricate
   // continuity across recording sessions — and the session gap at a POI
   // would hand the attacker exactly the dwell the mechanism hides.
-  model::Dataset output;
-  for (model::UserId id = 0; id < input.UserCount(); ++id) {
-    output.InternUser(input.UserName(id));
-  }
+  //
+  // Everything below is column-native: segments copy the view's lat/lng/
+  // time columns directly and the output stays columns to the end — no
+  // model::Event is built anywhere in the mechanism.
+  //
   // A segment remembers whether it was severed by a zone (an identity
   // switch), as opposed to simply being the start/end of a recording
   // session. Only zone-severed ends may be stitched to zone-severed starts:
   // that reconnects a pseudonym's stream across the zone (A's prefix +
   // B's suffix) without fabricating continuity across session gaps.
   struct Segment {
-    std::vector<model::Event> events;
+    std::vector<double> lat, lng;
+    std::vector<util::Timestamp> time;
     bool starts_at_zone = false;  // began right after an identity switch
     bool ends_at_zone = false;    // ended right before an identity switch
+    [[nodiscard]] bool empty() const noexcept { return time.empty(); }
   };
   // Segment extraction is per-trace independent (each trace reads only its
   // own switches/suppression), so it fans out on the pool; per-trace
@@ -569,16 +675,18 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
           break;
         }
       }
-      if (who != current_owner && !current.events.empty()) {
+      if (who != current_owner && !current.empty()) {
         current.ends_at_zone = true;
         out_segments.emplace_back(current_owner, std::move(current));
         current = Segment{};
         current.starts_at_zone = true;
       }
       current_owner = who;
-      current.events.push_back(trace.event(i));
+      current.lat.push_back(trace.lat(i));
+      current.lng.push_back(trace.lng(i));
+      current.time.push_back(time);
     }
-    if (!current.events.empty()) {
+    if (!current.empty()) {
       out_segments.emplace_back(current_owner, std::move(current));
     }
   });
@@ -591,46 +699,180 @@ model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
 
   // Stitching is per-identity independent: each identity sorts and stitches
   // its own segments into traces in parallel, and the per-identity results
-  // append to the output in ascending identity order — the order the serial
-  // map walk emitted them in.
+  // concatenate in ascending identity order — the order the serial map walk
+  // emitted them in. Each finished trace gets the stable per-trace time
+  // sort the Dataset path historically applied via SortAll().
   std::vector<std::pair<const model::UserId, std::vector<Segment>>*> by_id;
   by_id.reserve(segments.size());
   for (auto& entry : segments) by_id.push_back(&entry);
-  std::vector<std::vector<model::Trace>> stitched_traces(by_id.size());
+  std::vector<std::vector<StitchedColumns>> stitched_traces(by_id.size());
   util::ParallelForEach(by_id.size(), [&](std::size_t k) {
     const model::UserId identity = by_id[k]->first;
     std::vector<Segment>& segs = by_id[k]->second;
     std::sort(segs.begin(), segs.end(),
               [](const Segment& a, const Segment& b) {
-                return a.events.front().time < b.events.front().time;
+                return a.time.front() < b.time.front();
               });
-    std::vector<model::Event> stitched;
+    StitchedColumns stitched;
+    stitched.user = identity;
     bool stitched_open_at_zone = false;  // last segment ended at a zone
     const auto flush = [&] {
-      if (!stitched.empty()) {
-        stitched_traces[k].emplace_back(identity, std::move(stitched));
-        stitched = std::vector<model::Event>{};
+      if (!stitched.time.empty()) {
+        SortColumnsByTime(stitched);
+        stitched_traces[k].push_back(std::move(stitched));
+        stitched = StitchedColumns{};
+        stitched.user = identity;
       }
     };
     for (auto& seg : segs) {
       const bool joinable =
-          !stitched.empty() && stitched_open_at_zone && seg.starts_at_zone &&
-          seg.events.front().time - stitched.back().time <=
-              config_.time_window_s;
+          !stitched.time.empty() && stitched_open_at_zone &&
+          seg.starts_at_zone &&
+          seg.time.front() - stitched.time.back() <= config.time_window_s;
       if (!joinable) flush();
-      stitched.insert(stitched.end(), seg.events.begin(),
-                      seg.events.end());
+      stitched.lat.insert(stitched.lat.end(), seg.lat.begin(),
+                          seg.lat.end());
+      stitched.lng.insert(stitched.lng.end(), seg.lng.begin(),
+                          seg.lng.end());
+      stitched.time.insert(stitched.time.end(), seg.time.begin(),
+                           seg.time.end());
       stitched_open_at_zone = seg.ends_at_zone;
     }
     flush();
   });
+  std::vector<StitchedColumns> out;
+  std::size_t total_traces = 0;
+  for (const auto& identity_traces : stitched_traces) {
+    total_traces += identity_traces.size();
+  }
+  out.reserve(total_traces);
   for (auto& identity_traces : stitched_traces) {
-    for (auto& trace : identity_traces) {
-      output.AddTrace(std::move(trace));
+    for (auto& st : identity_traces) {
+      out.push_back(std::move(st));
     }
   }
-  output.SortAll();
+  return out;
+}
+
+}  // namespace
+
+std::string MixZoneReport::ToString() const {
+  std::ostringstream os;
+  os << "zones=" << zones.size() << " occurrences=" << occurrences
+     << " encounters=" << encounters << " swaps=" << swaps_applied
+     << " suppressed=" << suppressed_events << "/" << total_events << " ("
+     << util::FormatDouble(100.0 * SuppressionRatio(), 2) << "%)";
+  return os.str();
+}
+
+MixZone::MixZone(MixZoneConfig config) : config_(config) {
+  assert(config_.zone_radius_m > 0.0);
+  assert(config_.time_window_s > 0);
+  assert(config_.min_users >= 2);
+}
+
+std::string MixZone::Name() const {
+  return "mixzone[r=" + util::FormatDouble(config_.zone_radius_m, 0) +
+         "m,w=" + std::to_string(config_.time_window_s) + "s]";
+}
+
+model::Dataset MixZone::Apply(const model::Dataset& input,
+                              util::Rng& rng) const {
+  MixZoneReport report;
+  return ApplyWithReport(input, rng, report);
+}
+
+model::Dataset MixZone::ApplyView(const model::DatasetView& input,
+                                  util::Rng& rng) const {
+  MixZoneReport report;
+  return ApplyViewWithReport(input, rng, report);
+}
+
+model::Dataset MixZone::ApplyWithReport(const model::Dataset& input,
+                                        util::Rng& rng,
+                                        MixZoneReport& report) const {
+  return ApplyViewWithReport(model::DatasetView::Of(input), rng, report);
+}
+
+model::Dataset MixZone::ApplyViewWithReport(const model::DatasetView& input,
+                                            util::Rng& rng,
+                                            MixZoneReport& report) const {
+  const std::vector<StitchedColumns> stitched =
+      MixCore(config_, input, rng, report);
+  model::Dataset output;
+  for (model::UserId id = 0; id < input.UserCount(); ++id) {
+    output.InternUser(input.UserName(id));
+  }
+  for (const StitchedColumns& st : stitched) {
+    std::vector<model::Event> events;
+    events.reserve(st.size());
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      events.push_back(
+          model::Event{geo::LatLng{st.lat[i], st.lng[i]}, st.time[i]});
+    }
+    output.AddTrace(model::Trace(st.user, std::move(events)));
+  }
   return output;
+}
+
+model::EventStore MixZone::ApplyToStore(const model::DatasetView& input,
+                                        util::Rng& rng) const {
+  MixZoneReport report;
+  return ApplyToStoreWithReport(input, rng, report);
+}
+
+model::EventStore MixZone::ApplyToStoreWithReport(
+    const model::DatasetView& input, util::Rng& rng,
+    MixZoneReport& report) const {
+  const std::vector<StitchedColumns> stitched =
+      MixCore(config_, input, rng, report);
+
+  // Prefix-sum trace sizes into column offsets, then bulk-copy each
+  // stitched trace's columns into its pre-sized slot (disjoint slices, so
+  // the copies parallelize freely).
+  std::vector<std::size_t> offset(stitched.size() + 1, 0);
+  for (std::size_t t = 0; t < stitched.size(); ++t) {
+    offset[t + 1] = offset[t] + stitched[t].size();
+  }
+  const std::size_t total = offset.back();
+  std::vector<double> lat(total);
+  std::vector<double> lng(total);
+  std::vector<util::Timestamp> time(total);
+  util::ParallelForEach(stitched.size(), [&](std::size_t t) {
+    const StitchedColumns& st = stitched[t];
+    const std::size_t at = offset[t];
+    std::copy(st.lat.begin(), st.lat.end(), lat.begin() + at);
+    std::copy(st.lng.begin(), st.lng.end(), lng.begin() + at);
+    std::copy(st.time.begin(), st.time.end(), time.begin() + at);
+  });
+
+  std::vector<model::EventStore::TraceRange> table;
+  table.reserve(stitched.size());
+  for (std::size_t t = 0; t < stitched.size(); ++t) {
+    table.push_back(model::EventStore::TraceRange{stitched[t].user,
+                                                  offset[t], offset[t + 1]});
+  }
+
+  // Names carried through in id order, exactly like the Dataset path's
+  // InternUser loop (and the per-trace mechanisms' store path).
+  std::vector<std::string> names;
+  names.reserve(input.UserCount());
+  for (model::UserId id = 0;
+       id < static_cast<model::UserId>(input.UserCount()); ++id) {
+    names.push_back(input.UserName(id));
+  }
+  return model::EventStore::FromColumns(std::move(names), std::move(table),
+                                        std::move(lat), std::move(lng),
+                                        std::move(time));
+}
+
+std::size_t MixZone::CountEncounters(const model::DatasetView& input) const {
+  const geo::GeoBoundingBox bbox = input.BoundingBox();
+  const geo::LocalProjection projection(
+      bbox.IsEmpty() ? geo::LatLng{0.0, 0.0} : bbox.Center());
+  const std::vector<FlatEvent> flat = FlattenAndProject(input, projection);
+  const EventCellGrid grid(config_.zone_radius_m, flat);
+  return DetectEncounters(config_, flat, grid).size();
 }
 
 }  // namespace mobipriv::mech

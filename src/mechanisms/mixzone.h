@@ -100,12 +100,33 @@ class MixZone final : public Mechanism {
                                                util::Rng& rng,
                                                MixZoneReport& report) const;
 
-  /// The shared engine: every other entry point wraps this one (the AoS
-  /// overloads view their input zero-copy), so all paths are byte-identical
-  /// by construction.
+  /// The shared view engine: the AoS entry points wrap this one (viewing
+  /// their input zero-copy), so all Dataset-producing paths are
+  /// byte-identical by construction.
   [[nodiscard]] model::Dataset ApplyViewWithReport(
       const model::DatasetView& input, util::Rng& rng,
       MixZoneReport& report) const;
+
+  /// SoA-native output: detection, clustering and reassembly run off the
+  /// view's columns and the suppressed/cut traces are assembled directly
+  /// into EventStore columns — no AoS dataset and no per-trace Event
+  /// vectors anywhere between input view and store (the scenario engine's
+  /// zero-TraceCopyCount contract). Same rng discipline as Apply: the
+  /// store is bit-for-bit EventStore::FromDataset(Apply(...)).
+  [[nodiscard]] model::EventStore ApplyToStore(const model::DatasetView& input,
+                                               util::Rng& rng) const override;
+
+  /// ApplyToStore variant that also returns the detection/swap report.
+  [[nodiscard]] model::EventStore ApplyToStoreWithReport(
+      const model::DatasetView& input, util::Rng& rng,
+      MixZoneReport& report) const;
+
+  /// Runs detection only (projection + cell-grid encounter scan, steps the
+  /// full mechanism shares) and returns the raw encounter count. Cheap
+  /// instrumentation surface for benchmarks and tuning — no rng, no
+  /// clustering, no output assembly.
+  [[nodiscard]] std::size_t CountEncounters(
+      const model::DatasetView& input) const;
 
  private:
   MixZoneConfig config_;

@@ -42,6 +42,23 @@ class TraceBuffer {
     time_.push_back(t);
   }
 
+  /// Raw pointers to a freshly appended block of `n` fixes — the output
+  /// form of the vectorized kernels (one resize + direct vector stores
+  /// instead of three push_backs per fix). The pointers are valid until
+  /// the next Append/Extend/Clear; the caller must write every row.
+  struct Rows {
+    double* lat = nullptr;
+    double* lng = nullptr;
+    util::Timestamp* time = nullptr;
+  };
+  [[nodiscard]] Rows Extend(std::size_t n) {
+    const std::size_t at = time_.size();
+    lat_.resize(at + n);
+    lng_.resize(at + n);
+    time_.resize(at + n);
+    return Rows{lat_.data() + at, lng_.data() + at, time_.data() + at};
+  }
+
   /// Fixes appended so far.
   [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
   [[nodiscard]] bool empty() const noexcept { return time_.empty(); }

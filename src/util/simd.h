@@ -1,0 +1,416 @@
+// Portable 4-wide f64 SIMD shim: one vector type, three backends.
+//
+// Backend selection is a compile-time choice:
+//   * MOBIPRIV_SIMD_FORCE_SCALAR (CMake -DMOBIPRIV_SIMD=off) -> scalar,
+//     the always-correct reference backend used by the parity CI job;
+//   * __AVX2__ && __FMA__ (CMake -DMOBIPRIV_SIMD=auto on x86-64 hosts
+//     that pass the configure-time run check) -> AVX2;
+//   * __aarch64__ && __ARM_NEON -> NEON (two float64x2_t halves);
+//   * anything else -> scalar.
+//
+// SEMANTICS ARE DEFINED BY THE SCALAR BACKEND and every vector backend
+// must match it lane for lane, bit for bit:
+//   * arithmetic (+, -, *, /, Sqrt, Floor) is IEEE-754 correctly rounded
+//     on every backend, so lanes are bitwise equal to the same scalar
+//     expression — the property every bit-identity kernel contract in
+//     docs/PERFORMANCE.md rests on;
+//   * Fma is a TRUE fused multiply-add (single rounding, std::fma /
+//     vfmadd / vfma). It does NOT equal a*b+c computed with two
+//     roundings, so bit-identity kernels must not use it; it is reserved
+//     for kernels with a documented ULP-tolerance contract;
+//   * Min/Max use the x86 ordering semantics `(a < b) ? a : b` — the
+//     SECOND operand wins on a NaN compare and on equal-valued signed
+//     zeros — which the NEON backend replicates with an explicit select
+//     (vminq/vmaxq would propagate NaN instead);
+//   * comparisons produce full-width lane masks (all-ones / all-zeros)
+//     with quiet (non-signaling) NaN handling: any comparison involving
+//     NaN is false, exactly like the scalar <, <=, == operators;
+//   * Select is a full bitwise blend, so it is only meaningful on masks
+//     produced by the comparison ops (matching _mm256_blendv_pd, whose
+//     sign-bit selection coincides with bitwise selection for such
+//     masks, and NEON vbsl).
+//
+// The whole shim is header-only and allocation-free; tests/test_simd.cpp
+// pins every op against the scalar reference over edge values (signed
+// zeros, denormals, NaN, infinities).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if !defined(MOBIPRIV_SIMD_FORCE_SCALAR) && defined(__AVX2__) && \
+    defined(__FMA__)
+#define MOBIPRIV_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(MOBIPRIV_SIMD_FORCE_SCALAR) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define MOBIPRIV_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define MOBIPRIV_SIMD_SCALAR 1
+#endif
+
+namespace mobipriv::util {
+
+/// Lane count of the shim's vector type (fixed: NEON runs two 2-wide
+/// halves so every backend presents the same 4-wide shape).
+inline constexpr int kSimdWidth = 4;
+
+/// Human-readable name of the compiled backend, surfaced by tests, bench
+/// context and docs tooling.
+inline constexpr const char* kSimdBackend =
+#if defined(MOBIPRIV_SIMD_AVX2)
+    "avx2";
+#elif defined(MOBIPRIV_SIMD_NEON)
+    "neon";
+#else
+    "scalar";
+#endif
+
+/// True when a vector ISA backend (not the scalar fallback) is compiled in.
+inline constexpr bool kSimdEnabled =
+#if defined(MOBIPRIV_SIMD_SCALAR)
+    false;
+#else
+    true;
+#endif
+
+/// 4 lanes of f64. Value type: pass and return by value.
+struct F64x4 {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  __m256d v;
+#elif defined(MOBIPRIV_SIMD_NEON)
+  float64x2_t lo, hi;
+#else
+  double lane_[4];
+#endif
+
+  /// Unaligned load of 4 consecutive doubles.
+  [[nodiscard]] static F64x4 Load(const double* p) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    return {_mm256_loadu_pd(p)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+    return {vld1q_f64(p), vld1q_f64(p + 2)};
+#else
+    return {{p[0], p[1], p[2], p[3]}};
+#endif
+  }
+
+  /// All four lanes = x.
+  [[nodiscard]] static F64x4 Set1(double x) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    return {_mm256_set1_pd(x)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+    return {vdupq_n_f64(x), vdupq_n_f64(x)};
+#else
+    return {{x, x, x, x}};
+#endif
+  }
+
+  /// Lanes (a, b, c, d) — a is lane 0.
+  [[nodiscard]] static F64x4 Set(double a, double b, double c,
+                                 double d) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    return {_mm256_setr_pd(a, b, c, d)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+    const double lo2[2] = {a, b};
+    const double hi2[2] = {c, d};
+    return {vld1q_f64(lo2), vld1q_f64(hi2)};
+#else
+    return {{a, b, c, d}};
+#endif
+  }
+
+  /// Unaligned store of the 4 lanes.
+  void Store(double* p) const noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    _mm256_storeu_pd(p, v);
+#elif defined(MOBIPRIV_SIMD_NEON)
+    vst1q_f64(p, lo);
+    vst1q_f64(p + 2, hi);
+#else
+    p[0] = lane_[0];
+    p[1] = lane_[1];
+    p[2] = lane_[2];
+    p[3] = lane_[3];
+#endif
+  }
+
+  /// Lane i (0..3). Not a hot-path primitive — spill via Store in loops.
+  [[nodiscard]] double Lane(int i) const noexcept {
+    double tmp[4];
+    Store(tmp);
+    return tmp[i];
+  }
+
+  friend F64x4 operator+(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    return {_mm256_add_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+#else
+    return {{a.lane_[0] + b.lane_[0], a.lane_[1] + b.lane_[1],
+             a.lane_[2] + b.lane_[2], a.lane_[3] + b.lane_[3]}};
+#endif
+  }
+
+  friend F64x4 operator-(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    return {_mm256_sub_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+    return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+#else
+    return {{a.lane_[0] - b.lane_[0], a.lane_[1] - b.lane_[1],
+             a.lane_[2] - b.lane_[2], a.lane_[3] - b.lane_[3]}};
+#endif
+  }
+
+  friend F64x4 operator*(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    return {_mm256_mul_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+#else
+    return {{a.lane_[0] * b.lane_[0], a.lane_[1] * b.lane_[1],
+             a.lane_[2] * b.lane_[2], a.lane_[3] * b.lane_[3]}};
+#endif
+  }
+
+  friend F64x4 operator/(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+    return {_mm256_div_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+    return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+#else
+    return {{a.lane_[0] / b.lane_[0], a.lane_[1] / b.lane_[1],
+             a.lane_[2] / b.lane_[2], a.lane_[3] / b.lane_[3]}};
+#endif
+  }
+};
+
+/// a*b + c with a SINGLE rounding (true fused multiply-add on every
+/// backend). NOT bit-equal to a*b+c — reserve for ULP-contract kernels.
+[[nodiscard]] inline F64x4 Fma(F64x4 a, F64x4 b, F64x4 c) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vfmaq_f64(c.lo, a.lo, b.lo), vfmaq_f64(c.hi, a.hi, b.hi)};
+#else
+  return {{std::fma(a.lane_[0], b.lane_[0], c.lane_[0]),
+           std::fma(a.lane_[1], b.lane_[1], c.lane_[1]),
+           std::fma(a.lane_[2], b.lane_[2], c.lane_[2]),
+           std::fma(a.lane_[3], b.lane_[3], c.lane_[3])}};
+#endif
+}
+
+/// Correctly-rounded square root (bit-equal to std::sqrt per lane).
+[[nodiscard]] inline F64x4 Sqrt(F64x4 a) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_sqrt_pd(a.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vsqrtq_f64(a.lo), vsqrtq_f64(a.hi)};
+#else
+  return {{std::sqrt(a.lane_[0]), std::sqrt(a.lane_[1]),
+           std::sqrt(a.lane_[2]), std::sqrt(a.lane_[3])}};
+#endif
+}
+
+/// Round toward -infinity (exact; bit-equal to std::floor per lane).
+[[nodiscard]] inline F64x4 Floor(F64x4 a) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_floor_pd(a.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vrndmq_f64(a.lo), vrndmq_f64(a.hi)};
+#else
+  return {{std::floor(a.lane_[0]), std::floor(a.lane_[1]),
+           std::floor(a.lane_[2]), std::floor(a.lane_[3])}};
+#endif
+}
+
+/// Sign-bit clear (bit-equal to std::fabs per lane, including on NaN).
+[[nodiscard]] inline F64x4 Abs(F64x4 a) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vabsq_f64(a.lo), vabsq_f64(a.hi)};
+#else
+  return {{std::fabs(a.lane_[0]), std::fabs(a.lane_[1]),
+           std::fabs(a.lane_[2]), std::fabs(a.lane_[3])}};
+#endif
+}
+
+/// x86 minimum semantics: (a < b) ? a : b per lane — b wins on NaN and
+/// on equal values (so Min(+0, -0) is -0 but Min(-0, +0) is +0).
+[[nodiscard]] inline F64x4 Min(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_min_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vbslq_f64(vcltq_f64(a.lo, b.lo), a.lo, b.lo),
+          vbslq_f64(vcltq_f64(a.hi, b.hi), a.hi, b.hi)};
+#else
+  return {{a.lane_[0] < b.lane_[0] ? a.lane_[0] : b.lane_[0],
+           a.lane_[1] < b.lane_[1] ? a.lane_[1] : b.lane_[1],
+           a.lane_[2] < b.lane_[2] ? a.lane_[2] : b.lane_[2],
+           a.lane_[3] < b.lane_[3] ? a.lane_[3] : b.lane_[3]}};
+#endif
+}
+
+/// x86 maximum semantics: (a > b) ? a : b per lane (see Min).
+[[nodiscard]] inline F64x4 Max(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_max_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vbslq_f64(vcgtq_f64(a.lo, b.lo), a.lo, b.lo),
+          vbslq_f64(vcgtq_f64(a.hi, b.hi), a.hi, b.hi)};
+#else
+  return {{a.lane_[0] > b.lane_[0] ? a.lane_[0] : b.lane_[0],
+           a.lane_[1] > b.lane_[1] ? a.lane_[1] : b.lane_[1],
+           a.lane_[2] > b.lane_[2] ? a.lane_[2] : b.lane_[2],
+           a.lane_[3] > b.lane_[3] ? a.lane_[3] : b.lane_[3]}};
+#endif
+}
+
+namespace simd_detail {
+/// Scalar predicate result -> full-width lane mask.
+[[nodiscard]] inline double MaskOf(bool p) noexcept {
+  std::uint64_t bits = p ? ~std::uint64_t{0} : std::uint64_t{0};
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+}  // namespace simd_detail
+
+/// Lane mask of a <= b (quiet: NaN compares false).
+[[nodiscard]] inline F64x4 CmpLe(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vreinterpretq_f64_u64(vcleq_f64(a.lo, b.lo)),
+          vreinterpretq_f64_u64(vcleq_f64(a.hi, b.hi))};
+#else
+  using simd_detail::MaskOf;
+  return {{MaskOf(a.lane_[0] <= b.lane_[0]), MaskOf(a.lane_[1] <= b.lane_[1]),
+           MaskOf(a.lane_[2] <= b.lane_[2]),
+           MaskOf(a.lane_[3] <= b.lane_[3])}};
+#endif
+}
+
+/// Lane mask of a < b (quiet: NaN compares false).
+[[nodiscard]] inline F64x4 CmpLt(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vreinterpretq_f64_u64(vcltq_f64(a.lo, b.lo)),
+          vreinterpretq_f64_u64(vcltq_f64(a.hi, b.hi))};
+#else
+  using simd_detail::MaskOf;
+  return {{MaskOf(a.lane_[0] < b.lane_[0]), MaskOf(a.lane_[1] < b.lane_[1]),
+           MaskOf(a.lane_[2] < b.lane_[2]), MaskOf(a.lane_[3] < b.lane_[3])}};
+#endif
+}
+
+/// Lane mask of a >= b (quiet: NaN compares false).
+[[nodiscard]] inline F64x4 CmpGe(F64x4 a, F64x4 b) noexcept {
+  return CmpLe(b, a);
+}
+
+/// Bitwise AND — combine lane masks.
+[[nodiscard]] inline F64x4 And(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_and_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(a.lo),
+                                          vreinterpretq_u64_f64(b.lo))),
+          vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(a.hi),
+                                          vreinterpretq_u64_f64(b.hi)))};
+#else
+  F64x4 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t x, y;
+    std::memcpy(&x, &a.lane_[i], sizeof(x));
+    std::memcpy(&y, &b.lane_[i], sizeof(y));
+    x &= y;
+    std::memcpy(&out.lane_[i], &x, sizeof(x));
+  }
+  return out;
+#endif
+}
+
+/// Bitwise OR — combine lane masks.
+[[nodiscard]] inline F64x4 Or(F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_or_pd(a.v, b.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vreinterpretq_f64_u64(vorrq_u64(vreinterpretq_u64_f64(a.lo),
+                                          vreinterpretq_u64_f64(b.lo))),
+          vreinterpretq_f64_u64(vorrq_u64(vreinterpretq_u64_f64(a.hi),
+                                          vreinterpretq_u64_f64(b.hi)))};
+#else
+  F64x4 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t x, y;
+    std::memcpy(&x, &a.lane_[i], sizeof(x));
+    std::memcpy(&y, &b.lane_[i], sizeof(y));
+    x |= y;
+    std::memcpy(&out.lane_[i], &x, sizeof(x));
+  }
+  return out;
+#endif
+}
+
+/// Full bitwise blend: lane = (mask & a) | (~mask & b). Use only with
+/// masks produced by the comparison ops (all-ones / all-zeros lanes).
+[[nodiscard]] inline F64x4 Select(F64x4 mask, F64x4 a, F64x4 b) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+#elif defined(MOBIPRIV_SIMD_NEON)
+  return {vbslq_f64(vreinterpretq_u64_f64(mask.lo), a.lo, b.lo),
+          vbslq_f64(vreinterpretq_u64_f64(mask.hi), a.hi, b.hi)};
+#else
+  F64x4 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t m, x, y;
+    std::memcpy(&m, &mask.lane_[i], sizeof(m));
+    std::memcpy(&x, &a.lane_[i], sizeof(x));
+    std::memcpy(&y, &b.lane_[i], sizeof(y));
+    const std::uint64_t r = (m & x) | (~m & y);
+    std::memcpy(&out.lane_[i], &r, sizeof(r));
+  }
+  return out;
+#endif
+}
+
+/// 4-bit sign mask: bit i set iff lane i's sign bit is set. On compare
+/// results: bit i set iff lane i's predicate held.
+[[nodiscard]] inline int MoveMask(F64x4 a) noexcept {
+#if defined(MOBIPRIV_SIMD_AVX2)
+  return _mm256_movemask_pd(a.v);
+#elif defined(MOBIPRIV_SIMD_NEON)
+  const uint64x2_t lo = vshrq_n_u64(vreinterpretq_u64_f64(a.lo), 63);
+  const uint64x2_t hi = vshrq_n_u64(vreinterpretq_u64_f64(a.hi), 63);
+  return static_cast<int>(vgetq_lane_u64(lo, 0)) |
+         (static_cast<int>(vgetq_lane_u64(lo, 1)) << 1) |
+         (static_cast<int>(vgetq_lane_u64(hi, 0)) << 2) |
+         (static_cast<int>(vgetq_lane_u64(hi, 1)) << 3);
+#else
+  int mask = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &a.lane_[i], sizeof(bits));
+    mask |= static_cast<int>(bits >> 63) << i;
+  }
+  return mask;
+#endif
+}
+
+/// Gather 4 lanes from anything indexable by operator[] (StridedSpan,
+/// TraceView column accessors via a lambda-free call site) — the strided
+/// (AoS) load form of the kernels; contiguous columns use Load.
+template <typename Indexable>
+[[nodiscard]] inline F64x4 GatherAt(const Indexable& v,
+                                    std::size_t i) noexcept {
+  return F64x4::Set(v[i], v[i + 1], v[i + 2], v[i + 3]);
+}
+
+}  // namespace mobipriv::util

@@ -141,12 +141,14 @@ TEST(ScenarioEngine, MpcSourceFeedsGridWithoutFullMaterialize) {
 
   core::ScenarioSpec spec;
   spec.source = core::DatasetSourceSpec::ColumnarFile(mpc);
-  // Per-trace mechanisms only: these stream the mmap'd view trace by
-  // trace. (Whole-dataset mechanisms like ours/wait4me materialize their
+  // Per-trace mechanisms stream the mmap'd view trace by trace; mixzone
+  // is whole-dataset but SoA-native end to end — detection reads the
+  // view's columns and reassembly writes store columns directly. (The
+  // remaining whole-dataset mechanisms, ours/wait4me, materialize their
   // working set by design — that is their documented adapter.)
   spec.mechanisms = {"speed_smoothing", "geo_ind[eps=0.01]",
                      "geo_ind[eps=0.1]", "cloaking", "gaussian",
-                     "downsampling"};
+                     "downsampling", "mixzone"};
   spec.evaluators = {"spatial_distortion", "coverage", "trajectory_stats",
                      "poi_attack"};
   spec.seeds = {5};
@@ -164,8 +166,8 @@ TEST(ScenarioEngine, MpcSourceFeedsGridWithoutFullMaterialize) {
   EXPECT_EQ(model::TraceCopyCount(), copies_before)
       << "a mechanism or evaluator built an owning Trace from a view on "
          "the store path";
-  EXPECT_EQ(engine.stats().mechanism_nodes, 6u);
-  EXPECT_EQ(engine.stats().evaluator_nodes, 24u);
+  EXPECT_EQ(engine.stats().mechanism_nodes, 7u);
+  EXPECT_EQ(engine.stats().evaluator_nodes, 28u);
   EXPECT_FALSE(report.rows().empty());
   fs::remove_all(dir);
 }
