@@ -450,6 +450,41 @@ BENCHMARK(BM_EngineGridIndependent)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+void BM_EngineGridChainShared(benchmark::State& state) {
+  // Four 3-stage chain rows sharing a 2-stage prefix (the paper's sweep
+  // shape: one pipeline, many final stages). The engine compiles one
+  // node per distinct chain prefix, so the shared stages run once per
+  // iteration instead of once per row — stage_reuses counts the sharing
+  // (docs/FORMAT.md, "Chain prefixes and cache keys").
+  const auto agents = static_cast<std::size_t>(state.range(0));
+  const std::string& path = ColumnarPathOfSize(agents);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    core::ScenarioSpec spec;
+    spec.source = core::DatasetSourceSpec::ColumnarFile(path);
+    spec.mechanisms = {
+        "geo_ind[eps=0.05]|downsampling[dt=120]|mixzone[r=100m]",
+        "geo_ind[eps=0.05]|downsampling[dt=120]|mixzone[r=200m]",
+        "geo_ind[eps=0.05]|downsampling[dt=120]|cloaking",
+        "geo_ind[eps=0.05]|downsampling[dt=120]|gaussian"};
+    spec.evaluators = GridEvaluators();
+    spec.seeds = {1};
+    core::ScenarioEngine engine(std::move(spec));
+    const core::Report report = engine.Run();
+    benchmark::DoNotOptimize(report.rows().size());
+    state.counters["mechanism_nodes"] =
+        static_cast<double>(engine.stats().mechanism_nodes);
+    state.counters["stage_reuses"] =
+        static_cast<double>(engine.stats().stage_reuses);
+    events += WorldOfSize(agents).dataset().EventCount();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EngineGridChainShared)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
 // ---- SIMD batch kernels (roofline-annotated) --------------------------------
 // Each kernel bench sets BOTH counters so the JSON carries a roofline
 // coordinate: items_per_second (elements/s) and bytes_per_second (the

@@ -10,6 +10,12 @@
 //         [--shards 0] [--evaluate coverage,spatial_distortion]
 //         [--spacing 100] [--zone-radius 150] [--window 600]
 //         [--no-mixzones] [--no-smoothing] [--mech-cache DIR]
+//   $ ./anonymize_csv --sweep sweep.cfg
+//
+// --sweep runs a whole scenario grid (sources x mechanisms — chains
+// included — x evaluators x seeds) declared in a config file (see
+// docs/FORMAT.md, "Sweep config files" and examples/sweep.cfg) and prints
+// the unified report as CSV; every other option is ignored.
 //
 // Input format is dispatched on the path (`.mpc` = columnar, a directory
 // with manifest.mpm = shard dir, else CSV); `.mpc` inputs are mmap-opened
@@ -37,6 +43,7 @@
 #include "model/stats.h"
 #include "synth/population.h"
 #include "util/cli.h"
+#include "util/spec.h"
 #include "util/string_utils.h"
 
 namespace {
@@ -45,19 +52,9 @@ namespace {
 /// brackets ("kdelta[delta=500m,grid=60s],coverage" is two specs).
 std::vector<std::string> SplitSpecList(const std::string& text) {
   std::vector<std::string> specs;
-  std::string current;
-  int depth = 0;
-  for (const char ch : text) {
-    if (ch == '[') ++depth;
-    if (ch == ']') --depth;
-    if (ch == ',' && depth == 0) {
-      specs.push_back(current);
-      current.clear();
-    } else {
-      current += ch;
-    }
+  for (std::string& piece : mobipriv::util::SplitTopLevel(text, ',')) {
+    if (!piece.empty()) specs.push_back(std::move(piece));
   }
-  if (!current.empty()) specs.push_back(current);
   return specs;
 }
 
@@ -88,6 +85,12 @@ int main(int argc, char** argv) {
                 "directory for the engine's .mpc mechanism-output cache "
                 "(reused across runs keyed by mechanism+data+seed; applies "
                 "to the --evaluate engine run; empty = off)", "");
+  cli.AddOption("mech-cache-max",
+                "LRU byte cap for --mech-cache (0 = unbounded)", "0");
+  cli.AddOption("sweep",
+                "run a full scenario grid from a sweep config file "
+                "(docs/FORMAT.md, \"Sweep config files\") and print the "
+                "report CSV; all other options are ignored", "");
   cli.AddFlag("no-mixzones", "disable stage 2 (swapping)");
   cli.AddFlag("no-smoothing", "disable stage 1 (constant speed)");
   cli.AddFlag("demo", "generate a synthetic input instead of reading one");
@@ -116,6 +119,24 @@ int main(int argc, char** argv) {
         mechanism_spec += ",w=" + cli.GetString("window") + "s";
       }
       mechanism_spec += "]";
+    }
+  }
+
+  // ---- Sweep mode: the whole grid comes from the config file. ----------
+  if (!cli.GetString("sweep").empty()) {
+    try {
+      core::ScenarioSpec spec = core::LoadSweepConfig(cli.GetString("sweep"));
+      core::ScenarioEngine engine(std::move(spec));
+      const core::Report report = engine.Run();
+      std::cout << report.ToCsv();
+      std::cerr << "# " << engine.stats().ToString() << "\n";
+      return report.AllOk() ? 0 : 1;
+    } catch (const util::SpecError& e) {
+      std::cerr << "Spec error: " << e.what() << "\n";
+      return 1;
+    } catch (const std::exception& e) {
+      std::cerr << "Error: " << e.what() << "\n";
+      return 1;
     }
   }
 
@@ -200,6 +221,13 @@ int main(int argc, char** argv) {
       spec.seeds = {run.seed};
       spec.threads = run.threads;
       spec.mechanism_cache_dir = cli.GetString("mech-cache");
+      const std::int64_t cache_max = cli.GetInt("mech-cache-max");
+      if (cache_max < 0) {
+        std::cerr << "--mech-cache-max must be >= 0 (got " << cache_max
+                  << ")\n";
+        return 1;
+      }
+      spec.mechanism_cache_max_bytes = static_cast<std::uint64_t>(cache_max);
       core::ScenarioEngine engine(std::move(spec));
       const core::Report report = engine.Run();
       std::cout << "\nEvaluation (" << engine.stats().ToString() << "):\n"

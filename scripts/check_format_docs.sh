@@ -116,4 +116,29 @@ if [[ "$sites_ok" == 1 ]]; then
   echo "OK: $count SIMD call sites agree between src/ and $performance"
 fi
 
+# 5. The spec-grammar block in docs/FORMAT.md ("Spec strings and chains",
+#    the ```grammar fence) must match the grammar comment at the top of
+#    util/spec.h — production for production, whitespace-normalized.
+spec_header=src/util/spec.h
+[[ -f "$spec_header" ]] || { echo "missing $spec_header"; exit 1; }
+
+normalize_grammar() {
+  grep -E ':=|^[[:space:]]*\|[[:space:]]' |
+    sed -e 's/[[:space:]]\{1,\}/ /g' -e 's/^ //' -e 's/ $//'
+}
+code_grammar=$(sed -n 's|^// \{0,\}||p' "$spec_header" | normalize_grammar)
+doc_grammar=$(awk '/^```grammar$/{f=1;next} /^```$/{f=0} f' "$spec" |
+  normalize_grammar)
+
+if [[ -z "$doc_grammar" ]]; then
+  echo "FAIL: no \`\`\`grammar block found in $spec"; fail=1
+elif [[ "$code_grammar" != "$doc_grammar" ]]; then
+  echo "FAIL: spec grammar differs between $spec_header and $spec:"
+  diff <(echo "$code_grammar") <(echo "$doc_grammar") | sed 's/^/  /' || true
+  fail=1
+else
+  count=$(wc -l <<<"$code_grammar")
+  echo "OK: $count spec-grammar lines agree between $spec_header and $spec"
+fi
+
 exit $fail

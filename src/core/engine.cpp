@@ -4,24 +4,22 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
-
-#include <thread>
+#include <utility>
 
 #include "attacks/poi_extraction.h"
 #include "core/evaluator.h"
+#include "core/output_cache.h"
 #include "mechanisms/registry.h"
-#include "model/atomic_file.h"
 #include "model/columnar_file.h"
 #include "model/event_store.h"
 #include "util/fault.h"
 #include "util/rng.h"
+#include "util/spec.h"
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 
@@ -29,145 +27,6 @@ namespace mobipriv::core {
 namespace {
 
 namespace fault = util::fault;
-
-// ---- Mechanism output cache (.mpc spill/reuse) ------------------------------
-
-/// Incremental FNV-1a64 over heterogeneous values.
-struct Fnv1aStream {
-  std::uint64_t h = 14695981039346656037ULL;
-  void Bytes(const void* data, std::size_t size) noexcept {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-  }
-  template <typename T>
-  void Value(const T& v) noexcept {
-    Bytes(&v, sizeof(v));
-  }
-};
-
-/// Content fingerprint of a bound source: user names, trace structure
-/// (user id + length per trace) and every column bit pattern. Two sources
-/// fingerprint equal iff a mechanism sees identical input — the dataset
-/// component of the cache key.
-std::uint64_t FingerprintView(const model::DatasetView& view) {
-  Fnv1aStream fnv;
-  fnv.Value(view.UserCount());
-  for (model::UserId id = 0;
-       id < static_cast<model::UserId>(view.UserCount()); ++id) {
-    const std::string name = view.UserName(id);
-    fnv.Value(name.size());
-    fnv.Bytes(name.data(), name.size());
-  }
-  fnv.Value(view.TraceCount());
-  for (const model::TraceView& trace : view.traces()) {
-    fnv.Value(trace.user());
-    fnv.Value(trace.size());
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-      fnv.Value(trace.lat(i));
-      fnv.Value(trace.lng(i));
-      fnv.Value(trace.time(i));
-    }
-  }
-  return fnv.h;
-}
-
-/// Cache epoch: the mechanism-implementation version component of the
-/// cache key. A cached output is only as valid as the code that produced
-/// it — bump this on ANY change to a mechanism's algorithm or rng stream
-/// discipline, and every existing entry reads as stale (recomputed, never
-/// reused) instead of silently replaying pre-change outputs.
-constexpr std::uint32_t kMechanismCacheEpoch = 1;
-
-/// The sidecar text identifying one cache entry. Reuse requires an exact
-/// match — a hash collision in the file name can therefore never serve the
-/// wrong output, and any fingerprint/seed/name/epoch drift reads as stale.
-std::string CacheKeyText(const std::string& mechanism_name,
-                         std::uint64_t fingerprint, std::uint64_t seed) {
-  std::ostringstream os;
-  os << "mechanism " << mechanism_name << "\n"
-     << "fingerprint " << util::ToHex(fingerprint) << "\n"
-     << "seed " << seed << "\n"
-     << "format " << model::kColumnarFormatVersion << "\n"
-     << "epoch " << kMechanismCacheEpoch << "\n";
-  return os.str();
-}
-
-/// File stem for one cache entry (content-addressed by the key text).
-std::string CacheStem(const std::string& key_text) {
-  return util::ToHex(model::Fnv1a64(key_text.data(), key_text.size()));
-}
-
-/// Bounded retry budget for transient I/O failures on cache reads: up to
-/// 2 retries with 1ms / 4ms backoff. A cache entry that still fails after
-/// the budget is treated as a miss (recompute), never as a run failure —
-/// the cache is a performance layer, not a correctness dependency.
-constexpr int kCacheReadRetries = 2;
-constexpr std::chrono::milliseconds kCacheReadBackoff[] = {
-    std::chrono::milliseconds(1), std::chrono::milliseconds(4)};
-
-/// Attempts to reuse a cache entry. Returns true and fills `store` only
-/// when the sidecar matches `key_text` exactly AND the `.mpc` payload
-/// reads back clean (every section checksum verified). A transient
-/// IoError is retried with backoff (counted into `retries`); persistent
-/// failure, staleness or corruption is a miss — the caller recomputes
-/// and overwrites.
-bool TryLoadCachedOutput(const std::filesystem::path& dir,
-                         const std::string& key_text,
-                         model::EventStore& store,
-                         std::atomic<std::size_t>& retries) {
-  const std::string stem = CacheStem(key_text);
-  const std::filesystem::path key_path = dir / (stem + ".key");
-  const std::filesystem::path mpc_path = dir / (stem + ".mpc");
-  std::ifstream key_in(key_path, std::ios::binary);
-  if (!key_in) return false;
-  std::ostringstream recorded;
-  recorded << key_in.rdbuf();
-  if (recorded.str() != key_text) return false;  // stale: never reuse
-  for (int attempt = 0;; ++attempt) {
-    try {
-      if (MOBIPRIV_FAULT_POINT(fault::points::kCacheReadLoad)) {
-        throw model::IoError("injected fault (" +
-                             std::string(fault::points::kCacheReadLoad) +
-                             "): " + mpc_path.string());
-      }
-      store = model::ReadColumnar(mpc_path.string());
-      return true;
-    } catch (const model::IoError&) {
-      if (attempt >= kCacheReadRetries) return false;  // miss: recompute
-      retries.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(kCacheReadBackoff[attempt]);
-    }
-  }
-}
-
-/// Spills one node output: payload first, sidecar last (the sidecar is
-/// the commit marker TryLoadCachedOutput requires). Both files go through
-/// the atomic-commit helper (temp -> fsync -> rename), so neither a crash
-/// nor an injected fault between payload and sidecar can ever publish a
-/// half-written entry — the worst outcome is a payload with no sidecar,
-/// which every reader treats as a miss. Cache write failures are
-/// non-fatal: the run already holds the computed store.
-void StoreCachedOutput(const std::filesystem::path& dir,
-                       const std::string& key_text,
-                       const model::EventStore& store) {
-  try {
-    if (MOBIPRIV_FAULT_POINT(fault::points::kCacheWriteSpill)) {
-      throw model::IoError("injected fault (" +
-                           std::string(fault::points::kCacheWriteSpill) +
-                           "): cache spill");
-    }
-    const std::string stem = CacheStem(key_text);
-    model::WriteColumnar(store, (dir / (stem + ".mpc")).string());
-    model::WriteFileAtomic((dir / (stem + ".key")).string(),
-                           key_text.data(), key_text.size());
-  } catch (const std::exception&) {
-    // Best effort: a failed spill costs the next run a recompute, nothing
-    // else.
-  }
-}
 
 /// One node of the compiled DAG. Nodes are stored in topological order
 /// (mechanisms before their evaluations), so the serial fallback is a
@@ -402,12 +261,14 @@ std::string EngineStats::ToString() const {
   os << "grid_cells=" << grid_cells
      << " mechanism_nodes=" << mechanism_nodes
      << " evaluator_nodes=" << evaluator_nodes;
+  if (stage_reuses > 0) os << " stage_reuses=" << stage_reuses;
   if (cache_hits + cache_misses > 0) {
     os << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses;
   }
   if (cache_read_retries > 0) {
     os << " cache_read_retries=" << cache_read_retries;
   }
+  if (cache_evictions > 0) os << " cache_evictions=" << cache_evictions;
   if (failed_nodes + skipped_nodes > 0) {
     os << " failed_nodes=" << failed_nodes
        << " skipped_nodes=" << skipped_nodes;
@@ -418,18 +279,34 @@ std::string EngineStats::ToString() const {
 }
 
 struct ScenarioEngine::Compiled {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  /// One memoized stage node: a distinct (prefix canonical name, seed)
+  /// pair. The instance is built from the stage's ORIGINAL spec text,
+  /// never from the canonical name — Name() prints numbers at fixed
+  /// precision, so re-parsing it could silently change parameters (e.g.
+  /// eps=0.00004 -> "eps=0.0000" -> 0.0). One instance per node because
+  /// some baselines keep mutable per-Apply scratch (e.g. Wait4Me's
+  /// suppression ratio) that must not be shared between
+  /// concurrently-running nodes.
+  struct StagePlan {
+    std::string prefix_name;  ///< stage names [0..k] joined with '|'
+    std::size_t parent = kNoParent;  ///< previous stage's node, if any
+    std::size_t seed_index = 0;
+    std::unique_ptr<mech::Mechanism> instance;
+  };
+  /// One report row group: a deduped chain (possibly single-stage) of the
+  /// spec, in first-appearance order. Rows that canonicalize to the same
+  /// chain name share everything (first spec text wins).
+  struct RowPlan {
+    std::string name;                   ///< canonical chain Name()
+    std::vector<std::size_t> terminal;  ///< last stage node, per seed index
+  };
+
   ScenarioSpec spec;
-  // Deduped canonical mechanism names in first-appearance order, each
-  // keeping the ORIGINAL spec text it first appeared as: instances are
-  // built from the text, never from the canonical name — Name() prints
-  // numbers at fixed precision, so re-parsing it could silently change
-  // parameters (e.g. eps=0.00004 -> "eps=0.0000" -> 0.0). One instance
-  // per (mechanism, seed) node because some baselines keep mutable
-  // per-Apply scratch (e.g. Wait4Me's suppression ratio) that must not
-  // be shared between concurrently-running nodes.
-  std::vector<std::string> mech_names;
-  std::vector<std::string> mech_texts;  // parallel to mech_names
-  std::vector<std::unique_ptr<mech::Mechanism>> mech_instances;  // M x S
+  std::vector<StagePlan> stage_nodes;  ///< parents precede children
+  std::vector<RowPlan> rows;
+  std::size_t stage_refs = 0;  ///< total (row, seed, stage) references
   std::vector<std::string> eval_names;
   std::vector<std::unique_ptr<Evaluator>> evaluators;
   bool ran = false;
@@ -438,7 +315,8 @@ struct ScenarioEngine::Compiled {
 ScenarioEngine::ScenarioEngine(ScenarioSpec spec)
     : compiled_(std::make_unique<Compiled>()) {
   compiled_->spec = std::move(spec);
-  const ScenarioSpec& s = compiled_->spec;
+  Compiled& c = *compiled_;
+  const ScenarioSpec& s = c.spec;
   if (s.mechanisms.empty()) {
     throw util::SpecError("scenario has no mechanisms");
   }
@@ -447,30 +325,62 @@ ScenarioEngine::ScenarioEngine(ScenarioSpec spec)
   }
   if (s.seeds.empty()) throw util::SpecError("scenario has no seeds");
 
-  // Dedupe by canonical Name(): spec entries that round-trip to the same
-  // mechanism share one memoized node per seed (first spec text wins).
+  const std::size_t seed_count = s.seeds.size();
+  // (prefix canonical name, seed index) -> stage node. The map is the
+  // in-memory memoization: rows sharing a chain prefix reuse its nodes.
+  std::map<std::pair<std::string, std::size_t>, std::size_t> node_index;
   for (const std::string& text : s.mechanisms) {
-    const std::string name = mech::CreateMechanism(text)->Name();
-    if (std::find(compiled_->mech_names.begin(),
-                  compiled_->mech_names.end(),
-                  name) == compiled_->mech_names.end()) {
-      compiled_->mech_names.push_back(name);
-      compiled_->mech_texts.push_back(text);
+    const util::SpecChain chain = util::SpecChain::Parse(text);
+    std::vector<std::string> stage_texts;
+    std::vector<std::string> stage_names;
+    for (const util::Spec& stage : chain.stages()) {
+      // Spec entries keep values verbatim, so ToString() reproduces the
+      // stage's original text (no precision loss).
+      stage_texts.push_back(stage.ToString());
+      stage_names.push_back(
+          mech::CreateMechanism(stage_texts.back())->Name());
     }
-  }
-  for (const std::string& text : compiled_->mech_texts) {
-    for (std::size_t i = 0; i < s.seeds.size(); ++i) {
-      compiled_->mech_instances.push_back(mech::CreateMechanism(text));
+    const std::string chain_name = util::Join(stage_names, "|");
+    if (std::any_of(c.rows.begin(), c.rows.end(),
+                    [&](const Compiled::RowPlan& row) {
+                      return row.name == chain_name;
+                    })) {
+      continue;  // deduped: first spec text wins
     }
+    Compiled::RowPlan row;
+    row.name = chain_name;
+    row.terminal.resize(seed_count);
+    for (std::size_t seed = 0; seed < seed_count; ++seed) {
+      std::size_t parent = Compiled::kNoParent;
+      std::string prefix;
+      for (std::size_t k = 0; k < stage_names.size(); ++k) {
+        if (k > 0) prefix += "|";
+        prefix += stage_names[k];
+        ++c.stage_refs;
+        const auto key = std::make_pair(prefix, seed);
+        auto it = node_index.find(key);
+        if (it == node_index.end()) {
+          Compiled::StagePlan plan;
+          plan.prefix_name = prefix;
+          plan.parent = parent;
+          plan.seed_index = seed;
+          plan.instance = mech::CreateMechanism(stage_texts[k]);
+          c.stage_nodes.push_back(std::move(plan));
+          it = node_index.emplace(key, c.stage_nodes.size() - 1).first;
+        }
+        parent = it->second;
+      }
+      row.terminal[seed] = parent;
+    }
+    c.rows.push_back(std::move(row));
   }
   for (const std::string& text : s.evaluators) {
     auto evaluator = CreateEvaluator(text);
     std::string name = evaluator->Name();
-    if (std::find(compiled_->eval_names.begin(),
-                  compiled_->eval_names.end(),
-                  name) == compiled_->eval_names.end()) {
-      compiled_->eval_names.push_back(std::move(name));
-      compiled_->evaluators.push_back(std::move(evaluator));
+    if (std::find(c.eval_names.begin(), c.eval_names.end(), name) ==
+        c.eval_names.end()) {
+      c.eval_names.push_back(std::move(name));
+      c.evaluators.push_back(std::move(evaluator));
     }
   }
 }
@@ -497,108 +407,127 @@ Report ScenarioEngine::Run() {
                        .count();
 
   const std::vector<std::uint64_t>& seeds = c.spec.seeds;
-  const std::size_t mech_count = c.mech_names.size();
   const std::size_t seed_count = seeds.size();
   const std::size_t eval_count = c.evaluators.size();
-  const std::size_t mech_nodes = mech_count * seed_count;
+  const std::size_t stage_count = c.stage_nodes.size();
+  const std::size_t row_count = c.rows.size();
+  const std::size_t eval_nodes = row_count * seed_count * eval_count;
 
   stats_.grid_cells =
       c.spec.mechanisms.size() * seed_count * c.spec.evaluators.size();
-  stats_.mechanism_nodes = mech_nodes;
-  stats_.evaluator_nodes = mech_nodes * eval_count;
+  stats_.mechanism_nodes = stage_count;
+  stats_.stage_reuses = c.stage_refs - stage_count;
+  stats_.evaluator_nodes = eval_nodes;
 
   const geo::LocalProjection frame =
       attacks::DatasetProjection(source.view());
 
   // The `.mpc` output cache (optional). The dataset fingerprint is one
-  // O(events) column scan, paid only when the cache is on.
-  const bool cache_enabled = !c.spec.mechanism_cache_dir.empty();
-  const std::filesystem::path cache_dir(c.spec.mechanism_cache_dir);
+  // O(events) column scan, paid only when the cache is on. Stage nodes
+  // key their outputs by PREFIX canonical name against the ORIGINAL
+  // source fingerprint — sound because (prefix, source, seed) uniquely
+  // determines a stage's bytes under the per-prefix rng discipline.
+  std::optional<OutputCache> cache;
   std::uint64_t source_fingerprint = 0;
-  if (cache_enabled) {
-    std::filesystem::create_directories(cache_dir);
-    source_fingerprint = FingerprintView(source.view());
+  if (!c.spec.mechanism_cache_dir.empty()) {
+    cache.emplace(c.spec.mechanism_cache_dir,
+                  c.spec.mechanism_cache_max_bytes);
+    source_fingerprint = OutputCache::FingerprintView(source.view());
   }
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> cache_misses{0};
-  std::atomic<std::size_t> cache_read_retries{0};
 
   // Result slots, pre-sized so DAG workers never allocate shared state.
-  // Mechanism outputs are columnar stores — the SoA-native path: no AoS
-  // dataset is ever built for a node, and every evaluator of the node
-  // reads the same store through a zero-copy view.
-  std::vector<model::EventStore> outputs(mech_nodes);
-  std::vector<model::DatasetView> published(mech_nodes);
-  std::vector<std::vector<MetricValue>> results(mech_nodes * eval_count);
+  // Stage outputs are columnar stores — the SoA-native path: no AoS
+  // dataset is ever built for a node; the next stage consumes the store
+  // through a zero-copy view, and so does every evaluator of a terminal.
+  std::vector<model::EventStore> outputs(stage_count);
+  std::vector<model::DatasetView> published(stage_count);
+  std::vector<std::vector<MetricValue>> results(eval_nodes);
 
-  // ---- Compile the DAG (topological layout: mechanisms, then evals). --
+  // ---- Compile the DAG (topological layout: stages, then evals). ------
+  // Stage nodes are in creation order, so a node's parent always precedes
+  // it; evaluator nodes follow all stage nodes and depend on their row's
+  // terminal.
   std::vector<DagNode> nodes;
-  nodes.reserve(mech_nodes + mech_nodes * eval_count);
-  for (std::size_t m = 0; m < mech_count; ++m) {
-    const std::uint64_t name_hash =
-        model::Fnv1a64(c.mech_names[m].data(), c.mech_names[m].size());
-    for (std::size_t s = 0; s < seed_count; ++s) {
-      const std::size_t node = m * seed_count + s;
-      DagNode dag_node;
-      dag_node.work = [&, node, name_hash, m, s] {
-        // Keyed by canonical name: an armed fault trips for exactly the
-        // chosen mechanism's nodes, whichever worker runs them — the
-        // degraded report stays byte-identical at any thread count. A
-        // kDelay spec at this point slows the node instead (the watchdog
-        // test hook).
-        if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineMechanismRun,
-                                       c.mech_names[m])) {
-          throw std::runtime_error(
-              "injected fault (" +
-              std::string(fault::points::kEngineMechanismRun) +
-              "): " + c.mech_names[m]);
+  nodes.reserve(stage_count + eval_nodes);
+  for (std::size_t i = 0; i < stage_count; ++i) {
+    const Compiled::StagePlan& plan = c.stage_nodes[i];
+    DagNode dag_node;
+    dag_node.dependency_count = plan.parent == Compiled::kNoParent ? 0 : 1;
+    dag_node.work = [&, i] {
+      const Compiled::StagePlan& stage = c.stage_nodes[i];
+      // Keyed by prefix canonical name (== the mechanism name for
+      // single-stage rows): an armed fault trips for exactly the chosen
+      // node's stage, whichever worker runs it — the degraded report
+      // stays byte-identical at any thread count. A kDelay spec at this
+      // point slows the node instead (the watchdog test hook).
+      if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineMechanismRun,
+                                     stage.prefix_name)) {
+        throw std::runtime_error(
+            "injected fault (" +
+            std::string(fault::points::kEngineMechanismRun) +
+            "): " + stage.prefix_name);
+      }
+      // Every stage node owns an independent stream derived from the cell
+      // seed and the PREFIX canonical name: a row's bytes depend only on
+      // its own stages, so adding grid rows (or suffix stages elsewhere)
+      // never perturbs existing ones — the property that makes prefix
+      // outputs shareable at all.
+      util::Rng rng(util::DeriveStreamSeed(
+          seeds[stage.seed_index],
+          model::Fnv1a64(stage.prefix_name.data(), stage.prefix_name.size()),
+          0));
+      std::string key_text;
+      bool loaded = false;
+      if (cache) {
+        key_text = OutputCache::KeyText(stage.prefix_name,
+                                        source_fingerprint,
+                                        seeds[stage.seed_index]);
+        loaded = cache->TryLoad(key_text, outputs[i]);
+      }
+      if (loaded) {
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        const model::DatasetView& input = stage.parent == Compiled::kNoParent
+                                              ? source.view()
+                                              : published[stage.parent];
+        outputs[i] = stage.instance->ApplyToStore(input, rng);
+        if (cache) {
+          cache->Store(key_text, outputs[i]);
+          cache_misses.fetch_add(1, std::memory_order_relaxed);
         }
-        // Every (mechanism, seed) node owns an independent stream derived
-        // from the cell seed and the canonical name, so adding grid rows
-        // never perturbs existing ones.
-        util::Rng rng(util::DeriveStreamSeed(seeds[s], name_hash, 0));
-        std::string key_text;
-        bool loaded = false;
-        if (cache_enabled) {
-          key_text = CacheKeyText(c.mech_names[m], source_fingerprint,
-                                  seeds[s]);
-          loaded = TryLoadCachedOutput(cache_dir, key_text, outputs[node],
-                                       cache_read_retries);
-        }
-        if (loaded) {
-          cache_hits.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          outputs[node] =
-              c.mech_instances[node]->ApplyToStore(source.view(), rng);
-          if (cache_enabled) {
-            StoreCachedOutput(cache_dir, key_text, outputs[node]);
-            cache_misses.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
-        published[node] = outputs[node].View();
-      };
-      nodes.push_back(std::move(dag_node));
+      }
+      published[i] = outputs[i].View();
+    };
+    nodes.push_back(std::move(dag_node));
+    if (plan.parent != Compiled::kNoParent) {
+      nodes[plan.parent].dependents.push_back(i);
     }
   }
-  for (std::size_t node = 0; node < mech_nodes; ++node) {
-    for (std::size_t e = 0; e < eval_count; ++e) {
-      const std::size_t result_slot = node * eval_count + e;
-      DagNode dag_node;
-      dag_node.dependency_count = 1;
-      dag_node.work = [&, node, e, result_slot] {
-        if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineEvaluatorRun,
-                                       c.eval_names[e])) {
-          throw std::runtime_error(
-              "injected fault (" +
-              std::string(fault::points::kEngineEvaluatorRun) +
-              "): " + c.eval_names[e]);
-        }
-        const EvalInput input{source.view(), published[node], frame,
-                              seeds[node % seed_count]};
-        results[result_slot] = c.evaluators[e]->Evaluate(input);
-      };
-      nodes[node].dependents.push_back(nodes.size());
-      nodes.push_back(std::move(dag_node));
+  for (std::size_t r = 0; r < row_count; ++r) {
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      const std::size_t terminal = c.rows[r].terminal[s];
+      for (std::size_t e = 0; e < eval_count; ++e) {
+        const std::size_t result_slot =
+            (r * seed_count + s) * eval_count + e;
+        DagNode dag_node;
+        dag_node.dependency_count = 1;
+        dag_node.work = [&, terminal, s, e, result_slot] {
+          if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineEvaluatorRun,
+                                         c.eval_names[e])) {
+            throw std::runtime_error(
+                "injected fault (" +
+                std::string(fault::points::kEngineEvaluatorRun) +
+                "): " + c.eval_names[e]);
+          }
+          const EvalInput input{source.view(), published[terminal], frame,
+                                seeds[s]};
+          results[result_slot] = c.evaluators[e]->Evaluate(input);
+        };
+        nodes[terminal].dependents.push_back(nodes.size());
+        nodes.push_back(std::move(dag_node));
+      }
     }
   }
 
@@ -607,46 +536,47 @@ Report ScenarioEngine::Run() {
       [&] { node_results = ExecuteDag(nodes, c.spec.node_timeout_ms); });
   stats_.cache_hits = cache_hits.load(std::memory_order_relaxed);
   stats_.cache_misses = cache_misses.load(std::memory_order_relaxed);
-  stats_.cache_read_retries =
-      cache_read_retries.load(std::memory_order_relaxed);
+  stats_.cache_read_retries = cache ? cache->read_retries() : 0;
+  stats_.cache_evictions = cache ? cache->evictions() : 0;
   for (const NodeResult& result : node_results) {
     if (result.status == NodeStatus::kFailed) ++stats_.failed_nodes;
     if (result.status == NodeStatus::kSkipped) ++stats_.skipped_nodes;
   }
 
   // ---- Assemble the report in canonical order. ------------------------
-  // A failed mechanism node contributes one mechanism-level error row
-  // (empty evaluator/metric) followed by one skipped row per evaluator;
-  // a failed evaluator node contributes one error row for its cell. The
-  // assembly reads only node_results and results slots — both indexed,
-  // never schedule-ordered — so degraded reports are as reproducible as
-  // healthy ones.
+  // A row whose terminal did not finish ok contributes one
+  // mechanism-level error row (empty evaluator/metric) followed by one
+  // skipped row per evaluator; a terminal skipped by an interior stage
+  // failure forwards the root cause. A failed evaluator node contributes
+  // one error row for its cell. The assembly reads only node_results and
+  // results slots — both indexed, never schedule-ordered — so degraded
+  // reports are as reproducible as healthy ones.
   const auto to_row_status = [](NodeStatus status) {
     return status == NodeStatus::kFailed ? RowStatus::kFailed
                                          : RowStatus::kSkipped;
   };
   Report report;
-  for (std::size_t m = 0; m < mech_count; ++m) {
+  for (std::size_t r = 0; r < row_count; ++r) {
     for (std::size_t s = 0; s < seed_count; ++s) {
-      const std::size_t node = m * seed_count + s;
-      const NodeResult& mech_result = node_results[node];
-      if (mech_result.status != NodeStatus::kOk) {
-        report.rows_.push_back({c.mech_names[m], seeds[s], "", "", 0.0,
-                                to_row_status(mech_result.status),
-                                mech_result.error});
+      const NodeResult& terminal_result =
+          node_results[c.rows[r].terminal[s]];
+      if (terminal_result.status != NodeStatus::kOk) {
+        report.rows_.push_back({c.rows[r].name, seeds[s], "", "", 0.0,
+                                to_row_status(terminal_result.status),
+                                terminal_result.error});
       }
       for (std::size_t e = 0; e < eval_count; ++e) {
-        const NodeResult& eval_result =
-            node_results[mech_nodes + node * eval_count + e];
+        const std::size_t slot = (r * seed_count + s) * eval_count + e;
+        const NodeResult& eval_result = node_results[stage_count + slot];
         if (eval_result.status != NodeStatus::kOk) {
-          report.rows_.push_back({c.mech_names[m], seeds[s],
+          report.rows_.push_back({c.rows[r].name, seeds[s],
                                   c.eval_names[e], "", 0.0,
                                   to_row_status(eval_result.status),
                                   eval_result.error});
           continue;
         }
-        for (const MetricValue& value : results[node * eval_count + e]) {
-          report.rows_.push_back({c.mech_names[m], seeds[s],
+        for (const MetricValue& value : results[slot]) {
+          report.rows_.push_back({c.rows[r].name, seeds[s],
                                   c.eval_names[e], value.metric,
                                   value.value, RowStatus::kOk, {}});
         }

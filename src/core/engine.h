@@ -13,6 +13,19 @@
 // the equivalent standalone bench runs (bench_throughput's
 // BM_EngineGrid / BM_EngineGridIndependent pair).
 //
+// Chain specs ("a[...]|b[...]|c") compile into one node PER STAGE, keyed
+// by (prefix canonical name, seed) where the prefix name is the stage
+// names [0..k] joined with '|'. Grid rows sharing a stage prefix share
+// those nodes — each shared stage runs once per run (stats().stage_reuses
+// counts the savings) — and each stage node draws from a stream derived
+// from its PREFIX name, so a row's bytes depend only on its own stages,
+// never on what else is in the grid. The `.mpc` cache keys stage outputs
+// by the same prefix names ("prefix-fingerprints"), so warm runs reuse
+// intermediate artifacts too. Note this per-stage discipline intentionally
+// differs from running a monolithic mech::ChainMechanism object (which
+// threads ONE rng through all stages); cache keys derive from what
+// actually ran, so the two never alias (docs/FORMAT.md).
+//
 // Mechanism nodes run the SoA-native path (Mechanism::ApplyToStore): each
 // node's output is a columnar EventStore — no per-trace std::vector<Event>,
 // no name re-interning — whose View() fans out to the node's evaluators.
@@ -105,12 +118,20 @@ class Report {
 /// Execution accounting of one run (the memoization evidence).
 struct EngineStats {
   std::size_t grid_cells = 0;       ///< spec mechanisms x seeds x evaluators
-  std::size_t mechanism_nodes = 0;  ///< memoized (mechanism, seed) nodes run
+  std::size_t mechanism_nodes = 0;  ///< memoized (stage prefix, seed) nodes
   std::size_t evaluator_nodes = 0;  ///< evaluation nodes run
+  /// Stage references served by an already-compiled node instead of a new
+  /// one: total (row, seed, stage) references minus mechanism_nodes. 0
+  /// when no grid rows share a chain prefix (or duplicate a mechanism);
+  /// the memoization evidence for chain compilation.
+  std::size_t stage_reuses = 0;
   /// Mechanism outputs reused from / recomputed into the `.mpc` output
   /// cache (both 0 when ScenarioSpec::mechanism_cache_dir is empty).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Entries the LRU byte cap evicted during this run (0 when
+  /// mechanism_cache_max_bytes is 0).
+  std::size_t cache_evictions = 0;
   /// Transient cache-read failures absorbed by the bounded
   /// retry-with-backoff (docs/ROBUSTNESS.md); > 0 never affects results.
   std::size_t cache_read_retries = 0;

@@ -5,6 +5,7 @@
 
 #include "attacks/evaluators.h"
 #include "metrics/evaluators.h"
+#include "privacy/evaluators.h"
 
 namespace mobipriv::core {
 namespace {
@@ -79,6 +80,30 @@ Registry& GlobalRegistry() {
       const double radius = spec.NumberOf("radius", 300.0);
       return std::make_unique<attacks::HomeWorkEvaluator>(
           attacks::HomeWorkConfig{}, radius);
+    };
+    f["certification"] =
+        [](const util::Spec& spec) -> std::unique_ptr<Evaluator> {
+      spec.RequireKnownKeys({"spacing", "interval", "min_events"},
+                            "certification");
+      privacy::CertificationConfig config;
+      config.max_spacing_deviation =
+          spec.NumberOf("spacing", config.max_spacing_deviation);
+      config.max_interval_deviation_s =
+          spec.NumberOf("interval", config.max_interval_deviation_s);
+      config.min_events_checked = static_cast<std::size_t>(spec.IntOf(
+          "min_events", static_cast<std::int64_t>(config.min_events_checked)));
+      return std::make_unique<privacy::CertificationEvaluator>(config);
+    };
+    f["uncertainty"] =
+        [](const util::Spec& spec) -> std::unique_ptr<Evaluator> {
+      spec.RequireKnownKeys({"r", "w", "min_users"}, "uncertainty");
+      mech::MixZoneConfig config;
+      config.zone_radius_m = spec.NumberOf("r", config.zone_radius_m);
+      config.time_window_s = static_cast<util::Timestamp>(
+          spec.IntOf("w", config.time_window_s));
+      config.min_users = static_cast<std::size_t>(spec.IntOf(
+          "min_users", static_cast<std::int64_t>(config.min_users)));
+      return std::make_unique<privacy::UncertaintyEvaluator>(config);
     };
     return r;
   }();

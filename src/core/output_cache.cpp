@@ -1,0 +1,200 @@
+#include "core/output_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "model/atomic_file.h"
+#include "model/columnar_file.h"
+#include "util/fault.h"
+#include "util/string_utils.h"
+
+namespace mobipriv::core {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fault = util::fault;
+
+/// Incremental FNV-1a64 over heterogeneous values.
+struct Fnv1aStream {
+  std::uint64_t h = 14695981039346656037ULL;
+  void Bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void Value(const T& v) noexcept {
+    Bytes(&v, sizeof(v));
+  }
+};
+
+/// Bounded retry budget for transient I/O failures on cache reads: up to
+/// 2 retries with 1ms / 4ms backoff. A cache entry that still fails after
+/// the budget is treated as a miss (recompute), never as a run failure —
+/// the cache is a performance layer, not a correctness dependency.
+constexpr int kCacheReadRetries = 2;
+constexpr std::chrono::milliseconds kCacheReadBackoff[] = {
+    std::chrono::milliseconds(1), std::chrono::milliseconds(4)};
+
+std::uint64_t FileSizeOrZero(const fs::path& path) {
+  std::error_code ec;
+  const std::uint64_t size = fs::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+}  // namespace
+
+OutputCache::OutputCache(std::filesystem::path dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+  fs::create_directories(dir_);
+}
+
+std::uint64_t OutputCache::FingerprintView(const model::DatasetView& view) {
+  Fnv1aStream fnv;
+  fnv.Value(view.UserCount());
+  for (model::UserId id = 0;
+       id < static_cast<model::UserId>(view.UserCount()); ++id) {
+    const std::string name = view.UserName(id);
+    fnv.Value(name.size());
+    fnv.Bytes(name.data(), name.size());
+  }
+  fnv.Value(view.TraceCount());
+  for (const model::TraceView& trace : view.traces()) {
+    fnv.Value(trace.user());
+    fnv.Value(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      fnv.Value(trace.lat(i));
+      fnv.Value(trace.lng(i));
+      fnv.Value(trace.time(i));
+    }
+  }
+  return fnv.h;
+}
+
+std::string OutputCache::KeyText(const std::string& name,
+                                 std::uint64_t fingerprint,
+                                 std::uint64_t seed) {
+  std::ostringstream os;
+  os << "mechanism " << name << "\n"
+     << "fingerprint " << util::ToHex(fingerprint) << "\n"
+     << "seed " << seed << "\n"
+     << "format " << model::kColumnarFormatVersion << "\n"
+     << "epoch " << kMechanismCacheEpoch << "\n";
+  return os.str();
+}
+
+std::string OutputCache::Stem(const std::string& key_text) {
+  return util::ToHex(model::Fnv1a64(key_text.data(), key_text.size()));
+}
+
+bool OutputCache::TryLoad(const std::string& key_text,
+                          model::EventStore& store) {
+  const std::string stem = Stem(key_text);
+  const fs::path key_path = dir_ / (stem + ".key");
+  const fs::path mpc_path = dir_ / (stem + ".mpc");
+  std::ifstream key_in(key_path, std::ios::binary);
+  if (!key_in) return false;
+  std::ostringstream recorded;
+  recorded << key_in.rdbuf();
+  if (recorded.str() != key_text) return false;  // stale: never reuse
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (MOBIPRIV_FAULT_POINT(fault::points::kCacheReadLoad)) {
+        throw model::IoError("injected fault (" +
+                             std::string(fault::points::kCacheReadLoad) +
+                             "): " + mpc_path.string());
+      }
+      store = model::ReadColumnar(mpc_path.string());
+      // Refresh LRU recency: the sidecar mtime is the eviction order key.
+      // Best effort — a failed touch only ages this entry.
+      std::error_code ec;
+      fs::last_write_time(key_path, fs::file_time_type::clock::now(), ec);
+      return true;
+    } catch (const model::IoError&) {
+      if (attempt >= kCacheReadRetries) return false;  // miss: recompute
+      read_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(kCacheReadBackoff[attempt]);
+    }
+  }
+}
+
+void OutputCache::Store(const std::string& key_text,
+                        const model::EventStore& store) {
+  try {
+    if (MOBIPRIV_FAULT_POINT(fault::points::kCacheWriteSpill)) {
+      throw model::IoError("injected fault (" +
+                           std::string(fault::points::kCacheWriteSpill) +
+                           "): cache spill");
+    }
+    const std::string stem = Stem(key_text);
+    model::WriteColumnar(store, (dir_ / (stem + ".mpc")).string());
+    model::WriteFileAtomic((dir_ / (stem + ".key")).string(),
+                           key_text.data(), key_text.size());
+  } catch (const std::exception&) {
+    // Best effort: a failed spill costs the next run a recompute, nothing
+    // else.
+  }
+  EnforceCap();
+}
+
+void OutputCache::EnforceCap() {
+  if (max_bytes_ == 0) return;
+  const std::lock_guard<std::mutex> lock(evict_mutex_);
+
+  // One committed entry (sidecar present) or one orphaned payload. Sorted
+  // orphans-first, then by (sidecar mtime, stem): orphans are dead weight
+  // from an interrupted commit or eviction and always go first; among live
+  // entries the least-recently-used goes first, with the stem as a
+  // deterministic tiebreak.
+  struct Entry {
+    bool orphan = false;
+    fs::file_time_type mtime{};
+    std::string stem;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(dir_, ec)) {
+    if (item.path().extension() != ".mpc") continue;
+    Entry entry;
+    entry.stem = item.path().stem().string();
+    entry.bytes = FileSizeOrZero(item.path());
+    const fs::path key_path = dir_ / (entry.stem + ".key");
+    std::error_code key_ec;
+    entry.mtime = fs::last_write_time(key_path, key_ec);
+    if (key_ec) {
+      entry.orphan = true;
+    } else {
+      entry.bytes += FileSizeOrZero(key_path);
+    }
+    total += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  if (ec || total <= max_bytes_) return;
+
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.orphan != b.orphan) return a.orphan;
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.stem < b.stem;
+  });
+  for (const Entry& entry : entries) {
+    if (total <= max_bytes_) break;
+    // Sidecar first: between the two removes the entry is an orphaned
+    // payload, which every reader treats as a miss — a crash mid-eviction
+    // can therefore never leave a reusable half-entry.
+    std::error_code rm_ec;
+    fs::remove(dir_ / (entry.stem + ".key"), rm_ec);
+    fs::remove(dir_ / (entry.stem + ".mpc"), rm_ec);
+    total -= std::min(total, entry.bytes);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mobipriv::core

@@ -1,10 +1,14 @@
 #include "core/scenario.h"
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <unordered_map>
 
 #include "model/io.h"
 #include "synth/population.h"
+#include "util/spec.h"
+#include "util/string_utils.h"
 #include "util/thread_pool.h"
 
 namespace mobipriv::core {
@@ -79,6 +83,159 @@ std::string DatasetSourceSpec::Describe() const {
       return "borrowed";
   }
   return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void SweepError(const std::string& context, std::size_t line,
+                             const std::string& what) {
+  throw util::SpecError("sweep config " + context + ", line " +
+                        std::to_string(line) + ": " + what);
+}
+
+/// "synth:agents=A,days=D,seed=S" (the Describe() rendering; every
+/// parameter optional) or any path DatasetSourceSpec::FromPath accepts.
+DatasetSourceSpec ParseSourceValue(std::string_view value,
+                                   const std::string& context,
+                                   std::size_t line) {
+  if (!util::StartsWith(value, "synth:")) {
+    return DatasetSourceSpec::FromPath(std::string(value));
+  }
+  DatasetSourceSpec spec;
+  spec.kind = DatasetSourceSpec::Kind::kSynthetic;
+  for (const std::string& param :
+       util::Split(value.substr(std::string_view("synth:").size()), ',')) {
+    const std::string_view trimmed = util::Trim(param);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    const std::string_view key = trimmed.substr(0, eq);
+    const auto number =
+        eq == std::string_view::npos
+            ? std::nullopt
+            : util::ParseInt(util::Trim(trimmed.substr(eq + 1)));
+    if (!number || *number < 0) {
+      SweepError(context, line,
+                 "synth parameter \"" + std::string(trimmed) +
+                     "\" is not key=<non-negative integer>");
+    }
+    if (key == "agents") {
+      spec.agents = static_cast<std::size_t>(*number);
+    } else if (key == "days") {
+      spec.days = static_cast<std::size_t>(*number);
+    } else if (key == "seed") {
+      spec.world_seed = static_cast<std::uint64_t>(*number);
+    } else {
+      SweepError(context, line,
+                 "unknown synth parameter \"" + std::string(key) +
+                     "\" (expected agents, days, seed)");
+    }
+  }
+  return spec;
+}
+
+/// Top-level comma list ("a[x=1,y=2]|b, c" -> {"a[x=1,y=2]|b", "c"}):
+/// commas inside brackets belong to spec parameters, not the list.
+std::vector<std::string> ParseListValue(std::string_view value,
+                                        const std::string& context,
+                                        std::size_t line) {
+  std::vector<std::string> items;
+  for (const std::string& piece : util::SplitTopLevel(value, ',')) {
+    const std::string_view trimmed = util::Trim(piece);
+    if (trimmed.empty()) {
+      SweepError(context, line, "empty list entry");
+    }
+    items.emplace_back(trimmed);
+  }
+  return items;
+}
+
+std::int64_t ParseIntValue(std::string_view value, const std::string& context,
+                           std::size_t line, const std::string& key) {
+  const auto number = util::ParseInt(value);
+  if (!number || *number < 0) {
+    SweepError(context, line,
+               key + " = \"" + std::string(value) +
+                   "\" is not a non-negative integer");
+  }
+  return *number;
+}
+
+}  // namespace
+
+ScenarioSpec ParseSweepConfig(std::string_view text,
+                              const std::string& context) {
+  ScenarioSpec spec;
+  spec.seeds.clear();
+  std::istringstream lines{std::string(text)};
+  std::string raw_line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, raw_line)) {
+    ++line_number;
+    std::string_view line = raw_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = util::Trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      SweepError(context, line_number,
+                 "expected key = value, got \"" + std::string(line) + "\"");
+    }
+    const std::string key{util::Trim(line.substr(0, eq))};
+    const std::string_view value = util::Trim(line.substr(eq + 1));
+    if (key.empty()) SweepError(context, line_number, "empty key");
+    if (value.empty()) {
+      SweepError(context, line_number, "empty value for key \"" + key + "\"");
+    }
+    if (key == "source") {
+      spec.source = ParseSourceValue(value, context, line_number);
+    } else if (key == "mechanism" || key == "mechanisms") {
+      for (std::string& item : ParseListValue(value, context, line_number)) {
+        spec.mechanisms.push_back(std::move(item));
+      }
+    } else if (key == "evaluator" || key == "evaluators") {
+      for (std::string& item : ParseListValue(value, context, line_number)) {
+        spec.evaluators.push_back(std::move(item));
+      }
+    } else if (key == "seeds") {
+      for (const std::string& item :
+           ParseListValue(value, context, line_number)) {
+        spec.seeds.push_back(static_cast<std::uint64_t>(
+            ParseIntValue(item, context, line_number, "seeds entry")));
+      }
+    } else if (key == "threads") {
+      spec.threads = static_cast<std::size_t>(
+          ParseIntValue(value, context, line_number, key));
+    } else if (key == "cache_dir") {
+      spec.mechanism_cache_dir = std::string(value);
+    } else if (key == "cache_max_bytes") {
+      spec.mechanism_cache_max_bytes = static_cast<std::uint64_t>(
+          ParseIntValue(value, context, line_number, key));
+    } else if (key == "node_timeout_ms") {
+      const auto number = util::ParseDouble(value);
+      if (!number || *number < 0.0) {
+        SweepError(context, line_number,
+                   "node_timeout_ms = \"" + std::string(value) +
+                       "\" is not a non-negative number");
+      }
+      spec.node_timeout_ms = *number;
+    } else {
+      SweepError(context, line_number,
+                 "unknown key \"" + key +
+                     "\" (expected source, mechanisms, evaluators, seeds, "
+                     "threads, cache_dir, cache_max_bytes, node_timeout_ms)");
+    }
+  }
+  if (spec.seeds.empty()) spec.seeds = {1};
+  return spec;
+}
+
+ScenarioSpec LoadSweepConfig(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw model::IoError("cannot open sweep config: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSweepConfig(buffer.str(), path);
 }
 
 BoundSource BoundSource::Bind(const DatasetSourceSpec& spec) {

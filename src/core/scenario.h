@@ -88,6 +88,11 @@ struct ScenarioSpec {
   /// engine recomputes and overwrites it. Purely a performance knob;
   /// reports are byte-identical with the cache on, off, cold or warm.
   std::string mechanism_cache_dir;
+  /// Byte cap for `mechanism_cache_dir` (0 = unbounded). When a spill
+  /// pushes the directory past the cap, least-recently-used entries are
+  /// evicted until it fits (recency = last reuse). Evicting a live entry
+  /// only costs a recompute — reports stay byte-identical under any cap.
+  std::uint64_t mechanism_cache_max_bytes = 0;
   /// Per-node wall-clock watchdog, milliseconds (0 = off). A node whose
   /// execution exceeds this is recorded as failed ("node exceeded
   /// node_timeout" error row) and its dependents are skipped; the rest of
@@ -96,6 +101,22 @@ struct ScenarioSpec {
   /// (preemption needs the multi-process workers of ROADMAP item 2).
   double node_timeout_ms = 0.0;
 };
+
+/// Parses a sweep-config text (the `anonymize_csv --sweep` file format;
+/// docs/FORMAT.md, "Sweep config files") into a ScenarioSpec. Line
+/// oriented `key = value`; '#' starts a comment; blank lines are ignored.
+/// Keys: source, mechanisms, evaluators, seeds, threads, cache_dir,
+/// cache_max_bytes, node_timeout_ms (mechanism/evaluator accepted as
+/// singular aliases). List values split on top-level commas, so chain and
+/// bracket parameters pass through intact. Unknown keys and malformed
+/// values throw util::SpecError with the offending line number; `context`
+/// (typically the file name) prefixes every message.
+[[nodiscard]] ScenarioSpec ParseSweepConfig(std::string_view text,
+                                            const std::string& context);
+
+/// Reads `path` and parses it with ParseSweepConfig(text, path). Throws
+/// model::IoError when the file cannot be read.
+[[nodiscard]] ScenarioSpec LoadSweepConfig(const std::string& path);
 
 /// A bound dataset source: owns whatever storage the source kind needs
 /// (parsed dataset, synthetic world, mmap mappings) and serves one

@@ -10,6 +10,7 @@
 // through this registry like every baseline's, so the registry reaches up
 // one layer for the one composite the paper is about.
 #include "core/anonymizer.h"
+#include "mechanisms/chain.h"
 #include "mechanisms/cloaking.h"
 #include "mechanisms/downsampling.h"
 #include "mechanisms/gaussian_noise.h"
@@ -158,6 +159,11 @@ void RegisterMechanism(std::string base, MechanismFactory factory) {
 }
 
 std::unique_ptr<Mechanism> CreateMechanism(std::string_view spec_text) {
+  // Chain texts ("a[...]|b") dispatch before Spec::Parse: '|' is a chain
+  // separator only at the top level, and a single Spec has no stage list.
+  if (util::SplitTopLevel(spec_text, '|').size() > 1) {
+    return CreateChain(spec_text);
+  }
   const util::Spec spec = util::Spec::Parse(spec_text);
   MechanismFactory factory;
   {

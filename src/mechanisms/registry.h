@@ -12,9 +12,11 @@
 // canned list of spec strings over this registry).
 //
 // Grammar: util::Spec ("base[key=value,...]"; numeric values may carry a
-// unit suffix). Unknown bases and unknown parameters throw util::SpecError
-// — a typo'd grid cell fails loudly at compile time, not silently at
-// report time.
+// unit suffix). Spec texts with a top-level '|' are chains
+// ("geo_ind[eps=0.1]|downsampling") and build a mech::ChainMechanism that
+// applies the stages left to right. Unknown bases and unknown parameters
+// throw util::SpecError — a typo'd grid cell fails loudly at compile
+// time, not silently at report time.
 #pragma once
 
 #include <functional>

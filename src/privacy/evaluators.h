@@ -1,0 +1,60 @@
+// src/privacy wired into the scenario engine: certification and
+// mix-zone-uncertainty checks as core::Evaluator implementations, so
+// sweep reports carry privacy columns next to utility ones (the paper's
+// privacy-utility frontier in one table).
+//
+// Both evaluators register in the core evaluator registry under the bases
+// "certification" and "uncertainty"; their Name()s print only non-default
+// parameters and round-trip through core::CreateEvaluator like every
+// built-in.
+#pragma once
+
+#include "core/evaluator.h"
+#include "mechanisms/mixzone.h"
+#include "privacy/certification.h"
+
+namespace mobipriv::privacy {
+
+/// Scores the PUBLISHED dataset against the constant-speed publication
+/// certificate (privacy/certification.h). Metrics:
+///   cert_certified        1.0 when zero violations, else 0.0
+///   cert_violations       violation count
+///   cert_violation_ratio  violations / traces checked (0 when none)
+class CertificationEvaluator final : public core::Evaluator {
+ public:
+  explicit CertificationEvaluator(CertificationConfig config = {});
+
+  /// "certification[spacing=...,interval=...s,min_events=...]" with only
+  /// non-default knobs printed (bare "certification" at defaults).
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+
+ private:
+  CertificationConfig config_;
+};
+
+/// Scores the mixing uncertainty an adversary faces: runs mix-zone
+/// detection over the ORIGINAL dataset (the potential — what natural
+/// meetings could have provided) and over the PUBLISHED dataset (the
+/// residual — meetings still observable after anonymization). Entropy is
+/// log2(k) bits per occurrence with anonymity set k. Metrics:
+///   mix_potential_bits / mix_potential_occurrences
+///   mix_residual_bits  / mix_residual_occurrences
+/// Anonymity-set sizes are rng-independent (detection is deterministic),
+/// so the metrics are too.
+class UncertaintyEvaluator final : public core::Evaluator {
+ public:
+  explicit UncertaintyEvaluator(mech::MixZoneConfig config = {});
+
+  /// "uncertainty[r=...m,w=...s,min_users=...]" with only non-default
+  /// knobs printed (bare "uncertainty" at defaults).
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<core::MetricValue> Evaluate(
+      const core::EvalInput& input) const override;
+
+ private:
+  mech::MixZoneConfig config_;
+};
+
+}  // namespace mobipriv::privacy

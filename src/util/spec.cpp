@@ -111,6 +111,42 @@ std::int64_t Spec::IntOf(std::string_view key, std::int64_t fallback) const {
   return *parsed;
 }
 
+SpecChain SpecChain::Parse(std::string_view text) {
+  SpecChain chain;
+  for (const std::string& piece : SplitTopLevel(text, '|')) {
+    if (piece.empty()) Malformed(text, "empty chain stage");
+    chain.stages_.push_back(Spec::Parse(piece));
+  }
+  return chain;
+}
+
+std::string SpecChain::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += "|";
+    out += stages_[i].ToString();
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTopLevel(std::string_view text, char separator) {
+  std::vector<std::string> pieces;
+  std::size_t depth = 0;
+  std::string current;
+  for (const char c : text) {
+    if (c == '[') ++depth;
+    if (c == ']' && depth > 0) --depth;
+    if (c == separator && depth == 0) {
+      pieces.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  pieces.push_back(std::move(current));
+  return pieces;
+}
+
 void Spec::RequireKnownKeys(std::initializer_list<std::string_view> known,
                             const std::string& context) const {
   for (const Entry& entry : entries_) {

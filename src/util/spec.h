@@ -1,6 +1,7 @@
 // Spec strings: the tiny declarative grammar shared by the mechanism
 // registry and the evaluator registry.
 //
+//   chain     := spec ("|" spec)*
 //   spec      := base [ "[" entry ("," entry)* "]" ]
 //   entry     := key "=" value   (parameter)
 //              | token           (flag, e.g. "speed+mix")
@@ -9,8 +10,10 @@
 //
 // A spec is what Mechanism::Name() already prints ("geo_ind[eps=0.0100]",
 // "wait4me[k=4,delta=500m]"): this module makes those names parse back.
-// Numeric values may carry a trailing unit suffix ("500m", "600s") which
-// NumberOf strips — units are documentation, not semantics.
+// A chain composes specs left to right ("geo_ind[eps=0.1]|downsampling"):
+// stage separators are only recognized at the top level, never inside
+// brackets. Numeric values may carry a trailing unit suffix ("500m",
+// "600s") which NumberOf strips — units are documentation, not semantics.
 #pragma once
 
 #include <optional>
@@ -75,6 +78,41 @@ class Spec {
   std::string base_;
   std::vector<Entry> entries_;
 };
+
+/// A pipeline of specs applied left to right: `"a[...]|b[...]|c"`.
+/// Single-stage chains are ordinary specs — Parse accepts every string
+/// Spec::Parse accepts and ToString then prints the identical text, so
+/// existing single-mechanism call sites can adopt SpecChain untouched.
+class SpecChain {
+ public:
+  SpecChain() = default;
+
+  /// Splits on top-level '|' (separators inside brackets are literal) and
+  /// parses each stage with Spec::Parse. Throws SpecError on empty stages
+  /// ("a||b", "|a", "a|") or any per-stage parse failure.
+  [[nodiscard]] static SpecChain Parse(std::string_view text);
+
+  /// Stage ToString()s joined with '|': Parse(s).ToString() == s for any
+  /// already-canonical chain string.
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] const std::vector<Spec>& stages() const noexcept {
+    return stages_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+
+  void Append(Spec stage) { stages_.push_back(std::move(stage)); }
+
+ private:
+  std::vector<Spec> stages_;
+};
+
+/// Splits `text` on `separator` occurrences outside "[...]" brackets.
+/// Empty pieces are preserved ("a||b" -> {"a", "", "b"}); an empty input
+/// yields one empty piece. Bracket balance is NOT validated here — each
+/// piece is expected to go through Spec::Parse, which is.
+[[nodiscard]] std::vector<std::string> SplitTopLevel(std::string_view text,
+                                                     char separator);
 
 /// Strips one trailing run of alphabetic characters ("500m" -> "500").
 [[nodiscard]] std::string_view StripUnitSuffix(std::string_view value);

@@ -1,0 +1,310 @@
+// LRU eviction of the `.mpc` mechanism-output cache, alone and under
+// fault injection:
+//   * the byte cap evicts least-recently-used entries first (sidecar
+//     mtime order, refreshed on every hit; orphaned payloads go first);
+//   * eviction and injected write failures never leave a torn committed
+//     entry — at worst an orphaned payload, which readers treat as a miss;
+//   * an engine run under a tiny cap (every entry, including a live chain
+//     prefix, evicted as it is written) degrades to recompute and stays
+//     byte-identical to the cache-off report — never a wrong answer.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/output_cache.h"
+#include "core/scenario.h"
+#include "model/event_store.h"
+#include "synth/population.h"
+#include "util/fault.h"
+
+namespace mobipriv {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fault = util::fault;
+
+const model::Dataset& World() {
+  static const synth::SyntheticWorld* world = [] {
+    synth::PopulationConfig config;
+    config.agents = 8;
+    config.days = 1;
+    config.seed = 99;
+    return new synth::SyntheticWorld(config);
+  }();
+  return world->dataset();
+}
+
+const model::EventStore& WorldStore() {
+  static const model::EventStore* store =
+      new model::EventStore(model::EventStore::FromDataset(World()));
+  return *store;
+}
+
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("mobipriv_evict_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+};
+
+struct DisarmGuard {
+  ~DisarmGuard() { fault::DisarmAll(); }
+};
+
+fault::Config FailTimes(std::uint64_t times) {
+  fault::Config config;
+  config.mode = fault::Mode::kFailTimes;
+  config.times = times;
+  return config;
+}
+
+fault::Config ShortIo(std::size_t bytes, std::uint64_t times = 1) {
+  fault::Config config;
+  config.mode = fault::Mode::kShortIo;
+  config.bytes = bytes;
+  config.times = times;
+  return config;
+}
+
+/// Names of equal length, so every entry occupies the same byte total and
+/// "cap = one entry" arithmetic is exact.
+const std::string kNameA = "stage_a";
+const std::string kNameB = "stage_b";
+const std::string kNameC = "stage_c";
+constexpr std::uint64_t kFp = 0x1234;
+constexpr std::uint64_t kSeed = 1;
+
+fs::path KeyPath(const fs::path& dir, const std::string& name) {
+  return dir / (core::OutputCache::Stem(
+                    core::OutputCache::KeyText(name, kFp, kSeed)) +
+                ".key");
+}
+fs::path MpcPath(const fs::path& dir, const std::string& name) {
+  return dir / (core::OutputCache::Stem(
+                    core::OutputCache::KeyText(name, kFp, kSeed)) +
+                ".mpc");
+}
+
+/// Sets an entry's LRU recency by backdating its sidecar `minutes` into
+/// the past (larger = colder).
+void Backdate(const fs::path& dir, const std::string& name, int minutes) {
+  fs::last_write_time(KeyPath(dir, name), fs::file_time_type::clock::now() -
+                                              std::chrono::minutes(minutes));
+}
+
+std::uint64_t EntryBytes(const fs::path& dir, const std::string& name) {
+  return fs::file_size(MpcPath(dir, name)) + fs::file_size(KeyPath(dir, name));
+}
+
+/// The no-torn-entries invariant: only .mpc / .key files (no .tmp
+/// leftovers), and every sidecar has its payload. An orphaned PAYLOAD is
+/// legal (interrupted commit or eviction — readers miss); an orphaned
+/// SIDECAR never is, since the sidecar is the commit marker.
+void ExpectNoTornEntries(const fs::path& dir) {
+  for (const auto& item : fs::directory_iterator(dir)) {
+    const std::string ext = item.path().extension().string();
+    EXPECT_TRUE(ext == ".mpc" || ext == ".key")
+        << "unexpected file: " << item.path();
+    if (ext == ".key") {
+      EXPECT_TRUE(fs::exists(item.path().parent_path() /
+                             (item.path().stem().string() + ".mpc")))
+          << "orphaned sidecar (commit marker without payload): "
+          << item.path();
+    }
+  }
+}
+
+TEST(CacheEviction, EvictsLeastRecentlyUsedFirst) {
+  const ScratchDir scratch("lru");
+  {
+    core::OutputCache unbounded(scratch.path);
+    unbounded.Store(core::OutputCache::KeyText(kNameA, kFp, kSeed),
+                    WorldStore());
+    unbounded.Store(core::OutputCache::KeyText(kNameB, kFp, kSeed),
+                    WorldStore());
+    unbounded.Store(core::OutputCache::KeyText(kNameC, kFp, kSeed),
+                    WorldStore());
+  }
+  Backdate(scratch.path, kNameA, 30);  // coldest
+  Backdate(scratch.path, kNameB, 20);
+  Backdate(scratch.path, kNameC, 10);  // warmest
+
+  core::OutputCache capped(scratch.path, EntryBytes(scratch.path, kNameC));
+  capped.EnforceCap();
+  EXPECT_EQ(capped.evictions(), 2u);
+  EXPECT_FALSE(fs::exists(MpcPath(scratch.path, kNameA)));
+  EXPECT_FALSE(fs::exists(KeyPath(scratch.path, kNameA)));
+  EXPECT_FALSE(fs::exists(MpcPath(scratch.path, kNameB)));
+  EXPECT_TRUE(fs::exists(MpcPath(scratch.path, kNameC)));
+  EXPECT_TRUE(fs::exists(KeyPath(scratch.path, kNameC)));
+  ExpectNoTornEntries(scratch.path);
+
+  // The survivor still loads.
+  model::EventStore loaded;
+  EXPECT_TRUE(capped.TryLoad(core::OutputCache::KeyText(kNameC, kFp, kSeed),
+                             loaded));
+  EXPECT_EQ(loaded.EventCount(), WorldStore().EventCount());
+}
+
+TEST(CacheEviction, HitRefreshesRecencyAndSavesTheEntry) {
+  const ScratchDir scratch("touch");
+  core::OutputCache unbounded(scratch.path);
+  unbounded.Store(core::OutputCache::KeyText(kNameA, kFp, kSeed),
+                  WorldStore());
+  unbounded.Store(core::OutputCache::KeyText(kNameB, kFp, kSeed),
+                  WorldStore());
+  Backdate(scratch.path, kNameA, 30);  // A would be evicted first...
+  Backdate(scratch.path, kNameB, 10);
+
+  // ...but a hit refreshes A's recency past B's.
+  model::EventStore loaded;
+  ASSERT_TRUE(unbounded.TryLoad(core::OutputCache::KeyText(kNameA, kFp, kSeed),
+                                loaded));
+
+  core::OutputCache capped(scratch.path, EntryBytes(scratch.path, kNameA));
+  capped.EnforceCap();
+  EXPECT_EQ(capped.evictions(), 1u);
+  EXPECT_TRUE(fs::exists(MpcPath(scratch.path, kNameA)));
+  EXPECT_FALSE(fs::exists(MpcPath(scratch.path, kNameB)));
+}
+
+TEST(CacheEviction, OrphanedPayloadsReadAsMissAndEvictFirst) {
+  const ScratchDir scratch("orphan");
+  core::OutputCache unbounded(scratch.path);
+  unbounded.Store(core::OutputCache::KeyText(kNameA, kFp, kSeed),
+                  WorldStore());
+  unbounded.Store(core::OutputCache::KeyText(kNameB, kFp, kSeed),
+                  WorldStore());
+
+  // Orphan A (the state an interrupted eviction leaves behind): reader
+  // misses, even though the payload is intact.
+  fs::remove(KeyPath(scratch.path, kNameA));
+  model::EventStore loaded;
+  EXPECT_FALSE(unbounded.TryLoad(
+      core::OutputCache::KeyText(kNameA, kFp, kSeed), loaded));
+
+  // Under a cap, the orphan goes first even though B is older by mtime.
+  Backdate(scratch.path, kNameB, 60);
+  core::OutputCache capped(scratch.path, EntryBytes(scratch.path, kNameB));
+  capped.EnforceCap();
+  EXPECT_EQ(capped.evictions(), 1u);
+  EXPECT_FALSE(fs::exists(MpcPath(scratch.path, kNameA)));
+  EXPECT_TRUE(fs::exists(MpcPath(scratch.path, kNameB)));
+  EXPECT_TRUE(fs::exists(KeyPath(scratch.path, kNameB)));
+}
+
+TEST(CacheEviction, InjectedWriteFaultsNeverCommitTornEntries) {
+  const ScratchDir scratch("faults");
+  const DisarmGuard guard;
+  const std::string key = core::OutputCache::KeyText(kNameA, kFp, kSeed);
+  core::OutputCache cache(scratch.path, 1);  // evict everything, always
+
+  // A spill that fails before writing anything: no files at all.
+  fault::Arm(fault::points::kCacheWriteSpill, FailTimes(1));
+  cache.Store(key, WorldStore());
+  ExpectNoTornEntries(scratch.path);
+  model::EventStore loaded;
+  EXPECT_FALSE(cache.TryLoad(key, loaded));
+
+  // A payload write torn mid-file (short I/O): the atomic-commit helper
+  // never publishes it — no committed payload, no sidecar.
+  fault::DisarmAll();
+  fault::Arm(fault::points::kColumnarWriteShort, ShortIo(64));
+  cache.Store(key, WorldStore());
+  ExpectNoTornEntries(scratch.path);
+  EXPECT_FALSE(fs::exists(KeyPath(scratch.path, kNameA)));
+  EXPECT_FALSE(cache.TryLoad(key, loaded));
+
+  // Healthy again: the same Store commits (and the cap immediately evicts
+  // it — still never a torn state).
+  fault::DisarmAll();
+  cache.Store(key, WorldStore());
+  EXPECT_GE(cache.evictions(), 1u);
+  ExpectNoTornEntries(scratch.path);
+}
+
+// ---- Engine under a byte cap: eviction is never a semantic event. -------
+
+core::ScenarioSpec ChainSpec(const std::string& cache_dir,
+                             std::uint64_t cache_max_bytes) {
+  core::ScenarioSpec spec;
+  spec.source = core::DatasetSourceSpec::Borrowed(World());
+  // Two rows sharing a 2-stage prefix: 4 stage nodes, one of them a LIVE
+  // prefix other nodes depend on.
+  spec.mechanisms = {"geo_ind[eps=0.05]|downsampling[dt=120]|cloaking",
+                     "geo_ind[eps=0.05]|downsampling[dt=120]|gaussian"};
+  spec.evaluators = {"spatial_distortion", "certification"};
+  spec.seeds = {3};
+  spec.threads = 1;
+  spec.mechanism_cache_dir = cache_dir;
+  spec.mechanism_cache_max_bytes = cache_max_bytes;
+  return spec;
+}
+
+TEST(CacheEviction, EngineUnderTinyCapRecomputesNeverWrongAnswer) {
+  const ScratchDir scratch("engine");
+  const std::string cache_dir = (scratch.path / "cache").string();
+  const std::string reference =
+      core::RunScenario(ChainSpec("", 0)).ToCsv();
+
+  // Cap of 1 byte: every spill (including the live shared prefix) is
+  // evicted the moment it lands. The run is unaffected — stage outputs
+  // flow through memory; the cache is write-only losses.
+  core::ScenarioEngine tiny(ChainSpec(cache_dir, 1));
+  EXPECT_EQ(tiny.Run().ToCsv(), reference);
+  EXPECT_EQ(tiny.stats().cache_misses, 4u);
+  EXPECT_EQ(tiny.stats().cache_evictions, 4u);
+  ExpectNoTornEntries(cache_dir);
+
+  // The next run finds nothing (all evicted) and recomputes — cold again,
+  // byte-identical again.
+  core::ScenarioEngine again(ChainSpec(cache_dir, 1));
+  EXPECT_EQ(again.Run().ToCsv(), reference);
+  EXPECT_EQ(again.stats().cache_hits, 0u);
+  EXPECT_EQ(again.stats().cache_misses, 4u);
+
+  // Unbounded: cold spill, then a fully warm run — still byte-identical.
+  core::ScenarioEngine cold(ChainSpec(cache_dir, 0));
+  EXPECT_EQ(cold.Run().ToCsv(), reference);
+  core::ScenarioEngine warm(ChainSpec(cache_dir, 0));
+  EXPECT_EQ(warm.Run().ToCsv(), reference);
+  EXPECT_EQ(warm.stats().cache_hits, 4u);
+  EXPECT_EQ(warm.stats().cache_evictions, 0u);
+}
+
+TEST(CacheEviction, EngineEvictionUnderWriteFaultsStaysByteIdentical) {
+  const ScratchDir scratch("engine_faults");
+  const std::string cache_dir = (scratch.path / "cache").string();
+  const DisarmGuard guard;
+  const std::string reference =
+      core::RunScenario(ChainSpec("", 0)).ToCsv();
+
+  // First two spills fail outright AND the cap evicts whatever lands:
+  // the report must not notice either.
+  fault::Arm(fault::points::kCacheWriteSpill, FailTimes(2));
+  core::ScenarioEngine hostile(ChainSpec(cache_dir, 1));
+  EXPECT_EQ(hostile.Run().ToCsv(), reference);
+  EXPECT_EQ(fault::TripCount(fault::points::kCacheWriteSpill), 2u);
+  ExpectNoTornEntries(cache_dir);
+
+  // Torn payload writes (short I/O on every spill this run) with an
+  // unbounded cache: nothing commits, nothing tears, report identical.
+  fault::DisarmAll();
+  fault::Arm(fault::points::kColumnarWriteShort, ShortIo(64, 4));
+  core::ScenarioEngine torn(ChainSpec(cache_dir, 0));
+  EXPECT_EQ(torn.Run().ToCsv(), reference);
+  ExpectNoTornEntries(cache_dir);
+}
+
+}  // namespace
+}  // namespace mobipriv

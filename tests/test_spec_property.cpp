@@ -1,0 +1,213 @@
+// Property/fuzz tests for the spec grammar (util/spec.h): randomized
+// specs and chains round-trip (parse -> print -> parse is a fixed point),
+// random garbage either parses or is rejected deterministically with
+// stable error text, and the documented error messages are pinned.
+#include "util/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace mobipriv {
+namespace {
+
+using util::Spec;
+using util::SpecChain;
+using util::SpecError;
+
+/// Deterministic generator: every run exercises the same cases.
+struct Gen {
+  std::mt19937_64 rng{20260808};
+
+  std::size_t Index(std::size_t bound) {
+    return static_cast<std::size_t>(rng() % bound);
+  }
+
+  std::string From(std::string_view charset, std::size_t min_len,
+                   std::size_t max_len) {
+    const std::size_t len = min_len + Index(max_len - min_len + 1);
+    std::string out;
+    for (std::size_t i = 0; i < len; ++i) {
+      out += charset[Index(charset.size())];
+    }
+    return out;
+  }
+
+  /// base/key charset per the grammar comment: [A-Za-z0-9_+.-]+.
+  std::string Ident() { return From("abcXYZ019_+.-", 1, 8); }
+  /// Values: anything up to the next "," or "]"; no brackets (nested
+  /// brackets are rejected). '=' and '|' are legal inside a value.
+  std::string Value() { return From("abc019_.=|: -", 1, 8); }
+
+  /// A canonical spec: ToString() output by construction.
+  Spec RandomSpec() {
+    Spec spec(Ident());
+    const std::size_t entries = Index(4);
+    for (std::size_t i = 0; i < entries; ++i) {
+      if (Index(3) == 0) {
+        spec.AddFlag(Ident());
+      } else {
+        spec.Add(Ident(), Value());
+      }
+    }
+    return spec;
+  }
+
+  SpecChain RandomChain(std::size_t max_stages) {
+    SpecChain chain;
+    const std::size_t stages = 1 + Index(max_stages);
+    for (std::size_t i = 0; i < stages; ++i) chain.Append(RandomSpec());
+    return chain;
+  }
+};
+
+TEST(SpecProperty, RandomCanonicalSpecsRoundTrip) {
+  Gen gen;
+  for (int i = 0; i < 2000; ++i) {
+    const Spec spec = gen.RandomSpec();
+    const std::string text = spec.ToString();
+    const Spec reparsed = Spec::Parse(text);
+    EXPECT_EQ(reparsed.ToString(), text);
+    EXPECT_EQ(reparsed.base(), spec.base());
+    ASSERT_EQ(reparsed.entries().size(), spec.entries().size()) << text;
+    for (std::size_t e = 0; e < spec.entries().size(); ++e) {
+      EXPECT_EQ(reparsed.entries()[e].key, spec.entries()[e].key) << text;
+      EXPECT_EQ(reparsed.entries()[e].value, spec.entries()[e].value)
+          << text;
+      EXPECT_EQ(reparsed.entries()[e].has_value,
+                spec.entries()[e].has_value)
+          << text;
+    }
+  }
+}
+
+TEST(SpecProperty, RandomCanonicalChainsRoundTrip) {
+  Gen gen;
+  for (int i = 0; i < 2000; ++i) {
+    const SpecChain chain = gen.RandomChain(4);
+    const std::string text = chain.ToString();
+    const SpecChain reparsed = SpecChain::Parse(text);
+    EXPECT_EQ(reparsed.ToString(), text);
+    EXPECT_EQ(reparsed.size(), chain.size()) << text;
+  }
+}
+
+TEST(SpecProperty, ParsePrintParseIsAFixedPointOnAnyAcceptedInput) {
+  // Non-canonical but accepted inputs ("a[]") may print differently ONCE;
+  // after the first print the text must be a fixed point.
+  Gen gen;
+  const std::string charset = "ab1_+.-[],=| ";
+  int accepted = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const std::string text = gen.From(charset, 1, 12);
+    std::string printed;
+    try {
+      printed = SpecChain::Parse(text).ToString();
+    } catch (const SpecError&) {
+      continue;
+    }
+    ++accepted;
+    EXPECT_EQ(SpecChain::Parse(printed).ToString(), printed)
+        << "input: " << text;
+  }
+  EXPECT_GT(accepted, 100);  // the generator must actually hit the grammar
+}
+
+TEST(SpecProperty, RejectsAreDeterministicWithStableText) {
+  Gen gen;
+  const std::string charset = "ab1[],=|";
+  int rejected = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const std::string text = gen.From(charset, 1, 10);
+    std::string first_error;
+    try {
+      (void)SpecChain::Parse(text);
+      continue;
+    } catch (const SpecError& e) {
+      first_error = e.what();
+    }
+    ++rejected;
+    // Same input, same rejection, same message — every time.
+    try {
+      (void)SpecChain::Parse(text);
+      ADD_FAILURE() << "accepted on re-parse: " << text;
+    } catch (const SpecError& e) {
+      EXPECT_EQ(std::string(e.what()), first_error) << text;
+    }
+  }
+  EXPECT_GT(rejected, 100);
+}
+
+TEST(SpecProperty, PinnedErrorMessages) {
+  const auto error_of = [](std::string_view text) -> std::string {
+    try {
+      (void)SpecChain::Parse(text);
+    } catch (const SpecError& e) {
+      return e.what();
+    }
+    return "<accepted>";
+  };
+  EXPECT_EQ(error_of(""), "malformed spec \"\": empty chain stage");
+  EXPECT_EQ(error_of("[x=1]"),
+            "malformed spec \"[x=1]\": empty base name");
+  EXPECT_EQ(error_of("a[x=1"), "malformed spec \"a[x=1\": missing closing ]");
+  EXPECT_EQ(error_of("a[x=1]z"),
+            "malformed spec \"a[x=1]z\": missing closing ]");
+  EXPECT_EQ(error_of("a[[x]]"), "malformed spec \"a[[x]]\": nested brackets");
+  EXPECT_EQ(error_of("a[,x]"), "malformed spec \"a[,x]\": empty entry");
+  EXPECT_EQ(error_of("a[=1]"), "malformed spec \"a[=1]\": empty key");
+  EXPECT_EQ(error_of("a||b"), "malformed spec \"a||b\": empty chain stage");
+  EXPECT_EQ(error_of("|a"), "malformed spec \"|a\": empty chain stage");
+  EXPECT_EQ(error_of("a|"), "malformed spec \"a|\": empty chain stage");
+}
+
+TEST(SpecProperty, QuotingEdgeCases) {
+  // '=' in a value: only the FIRST '=' splits key from value.
+  const Spec eq = Spec::Parse("a[k=v=w]");
+  EXPECT_EQ(eq.Get("k"), "v=w");
+  EXPECT_EQ(eq.ToString(), "a[k=v=w]");
+
+  // '|' inside brackets is a literal, not a stage separator.
+  const SpecChain piped = SpecChain::Parse("a[x=1|2]");
+  EXPECT_EQ(piped.size(), 1u);
+  EXPECT_EQ(piped.stages()[0].Get("x"), "1|2");
+  EXPECT_EQ(piped.ToString(), "a[x=1|2]");
+
+  // ... and a chain around it still splits at the top level only.
+  const SpecChain mixed = SpecChain::Parse("a[x=1|2]|b");
+  EXPECT_EQ(mixed.size(), 2u);
+  EXPECT_EQ(mixed.stages()[1].base(), "b");
+
+  // Empty bracket body canonicalizes to the bare base (one-way, then
+  // fixed): "a[]" -> "a".
+  EXPECT_EQ(SpecChain::Parse("a[]").ToString(), "a");
+  EXPECT_EQ(SpecChain::Parse("a[]|b[]").ToString(), "a|b");
+
+  // Unit suffixes survive verbatim (stripping is a read-time concern).
+  const Spec unit = Spec::Parse("w4m[delta=500m,w=600s]");
+  EXPECT_EQ(unit.ToString(), "w4m[delta=500m,w=600s]");
+  EXPECT_DOUBLE_EQ(unit.NumberOf("delta", 0.0), 500.0);
+
+  // Flag tokens with '+' (the "ours" stage-list idiom).
+  const Spec flags = Spec::Parse("ours[speed+mix,eps=100m]");
+  EXPECT_TRUE(flags.HasFlag("speed+mix"));
+  EXPECT_EQ(flags.ToString(), "ours[speed+mix,eps=100m]");
+}
+
+TEST(SpecProperty, SplitTopLevelContract) {
+  using util::SplitTopLevel;
+  EXPECT_EQ(SplitTopLevel("a|b|c", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitTopLevel("a[x|y]|b", '|'),
+            (std::vector<std::string>{"a[x|y]", "b"}));
+  EXPECT_EQ(SplitTopLevel("a||b", '|'),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitTopLevel("", '|'), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitTopLevel("k[a,b],c", ','),
+            (std::vector<std::string>{"k[a,b]", "c"}));
+}
+
+}  // namespace
+}  // namespace mobipriv
