@@ -27,7 +27,10 @@
 #include "mechanisms/speed_smoothing.h"
 #include "mechanisms/wait4me.h"
 #include "model/io.h"
+#include "model/sharded_dataset.h"
 #include "synth/population.h"
+#include "synth/streaming_world.h"
+#include "util/resource.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
 
@@ -49,6 +52,17 @@ const synth::SyntheticWorld& WorldOfSize(std::size_t agents) {
              .first;
   }
   return *it->second;
+}
+
+/// Attaches the process peak-RSS counter to a row (MB). getrusage reports
+/// a lifetime high-water mark, so inside a full suite run the value is an
+/// upper bound shaped by whatever ran earlier; run a benchmark alone
+/// (--benchmark_filter) for its true residency — the out-of-core
+/// acceptance procedure does exactly that. compare_bench.py prints these
+/// counters as an informational (never gated) delta table.
+void RecordPeakRss(benchmark::State& state) {
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(util::PeakRssBytes()) / (1024.0 * 1024.0);
 }
 
 template <typename MechanismT>
@@ -198,6 +212,7 @@ void BM_IngestCsv(benchmark::State& state) {
     bytes += text.size();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  RecordPeakRss(state);
 }
 BENCHMARK(BM_IngestCsv)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
 
@@ -271,6 +286,7 @@ void BM_WriteColumnar(benchmark::State& state) {
     bytes += static_cast<std::size_t>(std::filesystem::file_size(path));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  RecordPeakRss(state);
   std::filesystem::remove(path);
 }
 BENCHMARK(BM_WriteColumnar)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
@@ -287,6 +303,7 @@ void BM_ReadColumnar(benchmark::State& state) {
     bytes += file_bytes;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  RecordPeakRss(state);
 }
 BENCHMARK(BM_ReadColumnar)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
 
@@ -303,6 +320,7 @@ void BM_OpenColumnarMmap(benchmark::State& state) {
     events += mapped.EventCount();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  RecordPeakRss(state);
 }
 BENCHMARK(BM_OpenColumnarMmap)
     ->Arg(100)
@@ -374,6 +392,7 @@ void BM_EngineGrid(benchmark::State& state) {
     events += WorldOfSize(agents).dataset().EventCount();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  RecordPeakRss(state);
 }
 BENCHMARK(BM_EngineGrid)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
 
@@ -409,6 +428,7 @@ void BM_EngineGridCached(benchmark::State& state) {
   state.counters["cache_hits"] = hits;
   state.counters["cache_misses"] = misses;
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  RecordPeakRss(state);
   std::filesystem::remove_all(cache_dir);
 }
 BENCHMARK(BM_EngineGridCached)
@@ -444,6 +464,7 @@ void BM_EngineGridIndependent(benchmark::State& state) {
     events += WorldOfSize(agents).dataset().EventCount();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  RecordPeakRss(state);
 }
 BENCHMARK(BM_EngineGridIndependent)
     ->Arg(100)
@@ -479,6 +500,7 @@ void BM_EngineGridChainShared(benchmark::State& state) {
     events += WorldOfSize(agents).dataset().EventCount();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  RecordPeakRss(state);
 }
 BENCHMARK(BM_EngineGridChainShared)
     ->Arg(100)
@@ -694,6 +716,140 @@ void BM_SyntheticGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyntheticGeneration)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// ---- Out-of-core scale: streaming generation + shard-streamed grids --------
+// The 10^6-agent path. BM_GenerateWorld streams a synthetic population
+// straight into a sharded `.mpc` directory through per-shard appenders —
+// the acceptance bar is peak RSS < 25% of the bytes written at 1M agents
+// (run it filtered, in a fresh process, so ru_maxrss is this benchmark's).
+// BM_EngineGridShardStream then executes a foldable grid over such a
+// directory shard by shard (streamed_shards > 0) against
+// BM_EngineGridShardWhole, the same grid forced down the whole-view bind:
+// identical reports, one shard resident instead of all of them.
+
+/// Streaming generation config of one bench size: sparse recording (the
+/// million-agent sizing — 120 s fixes), 1 day, 16 shards.
+synth::StreamingWorldConfig GenerateWorldConfig(std::size_t agents) {
+  synth::StreamingWorldConfig config;
+  config.population.agents = agents;
+  config.population.days = 1;
+  config.population.seed = 4242;
+  config.population.simulator.sampling_interval_s = 120;
+  config.shard_count = 16;
+  return config;
+}
+
+void BM_GenerateWorld(benchmark::State& state) {
+  const auto agents = static_cast<std::size_t>(state.range(0));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("mobipriv_bench_genworld_" + std::to_string(agents) + ".shards"))
+          .string();
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const synth::StreamingWorldStats stats =
+        synth::GenerateShardedWorld(GenerateWorldConfig(agents), dir);
+    benchmark::DoNotOptimize(stats.events);
+    events += stats.events;
+    state.counters["disk_mb"] =
+        static_cast<double>(stats.bytes_written) / (1024.0 * 1024.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));  // rows/sec
+  RecordPeakRss(state);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_GenerateWorld)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Streaming-generated shard directory of a world, built once per size.
+const std::string& ShardDirOfSize(std::size_t agents) {
+  static std::map<std::size_t, std::string> cache;
+  auto it = cache.find(agents);
+  if (it == cache.end()) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("mobipriv_bench_sharddir_" + std::to_string(agents) + ".shards"))
+            .string();
+    synth::StreamingWorldConfig config;
+    config.population.agents = agents;
+    config.population.days = 1;
+    config.population.seed = 9000 + agents;
+    config.shard_count = 8;
+    (void)synth::GenerateShardedWorld(config, dir);
+    it = cache.emplace(agents, dir).first;
+  }
+  return it->second;
+}
+
+/// Event count of a shard directory from shard headers only (lazy maps,
+/// no column pages touched — the count must not cost residency here).
+std::size_t ShardDirEventCount(const std::string& dir) {
+  const model::ShardManifest manifest = model::ReadShardManifest(dir);
+  std::size_t events = 0;
+  for (std::size_t s = 0; s < manifest.shard_count; ++s) {
+    events += model::MapColumnar(model::ShardDataPath(dir, s)).EventCount();
+  }
+  return events;
+}
+
+/// The foldable grid both shard benches run: single-stage per-trace
+/// mechanisms x foldable evaluators (the streamed-path precondition).
+core::ScenarioSpec ShardGridSpec(const std::string& dir) {
+  core::ScenarioSpec spec;
+  spec.source = core::DatasetSourceSpec::ShardDir(dir);
+  spec.mechanisms = GridMechanisms();
+  spec.evaluators = {"trajectory_stats", "range_queries[n=32]"};
+  spec.seeds = {1};
+  return spec;
+}
+
+void BM_EngineGridShardStream(benchmark::State& state) {
+  const auto agents = static_cast<std::size_t>(state.range(0));
+  const std::string& dir = ShardDirOfSize(agents);
+  const std::size_t dir_events = ShardDirEventCount(dir);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    core::ScenarioEngine engine(ShardGridSpec(dir));
+    const core::Report report = engine.Run();
+    benchmark::DoNotOptimize(report.rows().size());
+    state.counters["streamed_shards"] =
+        static_cast<double>(engine.stats().streamed_shards);
+    events += dir_events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  RecordPeakRss(state);
+}
+BENCHMARK(BM_EngineGridShardStream)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineGridShardWhole(benchmark::State& state) {
+  // Whole-view control: an (idle) watchdog disqualifies streaming without
+  // changing any result, so this row is the same grid over the same bytes
+  // with every shard resident at once.
+  const auto agents = static_cast<std::size_t>(state.range(0));
+  const std::string& dir = ShardDirOfSize(agents);
+  const std::size_t dir_events = ShardDirEventCount(dir);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    core::ScenarioSpec spec = ShardGridSpec(dir);
+    spec.node_timeout_ms = 1e9;
+    core::ScenarioEngine engine(std::move(spec));
+    const core::Report report = engine.Run();
+    benchmark::DoNotOptimize(report.rows().size());
+    events += dir_events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  RecordPeakRss(state);
+}
+BENCHMARK(BM_EngineGridShardWhole)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,78 @@
+// Out-of-core world generator CLI: streams a synthetic population straight
+// into a SaveShards directory (shard-*.mpc + manifest.mpm) with bounded
+// memory, however many agents are asked for.
+//
+//   $ ./synth_world --out world.shards --agents 100000 --days 1
+//         [--shards 16] [--seed 42] [--chunk-events 65536] [--sparse]
+//
+// The output directory is a first-class engine source: point
+// `anonymize_csv --input world.shards` (or a sweep config's `source=`) at
+// it and eligible grids execute shard-by-shard without ever materializing
+// the dataset. --sparse widens the GPS sampling interval so million-agent
+// worlds stay disk-frugal; the printed peak RSS is the out-of-core
+// evidence — it stays far below the bytes written.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "model/io.h"
+#include "synth/streaming_world.h"
+#include "util/cli.h"
+#include "util/resource.h"
+
+int main(int argc, char** argv) {
+  using namespace mobipriv;
+
+  util::CliParser cli("mobipriv streaming world generator (sharded .mpc)");
+  cli.AddOption("out", "output shard directory", "world.shards");
+  cli.AddOption("agents", "population size", "1000");
+  cli.AddOption("days", "simulated days per agent", "1");
+  cli.AddOption("shards", "shard fan-out of the directory", "8");
+  cli.AddOption("chunk-events",
+                "events buffered per shard column before spilling "
+                "(0 = default; output bytes identical at any value)", "0");
+  cli.AddFlag("sparse",
+              "sparse recording (120 s GPS fix period instead of 30 s) — "
+              "the million-agent sizing");
+  util::AddRunOptions(cli, 42);
+  if (!cli.Parse(argc, argv)) return 1;
+  const util::RunOptions run = util::ApplyRunOptions(cli);
+
+  const std::int64_t agents = cli.GetInt("agents");
+  const std::int64_t days = cli.GetInt("days");
+  const std::int64_t shards = cli.GetInt("shards");
+  const std::int64_t chunk = cli.GetInt("chunk-events");
+  if (agents <= 0 || days <= 0 || shards <= 0 || chunk < 0) {
+    std::cerr << "--agents, --days and --shards must be > 0; "
+                 "--chunk-events must be >= 0\n";
+    return 1;
+  }
+
+  synth::StreamingWorldConfig config;
+  config.population.agents = static_cast<std::size_t>(agents);
+  config.population.days = static_cast<std::size_t>(days);
+  config.population.seed = run.seed;
+  config.shard_count = static_cast<std::size_t>(shards);
+  config.flush_chunk_events = static_cast<std::size_t>(chunk);
+  if (cli.GetBool("sparse")) {
+    config.population.simulator.sampling_interval_s = 120;
+  }
+
+  try {
+    const std::string dir = cli.GetString("out");
+    const synth::StreamingWorldStats stats =
+        synth::GenerateShardedWorld(config, dir);
+    std::cout << "world: " << stats.agents << " agents, " << stats.traces
+              << " traces, " << stats.events << " events\n"
+              << "wrote: " << dir << " (" << stats.shards << " shards, "
+              << stats.bytes_written << " bytes)\n"
+              << "peak rss: " << util::PeakRssBytes() << " bytes\n";
+  } catch (const model::IoError& e) {
+    std::cerr << "I/O error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "Error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

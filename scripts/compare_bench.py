@@ -7,9 +7,15 @@ Improvements never fail; benchmarks present in only one file are reported
 and skipped.
 
 Gated benchmarks (override with --benchmarks REGEX):
-    BM_FullPipeline/1000, BM_EngineGrid*, and the ingestion ladder
-    (BM_IngestCsv*, BM_ReadColumnar*, BM_OpenColumnarMmap*,
-    BM_WriteColumnar*).
+    BM_FullPipeline/1000, BM_EngineGrid* (incl. the shard-streamed /
+    whole-view pair), BM_GenerateWorld* (streamed world generation),
+    and the ingestion ladder (BM_IngestCsv*, BM_ReadColumnar*,
+    BM_OpenColumnarMmap*, BM_WriteColumnar*).
+
+Benchmarks carrying a peak_rss_mb user counter (the memory-relevant
+rows: I/O ladder, engine grids, out-of-core generation) additionally get
+an informational residency delta table — printed always, gated never,
+because ru_maxrss is a process high-water mark.
 
 Flakiness control: absolute wall times only compare meaningfully on the
 hardware the baseline was recorded on. In the default mode (auto) the gate
@@ -53,6 +59,7 @@ import sys
 DEFAULT_GATED = (
     r"^BM_(FullPipeline/1000|EngineGrid[^/]*/\d+|IngestCsv[^/]*/\d+"
     r"|ReadColumnar/\d+|OpenColumnarMmap[^/]*/\d+|WriteColumnar/\d+"
+    r"|GenerateWorld/\d+"
     r"|DistanceBatch[^/]*/\d+|MixZoneEncounterScan/\d+|Kernel[^/]*/\d+)$"
 )
 # mhz_per_cpu drifts a little run to run on throttling hosts; num_cpus
@@ -64,11 +71,14 @@ def load(path):
     with open(path) as fh:
         doc = json.load(fh)
     times = {}
+    rss = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type", "iteration") != "iteration":
             continue
         times[bench["name"]] = float(bench["real_time"])
-    return doc.get("context", {}), times
+        if "peak_rss_mb" in bench:
+            rss[bench["name"]] = float(bench["peak_rss_mb"])
+    return doc.get("context", {}), times, rss
 
 
 def hardware_matches(base_ctx, cur_ctx):
@@ -107,8 +117,8 @@ def main():
                              "invariants on the current run (always armed)")
     args = parser.parse_args()
 
-    base_ctx, base = load(args.baseline)
-    cur_ctx, cur = load(args.current)
+    base_ctx, base, base_rss = load(args.baseline)
+    cur_ctx, cur, cur_rss = load(args.current)
     gated = re.compile(args.benchmarks)
 
     matched, reason = hardware_matches(base_ctx, cur_ctx)
@@ -157,6 +167,27 @@ def main():
                 print("  %-*s  %10.3f -> %10.3f ms  %+7.1f%%" % (
                     full_width, name, base[name], cur[name],
                     100.0 * (ratio - 1.0)))
+
+    # Peak RSS rides along as a user counter (peak_rss_mb) on the
+    # memory-relevant benchmarks. It is NEVER gated: getrusage reports a
+    # process high-water mark, so within one suite run the value is an
+    # upper bound shaped by whatever ran earlier — the table exists to
+    # make residency drift visible, not to fail builds.
+    rss_names = sorted(set(base_rss) | set(cur_rss))
+    if rss_names:
+        rss_width = max(len(name) for name in rss_names)
+        print("peak rss (informational, never gated, %d benchmarks):"
+              % len(rss_names))
+        for name in rss_names:
+            if name in base_rss and name in cur_rss and base_rss[name] > 0:
+                delta = 100.0 * (cur_rss[name] / base_rss[name] - 1.0)
+                print("  %-*s  %9.1f -> %9.1f MB  %+7.1f%%" % (
+                    rss_width, name, base_rss[name], cur_rss[name], delta))
+            else:
+                side = "current" if name in cur_rss else "baseline"
+                value = cur_rss.get(name, base_rss.get(name, 0.0))
+                print("  %-*s  %9.1f MB (only in %s)" % (
+                    rss_width, name, value, side))
 
     invariant_failures = []
     invariants_checked = [0]

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "attacks/poi_extraction.h"
 #include "core/evaluator.h"
 #include "core/output_cache.h"
+#include "mechanisms/mechanism.h"
 #include "mechanisms/registry.h"
 #include "model/columnar_file.h"
 #include "model/event_store.h"
@@ -269,6 +271,7 @@ std::string EngineStats::ToString() const {
     os << " cache_read_retries=" << cache_read_retries;
   }
   if (cache_evictions > 0) os << " cache_evictions=" << cache_evictions;
+  if (streamed_shards > 0) os << " streamed_shards=" << streamed_shards;
   if (failed_nodes + skipped_nodes > 0) {
     os << " failed_nodes=" << failed_nodes
        << " skipped_nodes=" << skipped_nodes;
@@ -398,14 +401,6 @@ Report ScenarioEngine::Run() {
   std::optional<util::ScopedParallelism> scope;
   if (c.spec.threads != 0) scope.emplace(c.spec.threads);
 
-  // Bind is timed separately from the DAG: it is the mmap/parse startup
-  // cost the columnar format exists to shrink.
-  const auto bind_start = std::chrono::steady_clock::now();
-  BoundSource source = BoundSource::Bind(c.spec.source);
-  stats_.bind_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - bind_start)
-                       .count();
-
   const std::vector<std::uint64_t>& seeds = c.spec.seeds;
   const std::size_t seed_count = seeds.size();
   const std::size_t eval_count = c.evaluators.size();
@@ -418,6 +413,312 @@ Report ScenarioEngine::Run() {
   stats_.mechanism_nodes = stage_count;
   stats_.stage_reuses = c.stage_refs - stage_count;
   stats_.evaluator_nodes = eval_nodes;
+
+  // ---- Report assembly, shared by both executors. ---------------------
+  // A row whose terminal did not finish ok contributes one
+  // mechanism-level error row (empty evaluator/metric) followed by one
+  // skipped row per evaluator; a terminal skipped by an interior stage
+  // failure forwards the root cause. A failed evaluator node contributes
+  // one error row for its cell. The assembly reads only node_results and
+  // results slots — both indexed, never schedule-ordered — so degraded
+  // reports are as reproducible as healthy ones.
+  const auto assemble =
+      [&](const std::vector<NodeResult>& node_results,
+          const std::vector<std::vector<MetricValue>>& results) {
+        for (const NodeResult& result : node_results) {
+          if (result.status == NodeStatus::kFailed) ++stats_.failed_nodes;
+          if (result.status == NodeStatus::kSkipped) ++stats_.skipped_nodes;
+        }
+        const auto to_row_status = [](NodeStatus status) {
+          return status == NodeStatus::kFailed ? RowStatus::kFailed
+                                               : RowStatus::kSkipped;
+        };
+        Report report;
+        for (std::size_t r = 0; r < row_count; ++r) {
+          for (std::size_t s = 0; s < seed_count; ++s) {
+            const NodeResult& terminal_result =
+                node_results[c.rows[r].terminal[s]];
+            if (terminal_result.status != NodeStatus::kOk) {
+              report.rows_.push_back({c.rows[r].name, seeds[s], "", "", 0.0,
+                                      to_row_status(terminal_result.status),
+                                      terminal_result.error});
+            }
+            for (std::size_t e = 0; e < eval_count; ++e) {
+              const std::size_t slot = (r * seed_count + s) * eval_count + e;
+              const NodeResult& eval_result = node_results[stage_count + slot];
+              if (eval_result.status != NodeStatus::kOk) {
+                report.rows_.push_back({c.rows[r].name, seeds[s],
+                                        c.eval_names[e], "", 0.0,
+                                        to_row_status(eval_result.status),
+                                        eval_result.error});
+                continue;
+              }
+              for (const MetricValue& value : results[slot]) {
+                report.rows_.push_back({c.rows[r].name, seeds[s],
+                                        c.eval_names[e], value.metric,
+                                        value.value, RowStatus::kOk, {}});
+              }
+            }
+          }
+        }
+        return report;
+      };
+
+  // ---- Shard-streamed path (out-of-core execution). -------------------
+  // Engages only when semantics are provably identical to the whole-view
+  // DAG: a shard-dir source whose layout ProbeShardStream accepts, every
+  // grid row a single-stage per-trace mechanism (cross-trace mechanisms
+  // and chains need the whole view), every evaluator foldable
+  // (core::TraceFold), no output cache (its keys fingerprint the whole
+  // source) and no watchdog (a per-node wall clock has no meaning for
+  // interleaved shard passes). Everything else falls back to the DAG.
+  bool streamable =
+      c.spec.source.kind == DatasetSourceSpec::Kind::kShardDir &&
+      c.spec.mechanism_cache_dir.empty() && c.spec.node_timeout_ms == 0.0;
+  for (std::size_t i = 0; streamable && i < stage_count; ++i) {
+    streamable = c.stage_nodes[i].parent == Compiled::kNoParent &&
+                 dynamic_cast<const mech::PerTraceMechanism*>(
+                     c.stage_nodes[i].instance.get()) != nullptr;
+  }
+  for (std::size_t e = 0; streamable && e < eval_count; ++e) {
+    streamable = c.evaluators[e]->MakeTraceFold(seeds[0]) != nullptr;
+  }
+  std::optional<ShardStreamPlan> stream;
+  if (streamable) {
+    // The probe is this path's bind: manifest + per-shard metadata, no
+    // event column ever resident.
+    const auto probe_start = std::chrono::steady_clock::now();
+    stream = ProbeShardStream(c.spec.source.path);
+    stats_.bind_ms += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - probe_start)
+                          .count();
+  }
+  if (stream) {
+    const ShardStreamPlan& plan = *stream;
+    stats_.streamed_shards = plan.shard_count;
+    std::vector<NodeResult> node_results(stage_count + eval_nodes);
+    std::vector<std::vector<MetricValue>> results(eval_nodes);
+    stats_.run_ms = TimeMs([&] {
+      // Per-stage master draws: the one NextU64 ApplyToStore makes, from
+      // the same per-prefix stream — so every per-trace rng
+      // (master, user, original index) matches the DAG path bit for bit.
+      std::vector<std::uint64_t> masters(stage_count, 0);
+      std::vector<const mech::PerTraceMechanism*> kernels(stage_count,
+                                                          nullptr);
+      for (std::size_t i = 0; i < stage_count; ++i) {
+        const Compiled::StagePlan& stage = c.stage_nodes[i];
+        if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineMechanismRun,
+                                       stage.prefix_name)) {
+          node_results[i] = {
+              NodeStatus::kFailed,
+              "injected fault (" +
+                  std::string(fault::points::kEngineMechanismRun) +
+                  "): " + stage.prefix_name};
+          continue;
+        }
+        util::Rng rng(util::DeriveStreamSeed(
+            seeds[stage.seed_index],
+            model::Fnv1a64(stage.prefix_name.data(),
+                           stage.prefix_name.size()),
+            0));
+        masters[i] = rng.NextU64();
+        kernels[i] = static_cast<const mech::PerTraceMechanism*>(
+            stage.instance.get());
+      }
+      const auto fail_stage = [&](std::size_t n) {
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          node_results[n] = {NodeStatus::kFailed, e.what()};
+        } catch (...) {
+          node_results[n] = {NodeStatus::kFailed, "unknown exception"};
+        }
+      };
+
+      // Pass 0 (extents): fold the full-dataset bounding boxes and time
+      // span every fold's slice must carry, running each surviving
+      // mechanism trace by trace into a reused scratch buffer. Pass 1
+      // re-derives the identical per-trace streams, so recomputing is a
+      // determinism no-op — the price of never holding two passes' state.
+      geo::GeoBoundingBox original_bbox;
+      std::vector<geo::GeoBoundingBox> published_bbox(stage_count);
+      util::Timestamp t_min = std::numeric_limits<util::Timestamp>::max();
+      util::Timestamp t_max = std::numeric_limits<util::Timestamp>::min();
+      model::TraceBuffer scratch;
+      for (std::size_t s = 0; s < plan.shard_count; ++s) {
+        const model::MappedColumnar mapped =
+            model::MapColumnar(model::ShardDataPath(plan.dir, s));
+        const std::vector<model::UserId>& l2g = plan.local_to_global[s];
+        for (std::size_t i = 0; i < mapped.TraceCount(); ++i) {
+          const model::TraceView trace =
+              mapped.View(i).WithUser(l2g[mapped.TraceUser(i)]);
+          original_bbox.Extend(trace.BoundingBox());
+          if (!trace.empty()) {
+            t_min = std::min(t_min, trace.time(0));
+            t_max = std::max(t_max, trace.time(trace.size() - 1));
+          }
+          for (std::size_t n = 0; n < stage_count; ++n) {
+            if (node_results[n].status != NodeStatus::kOk) continue;
+            scratch.Clear();
+            try {
+              kernels[n]->ApplyToIndexedTrace(trace, masters[n],
+                                              plan.origin[s][i], scratch);
+            } catch (...) {
+              fail_stage(n);
+              continue;
+            }
+            for (std::size_t f = 0; f < scratch.size(); ++f) {
+              published_bbox[n].Extend(
+                  geo::LatLng{scratch.lat()[f], scratch.lng()[f]});
+            }
+          }
+        }
+      }
+
+      // One fold per grid cell whose terminal survived pass 0 (skip and
+      // fault verdicts mirror the DAG's evaluator nodes exactly).
+      std::vector<std::unique_ptr<TraceFold>> folds(eval_nodes);
+      for (std::size_t r = 0; r < row_count; ++r) {
+        for (std::size_t s = 0; s < seed_count; ++s) {
+          const std::size_t terminal = c.rows[r].terminal[s];
+          for (std::size_t e = 0; e < eval_count; ++e) {
+            const std::size_t slot = (r * seed_count + s) * eval_count + e;
+            NodeResult& cell = node_results[stage_count + slot];
+            if (node_results[terminal].status != NodeStatus::kOk) {
+              cell = {NodeStatus::kSkipped,
+                      "dependency failed: " + node_results[terminal].error};
+              continue;
+            }
+            if (MOBIPRIV_FAULT_POINT_KEYED(
+                    fault::points::kEngineEvaluatorRun, c.eval_names[e])) {
+              cell = {NodeStatus::kFailed,
+                      "injected fault (" +
+                          std::string(fault::points::kEngineEvaluatorRun) +
+                          "): " + c.eval_names[e]};
+              continue;
+            }
+            folds[slot] = c.evaluators[e]->MakeTraceFold(seeds[s]);
+          }
+        }
+      }
+
+      // Pass 1 (folds): map one shard, materialize each surviving stage's
+      // output for THAT shard only, feed every live fold its slice, drop
+      // everything, move on — the resident set the streamed path
+      // promises: one shard's input plus one shard's outputs.
+      for (std::size_t s = 0; s < plan.shard_count; ++s) {
+        const model::MappedColumnar mapped =
+            model::MapColumnar(model::ShardDataPath(plan.dir, s));
+        const std::vector<model::UserId>& l2g = plan.local_to_global[s];
+        const std::size_t trace_count = mapped.TraceCount();
+        std::vector<model::TraceView> original(trace_count);
+        for (std::size_t i = 0; i < trace_count; ++i) {
+          original[i] = mapped.View(i).WithUser(l2g[mapped.TraceUser(i)]);
+        }
+        std::vector<model::TraceBuffer> buffers(stage_count);
+        std::vector<std::vector<std::size_t>> ends(stage_count);
+        std::vector<std::vector<model::TraceView>> published(stage_count);
+        for (std::size_t n = 0; n < stage_count; ++n) {
+          if (node_results[n].status != NodeStatus::kOk) continue;
+          ends[n].resize(trace_count);
+          try {
+            for (std::size_t i = 0; i < trace_count; ++i) {
+              kernels[n]->ApplyToIndexedTrace(original[i], masters[n],
+                                              plan.origin[s][i],
+                                              buffers[n]);
+              ends[n][i] = buffers[n].size();
+            }
+          } catch (...) {
+            fail_stage(n);
+            continue;
+          }
+          // Views over the filled buffer (stable now: no more appends).
+          // An empty range is a suppressed trace.
+          published[n].resize(trace_count);
+          const std::span<const double> lat = buffers[n].lat();
+          const std::span<const double> lng = buffers[n].lng();
+          const std::span<const util::Timestamp> time = buffers[n].time();
+          std::size_t begin = 0;
+          for (std::size_t i = 0; i < trace_count; ++i) {
+            const std::size_t count = ends[n][i] - begin;
+            published[n][i] = model::TraceView(
+                original[i].user(),
+                model::StridedSpan<double>(lat.data() + begin, count,
+                                           sizeof(double)),
+                model::StridedSpan<double>(lng.data() + begin, count,
+                                           sizeof(double)),
+                model::StridedSpan<util::Timestamp>(
+                    time.data() + begin, count, sizeof(util::Timestamp)));
+            begin = ends[n][i];
+          }
+        }
+        for (std::size_t r = 0; r < row_count; ++r) {
+          for (std::size_t ss = 0; ss < seed_count; ++ss) {
+            const std::size_t terminal = c.rows[r].terminal[ss];
+            if (node_results[terminal].status != NodeStatus::kOk) continue;
+            for (std::size_t e = 0; e < eval_count; ++e) {
+              const std::size_t slot =
+                  (r * seed_count + ss) * eval_count + e;
+              NodeResult& cell = node_results[stage_count + slot];
+              if (cell.status != NodeStatus::kOk || !folds[slot]) continue;
+              ShardSlice slice;
+              slice.original = original;
+              slice.canonical_index = plan.origin[s];
+              slice.published = published[terminal];
+              slice.user_count = plan.global_names.size();
+              slice.original_bbox = original_bbox;
+              slice.published_bbox = published_bbox[terminal];
+              slice.original_t_min = t_min;
+              slice.original_t_max = t_max;
+              try {
+                folds[slot]->AccumulateShard(slice);
+              } catch (const std::exception& ex) {
+                cell = {NodeStatus::kFailed, ex.what()};
+              } catch (...) {
+                cell = {NodeStatus::kFailed, "unknown exception"};
+              }
+            }
+          }
+        }
+      }
+
+      // A stage failing mid-stream strands its cells' partial folds: mark
+      // them skipped exactly like the DAG would, then finalize survivors.
+      for (std::size_t r = 0; r < row_count; ++r) {
+        for (std::size_t s = 0; s < seed_count; ++s) {
+          const std::size_t terminal = c.rows[r].terminal[s];
+          for (std::size_t e = 0; e < eval_count; ++e) {
+            const std::size_t slot = (r * seed_count + s) * eval_count + e;
+            NodeResult& cell = node_results[stage_count + slot];
+            if (node_results[terminal].status != NodeStatus::kOk &&
+                cell.status == NodeStatus::kOk) {
+              cell = {NodeStatus::kSkipped,
+                      "dependency failed: " + node_results[terminal].error};
+              folds[slot].reset();
+            }
+            if (cell.status != NodeStatus::kOk || !folds[slot]) continue;
+            try {
+              results[slot] = folds[slot]->Finalize();
+            } catch (const std::exception& ex) {
+              cell = {NodeStatus::kFailed, ex.what()};
+            } catch (...) {
+              cell = {NodeStatus::kFailed, "unknown exception"};
+            }
+          }
+        }
+      }
+    });
+    return assemble(node_results, results);
+  }
+
+  // ---- Whole-view path. -----------------------------------------------
+  // Bind is timed separately from the DAG: it is the mmap/parse startup
+  // cost the columnar format exists to shrink.
+  const auto bind_start = std::chrono::steady_clock::now();
+  BoundSource source = BoundSource::Bind(c.spec.source);
+  stats_.bind_ms += std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - bind_start)
+                        .count();
 
   const geo::LocalProjection frame =
       attacks::DatasetProjection(source.view());
@@ -538,52 +839,7 @@ Report ScenarioEngine::Run() {
   stats_.cache_misses = cache_misses.load(std::memory_order_relaxed);
   stats_.cache_read_retries = cache ? cache->read_retries() : 0;
   stats_.cache_evictions = cache ? cache->evictions() : 0;
-  for (const NodeResult& result : node_results) {
-    if (result.status == NodeStatus::kFailed) ++stats_.failed_nodes;
-    if (result.status == NodeStatus::kSkipped) ++stats_.skipped_nodes;
-  }
-
-  // ---- Assemble the report in canonical order. ------------------------
-  // A row whose terminal did not finish ok contributes one
-  // mechanism-level error row (empty evaluator/metric) followed by one
-  // skipped row per evaluator; a terminal skipped by an interior stage
-  // failure forwards the root cause. A failed evaluator node contributes
-  // one error row for its cell. The assembly reads only node_results and
-  // results slots — both indexed, never schedule-ordered — so degraded
-  // reports are as reproducible as healthy ones.
-  const auto to_row_status = [](NodeStatus status) {
-    return status == NodeStatus::kFailed ? RowStatus::kFailed
-                                         : RowStatus::kSkipped;
-  };
-  Report report;
-  for (std::size_t r = 0; r < row_count; ++r) {
-    for (std::size_t s = 0; s < seed_count; ++s) {
-      const NodeResult& terminal_result =
-          node_results[c.rows[r].terminal[s]];
-      if (terminal_result.status != NodeStatus::kOk) {
-        report.rows_.push_back({c.rows[r].name, seeds[s], "", "", 0.0,
-                                to_row_status(terminal_result.status),
-                                terminal_result.error});
-      }
-      for (std::size_t e = 0; e < eval_count; ++e) {
-        const std::size_t slot = (r * seed_count + s) * eval_count + e;
-        const NodeResult& eval_result = node_results[stage_count + slot];
-        if (eval_result.status != NodeStatus::kOk) {
-          report.rows_.push_back({c.rows[r].name, seeds[s],
-                                  c.eval_names[e], "", 0.0,
-                                  to_row_status(eval_result.status),
-                                  eval_result.error});
-          continue;
-        }
-        for (const MetricValue& value : results[slot]) {
-          report.rows_.push_back({c.rows[r].name, seeds[s],
-                                  c.eval_names[e], value.metric,
-                                  value.value, RowStatus::kOk, {}});
-        }
-      }
-    }
-  }
-  return report;
+  return assemble(node_results, results);
 }
 
 Report RunScenario(ScenarioSpec spec) {

@@ -135,6 +135,13 @@ struct EngineStats {
   /// Transient cache-read failures absorbed by the bounded
   /// retry-with-backoff (docs/ROBUSTNESS.md); > 0 never affects results.
   std::size_t cache_read_retries = 0;
+  /// Shards the out-of-core executor streamed through, 0 when the run
+  /// took the whole-view path. Streaming engages only when the source is
+  /// a shard directory whose layout ProbeShardStream accepts AND every
+  /// grid row is a single-stage per-trace mechanism AND every evaluator
+  /// is foldable (core::TraceFold) AND no output cache or watchdog is
+  /// configured; reports are byte-identical on either path.
+  std::size_t streamed_shards = 0;
   /// Graceful-degradation accounting: nodes that threw (or tripped the
   /// node_timeout_ms watchdog) and nodes skipped because a dependency
   /// failed. Both 0 on a healthy run.

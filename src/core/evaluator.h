@@ -11,12 +11,16 @@
 // mechanism spec strings x evaluator spec strings.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "geo/bounding_box.h"
 #include "geo/projection.h"
 #include "model/views.h"
 #include "util/spec.h"
@@ -43,6 +47,49 @@ struct MetricValue {
   double value = 0.0;
 };
 
+/// One resident shard of a shard-streamed evaluation (see TraceFold).
+/// The spans alias the currently mapped shard plus the per-shard mechanism
+/// output buffer; they are valid only for the duration of one
+/// AccumulateShard call. Trace order within a shard is canonical-order
+/// restricted: shard-local index ascending == original dataset order
+/// filtered to this shard's traces, and every trace of one user lives in
+/// the same shard — so per-user passes (radius of gyration) see exactly
+/// the trace sequence the whole-view path sees.
+struct ShardSlice {
+  /// Original traces of this shard, user ids rewritten to GLOBAL dense ids.
+  std::span<const model::TraceView> original;
+  /// Original dataset-order index of each trace (parallel to `original`).
+  std::span<const std::size_t> canonical_index;
+  /// Published traces, parallel to `original`. A size()==0 view means the
+  /// mechanism suppressed the trace (whole-view assembly drops it).
+  std::span<const model::TraceView> published;
+  /// Global user count (names table size) of the full dataset.
+  std::size_t user_count = 0;
+  /// Extents of the FULL datasets, folded by the engine's pre-pass before
+  /// any fold runs: exactly what DatasetView::BoundingBox() over the whole
+  /// data would return, and the min first-fix / max last-fix timestamp
+  /// over non-empty original traces (t_min > t_max when there are none).
+  geo::GeoBoundingBox original_bbox;
+  geo::GeoBoundingBox published_bbox;
+  util::Timestamp original_t_min = 0;
+  util::Timestamp original_t_max = 0;
+};
+
+/// Streaming accumulator for one (mechanism output, evaluator, seed) grid
+/// cell: the shard-streamed engine maps one shard at a time and calls
+/// AccumulateShard once per shard in ascending shard order (full-dataset
+/// extents already folded into every slice), then Finalize once.
+/// Contract: the returned metrics must be bit-identical to Evaluate()
+/// over the whole views — folds replicate their evaluator's arithmetic,
+/// not approximate it. Implementations are single-threaded (one fold per
+/// grid cell).
+class TraceFold {
+ public:
+  virtual ~TraceFold() = default;
+  virtual void AccumulateShard(const ShardSlice& slice) = 0;
+  [[nodiscard]] virtual std::vector<MetricValue> Finalize() = 0;
+};
+
 class Evaluator {
  public:
   virtual ~Evaluator() = default;
@@ -55,6 +102,18 @@ class Evaluator {
   /// deterministic at any thread count.
   [[nodiscard]] virtual std::vector<MetricValue> Evaluate(
       const EvalInput& input) const = 0;
+
+  /// Streaming counterpart of Evaluate for the shard-by-shard engine
+  /// path. `seed` is the grid cell's scenario seed (what EvalInput::seed
+  /// would carry). Returning nullptr (the default) declares the evaluator
+  /// non-foldable: any grid row using it falls back to the whole-view
+  /// path. Implementations must satisfy the TraceFold bit-identity
+  /// contract.
+  [[nodiscard]] virtual std::unique_ptr<TraceFold> MakeTraceFold(
+      std::uint64_t seed) const {
+    (void)seed;
+    return nullptr;
+  }
 };
 
 using EvaluatorFactory =

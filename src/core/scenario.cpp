@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
 #include "model/io.h"
@@ -236,6 +237,57 @@ ScenarioSpec LoadSweepConfig(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return ParseSweepConfig(buffer.str(), path);
+}
+
+std::optional<ShardStreamPlan> ProbeShardStream(const std::string& dir) {
+  ShardStreamPlan plan;
+  plan.dir = dir;
+  try {
+    model::ShardManifest manifest = model::ReadShardManifest(dir);
+    if (!manifest.has_origin()) return std::nullopt;
+    plan.shard_count = manifest.shard_count;
+    plan.global_names = std::move(manifest.global_names);
+    plan.origin = std::move(manifest.origin);
+    if (plan.origin.size() != plan.shard_count) return std::nullopt;
+
+    std::unordered_map<std::string_view, model::UserId> global_id;
+    global_id.reserve(plan.global_names.size());
+    for (std::size_t g = 0; g < plan.global_names.size(); ++g) {
+      global_id.emplace(plan.global_names[g],
+                        static_cast<model::UserId>(g));
+    }
+    // Home shard of each global user (or npos until first sighted).
+    constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> home(plan.global_names.size(), kUnseen);
+    plan.local_to_global.resize(plan.shard_count);
+    for (std::size_t s = 0; s < plan.shard_count; ++s) {
+      const model::MappedColumnar mapped =
+          model::MapColumnar(model::ShardDataPath(dir, s));
+      if (plan.origin[s].size() != mapped.TraceCount()) return std::nullopt;
+      std::vector<model::UserId>& l2g = plan.local_to_global[s];
+      l2g.resize(mapped.names().size());
+      for (std::size_t u = 0; u < mapped.names().size(); ++u) {
+        const auto it = global_id.find(mapped.names()[u]);
+        if (it == global_id.end()) return std::nullopt;
+        l2g[u] = it->second;
+      }
+      for (std::size_t i = 0; i < mapped.TraceCount(); ++i) {
+        if (i > 0 && plan.origin[s][i] <= plan.origin[s][i - 1]) {
+          return std::nullopt;  // not canonical-order restricted
+        }
+        const model::UserId g = l2g[mapped.TraceUser(i)];
+        if (home[g] == kUnseen) {
+          home[g] = s;
+        } else if (home[g] != s) {
+          return std::nullopt;  // user split across shards
+        }
+      }
+      plan.total_traces += mapped.TraceCount();
+    }
+  } catch (...) {
+    return std::nullopt;
+  }
+  return plan;
 }
 
 BoundSource BoundSource::Bind(const DatasetSourceSpec& spec) {

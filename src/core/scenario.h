@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,37 @@ struct ScenarioSpec {
 /// Reads `path` and parses it with ParseSweepConfig(text, path). Throws
 /// model::IoError when the file cannot be read.
 [[nodiscard]] ScenarioSpec LoadSweepConfig(const std::string& path);
+
+/// Access plan for executing a shard directory one shard at a time (the
+/// engine's out-of-core path): the manifest metadata plus the per-shard
+/// translation tables the streamed executor needs, with no shard resident.
+struct ShardStreamPlan {
+  std::string dir;
+  std::size_t shard_count = 0;
+  /// Global dense id -> external user name (manifest name table).
+  std::vector<std::string> global_names;
+  /// Original dataset-order index of shard s's local trace i — the trace
+  /// index the whole-view canonical order would give it (strictly
+  /// ascending within each shard, so shard-local order IS canonical order
+  /// restricted to the shard).
+  std::vector<std::vector<std::size_t>> origin;
+  /// Per shard: shard-local user id -> global dense id.
+  std::vector<std::vector<model::UserId>> local_to_global;
+  std::size_t total_traces = 0;
+};
+
+/// Probes `dir` for shard-streamed eligibility and builds the plan. The
+/// probe maps each shard once (metadata pages only) and requires:
+///   * a manifest with an origin table,
+///   * strictly ascending origin within every shard (shard-local order ==
+///     canonical order restricted), and
+///   * every user's traces confined to one shard (per-user passes then
+///     see whole users).
+/// Returns nullopt when any condition fails — including I/O or corruption
+/// problems, which the whole-view bind will then surface with its own
+/// diagnostics. Streaming is a resource strategy, never a semantic one.
+[[nodiscard]] std::optional<ShardStreamPlan> ProbeShardStream(
+    const std::string& dir);
 
 /// A bound dataset source: owns whatever storage the source kind needs
 /// (parsed dataset, synthetic world, mmap mappings) and serves one

@@ -80,6 +80,21 @@ class PerTraceMechanism : public Mechanism {
   [[nodiscard]] model::EventStore ApplyToStore(const model::DatasetView& input,
                                                util::Rng& rng) const final;
 
+  /// One trace of the batch determinism scheme, exposed for out-of-core
+  /// executors: transforms `trace` with the stream Rng that ApplyToStore
+  /// would use for dataset-order index `index` under master draw `master`
+  /// (DeriveStreamSeed(master, user, index)), appending the output fixes
+  /// to `out`. A shard-streamed engine that maps one shard at a time and
+  /// feeds each trace its ORIGINAL dataset index therefore reproduces the
+  /// whole-view ApplyToStore output bit for bit, without the input ever
+  /// being resident at once.
+  void ApplyToIndexedTrace(const model::TraceView& trace, std::uint64_t master,
+                           std::uint64_t index, model::TraceBuffer& out) const {
+    util::Rng trace_rng(util::DeriveStreamSeed(
+        master, static_cast<std::uint64_t>(trace.user()), index));
+    ApplyToTraceColumns(trace, out, trace_rng);
+  }
+
  protected:
   /// Transforms one trace. The returned trace keeps the input's user id.
   /// Built-in mechanisms implement this as ApplyToTraceViaColumns (one

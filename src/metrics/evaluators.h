@@ -54,6 +54,11 @@ class RangeQueryEvaluator final : public core::Evaluator {
   [[nodiscard]] std::string Name() const override;
   [[nodiscard]] std::vector<core::MetricValue> Evaluate(
       const core::EvalInput& input) const override;
+  /// Foldable: the workload samples from the folded full-dataset extents
+  /// (SampleQueriesFromExtent) and per-query counts are exact integer sums
+  /// over shards.
+  [[nodiscard]] std::unique_ptr<core::TraceFold> MakeTraceFold(
+      std::uint64_t seed) const override;
 
  private:
   RangeQueryConfig config_;
@@ -65,6 +70,10 @@ class TrajectoryStatsEvaluator final : public core::Evaluator {
   [[nodiscard]] std::string Name() const override;
   [[nodiscard]] std::vector<core::MetricValue> Evaluate(
       const core::EvalInput& input) const override;
+  /// Foldable: trip lengths land in canonical slots and each user's
+  /// gyration computes whole inside their home shard.
+  [[nodiscard]] std::unique_ptr<core::TraceFold> MakeTraceFold(
+      std::uint64_t seed) const override;
 };
 
 /// "kdelta[delta=...m]": measured (k, delta)-anonymity of the published

@@ -28,12 +28,21 @@ std::size_t CountEvents(const model::Dataset& dataset,
   return CountEvents(model::DatasetView::Of(dataset), query);
 }
 
+std::size_t CountEvents(const model::TraceView& trace,
+                        const RangeQuery& query) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const util::Timestamp time = trace.time(i);
+    if (time < query.from || time > query.to) continue;
+    if (query.box.Contains(trace.position(i))) ++count;
+  }
+  return count;
+}
+
 std::vector<RangeQuery> SampleQueries(const model::DatasetView& dataset,
                                       const RangeQueryConfig& config,
                                       util::Rng& rng) {
-  std::vector<RangeQuery> queries;
   const geo::GeoBoundingBox bbox = dataset.BoundingBox();
-  if (bbox.IsEmpty()) return queries;
 
   // Dataset time span.
   util::Timestamp t_min = std::numeric_limits<util::Timestamp>::max();
@@ -43,6 +52,14 @@ std::vector<RangeQuery> SampleQueries(const model::DatasetView& dataset,
     t_min = std::min(t_min, trace.time(0));
     t_max = std::max(t_max, trace.time(trace.size() - 1));
   }
+  return SampleQueriesFromExtent(bbox, t_min, t_max, config, rng);
+}
+
+std::vector<RangeQuery> SampleQueriesFromExtent(
+    const geo::GeoBoundingBox& bbox, util::Timestamp t_min,
+    util::Timestamp t_max, const RangeQueryConfig& config, util::Rng& rng) {
+  std::vector<RangeQuery> queries;
+  if (bbox.IsEmpty()) return queries;
   if (t_min > t_max) return queries;
 
   const double lat_span = bbox.NorthEast().lat - bbox.SouthWest().lat;

@@ -34,10 +34,14 @@ struct RangeQueryConfig {
 };
 
 /// Number of events inside the query (closed bounds). The view form is
-/// the implementation; the Dataset form adapts zero-copy.
+/// the implementation; the Dataset form adapts zero-copy. The TraceView
+/// form counts one trace (sum over traces == the dataset count — what the
+/// shard-streamed fold accumulates).
 [[nodiscard]] std::size_t CountEvents(const model::DatasetView& dataset,
                                       const RangeQuery& query);
 [[nodiscard]] std::size_t CountEvents(const model::Dataset& dataset,
+                                      const RangeQuery& query);
+[[nodiscard]] std::size_t CountEvents(const model::TraceView& trace,
                                       const RangeQuery& query);
 
 /// Samples a query workload covering the dataset's extent and time span.
@@ -47,6 +51,15 @@ struct RangeQueryConfig {
 [[nodiscard]] std::vector<RangeQuery> SampleQueries(
     const model::Dataset& dataset, const RangeQueryConfig& config,
     util::Rng& rng);
+
+/// Workload sampling from precomputed extents — the exact draw sequence
+/// SampleQueries makes once it knows the bounding box and time span, so a
+/// caller that folded those extents out-of-core (the shard-streamed
+/// engine) samples the identical workload without a resident dataset.
+/// Empty when `bbox` is empty or t_min > t_max (no events).
+[[nodiscard]] std::vector<RangeQuery> SampleQueriesFromExtent(
+    const geo::GeoBoundingBox& bbox, util::Timestamp t_min,
+    util::Timestamp t_max, const RangeQueryConfig& config, util::Rng& rng);
 
 struct RangeQueryReport {
   util::Summary relative_error;  ///< |orig - pub| / max(orig, 1), per query

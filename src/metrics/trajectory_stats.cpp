@@ -63,6 +63,32 @@ double RadiusOfGyrationInFrame(const model::DatasetView& dataset,
 
 }  // namespace
 
+double RadiusOfGyrationOfTraces(std::span<const model::TraceView> traces,
+                                const geo::LocalProjection& projection) {
+  // Same two passes RadiusOfGyrationInFrame runs, over an explicit trace
+  // sequence: centroid first, then RMS distance — identical accumulation
+  // order, so callers that hand in a user's traces in dataset order get
+  // the bit-identical radius.
+  geo::Point2 centroid{};
+  std::size_t n = 0;
+  for (const model::TraceView& trace : traces) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      centroid = centroid + projection.Project(trace.position(i));
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  centroid = centroid / static_cast<double>(n);
+  double sum_sq = 0.0;
+  for (const model::TraceView& trace : traces) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      sum_sq += geo::DistanceSquared(projection.Project(trace.position(i)),
+                                     centroid);
+    }
+  }
+  return std::sqrt(sum_sq / static_cast<double>(n));
+}
+
 double RadiusOfGyration(const model::DatasetView& dataset,
                         model::UserId user) {
   const geo::LocalProjection projection(dataset.BoundingBox().Center());
@@ -75,10 +101,25 @@ double RadiusOfGyration(const model::Dataset& dataset, model::UserId user) {
 
 std::vector<double> AllRadiiOfGyration(const model::DatasetView& dataset) {
   const geo::LocalProjection projection(dataset.BoundingBox().Center());
+  // Bucket trace indices by user first, so each user's scan walks only its
+  // own traces — O(traces + events) overall instead of the quadratic
+  // users x traces of a per-user full scan (which is what caps dataset
+  // size). The buckets keep dataset trace order, so every user sees the
+  // exact fix sequence the full scan visited: results are bit-identical.
+  std::vector<std::vector<std::uint32_t>> by_user(dataset.UserCount());
+  const std::span<const model::TraceView> traces = dataset.traces();
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const model::UserId user = traces[t].user();
+    if (user < by_user.size()) {
+      by_user[user].push_back(static_cast<std::uint32_t>(t));
+    }
+  }
   std::vector<double> radii(dataset.UserCount());
   util::ParallelForEach(dataset.UserCount(), [&](std::size_t user) {
-    radii[user] = RadiusOfGyrationInFrame(
-        dataset, static_cast<model::UserId>(user), projection);
+    std::vector<model::TraceView> own;
+    own.reserve(by_user[user].size());
+    for (const std::uint32_t t : by_user[user]) own.push_back(traces[t]);
+    radii[user] = RadiusOfGyrationOfTraces(own, projection);
   });
   return radii;
 }

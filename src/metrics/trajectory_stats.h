@@ -6,9 +6,11 @@
 // swap identities or resample points.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "geo/projection.h"
 #include "model/dataset.h"
 #include "model/views.h"
 #include "util/statistics.h"
@@ -37,6 +39,14 @@ namespace mobipriv::metrics {
     const model::DatasetView& dataset);
 [[nodiscard]] std::vector<double> AllRadiiOfGyration(
     const model::Dataset& dataset);
+
+/// Gyration radius over an explicit trace sequence in a caller-built frame
+/// — the building block AllRadiiOfGyration and the shard-streamed
+/// trajectory-stats fold share. Handing in one user's traces in dataset
+/// order reproduces RadiusOfGyration for that user bit for bit.
+[[nodiscard]] double RadiusOfGyrationOfTraces(
+    std::span<const model::TraceView> traces,
+    const geo::LocalProjection& projection);
 
 /// First Wasserstein (earth mover's) distance between two empirical
 /// 1-D distributions. 0 when identical; units are those of the samples.

@@ -42,138 +42,147 @@ std::string TempName(const std::string& path) {
   return name.str();
 }
 
-[[noreturn]] void FailAndCleanup(const std::string& temp,
-                                 const std::string& message) {
-  std::error_code ignored;
-  std::filesystem::remove(temp, ignored);
-  throw IoError(message);
-}
-
 }  // namespace
 
-void WriteFileAtomic(const std::string& path,
-                     std::span<const std::span<const std::byte>> parts,
-                     const AtomicWriteFaultPoints& faults) {
-  const bool faults_on = fault::Enabled();
-  if (faults_on && !faults.open.empty() &&
+AtomicFileWriter::AtomicFileWriter(std::string path,
+                                   const AtomicWriteFaultPoints& faults)
+    : path_(std::move(path)),
+      write_point_(faults.write),
+      commit_point_(faults.commit),
+      io_cap_(std::numeric_limits<std::size_t>::max()) {
+  faults_on_ = fault::Enabled();
+  if (faults_on_ && !faults.open.empty() &&
       fault::Evaluate(faults.open).fail) {
     throw IoError("injected fault (" + std::string(faults.open) +
-                  "): cannot open " + path + " for writing");
+                  "): cannot open " + path_ + " for writing");
   }
 
   // The short-write budget for the whole payload: an injected cap means
   // the temp file receives only that prefix before the write "fails" —
   // exactly the torn state a crash mid-write leaves behind.
-  std::size_t io_cap = std::numeric_limits<std::size_t>::max();
-  bool injected_short = false;
-  if (faults_on && !faults.write.empty()) {
-    const fault::Decision d = fault::Evaluate(faults.write);
+  if (faults_on_ && !write_point_.empty()) {
+    const fault::Decision d = fault::Evaluate(write_point_);
     if (d.fail) {
-      io_cap = d.io_cap;
-      injected_short = true;
+      io_cap_ = d.io_cap;
+      injected_short_ = true;
     }
   }
 
-  const std::string temp = TempName(path);
+  temp_ = TempName(path_);
 #if MOBIPRIV_HAS_POSIX_IO
-  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw IoError("cannot open " + temp + " for writing: " +
+  fd_ = ::open(temp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    done_ = true;  // nothing to clean up, the temp never existed
+    throw IoError("cannot open " + temp_ + " for writing: " +
                   std::strerror(errno));
   }
-  std::size_t written_total = 0;
-  bool short_tripped = false;
-  for (const std::span<const std::byte> part : parts) {
-    std::size_t want = part.size();
-    if (written_total + want > io_cap) {
-      want = io_cap - std::min(io_cap, written_total);
-      short_tripped = true;
-    }
-    const std::byte* cursor = part.data();
-    while (want > 0) {
-      const ::ssize_t n = ::write(fd, cursor, want);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        const int err = errno;
-        ::close(fd);
-        FailAndCleanup(temp, "write failed for " + temp + ": " +
-                                 std::strerror(err));
-      }
-      cursor += n;
-      want -= static_cast<std::size_t>(n);
-      written_total += static_cast<std::size_t>(n);
-    }
-    if (short_tripped) break;
+#else
+  std::ofstream probe(temp_, std::ios::binary | std::ios::trunc);
+  if (!probe) {
+    done_ = true;
+    throw IoError("cannot open " + temp_ + " for writing");
   }
+#endif
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abort(); }
+
+void AtomicFileWriter::FailCleanup(const std::string& message) {
+#if MOBIPRIV_HAS_POSIX_IO
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  done_ = true;
+  std::error_code ignored;
+  std::filesystem::remove(temp_, ignored);
+  throw IoError(message);
+}
+
+void AtomicFileWriter::Append(const void* data, std::size_t size) {
+  appended_total_ += size;
+  std::size_t want = size;
+  if (written_total_ + want > io_cap_) {
+    want = io_cap_ - std::min(io_cap_, written_total_);
+  }
+  if (want == 0) return;
+#if MOBIPRIV_HAS_POSIX_IO
+  const std::byte* cursor = static_cast<const std::byte*>(data);
+  while (want > 0) {
+    const ::ssize_t n = ::write(fd_, cursor, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      FailCleanup("write failed for " + temp_ + ": " + std::strerror(err));
+    }
+    cursor += n;
+    want -= static_cast<std::size_t>(n);
+    written_total_ += static_cast<std::size_t>(n);
+  }
+#else
+  const std::byte* cursor = static_cast<const std::byte*>(data);
+  fallback_buffer_.insert(fallback_buffer_.end(), cursor, cursor + want);
+  written_total_ += want;
+#endif
+}
+
+void AtomicFileWriter::Commit() {
   // An injected write failure throws whether or not the byte cap bit:
   // kShortIo leaves a torn prefix in the temp, kFailTimes a complete one
   // (an end-of-write ENOSPC shape) — either way the final path is never
   // touched.
-  if (injected_short) {
-    ::close(fd);
-    FailAndCleanup(temp, "injected fault (" + std::string(faults.write) +
-                             "): short write publishing " + path);
+  if (injected_short_) {
+    FailCleanup("injected fault (" + write_point_ +
+                "): short write publishing " + path_);
   }
+#if MOBIPRIV_HAS_POSIX_IO
   // Durability point: the payload bytes reach stable storage BEFORE any
   // name points at them. A crash after this fsync but before the rename
   // loses nothing but a stray temp.
-  if (::fsync(fd) != 0) {
+  if (::fsync(fd_) != 0) {
     const int err = errno;
-    ::close(fd);
-    FailAndCleanup(temp, "fsync failed for " + temp + ": " +
-                             std::strerror(err));
+    FailCleanup("fsync failed for " + temp_ + ": " + std::strerror(err));
   }
-  if (::close(fd) != 0) {
-    FailAndCleanup(temp, "close failed for " + temp + ": " +
-                             std::strerror(errno));
+  if (::close(fd_) != 0) {
+    const int err = errno;
+    fd_ = -1;
+    FailCleanup("close failed for " + temp_ + ": " + std::strerror(err));
   }
+  fd_ = -1;
 #else
   {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) throw IoError("cannot open " + temp + " for writing");
-    std::size_t written_total = 0;
-    bool short_tripped = false;
-    for (const std::span<const std::byte> part : parts) {
-      std::size_t want = part.size();
-      if (written_total + want > io_cap) {
-        want = io_cap - std::min(io_cap, written_total);
-        short_tripped = true;
-      }
-      out.write(reinterpret_cast<const char*>(part.data()),
-                static_cast<std::streamsize>(want));
-      written_total += want;
-      if (short_tripped) break;
-    }
+    std::ofstream out(temp_, std::ios::binary | std::ios::trunc);
+    if (!out) FailCleanup("cannot open " + temp_ + " for writing");
+    out.write(reinterpret_cast<const char*>(fallback_buffer_.data()),
+              static_cast<std::streamsize>(fallback_buffer_.size()));
     out.flush();
-    if (!out) FailAndCleanup(temp, "write failed for " + temp);
-    if (injected_short) {
-      FailAndCleanup(temp, "injected fault (" + std::string(faults.write) +
-                               "): short write publishing " + path);
-    }
+    if (!out) FailCleanup("write failed for " + temp_);
   }
 #endif
 
-  if (faults_on && !faults.commit.empty() &&
-      fault::Evaluate(faults.commit).fail) {
-    FailAndCleanup(temp, "injected fault (" + std::string(faults.commit) +
-                             "): cannot commit " + path);
+  if (faults_on_ && !commit_point_.empty() &&
+      fault::Evaluate(commit_point_).fail) {
+    FailCleanup("injected fault (" + commit_point_ + "): cannot commit " +
+                path_);
   }
 
   // The atomic publication: readers see the old content or the new file,
   // never a mixture.
   std::error_code ec;
-  std::filesystem::rename(temp, path, ec);
+  std::filesystem::rename(temp_, path_, ec);
   if (ec) {
-    FailAndCleanup(temp, "cannot rename " + temp + " to " + path + ": " +
-                             ec.message());
+    FailCleanup("cannot rename " + temp_ + " to " + path_ + ": " +
+                ec.message());
   }
+  done_ = true;
 
 #if MOBIPRIV_HAS_POSIX_IO
   // Make the rename itself durable. Best effort: some filesystems refuse
   // O_RDONLY directory fsync — the commit is still correct, only the
   // durability of the *name* rides on the next journal flush.
   const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
+      std::filesystem::path(path_).parent_path();
   const std::string dir = parent.empty() ? "." : parent.string();
   const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dir_fd >= 0) {
@@ -181,6 +190,29 @@ void WriteFileAtomic(const std::string& path,
     ::close(dir_fd);
   }
 #endif
+}
+
+void AtomicFileWriter::Abort() noexcept {
+  if (done_) return;
+  done_ = true;
+#if MOBIPRIV_HAS_POSIX_IO
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  std::error_code ignored;
+  std::filesystem::remove(temp_, ignored);
+}
+
+void WriteFileAtomic(const std::string& path,
+                     std::span<const std::span<const std::byte>> parts,
+                     const AtomicWriteFaultPoints& faults) {
+  AtomicFileWriter writer(path, faults);
+  for (const std::span<const std::byte> part : parts) {
+    writer.Append(part);
+  }
+  writer.Commit();
 }
 
 void WriteFileAtomic(const std::string& path, const void* data,

@@ -33,6 +33,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "model/io.h"
 
@@ -44,6 +45,67 @@ struct AtomicWriteFaultPoints {
   std::string_view open;   ///< evaluated before the temp file is created
   std::string_view write;  ///< short-write capable (honors Decision::io_cap)
   std::string_view commit; ///< evaluated before the rename
+};
+
+/// Streaming flavour of the commit protocol: open the temp in the
+/// constructor, Append() payload bytes in as many calls as the producer
+/// likes (an appender flushing bounded chunks never holds the whole file),
+/// then Commit() runs fsync → rename → dir-fsync. Observable behaviour —
+/// fault evaluation order, error messages, torn-temp shapes — is
+/// byte-identical to the one-shot WriteFileAtomic below, which is now a
+/// thin wrapper over this class.
+///
+/// If the writer is destroyed (or Abort()ed) before Commit(), the temp is
+/// unlinked and the final path is untouched.
+class AtomicFileWriter {
+ public:
+  /// Evaluates the open/write fault points and creates the temp file.
+  /// Throws IoError on an injected open fault or a real open failure.
+  AtomicFileWriter(std::string path, const AtomicWriteFaultPoints& faults = {});
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends `size` bytes to the temp file. Honors an injected short-write
+  /// cap (bytes past the cap are silently dropped; the failure itself is
+  /// reported by Commit(), matching the one-shot protocol). Throws IoError
+  /// on a real write failure (the temp is cleaned up).
+  void Append(const void* data, std::size_t size);
+  void Append(std::span<const std::byte> bytes) {
+    Append(bytes.data(), bytes.size());
+  }
+
+  /// Total bytes accepted so far (capped bytes count as accepted).
+  [[nodiscard]] std::size_t BytesAppended() const noexcept {
+    return appended_total_;
+  }
+
+  /// Fsync + atomic rename to the final path. Throws IoError if a short
+  /// write was injected, on an injected commit fault, or on a real
+  /// fsync/close/rename failure; in every failure case the temp is
+  /// removed and the final path keeps its previous content.
+  void Commit();
+
+  /// Removes the temp file without publishing. Safe to call repeatedly
+  /// and after Commit() (no-op then).
+  void Abort() noexcept;
+
+ private:
+  [[noreturn]] void FailCleanup(const std::string& message);
+
+  std::string path_;
+  std::string temp_;
+  std::string write_point_;
+  std::string commit_point_;
+  std::size_t io_cap_;
+  std::size_t written_total_ = 0;   // bytes actually written to the temp
+  std::size_t appended_total_ = 0;  // bytes offered by the caller
+  bool injected_short_ = false;
+  bool faults_on_ = false;
+  bool done_ = false;  // committed or aborted
+  int fd_ = -1;
+  std::vector<std::byte> fallback_buffer_;  // non-POSIX path only
 };
 
 /// Writes the concatenation of `parts` to `path` via the temp-file →

@@ -1,0 +1,278 @@
+#include "model/columnar_append.h"
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "model/atomic_file.h"
+#include "model/columnar_file.h"
+#include "model/columnar_layout.h"
+#include "util/fault.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MOBIPRIV_APPEND_HAS_PID 1
+#else
+#define MOBIPRIV_APPEND_HAS_PID 0
+#endif
+
+namespace mobipriv::model {
+namespace {
+
+namespace fault = util::fault;
+
+constexpr const char* kColumnSuffix[3] = {".lat.tmp", ".lng.tmp", ".time.tmp"};
+
+/// Writer-unique base for the column spill files: same `.tmp` family as
+/// the atomic-commit temps, so a crash leaves only strays no reader opens
+/// (and the same cleanup sweeps catch them).
+std::string SpillBase(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream base;
+  base << path << '.'
+#if MOBIPRIV_APPEND_HAS_PID
+       << ::getpid()
+#else
+       << 0
+#endif
+       << '.' << counter.fetch_add(1, std::memory_order_relaxed) << ".col";
+  return base.str();
+}
+
+}  // namespace
+
+ColumnarAppender::ColumnarAppender(std::string path)
+    : ColumnarAppender(std::move(path), Options()) {}
+
+ColumnarAppender::ColumnarAppender(std::string path, const Options& options)
+    : path_(std::move(path)),
+      flush_chunk_events_(options.flush_chunk_events == 0
+                              ? 1
+                              : options.flush_chunk_events) {
+  column_fnv_.fill(detail::kFnv1a64Basis);
+  const std::string base = SpillBase(path_);
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    spill_paths_[c] = base + kColumnSuffix[c];
+    spills_[c].open(spill_paths_[c], std::ios::binary | std::ios::trunc);
+    if (!spills_[c]) {
+      const std::string failed = spill_paths_[c];
+      Abort();
+      throw IoError("cannot open " + failed + " for writing");
+    }
+  }
+  lat_buf_.reserve(flush_chunk_events_);
+  lng_buf_.reserve(flush_chunk_events_);
+  time_buf_.reserve(flush_chunk_events_);
+}
+
+ColumnarAppender::~ColumnarAppender() { Abort(); }
+
+UserId ColumnarAppender::InternUser(std::string_view name) {
+  const auto it = name_to_id_.find(std::string(name));
+  if (it != name_to_id_.end()) return it->second;
+  const UserId id = static_cast<UserId>(names_.size());
+  names_.emplace_back(name);
+  name_to_id_.emplace(names_.back(), id);
+  return id;
+}
+
+void ColumnarAppender::FlushChunks() {
+  const void* data[kColumns] = {lat_buf_.data(), lng_buf_.data(),
+                                time_buf_.data()};
+  const std::size_t bytes[kColumns] = {lat_buf_.size() * sizeof(double),
+                                       lng_buf_.size() * sizeof(double),
+                                       time_buf_.size() *
+                                           sizeof(util::Timestamp)};
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    if (bytes[c] == 0) continue;
+    spills_[c].write(static_cast<const char*>(data[c]),
+                     static_cast<std::streamsize>(bytes[c]));
+    if (!spills_[c]) {
+      const std::string failed = spill_paths_[c];
+      Abort();
+      throw IoError("write failed for " + failed);
+    }
+    column_fnv_[c] = detail::Fnv1a64Update(column_fnv_[c], data[c], bytes[c]);
+  }
+  lat_buf_.clear();
+  lng_buf_.clear();
+  time_buf_.clear();
+}
+
+void ColumnarAppender::AppendTrace(UserId user, std::span<const double> lat,
+                                   std::span<const double> lng,
+                                   std::span<const util::Timestamp> time) {
+  if (done_) throw std::logic_error("ColumnarAppender already finalized");
+  if (lat.size() != lng.size() || lat.size() != time.size()) {
+    throw std::invalid_argument("ColumnarAppender: column length mismatch");
+  }
+  if (user >= names_.size()) {
+    throw std::invalid_argument("ColumnarAppender: user id not interned");
+  }
+  EventStore::TraceRange range;
+  range.user = user;
+  range.begin = event_count_;
+  range.end = event_count_ + lat.size();
+  traces_.push_back(range);
+  lat_buf_.insert(lat_buf_.end(), lat.begin(), lat.end());
+  lng_buf_.insert(lng_buf_.end(), lng.begin(), lng.end());
+  time_buf_.insert(time_buf_.end(), time.begin(), time.end());
+  event_count_ += lat.size();
+  if (lat_buf_.size() >= flush_chunk_events_) FlushChunks();
+}
+
+void ColumnarAppender::AppendTrace(UserId user, const TraceView& trace) {
+  if (done_) throw std::logic_error("ColumnarAppender already finalized");
+  if (user >= names_.size()) {
+    throw std::invalid_argument("ColumnarAppender: user id not interned");
+  }
+  EventStore::TraceRange range;
+  range.user = user;
+  range.begin = event_count_;
+  range.end = event_count_ + trace.size();
+  traces_.push_back(range);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    lat_buf_.push_back(trace.lat(i));
+    lng_buf_.push_back(trace.lng(i));
+    time_buf_.push_back(trace.time(i));
+  }
+  event_count_ += trace.size();
+  if (lat_buf_.size() >= flush_chunk_events_) FlushChunks();
+}
+
+void ColumnarAppender::Finalize() {
+  if (done_) throw std::logic_error("ColumnarAppender already finalized");
+  try {
+    FlushChunks();
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      spills_[c].flush();
+      if (!spills_[c]) {
+        throw IoError("write failed for " + spill_paths_[c]);
+      }
+      spills_[c].close();
+    }
+
+    const std::vector<std::byte> name_payload =
+        detail::EncodeNameTable(names_);
+    const std::vector<std::byte> trace_payload =
+        detail::EncodeTraceTable(traces_);
+    const std::size_t column_bytes = event_count_ * 8;
+    const std::array<std::size_t, detail::kKnownSections> sizes = {
+        name_payload.size(), trace_payload.size(), column_bytes, column_bytes,
+        column_bytes};
+    const std::array<std::uint64_t, detail::kKnownSections> checksums = {
+        Fnv1a64(name_payload.data(), name_payload.size()),
+        Fnv1a64(trace_payload.data(), trace_payload.size()), column_fnv_[0],
+        column_fnv_[1], column_fnv_[2]};
+    detail::ColumnarLayout layout;
+    const std::vector<std::byte> head = detail::BuildColumnarHead(
+        names_.size(), traces_.size(), event_count_, sizes, checksums,
+        &layout);
+
+    // Stream the exact on-disk image through the crash-safe commit
+    // protocol: header+directory, then each section at its aligned
+    // offset; the bulk columns are block-copied from the spills so no
+    // whole column is ever resident.
+    AtomicFileWriter writer(
+        path_, {.open = fault::points::kColumnarWriteOpen,
+                .write = fault::points::kColumnarWriteShort,
+                .commit = fault::points::kColumnarWriteCommit});
+    static constexpr std::byte kPad[8] = {};
+    std::size_t written = 0;
+    const auto pad_to = [&](std::size_t offset) {
+      if (offset > written) {
+        writer.Append(kPad, offset - written);
+        written = offset;
+      }
+    };
+    writer.Append(head.data(), head.size());
+    written = head.size();
+
+    const std::byte* metadata[2] = {name_payload.data(), trace_payload.data()};
+    for (std::size_t i = 0; i < 2; ++i) {
+      pad_to(layout.offsets[i]);
+      writer.Append(metadata[i], sizes[i]);
+      written += sizes[i];
+    }
+    std::vector<char> block(1u << 20);
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      const std::size_t i = 2 + c;
+      pad_to(layout.offsets[i]);
+      std::ifstream spill(spill_paths_[c], std::ios::binary);
+      if (!spill) throw IoError("cannot open " + spill_paths_[c]);
+      std::size_t copied = 0;
+      while (copied < sizes[i]) {
+        const std::size_t want = std::min(block.size(), sizes[i] - copied);
+        if (!spill.read(block.data(), static_cast<std::streamsize>(want))) {
+          throw IoError("spill file " + spill_paths_[c] +
+                        " shorter than the recorded column (torn spill?)");
+        }
+        writer.Append(block.data(), want);
+        copied += want;
+      }
+      written += sizes[i];
+    }
+    writer.Commit();
+  } catch (...) {
+    Abort();
+    throw;
+  }
+  Abort();  // publication done: drop the spills, mark spent
+}
+
+void ColumnarAppender::Abort() noexcept {
+  if (done_) return;
+  done_ = true;
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    if (spills_[c].is_open()) spills_[c].close();
+    if (!spill_paths_[c].empty()) {
+      std::error_code ignored;
+      std::filesystem::remove(spill_paths_[c], ignored);
+    }
+  }
+}
+
+bool ColumnarFileMatches(const EventStore& store,
+                         const std::string& path) noexcept {
+  try {
+    const std::vector<std::byte> name_payload =
+        detail::EncodeNameTable(store.names());
+    const std::vector<std::byte> trace_payload =
+        detail::EncodeTraceTable(store.trace_table());
+    const std::array<std::size_t, detail::kKnownSections> sizes = {
+        name_payload.size(), trace_payload.size(), store.lat().size_bytes(),
+        store.lng().size_bytes(), store.time().size_bytes()};
+    const std::array<std::uint64_t, detail::kKnownSections> checksums = {
+        Fnv1a64(name_payload.data(), name_payload.size()),
+        Fnv1a64(trace_payload.data(), trace_payload.size()),
+        Fnv1a64(store.lat().data(), store.lat().size_bytes()),
+        Fnv1a64(store.lng().data(), store.lng().size_bytes()),
+        Fnv1a64(store.time().data(), store.time().size_bytes())};
+    detail::ColumnarLayout layout;
+    const std::vector<std::byte> head = detail::BuildColumnarHead(
+        store.UserCount(), store.TraceCount(), store.EventCount(), sizes,
+        checksums, &layout);
+
+    std::error_code ec;
+    const auto actual_size = std::filesystem::file_size(path, ec);
+    if (ec || actual_size != layout.file_size) return false;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::vector<std::byte> existing(head.size());
+    if (!in.read(reinterpret_cast<char*>(existing.data()),
+                 static_cast<std::streamsize>(existing.size()))) {
+      return false;
+    }
+    // The header+directory image covers counts, every section size and
+    // every section FNV — if it matches byte for byte, publishing `store`
+    // would rewrite the identical file.
+    return std::memcmp(existing.data(), head.data(), head.size()) == 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace mobipriv::model

@@ -1,0 +1,136 @@
+// Incremental, bounded-memory construction of `.mpc` columnar files.
+//
+// WriteColumnar needs the whole EventStore in RAM; a streaming producer
+// (the synthetic-world generator at 10^6 agents, incremental ingestion)
+// cannot afford that. ColumnarAppender accepts traces one at a time,
+// buffers the event columns in bounded chunks, and spills full chunks to
+// writer-private sidecar files next to the destination while keeping
+// running FNV-1a checksums — so peak memory is O(chunk + users + traces)
+// regardless of how many events pass through. Finalize() assembles the
+// header/directory/name/trace sections (O(users + traces) metadata) and
+// streams the spilled columns through the same crash-safe
+// temp-file -> fsync -> atomic-rename protocol WriteColumnar uses, with
+// the same fault-injection points (`columnar.write.{open,short,commit}`).
+//
+// Bitwise contract (test-enforced): for any sequence of traces, the file
+// an appender produces is byte-identical to WriteColumnar over the
+// equivalent EventStore, at EVERY flush-chunk size — both paths share the
+// layout arithmetic in model/columnar_layout.h, the same name/trace
+// encoders, and FNV-1a is byte-sequential so chunked checksums match
+// one-shot ones.
+//
+// Crash safety: until Commit()'s rename inside Finalize(), the
+// destination path is untouched; every intermediate artifact (column
+// spills, the atomic temp) is a `*.tmp` sibling that Abort()/destructor
+// unlink. A crash leaves only stray `*.tmp` files no reader opens.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/event_store.h"
+#include "model/io.h"
+#include "model/views.h"
+
+namespace mobipriv::model {
+
+class ColumnarAppender {
+ public:
+  struct Options {
+    /// Events buffered per column before a spill to disk. The memory
+    /// bound is ~24 bytes x this value (three f64/i64 columns). 0 is
+    /// treated as 1 (spill on every append).
+    std::size_t flush_chunk_events = 1u << 16;
+  };
+
+  /// Prepares an appender targeting `path` (created/replaced only at
+  /// Finalize). Creates the column spill files next to `path`; throws
+  /// IoError if they cannot be opened.
+  explicit ColumnarAppender(std::string path);
+  ColumnarAppender(std::string path, const Options& options);
+  ~ColumnarAppender();
+
+  ColumnarAppender(const ColumnarAppender&) = delete;
+  ColumnarAppender& operator=(const ColumnarAppender&) = delete;
+
+  /// Dense id for `name`, interning it on first sight. Ids are assigned
+  /// in interning order — matching EventStore::InternUser — so callers
+  /// that intern names in a fixed global order get Partition-compatible
+  /// local ids.
+  UserId InternUser(std::string_view name);
+
+  /// Appends one trace owned by `user` (an id from InternUser). The three
+  /// spans must have equal length; events are stored verbatim (no
+  /// reordering or validation beyond the length check). Throws IoError on
+  /// a spill failure.
+  void AppendTrace(UserId user, std::span<const double> lat,
+                   std::span<const double> lng,
+                   std::span<const util::Timestamp> time);
+
+  /// View convenience: copies the (possibly strided) view columns through
+  /// the chunk buffer. The view's own user id is ignored in favour of
+  /// `user`.
+  void AppendTrace(UserId user, const TraceView& trace);
+
+  [[nodiscard]] std::size_t UserCount() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] std::size_t TraceCount() const noexcept {
+    return traces_.size();
+  }
+  [[nodiscard]] std::size_t EventCount() const noexcept {
+    return event_count_;
+  }
+
+  /// Assembles and atomically publishes the `.mpc` file, then removes the
+  /// spill files. Throws IoError on any failure (injected or real); the
+  /// destination keeps its previous content and all temporaries are
+  /// removed. The appender is spent afterwards (only Abort()/destruction
+  /// are legal).
+  void Finalize();
+
+  /// Drops all temporaries without publishing. Safe to call repeatedly
+  /// and after Finalize() (no-op then).
+  void Abort() noexcept;
+
+ private:
+  static constexpr std::size_t kColumns = 3;  // lat, lng, time
+
+  void FlushChunks();
+
+  std::string path_;
+  std::size_t flush_chunk_events_;
+  bool done_ = false;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, UserId> name_to_id_;
+  std::vector<EventStore::TraceRange> traces_;
+  std::size_t event_count_ = 0;
+
+  // Per-column chunk buffer, spill stream + path, and running checksum.
+  std::vector<double> lat_buf_;
+  std::vector<double> lng_buf_;
+  std::vector<util::Timestamp> time_buf_;
+  std::array<std::string, kColumns> spill_paths_;
+  std::array<std::ofstream, kColumns> spills_;
+  std::array<std::uint64_t, kColumns> column_fnv_;
+};
+
+/// True when `path` already holds a valid `.mpc` file whose content
+/// fingerprint (header counts + all five section sizes and FNV-1a
+/// checksums, i.e. the exact header/directory image WriteColumnar would
+/// produce) matches `store` — publishing `store` over it would be a
+/// byte-identical no-op. Never throws: unreadable, missing or corrupt
+/// files simply compare unequal. Cost is O(store) hashing + a 224-byte
+/// read; the existing file's payload is not read.
+[[nodiscard]] bool ColumnarFileMatches(const EventStore& store,
+                                       const std::string& path) noexcept;
+
+}  // namespace mobipriv::model

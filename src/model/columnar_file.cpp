@@ -1,6 +1,7 @@
 #include "model/columnar_file.h"
 
 #include "model/atomic_file.h"
+#include "model/columnar_layout.h"
 #include "util/fault.h"
 
 #include <algorithm>
@@ -30,33 +31,12 @@ static_assert(std::endian::native == std::endian::little,
               "mobipriv columnar files require a little-endian host");
 
 namespace mobipriv::model {
+
+// Layout constants (kHeaderSize, section ids, AlignUp8, ...) live in
+// model/columnar_layout.h so the appender shares them.
+using namespace detail;  // NOLINT(google-build-using-namespace)
+
 namespace {
-
-constexpr std::size_t kHeaderSize = 64;
-constexpr std::size_t kDirEntrySize = 32;
-
-// Section ids (directory `id` field). Readers require each of these
-// exactly once and ignore entries with unknown ids (forward compat).
-constexpr std::uint32_t kSectionName = 1;
-constexpr std::uint32_t kSectionTrace = 2;
-constexpr std::uint32_t kSectionLat = 3;
-constexpr std::uint32_t kSectionLng = 4;
-constexpr std::uint32_t kSectionTime = 5;
-constexpr std::size_t kKnownSections = 5;
-
-constexpr std::size_t kTraceRecordSize = 24;  // u32 user, u32 pad, u64 x2
-
-// Cap on the directory length a reader will walk: generous room for
-// future optional sections, small enough that a corrupt count cannot
-// drive a huge loop.
-constexpr std::uint32_t kMaxSectionCount = 1024;
-
-using detail::GetU32;
-using detail::GetU64;
-using detail::PutU32;
-using detail::PutU64;
-
-constexpr std::size_t AlignUp8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
 
 [[noreturn]] void Corrupt(const std::string& path, const std::string& what) {
   throw IoError("columnar file " + path + ": " + what);
@@ -341,51 +321,46 @@ std::vector<std::string> DecodeNameTable(const std::byte* payload,
   return names;
 }
 
-}  // namespace detail
+std::uint64_t Fnv1a64Update(std::uint64_t h, const void* data,
+                            std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
-void WriteColumnar(const EventStore& store, const std::string& path) {
-  // NAME payload: (user_count + 1) u64 offsets into the blob, then the
-  // UTF-8 blob itself.
-  const std::vector<std::byte> name_payload =
-      detail::EncodeNameTable(store.names());
-
-  // TRACE payload: fixed 24-byte records.
-  const std::span<const EventStore::TraceRange> traces = store.trace_table();
-  std::vector<std::byte> trace_payload(traces.size() * kTraceRecordSize);
+std::vector<std::byte> EncodeTraceTable(
+    std::span<const EventStore::TraceRange> traces) {
+  std::vector<std::byte> payload(traces.size() * kTraceRecordSize);
   for (std::size_t t = 0; t < traces.size(); ++t) {
-    std::byte* rec = trace_payload.data() + t * kTraceRecordSize;
+    std::byte* rec = payload.data() + t * kTraceRecordSize;
     PutU32(rec, traces[t].user);
     PutU32(rec + 4, 0);
     PutU64(rec + 8, traces[t].begin);
     PutU64(rec + 16, traces[t].end);
   }
+  return payload;
+}
 
-  // Lay the five sections out back to back, each 8-byte aligned.
-  struct Plan {
-    std::uint32_t id;
-    const void* payload;
-    std::size_t size;
-    std::size_t offset;
-    std::uint64_t checksum;
-  };
-  Plan plans[kKnownSections] = {
-      {kSectionName, name_payload.data(), name_payload.size(), 0, 0},
-      {kSectionTrace, trace_payload.data(), trace_payload.size(), 0, 0},
-      {kSectionLat, store.lat().data(), store.lat().size_bytes(), 0, 0},
-      {kSectionLng, store.lng().data(), store.lng().size_bytes(), 0, 0},
-      {kSectionTime, store.time().data(), store.time().size_bytes(), 0, 0},
-  };
-  std::size_t cursor =
-      AlignUp8(kHeaderSize + kKnownSections * kDirEntrySize);
-  for (Plan& plan : plans) {
-    plan.offset = cursor;
-    plan.checksum = Fnv1a64(plan.payload, plan.size);
-    cursor = AlignUp8(cursor + plan.size);
+std::vector<std::byte> BuildColumnarHead(
+    std::uint64_t user_count, std::uint64_t trace_count,
+    std::uint64_t event_count,
+    const std::array<std::size_t, kKnownSections>& section_sizes,
+    const std::array<std::uint64_t, kKnownSections>& section_checksums,
+    ColumnarLayout* layout) {
+  // Lay the five sections out back to back, each 8-byte aligned; the file
+  // ends at the last payload byte (no trailing padding).
+  layout->sizes = section_sizes;
+  layout->checksums = section_checksums;
+  std::size_t cursor = AlignUp8(kHeaderSize + kKnownSections * kDirEntrySize);
+  for (std::size_t i = 0; i < kKnownSections; ++i) {
+    layout->offsets[i] = cursor;
+    cursor = AlignUp8(cursor + section_sizes[i]);
   }
-  // File size: end of the last payload (the final section carries no
-  // trailing padding).
-  const std::size_t file_size =
-      plans[kKnownSections - 1].offset + plans[kKnownSections - 1].size;
+  layout->file_size =
+      layout->offsets[kKnownSections - 1] + section_sizes[kKnownSections - 1];
 
   // Header + directory, checksummed over their exact byte images.
   std::vector<std::byte> head(kHeaderSize + kKnownSections * kDirEntrySize,
@@ -393,22 +368,48 @@ void WriteColumnar(const EventStore& store, const std::string& path) {
   std::memcpy(head.data(), kColumnarMagic.data(), kColumnarMagic.size());
   PutU32(head.data() + 8, kColumnarFormatVersion);
   PutU32(head.data() + 12, kKnownSections);
-  PutU64(head.data() + 16, store.UserCount());
-  PutU64(head.data() + 24, store.TraceCount());
-  PutU64(head.data() + 32, store.EventCount());
-  PutU64(head.data() + 40, file_size);
+  PutU64(head.data() + 16, user_count);
+  PutU64(head.data() + 24, trace_count);
+  PutU64(head.data() + 32, event_count);
+  PutU64(head.data() + 40, layout->file_size);
   for (std::size_t i = 0; i < kKnownSections; ++i) {
     std::byte* entry = head.data() + kHeaderSize + i * kDirEntrySize;
-    PutU32(entry, plans[i].id);
+    PutU32(entry, static_cast<std::uint32_t>(i + 1));  // ids 1..5 in order
     PutU32(entry + 4, 0);
-    PutU64(entry + 8, plans[i].offset);
-    PutU64(entry + 16, plans[i].size);
-    PutU64(entry + 24, plans[i].checksum);
+    PutU64(entry + 8, layout->offsets[i]);
+    PutU64(entry + 16, layout->sizes[i]);
+    PutU64(entry + 24, layout->checksums[i]);
   }
   PutU64(head.data() + 48, Fnv1a64(head.data(), 48));
   PutU64(head.data() + 56,
-         Fnv1a64(head.data() + kHeaderSize,
-                 kKnownSections * kDirEntrySize));
+         Fnv1a64(head.data() + kHeaderSize, kKnownSections * kDirEntrySize));
+  return head;
+}
+
+}  // namespace detail
+
+void WriteColumnar(const EventStore& store, const std::string& path) {
+  // NAME payload: (user_count + 1) u64 offsets into the blob, then the
+  // UTF-8 blob itself. TRACE payload: fixed 24-byte records.
+  const std::vector<std::byte> name_payload =
+      detail::EncodeNameTable(store.names());
+  const std::vector<std::byte> trace_payload =
+      detail::EncodeTraceTable(store.trace_table());
+
+  const void* payloads[kKnownSections] = {
+      name_payload.data(), trace_payload.data(), store.lat().data(),
+      store.lng().data(), store.time().data()};
+  std::array<std::size_t, kKnownSections> sizes = {
+      name_payload.size(), trace_payload.size(), store.lat().size_bytes(),
+      store.lng().size_bytes(), store.time().size_bytes()};
+  std::array<std::uint64_t, kKnownSections> checksums{};
+  for (std::size_t i = 0; i < kKnownSections; ++i) {
+    checksums[i] = Fnv1a64(payloads[i], sizes[i]);
+  }
+  detail::ColumnarLayout layout;
+  const std::vector<std::byte> head = detail::BuildColumnarHead(
+      store.UserCount(), store.TraceCount(), store.EventCount(), sizes,
+      checksums, &layout);
 
   // Gather-list of the exact on-disk byte image (header+directory, then
   // each section with its alignment padding), published through the
@@ -420,11 +421,12 @@ void WriteColumnar(const EventStore& store, const std::string& path) {
   parts.reserve(1 + 2 * kKnownSections);
   parts.emplace_back(head.data(), head.size());
   std::size_t written = head.size();
-  for (const Plan& plan : plans) {
-    if (plan.offset > written) parts.emplace_back(kPad, plan.offset - written);
-    parts.emplace_back(static_cast<const std::byte*>(plan.payload),
-                       plan.size);
-    written = plan.offset + plan.size;
+  for (std::size_t i = 0; i < kKnownSections; ++i) {
+    if (layout.offsets[i] > written) {
+      parts.emplace_back(kPad, layout.offsets[i] - written);
+    }
+    parts.emplace_back(static_cast<const std::byte*>(payloads[i]), sizes[i]);
+    written = layout.offsets[i] + sizes[i];
   }
   WriteFileAtomic(path, parts,
                   {.open = util::fault::points::kColumnarWriteOpen,

@@ -1,0 +1,75 @@
+// Internal byte-layout constants and helpers of the `.mpc` container,
+// shared by the one-shot writer (WriteColumnar), the incremental appender
+// (ColumnarAppender) and the readers, so the format-critical arithmetic —
+// section order, alignment, header image — exists exactly once. Not a
+// public API: include columnar_file.h / columnar_append.h instead unless
+// you are implementing a container.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/event_store.h"
+
+namespace mobipriv::model::detail {
+
+inline constexpr std::size_t kHeaderSize = 64;
+inline constexpr std::size_t kDirEntrySize = 32;
+
+// Section ids (directory `id` field). Readers require each of these
+// exactly once and ignore entries with unknown ids (forward compat).
+inline constexpr std::uint32_t kSectionName = 1;
+inline constexpr std::uint32_t kSectionTrace = 2;
+inline constexpr std::uint32_t kSectionLat = 3;
+inline constexpr std::uint32_t kSectionLng = 4;
+inline constexpr std::uint32_t kSectionTime = 5;
+inline constexpr std::size_t kKnownSections = 5;
+
+inline constexpr std::size_t kTraceRecordSize = 24;  // u32 user, u32 pad, u64 x2
+
+// Cap on the directory length a reader will walk: generous room for
+// future optional sections, small enough that a corrupt count cannot
+// drive a huge loop.
+inline constexpr std::uint32_t kMaxSectionCount = 1024;
+
+inline constexpr std::size_t AlignUp8(std::size_t x) {
+  return (x + 7) & ~std::size_t{7};
+}
+
+/// Incremental FNV-1a 64 step: feeds `size` bytes into running state `h`
+/// (seed with kFnv1a64Basis). Byte-sequential, so chunked updates hash
+/// identically to one Fnv1a64 pass — that is what lets the appender keep
+/// running column checksums while spilling bounded chunks.
+inline constexpr std::uint64_t kFnv1a64Basis = 1469598103934665603ULL;
+[[nodiscard]] std::uint64_t Fnv1a64Update(std::uint64_t h, const void* data,
+                                          std::size_t size) noexcept;
+
+/// Resolved section placement for one `.mpc` file. Section order on disk
+/// is fixed: name, trace, lat, lng, time — arrays index in that order
+/// (id - 1).
+struct ColumnarLayout {
+  std::array<std::size_t, kKnownSections> offsets{};
+  std::array<std::size_t, kKnownSections> sizes{};
+  std::array<std::uint64_t, kKnownSections> checksums{};
+  std::size_t file_size = 0;
+};
+
+/// Computes section offsets + total file size from the five payload sizes
+/// and renders the exact header + directory byte image (checksummed).
+/// This IS the on-disk layout definition: WriteColumnar, the appender and
+/// the fingerprint check all call it, so they cannot disagree.
+[[nodiscard]] std::vector<std::byte> BuildColumnarHead(
+    std::uint64_t user_count, std::uint64_t trace_count,
+    std::uint64_t event_count,
+    const std::array<std::size_t, kKnownSections>& section_sizes,
+    const std::array<std::uint64_t, kKnownSections>& section_checksums,
+    ColumnarLayout* layout);
+
+/// Encodes the TRACE section payload: fixed 24-byte records.
+[[nodiscard]] std::vector<std::byte> EncodeTraceTable(
+    std::span<const EventStore::TraceRange> traces);
+
+}  // namespace mobipriv::model::detail

@@ -1,12 +1,16 @@
 #include "model/sharded_dataset.h"
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "model/atomic_file.h"
+#include "model/columnar_append.h"
 #include "model/columnar_file.h"
 #include "model/event_store.h"
 #include "util/fault.h"
@@ -145,18 +149,33 @@ std::size_t ShardedDataset::EventCount() const noexcept {
   return total;
 }
 
-void ShardedDataset::SaveShards(const std::string& dir) const {
+void ShardedDataset::SaveShards(const std::string& dir,
+                                SaveStats* stats) const {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) throw IoError("cannot create shard directory " + dir);
 
   // Shard files are independent; serialize them concurrently (the pool
-  // rethrows the first failure).
+  // rethrows the first failure). A shard whose content fingerprint
+  // already matches the published file is skipped outright — incremental
+  // runs that touched one shard republish one file, not the directory.
+  std::atomic<std::size_t> written{0};
+  std::atomic<std::size_t> skipped{0};
   util::ParallelForEach(shards_.size(), [&](std::size_t s) {
-    WriteColumnar(EventStore::FromDataset(shards_[s]),
-                  (fs::path(dir) / ShardFileName(s)).string());
+    const EventStore store = EventStore::FromDataset(shards_[s]);
+    const std::string path = (fs::path(dir) / ShardFileName(s)).string();
+    if (ColumnarFileMatches(store, path)) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    WriteColumnar(store, path);
+    written.fetch_add(1, std::memory_order_relaxed);
   });
+  if (stats != nullptr) {
+    stats->shards_written = written.load(std::memory_order_relaxed);
+    stats->shards_skipped = skipped.load(std::memory_order_relaxed);
+  }
 
   // The recorded original order is persisted only while it still matches
   // the shard contents (same condition Merge applies).
@@ -164,21 +183,34 @@ void ShardedDataset::SaveShards(const std::string& dir) const {
   for (std::size_t s = 0; has_origin && s < shards_.size(); ++s) {
     has_origin = origin_[s].size() == shards_[s].TraceCount();
   }
+  WriteShardManifest(dir, shards_.size(), global_names_,
+                     has_origin ? std::span<const std::vector<std::size_t>>(
+                                      origin_)
+                                : std::span<const std::vector<std::size_t>>());
+}
+
+void WriteShardManifest(const std::string& dir, std::size_t shard_count,
+                        std::span<const std::string> global_names,
+                        std::span<const std::vector<std::size_t>> origin) {
+  const bool has_origin = !origin.empty();
+  if (has_origin && origin.size() != shard_count) {
+    throw IoError("shard manifest origin runs disagree with shard count");
+  }
 
   // Payload: name table (offsets + blob, zero-padded to 8 bytes), then —
   // when present — per-shard origin runs (u64 count + count u64 indices).
   const std::vector<std::byte> name_table =
-      detail::EncodeNameTable(global_names_);
+      detail::EncodeNameTable(global_names);
   std::size_t payload_size = AlignUp8(name_table.size());
   if (has_origin) {
-    for (const auto& o : origin_) payload_size += 8 + o.size() * 8;
+    for (const auto& o : origin) payload_size += 8 + o.size() * 8;
   }
 
   std::vector<std::byte> payload(payload_size, std::byte{0});
   std::memcpy(payload.data(), name_table.data(), name_table.size());
   if (has_origin) {
     std::byte* p = payload.data() + AlignUp8(name_table.size());
-    for (const auto& o : origin_) {
+    for (const auto& o : origin) {
       PutU64(p, o.size());
       p += 8;
       for (const std::size_t index : o) {
@@ -192,16 +224,15 @@ void ShardedDataset::SaveShards(const std::string& dir) const {
   std::memcpy(head.data(), kManifestMagic.data(), kManifestMagic.size());
   PutU32(head.data() + 8, kColumnarFormatVersion);
   PutU32(head.data() + 12, has_origin ? kManifestFlagHasOrigin : 0u);
-  PutU64(head.data() + 16, shards_.size());
-  PutU64(head.data() + 24, global_names_.size());
+  PutU64(head.data() + 16, shard_count);
+  PutU64(head.data() + 24, global_names.size());
   PutU64(head.data() + 32, payload.size());
   PutU64(head.data() + 40, Fnv1a64(payload.data(), payload.size()));
 
   // Crash-safe publication (docs/ROBUSTNESS.md): the manifest is the
   // directory's commit marker — writing it last, atomically, means a
-  // crash mid-SaveShards leaves either the previous manifest (old
-  // partition still opens) or no manifest (open fails cleanly), never a
-  // torn one.
+  // crash mid-save leaves either the previous manifest (old partition
+  // still opens) or no manifest (open fails cleanly), never a torn one.
   const std::string manifest = ManifestPath(dir).string();
   const std::span<const std::byte> parts[] = {
       {head.data(), head.size()}, {payload.data(), payload.size()}};
@@ -209,6 +240,32 @@ void ShardedDataset::SaveShards(const std::string& dir) const {
                   {.open = fault::points::kManifestWriteOpen,
                    .write = fault::points::kManifestWriteShort,
                    .commit = fault::points::kManifestWriteCommit});
+}
+
+void MergeShardManifests(const std::string& dir, std::size_t shard_count) {
+  if (shard_count == 0 || shard_count > kMaxShardCount) {
+    throw IoError("cannot merge manifests in " + dir +
+                  ": implausible shard count " + std::to_string(shard_count));
+  }
+  // Union of the shard name tables in (shard, local id) order. Mapped
+  // open: the name/trace metadata is decoded eagerly but the column
+  // payloads are never faulted in, so merging a terabyte directory reads
+  // kilobytes. A name appearing in several shards is kept once (first
+  // sighting) — OpenShards interns shard-locally, so duplicates only
+  // denote the same external user.
+  std::vector<std::string> global_names;
+  std::unordered_set<std::string_view> seen;
+  std::vector<std::vector<std::string>> shard_names(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const MappedColumnar mapped = MapColumnar(ShardDataPath(dir, s));
+    shard_names[s].assign(mapped.names().begin(), mapped.names().end());
+  }
+  for (const auto& names : shard_names) {
+    for (const std::string& name : names) {
+      if (seen.insert(name).second) global_names.push_back(name);
+    }
+  }
+  WriteShardManifest(dir, shard_count, global_names);
 }
 
 ShardedDataset ShardedDataset::OpenShards(const std::string& dir) {

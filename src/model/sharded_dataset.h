@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -57,13 +58,23 @@ class ShardedDataset {
   /// (the shape shard-wise transforms write their outputs into).
   [[nodiscard]] ShardedDataset EmptyLike() const;
 
+  /// What one SaveShards call actually touched. Unchanged shards are
+  /// detected by content fingerprint (ColumnarFileMatches) and skipped —
+  /// an incremental run that appended to one shard republishes one file,
+  /// not the whole directory.
+  struct SaveStats {
+    std::size_t shards_written = 0;
+    std::size_t shards_skipped = 0;  ///< fingerprint matched the existing file
+  };
+
   /// Persists the partition: one columnar file per shard
   /// (`shard-00000.mpc`, ... — see docs/FORMAT.md) plus `manifest.mpm`
   /// (shard count, global name table, and — when still valid — the
   /// original trace order so OpenShards().Merge() reproduces the
-  /// partitioned dataset exactly). Creates `dir` if missing; throws
-  /// model::IoError on any filesystem failure.
-  void SaveShards(const std::string& dir) const;
+  /// partitioned dataset exactly). Shards whose on-disk content already
+  /// matches are left untouched (see SaveStats). Creates `dir` if
+  /// missing; throws model::IoError on any filesystem failure.
+  void SaveShards(const std::string& dir, SaveStats* stats = nullptr) const;
 
   /// Opens a directory written by SaveShards. Restores shard count,
   /// global names, every shard's contents and (when recorded) the
@@ -166,6 +177,27 @@ struct ShardManifest {
 /// Throws IoError on corruption (bad magic/version/checksum, non-permutation
 /// origin table).
 [[nodiscard]] ShardManifest ReadShardManifest(const std::string& dir);
+
+/// Writes `dir`/manifest.mpm (crash-safe: the manifest is the directory's
+/// commit marker, published atomically and last). `origin` — one run of
+/// original global trace indices per shard — may be empty to record no
+/// origin order, in which case OpenShards().Merge() concatenates in
+/// (shard, local index) order. Every SaveShards-directory producer
+/// (SaveShards itself, manifest merge, the streaming world generator)
+/// funnels through this one encoder. Throws IoError on failure.
+void WriteShardManifest(const std::string& dir, std::size_t shard_count,
+                        std::span<const std::string> global_names,
+                        std::span<const std::vector<std::size_t>> origin = {});
+
+/// Builds `dir`/manifest.mpm from shard files written independently (e.g.
+/// one ColumnarAppender per shard): opens `shard-00000.mpc` ..
+/// `shard-<n-1>.mpc`, unions their name tables into a global table in
+/// (shard, local id) order — first sighting wins for names present in
+/// several shards — and commits a manifest without an origin order, making
+/// the directory a valid OpenShards target. Only shard metadata is read
+/// (mapped open; column payloads are never touched). Throws IoError if any
+/// shard file is missing or corrupt.
+void MergeShardManifests(const std::string& dir, std::size_t shard_count);
 
 /// Path of shard `s`'s columnar file inside a SaveShards directory
 /// ("<dir>/shard-00005.mpc") — the file a worker owning shard `s` opens

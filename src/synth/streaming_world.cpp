@@ -1,0 +1,147 @@
+#include "synth/streaming_world.h"
+
+#include <cassert>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "geo/projection.h"
+#include "model/columnar_append.h"
+#include "model/sharded_dataset.h"
+#include "synth/schedule.h"
+#include "synth/simulator.h"
+#include "util/rng.h"
+#include "util/time_utils.h"
+
+namespace mobipriv::synth {
+
+namespace fs = std::filesystem;
+
+StreamingWorldStats GenerateShardedWorld(const StreamingWorldConfig& config,
+                                         const std::string& dir) {
+  const PopulationConfig& pop = config.population;
+  const std::size_t shard_count =
+      config.shard_count == 0 ? 1 : config.shard_count;
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // SaveShards-compatible: best effort,
+                                    // the appender open reports failures.
+
+  // The static world: same construction draws as SyntheticWorld, so the
+  // city (network + POIs) for a given seed is the one tests know.
+  util::Rng rng(pop.seed);
+  util::Rng network_rng = rng.Split();
+  util::Rng poi_rng = rng.Split();
+  const geo::LocalProjection projection(pop.origin);
+  const RoadNetwork network(pop.road, network_rng);
+  const PoiUniverse universe(pop.pois, network, poi_rng);
+  const Simulator simulator(network, universe, projection, pop.simulator);
+  const auto hubs = universe.OfCategory(PoiCategory::kTransitHub);
+
+  // One master draw; every agent's randomness derives from it by index, so
+  // trajectories are independent of generation order and chunking.
+  const std::uint64_t master = rng.NextU64();
+
+  model::ColumnarAppender::Options options;
+  if (config.flush_chunk_events != 0) {
+    options.flush_chunk_events = config.flush_chunk_events;
+  }
+  std::vector<std::unique_ptr<model::ColumnarAppender>> appenders;
+  appenders.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    appenders.push_back(std::make_unique<model::ColumnarAppender>(
+        model::ShardDataPath(dir, s), options));
+  }
+
+  // Pre-intern every agent into its home shard in global order: local ids
+  // then match ShardedDataset::Partition of the same population, and the
+  // global name table is complete even for agents whose day produced no
+  // usable trace.
+  std::vector<std::string> global_names;
+  global_names.reserve(pop.agents);
+  std::vector<std::uint32_t> home(pop.agents);  // agent -> home shard
+  std::vector<model::UserId> local_id(pop.agents);
+  for (std::size_t a = 0; a < pop.agents; ++a) {
+    std::string name = "agent" + std::to_string(a);
+    const std::size_t s =
+        model::ShardedDataset::ShardOfUser(name, shard_count);
+    home[a] = static_cast<std::uint32_t>(s);
+    local_id[a] = appenders[s]->InternUser(name);
+    global_names.push_back(std::move(name));
+  }
+
+  StreamingWorldStats stats;
+  stats.agents = pop.agents;
+  stats.shards = shard_count;
+
+  // origin[s][i] = global generation index of shard s's local trace i.
+  // Agents ascend and traces append in generation order, so each run is
+  // strictly ascending — the canonical-order property ProbeShardStream
+  // requires.
+  std::vector<std::vector<std::size_t>> origin(shard_count);
+
+  // Per-trace column scratch, reused across the whole run.
+  std::vector<double> lat;
+  std::vector<double> lng;
+  std::vector<util::Timestamp> time;
+  std::vector<model::Trace> session_traces;
+  std::vector<GroundTruthVisit> ground_truth;  // discarded per agent
+
+  for (std::size_t a = 0; a < pop.agents; ++a) {
+    const std::size_t shard = home[a];
+    model::ColumnarAppender& appender = *appenders[shard];
+
+    util::Rng agent_rng(util::DeriveStreamSeed(master, a, 0));
+    AgentProfile profile = SampleProfile(universe, agent_rng);
+    if (pop.force_shared_hub && !hubs.empty()) {
+      profile.commute_hub = hubs.front();
+      profile.hub_commute_prob = 1.0;
+    }
+
+    util::Rng day_rng(util::DeriveStreamSeed(master, a, 1));
+    for (std::size_t d = 0; d < pop.days; ++d) {
+      const util::Timestamp day_start =
+          pop.start_day + static_cast<util::Timestamp>(d) * util::kSecondsPerDay;
+      const auto plan =
+          GenerateDayPlan(profile, universe, pop.schedule, day_start, day_rng);
+      session_traces.clear();
+      ground_truth.clear();
+      simulator.SimulateDay(local_id[a], profile, plan, day_rng,
+                            session_traces, ground_truth);
+      for (const model::Trace& trace : session_traces) {
+        assert(trace.IsTimeOrdered());
+        if (trace.size() < 2) continue;  // same filter as SyntheticWorld
+        lat.clear();
+        lng.clear();
+        time.clear();
+        lat.reserve(trace.size());
+        lng.reserve(trace.size());
+        time.reserve(trace.size());
+        for (const model::Event& e : trace) {
+          lat.push_back(e.position.lat);
+          lng.push_back(e.position.lng);
+          time.push_back(e.time);
+        }
+        appender.AppendTrace(local_id[a], lat, lng, time);
+        origin[shard].push_back(stats.traces++);
+        stats.events += trace.size();
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    appenders[s]->Finalize();
+    stats.bytes_written +=
+        static_cast<std::uint64_t>(fs::file_size(model::ShardDataPath(dir, s)));
+  }
+  // The manifest is the directory's commit marker: published atomically and
+  // last, so a crash anywhere above leaves no readable shard directory.
+  model::WriteShardManifest(dir, shard_count, global_names, origin);
+  stats.bytes_written += static_cast<std::uint64_t>(
+      fs::file_size(fs::path(dir) / "manifest.mpm"));
+  return stats;
+}
+
+}  // namespace mobipriv::synth

@@ -1,0 +1,18 @@
+// Process resource introspection for benchmarks and CLIs. Peak RSS is the
+// out-of-core evidence: a streaming run over a multi-gigabyte world must
+// report a peak far below the dataset size, and the throughput benches
+// publish this number next to rows/sec so regressions in residency are as
+// visible as regressions in speed.
+#pragma once
+
+#include <cstdint>
+
+namespace mobipriv::util {
+
+/// Peak resident set size of the current process in bytes, as reported by
+/// getrusage(RUSAGE_SELF). Monotone over the process lifetime (the kernel
+/// high-water mark never resets), so deltas across a phase only bound that
+/// phase from above. Returns 0 on platforms without getrusage.
+[[nodiscard]] std::uint64_t PeakRssBytes() noexcept;
+
+}  // namespace mobipriv::util

@@ -1,0 +1,136 @@
+// The out-of-core engine path: shard-streamed execution of a grid over a
+// SaveShards directory must be a pure resource strategy — same Report,
+// byte for byte, as the whole-view DAG, at any thread count, with no
+// hidden materializations. These tests pin that equivalence plus the
+// eligibility gating around it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "model/sharded_dataset.h"
+#include "model/views.h"
+#include "synth/population.h"
+
+namespace mobipriv {
+namespace {
+
+namespace fs = std::filesystem;
+
+const model::Dataset& World() {
+  static const synth::SyntheticWorld* world = [] {
+    synth::PopulationConfig config;
+    config.agents = 24;
+    config.days = 1;
+    config.seed = 99;
+    return new synth::SyntheticWorld(config);
+  }();
+  return world->dataset();
+}
+
+/// Shards World() into `shards` under a fresh directory, returns its path.
+std::string MakeShardDir(const std::string& name, std::size_t shards) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  model::ShardedDataset::Partition(World(), shards).SaveShards(dir.string());
+  return dir.string();
+}
+
+/// A grid every streamed-path precondition accepts: single-stage per-trace
+/// mechanisms, foldable evaluators only.
+core::ScenarioSpec FoldableSpec() {
+  core::ScenarioSpec spec;
+  spec.mechanisms = {"gaussian", "geo_ind[eps=0.01]", "cloaking"};
+  spec.evaluators = {"trajectory_stats", "range_queries[n=32]"};
+  spec.seeds = {5, 9};
+  return spec;
+}
+
+TEST(ShardStream, ProbeAcceptsSaveShardsLayout) {
+  const std::string dir = MakeShardDir("mobipriv_stream_probe", 4);
+  const auto plan = core::ProbeShardStream(dir);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->shard_count, 4u);
+  EXPECT_EQ(plan->global_names.size(), World().UserCount());
+  EXPECT_EQ(plan->total_traces, World().TraceCount());
+  // Canonical-order restriction: strictly ascending origin per shard.
+  for (const auto& run : plan->origin) {
+    for (std::size_t i = 1; i < run.size(); ++i) {
+      EXPECT_LT(run[i - 1], run[i]);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardStream, ReportByteIdenticalToWholeView) {
+  const std::string dir = MakeShardDir("mobipriv_stream_identical", 6);
+
+  // Reference: the whole-view DAG over the borrowed dataset.
+  core::ScenarioSpec spec = FoldableSpec();
+  spec.source = core::DatasetSourceSpec::Borrowed(World());
+  core::ScenarioEngine whole(spec);
+  const std::string reference = whole.Run().ToCsv();
+  EXPECT_EQ(whole.stats().streamed_shards, 0u);
+
+  // Streamed: same grid over the shard dir, at two thread counts. The
+  // full-materialize and trace-copy counters stay flat — out-of-core
+  // execution must not sneak a dataset (or per-trace AoS copies) into
+  // memory to get its answer.
+  for (const std::size_t threads : {1u, 4u}) {
+    core::ScenarioSpec streamed_spec = FoldableSpec();
+    streamed_spec.source = core::DatasetSourceSpec::ShardDir(dir);
+    streamed_spec.threads = threads;
+    const std::size_t materialized_before = model::FullMaterializeCount();
+    const std::size_t copies_before = model::TraceCopyCount();
+    core::ScenarioEngine streamed(std::move(streamed_spec));
+    const core::Report report = streamed.Run();
+    EXPECT_EQ(streamed.stats().streamed_shards, 6u) << "threads=" << threads;
+    EXPECT_TRUE(report.AllOk());
+    EXPECT_EQ(report.ToCsv(), reference) << "threads=" << threads;
+    EXPECT_EQ(model::FullMaterializeCount(), materialized_before);
+    EXPECT_EQ(model::TraceCopyCount(), copies_before);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardStream, FallsBackOnNonFoldableEvaluator) {
+  const std::string dir = MakeShardDir("mobipriv_stream_fallback_eval", 3);
+  core::ScenarioSpec spec = FoldableSpec();
+  spec.source = core::DatasetSourceSpec::ShardDir(dir);
+  spec.evaluators.push_back("coverage");  // whole-view only
+  core::ScenarioEngine engine(std::move(spec));
+  const core::Report report = engine.Run();
+  EXPECT_EQ(engine.stats().streamed_shards, 0u);
+  EXPECT_TRUE(report.AllOk());
+  fs::remove_all(dir);
+}
+
+TEST(ShardStream, FallsBackOnCrossTraceMechanism) {
+  const std::string dir = MakeShardDir("mobipriv_stream_fallback_mech", 3);
+  core::ScenarioSpec spec = FoldableSpec();
+  spec.source = core::DatasetSourceSpec::ShardDir(dir);
+  spec.mechanisms.push_back("mixzone");  // cross-trace: needs the whole view
+  core::ScenarioEngine engine(std::move(spec));
+  const core::Report report = engine.Run();
+  EXPECT_EQ(engine.stats().streamed_shards, 0u);
+  EXPECT_TRUE(report.AllOk());
+  fs::remove_all(dir);
+}
+
+TEST(ShardStream, FallsBackOnChainRow) {
+  const std::string dir = MakeShardDir("mobipriv_stream_fallback_chain", 3);
+  core::ScenarioSpec spec = FoldableSpec();
+  spec.source = core::DatasetSourceSpec::ShardDir(dir);
+  spec.mechanisms = {"geo_ind[eps=0.01]|cloaking"};  // multi-stage
+  core::ScenarioEngine engine(std::move(spec));
+  const core::Report report = engine.Run();
+  EXPECT_EQ(engine.stats().streamed_shards, 0u);
+  EXPECT_TRUE(report.AllOk());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mobipriv
