@@ -91,12 +91,22 @@ int main(int argc, char** argv) {
                 "run a full scenario grid from a sweep config file "
                 "(docs/FORMAT.md, \"Sweep config files\") and print the "
                 "report CSV; all other options are ignored", "");
+  cli.AddOption("workers",
+                "worker PROCESSES for shard-dir engine runs (0 = in-process; "
+                "supervised, crash-tolerant, byte-identical reports at any "
+                "value; applies to --sweep and --evaluate)", "0");
   cli.AddFlag("no-mixzones", "disable stage 2 (swapping)");
   cli.AddFlag("no-smoothing", "disable stage 1 (constant speed)");
   cli.AddFlag("demo", "generate a synthetic input instead of reading one");
   util::AddRunOptions(cli, 1);
+  util::IgnoreSigpipe();
   if (!cli.Parse(argc, argv)) return 1;
   const util::RunOptions run = util::ApplyRunOptions(cli);
+  const std::int64_t workers_arg = cli.GetInt("workers");
+  if (workers_arg < 0) {
+    std::cerr << "--workers must be >= 0 (got " << workers_arg << ")\n";
+    return 1;
+  }
 
   // The mechanism: an explicit spec string, or the paper's pipeline
   // assembled from the legacy flags.
@@ -126,9 +136,13 @@ int main(int argc, char** argv) {
   if (!cli.GetString("sweep").empty()) {
     try {
       core::ScenarioSpec spec = core::LoadSweepConfig(cli.GetString("sweep"));
+      if (workers_arg > 0) {
+        spec.workers = static_cast<std::size_t>(workers_arg);
+      }
       core::ScenarioEngine engine(std::move(spec));
       const core::Report report = engine.Run();
       std::cout << report.ToCsv();
+      if (!util::FlushStdout("anonymize_csv")) return 1;
       std::cerr << "# " << engine.stats().ToString() << "\n";
       return report.AllOk() ? 0 : 1;
     } catch (const util::SpecError& e) {
@@ -220,6 +234,7 @@ int main(int argc, char** argv) {
       spec.evaluators = SplitSpecList(evaluate);
       spec.seeds = {run.seed};
       spec.threads = run.threads;
+      spec.workers = static_cast<std::size_t>(workers_arg);
       spec.mechanism_cache_dir = cli.GetString("mech-cache");
       const std::int64_t cache_max = cli.GetInt("mech-cache-max");
       if (cache_max < 0) {
@@ -245,5 +260,5 @@ int main(int argc, char** argv) {
     std::cerr << "Error: " << e.what() << "\n";
     return 1;
   }
-  return 0;
+  return util::FlushStdout("anonymize_csv") ? 0 : 1;
 }

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   cli.AddOption("max-speed", "drop fixes implying more m/s than this",
                 "70");
   cli.AddFlag("anonymize", "run the paper's pipeline before writing");
+  util::IgnoreSigpipe();
   if (!cli.Parse(argc, argv)) return 1;
 
   if (cli.GetString("root").empty()) {
@@ -87,5 +88,5 @@ int main(int argc, char** argv) {
     std::cerr << "Error: " << e.what() << "\n";
     return 1;
   }
-  return 0;
+  return util::FlushStdout("geolife_convert") ? 0 : 1;
 }

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
               "sparse recording (120 s GPS fix period instead of 30 s) — "
               "the million-agent sizing");
   util::AddRunOptions(cli, 42);
+  util::IgnoreSigpipe();
   if (!cli.Parse(argc, argv)) return 1;
   const util::RunOptions run = util::ApplyRunOptions(cli);
 
@@ -74,5 +75,5 @@ int main(int argc, char** argv) {
     std::cerr << "Error: " << e.what() << "\n";
     return 1;
   }
-  return 0;
+  return util::FlushStdout("synth_world") ? 0 : 1;
 }

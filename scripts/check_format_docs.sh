@@ -61,8 +61,10 @@ robustness=docs/ROBUSTNESS.md
 [[ -f "$fault_header" ]] || { echo "missing $fault_header"; exit 1; }
 [[ -f "$robustness" ]] || { echo "missing $robustness"; exit 1; }
 
-code_points=$(grep -oE 'inline constexpr std::string_view k[A-Za-z]+ = "[^"]+"' \
-  "$fault_header" | grep -oE '"[^"]+"' | tr -d '"' | sort)
+# (join lines first: a long constant name may wrap its string literal)
+code_points=$(tr '\n' ' ' < "$fault_header" |
+  grep -oE 'inline constexpr std::string_view k[A-Za-z]+ =[[:space:]]*"[^"]+"' |
+  grep -oE '"[^"]+"' | tr -d '"' | sort)
 doc_points=$(grep -oE '^\| `[a-z.]+`' "$robustness" | tr -d '|` ' | sort)
 
 points_ok=1

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -15,6 +16,8 @@
 #include "attacks/poi_extraction.h"
 #include "core/evaluator.h"
 #include "core/output_cache.h"
+#include "core/shard_exec.h"
+#include "core/worker_protocol.h"
 #include "mechanisms/mechanism.h"
 #include "mechanisms/registry.h"
 #include "model/columnar_file.h"
@@ -272,6 +275,11 @@ std::string EngineStats::ToString() const {
   }
   if (cache_evictions > 0) os << " cache_evictions=" << cache_evictions;
   if (streamed_shards > 0) os << " streamed_shards=" << streamed_shards;
+  if (workers_spawned > 0) {
+    os << " workers_spawned=" << workers_spawned
+       << " worker_restarts=" << worker_restarts
+       << " worker_failures=" << worker_failures;
+  }
   if (failed_nodes + skipped_nodes > 0) {
     os << " failed_nodes=" << failed_nodes
        << " skipped_nodes=" << skipped_nodes;
@@ -294,6 +302,7 @@ struct ScenarioEngine::Compiled {
   /// concurrently-running nodes.
   struct StagePlan {
     std::string prefix_name;  ///< stage names [0..k] joined with '|'
+    std::string spec_text;    ///< original stage spec text (worker dispatch)
     std::size_t parent = kNoParent;  ///< previous stage's node, if any
     std::size_t seed_index = 0;
     std::unique_ptr<mech::Mechanism> instance;
@@ -365,6 +374,7 @@ ScenarioEngine::ScenarioEngine(ScenarioSpec spec)
         if (it == node_index.end()) {
           Compiled::StagePlan plan;
           plan.prefix_name = prefix;
+          plan.spec_text = stage_texts[k];
           plan.parent = parent;
           plan.seed_index = seed;
           plan.instance = mech::CreateMechanism(stage_texts[k]);
@@ -472,19 +482,30 @@ Report ScenarioEngine::Run() {
   // (core::TraceFold), no output cache (its keys fingerprint the whole
   // source) and no watchdog (a per-node wall clock has no meaning for
   // interleaved shard passes). Everything else falls back to the DAG.
-  bool streamable =
+  bool foldable =
       c.spec.source.kind == DatasetSourceSpec::Kind::kShardDir &&
-      c.spec.mechanism_cache_dir.empty() && c.spec.node_timeout_ms == 0.0;
-  for (std::size_t i = 0; streamable && i < stage_count; ++i) {
-    streamable = c.stage_nodes[i].parent == Compiled::kNoParent &&
-                 dynamic_cast<const mech::PerTraceMechanism*>(
-                     c.stage_nodes[i].instance.get()) != nullptr;
+      c.spec.mechanism_cache_dir.empty();
+  for (std::size_t i = 0; foldable && i < stage_count; ++i) {
+    foldable = c.stage_nodes[i].parent == Compiled::kNoParent &&
+               dynamic_cast<const mech::PerTraceMechanism*>(
+                   c.stage_nodes[i].instance.get()) != nullptr;
   }
-  for (std::size_t e = 0; streamable && e < eval_count; ++e) {
-    streamable = c.evaluators[e]->MakeTraceFold(seeds[0]) != nullptr;
+  for (std::size_t e = 0; foldable && e < eval_count; ++e) {
+    foldable = c.evaluators[e]->MakeTraceFold(seeds[0]) != nullptr;
   }
+  // The multi-process path additionally needs a worker binary; the
+  // watchdog is COMPATIBLE with it (it becomes the per-request deadline,
+  // with real preemption), while the in-process streamed path must leave
+  // watchdogged grids to the DAG.
+  std::string worker_binary;
+  if (foldable && c.spec.workers > 0) {
+    worker_binary = c.spec.worker_binary.empty() ? DefaultWorkerBinary()
+                                                 : c.spec.worker_binary;
+  }
+  const bool want_workers = foldable && !worker_binary.empty();
+  const bool streamable = foldable && c.spec.node_timeout_ms == 0.0;
   std::optional<ShardStreamPlan> stream;
-  if (streamable) {
+  if (want_workers || streamable) {
     // The probe is this path's bind: manifest + per-shard metadata, no
     // event column ever resident.
     const auto probe_start = std::chrono::steady_clock::now();
@@ -493,7 +514,249 @@ Report ScenarioEngine::Run() {
                           std::chrono::steady_clock::now() - probe_start)
                           .count();
   }
-  if (stream) {
+
+  // ---- Supervised multi-process path (core/shard_exec.h). -------------
+  // Mechanism stages run in disposable worker processes (one per shard
+  // subset) with heartbeat liveness, per-request deadlines and bounded
+  // retry; the supervisor-side merge below then mirrors the streamed
+  // path, reading each stage's published columns from the workers'
+  // atomically-written `.mpc` result files instead of recomputing them.
+  // `.mpc` round-trips doubles bitwise and per-trace RNG streams are
+  // partition-independent, so the merged report is byte-identical to the
+  // in-process run at any worker count. A stage whose retries exhaust
+  // (or whose worker reports a permanent error) degrades to the same
+  // failed/skipped rows the DAG would produce.
+  if (stream && want_workers) {
+    const ShardStreamPlan& plan = *stream;
+    stats_.streamed_shards = plan.shard_count;
+    std::vector<NodeResult> node_results(stage_count + eval_nodes);
+    std::vector<std::vector<MetricValue>> results(eval_nodes);
+    stats_.run_ms = TimeMs([&] {
+      // Engine-side injected stage faults fire before any dispatch, with
+      // the same error text as the other executors.
+      for (std::size_t i = 0; i < stage_count; ++i) {
+        const Compiled::StagePlan& stage = c.stage_nodes[i];
+        if (MOBIPRIV_FAULT_POINT_KEYED(fault::points::kEngineMechanismRun,
+                                       stage.prefix_name)) {
+          node_results[i] = {
+              NodeStatus::kFailed,
+              "injected fault (" +
+                  std::string(fault::points::kEngineMechanismRun) +
+                  "): " + stage.prefix_name};
+        }
+      }
+
+      // Result handoff directory, removed wholesale on exit (including
+      // any torn temp a killed worker left behind).
+      struct ScratchDir {
+        std::string path;
+        ~ScratchDir() {
+          if (path.empty()) return;
+          std::error_code ec;
+          std::filesystem::remove_all(path, ec);
+        }
+      } scratch;
+      scratch.path = MakeScratchDir();
+
+      const auto stage_stem = [](std::size_t n) {
+        return "stage-" + std::to_string(n);
+      };
+      std::vector<ShardStageTask> tasks;
+      std::vector<std::size_t> task_stage;
+      for (std::size_t i = 0; i < stage_count; ++i) {
+        if (node_results[i].status != NodeStatus::kOk) continue;
+        const Compiled::StagePlan& stage = c.stage_nodes[i];
+        ShardStageTask task;
+        task.spec_text = stage.spec_text;
+        task.prefix_name = stage.prefix_name;
+        task.stem = stage_stem(i);
+        task.seed = seeds[stage.seed_index];
+        tasks.push_back(std::move(task));
+        task_stage.push_back(i);
+      }
+      ShardExecOptions exec_options;
+      exec_options.worker_binary = worker_binary;
+      exec_options.workers = c.spec.workers;
+      exec_options.request_timeout_ms = c.spec.node_timeout_ms;
+      ShardExecStats exec_stats;
+      const std::vector<ShardStageOutcome> outcomes =
+          RunShardStagesMultiProcess(plan, tasks, scratch.path, exec_options,
+                                     &exec_stats);
+      stats_.workers_spawned = exec_stats.workers_spawned;
+      stats_.worker_restarts = exec_stats.worker_restarts;
+      stats_.worker_failures = exec_stats.worker_failures;
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        if (!outcomes[t].ok) {
+          node_results[task_stage[t]] = {NodeStatus::kFailed,
+                                         outcomes[t].error};
+        }
+      }
+
+      // Post-supervision result loss is not retryable any more; the
+      // stage degrades with a deterministic (basename-only) error.
+      const auto torn_error = [&](std::size_t n, std::size_t s) {
+        return "result missing or torn after supervision: " +
+               std::filesystem::path(
+                   wp::StageShardPath(scratch.path, stage_stem(n), s))
+                   .filename()
+                   .string();
+      };
+
+      // Merge pass 0 (extents): original bbox/time span from the source
+      // shards, published bbox from each surviving stage's result files.
+      geo::GeoBoundingBox original_bbox;
+      std::vector<geo::GeoBoundingBox> published_bbox(stage_count);
+      util::Timestamp t_min = std::numeric_limits<util::Timestamp>::max();
+      util::Timestamp t_max = std::numeric_limits<util::Timestamp>::min();
+      for (std::size_t s = 0; s < plan.shard_count; ++s) {
+        const model::MappedColumnar mapped =
+            model::MapColumnar(model::ShardDataPath(plan.dir, s));
+        for (std::size_t i = 0; i < mapped.TraceCount(); ++i) {
+          const model::TraceView trace = mapped.View(i);
+          original_bbox.Extend(trace.BoundingBox());
+          if (!trace.empty()) {
+            t_min = std::min(t_min, trace.time(0));
+            t_max = std::max(t_max, trace.time(trace.size() - 1));
+          }
+        }
+        for (std::size_t n = 0; n < stage_count; ++n) {
+          if (node_results[n].status != NodeStatus::kOk) continue;
+          try {
+            const model::MappedColumnar result = model::MapColumnar(
+                wp::StageShardPath(scratch.path, stage_stem(n), s));
+            for (std::size_t i = 0; i < result.TraceCount(); ++i) {
+              const model::TraceView trace = result.View(i);
+              for (std::size_t f = 0; f < trace.size(); ++f) {
+                published_bbox[n].Extend(trace.position(f));
+              }
+            }
+          } catch (const std::exception&) {
+            node_results[n] = {NodeStatus::kFailed, torn_error(n, s)};
+          }
+        }
+      }
+
+      // One fold per grid cell whose terminal survived (skip and fault
+      // verdicts mirror the DAG's evaluator nodes exactly).
+      std::vector<std::unique_ptr<TraceFold>> folds(eval_nodes);
+      for (std::size_t r = 0; r < row_count; ++r) {
+        for (std::size_t s = 0; s < seed_count; ++s) {
+          const std::size_t terminal = c.rows[r].terminal[s];
+          for (std::size_t e = 0; e < eval_count; ++e) {
+            const std::size_t slot = (r * seed_count + s) * eval_count + e;
+            NodeResult& cell = node_results[stage_count + slot];
+            if (node_results[terminal].status != NodeStatus::kOk) {
+              cell = {NodeStatus::kSkipped,
+                      "dependency failed: " + node_results[terminal].error};
+              continue;
+            }
+            if (MOBIPRIV_FAULT_POINT_KEYED(
+                    fault::points::kEngineEvaluatorRun, c.eval_names[e])) {
+              cell = {NodeStatus::kFailed,
+                      "injected fault (" +
+                          std::string(fault::points::kEngineEvaluatorRun) +
+                          "): " + c.eval_names[e]};
+              continue;
+            }
+            folds[slot] = c.evaluators[e]->MakeTraceFold(seeds[s]);
+          }
+        }
+      }
+
+      // Merge pass 1 (folds): per shard, the original views come from
+      // the source shard and each stage's published views from its
+      // result file (same trace order, re-labelled into the global user
+      // id space); every live fold gets its slice in ascending shard
+      // order, exactly like the in-process streamed executor.
+      for (std::size_t s = 0; s < plan.shard_count; ++s) {
+        const model::MappedColumnar mapped =
+            model::MapColumnar(model::ShardDataPath(plan.dir, s));
+        const std::vector<model::UserId>& l2g = plan.local_to_global[s];
+        const std::size_t trace_count = mapped.TraceCount();
+        std::vector<model::TraceView> original(trace_count);
+        for (std::size_t i = 0; i < trace_count; ++i) {
+          original[i] = mapped.View(i).WithUser(l2g[mapped.TraceUser(i)]);
+        }
+        std::vector<model::MappedColumnar> stage_results(stage_count);
+        std::vector<std::vector<model::TraceView>> published(stage_count);
+        for (std::size_t n = 0; n < stage_count; ++n) {
+          if (node_results[n].status != NodeStatus::kOk) continue;
+          try {
+            stage_results[n] = model::MapColumnar(
+                wp::StageShardPath(scratch.path, stage_stem(n), s));
+            if (stage_results[n].TraceCount() != trace_count) {
+              throw model::IoError("trace count mismatch");
+            }
+          } catch (const std::exception&) {
+            node_results[n] = {NodeStatus::kFailed, torn_error(n, s)};
+            continue;
+          }
+          published[n].resize(trace_count);
+          for (std::size_t i = 0; i < trace_count; ++i) {
+            published[n][i] =
+                stage_results[n].View(i).WithUser(original[i].user());
+          }
+        }
+        for (std::size_t r = 0; r < row_count; ++r) {
+          for (std::size_t ss = 0; ss < seed_count; ++ss) {
+            const std::size_t terminal = c.rows[r].terminal[ss];
+            if (node_results[terminal].status != NodeStatus::kOk) continue;
+            for (std::size_t e = 0; e < eval_count; ++e) {
+              const std::size_t slot =
+                  (r * seed_count + ss) * eval_count + e;
+              NodeResult& cell = node_results[stage_count + slot];
+              if (cell.status != NodeStatus::kOk || !folds[slot]) continue;
+              ShardSlice slice;
+              slice.original = original;
+              slice.canonical_index = plan.origin[s];
+              slice.published = published[terminal];
+              slice.user_count = plan.global_names.size();
+              slice.original_bbox = original_bbox;
+              slice.published_bbox = published_bbox[terminal];
+              slice.original_t_min = t_min;
+              slice.original_t_max = t_max;
+              try {
+                folds[slot]->AccumulateShard(slice);
+              } catch (const std::exception& ex) {
+                cell = {NodeStatus::kFailed, ex.what()};
+              } catch (...) {
+                cell = {NodeStatus::kFailed, "unknown exception"};
+              }
+            }
+          }
+        }
+      }
+
+      // A stage failing mid-merge strands its cells' partial folds: mark
+      // them skipped exactly like the DAG would, then finalize survivors.
+      for (std::size_t r = 0; r < row_count; ++r) {
+        for (std::size_t s = 0; s < seed_count; ++s) {
+          const std::size_t terminal = c.rows[r].terminal[s];
+          for (std::size_t e = 0; e < eval_count; ++e) {
+            const std::size_t slot = (r * seed_count + s) * eval_count + e;
+            NodeResult& cell = node_results[stage_count + slot];
+            if (node_results[terminal].status != NodeStatus::kOk &&
+                cell.status == NodeStatus::kOk) {
+              cell = {NodeStatus::kSkipped,
+                      "dependency failed: " + node_results[terminal].error};
+              folds[slot].reset();
+            }
+            if (cell.status != NodeStatus::kOk || !folds[slot]) continue;
+            try {
+              results[slot] = folds[slot]->Finalize();
+            } catch (const std::exception& ex) {
+              cell = {NodeStatus::kFailed, ex.what()};
+            } catch (...) {
+              cell = {NodeStatus::kFailed, "unknown exception"};
+            }
+          }
+        }
+      }
+    });
+    return assemble(node_results, results);
+  }
+
+  if (stream && streamable) {
     const ShardStreamPlan& plan = *stream;
     stats_.streamed_shards = plan.shard_count;
     std::vector<NodeResult> node_results(stage_count + eval_nodes);

@@ -142,6 +142,14 @@ struct EngineStats {
   /// is foldable (core::TraceFold) AND no output cache or watchdog is
   /// configured; reports are byte-identical on either path.
   std::size_t streamed_shards = 0;
+  /// Multi-process supervision accounting (core/shard_exec.h), all 0
+  /// unless ScenarioSpec::workers engaged the worker path:
+  /// processes forked (including respawns), spawns beyond a subset's
+  /// first (the retry evidence), and (stage, subset) permanent failures
+  /// (retry exhaustion or worker-reported errors).
+  std::size_t workers_spawned = 0;
+  std::size_t worker_restarts = 0;
+  std::size_t worker_failures = 0;
   /// Graceful-degradation accounting: nodes that threw (or tripped the
   /// node_timeout_ms watchdog) and nodes skipped because a dependency
   /// failed. Both 0 on a healthy run.

@@ -207,6 +207,9 @@ ScenarioSpec ParseSweepConfig(std::string_view text,
     } else if (key == "threads") {
       spec.threads = static_cast<std::size_t>(
           ParseIntValue(value, context, line_number, key));
+    } else if (key == "workers") {
+      spec.workers = static_cast<std::size_t>(
+          ParseIntValue(value, context, line_number, key));
     } else if (key == "cache_dir") {
       spec.mechanism_cache_dir = std::string(value);
     } else if (key == "cache_max_bytes") {
@@ -224,7 +227,8 @@ ScenarioSpec ParseSweepConfig(std::string_view text,
       SweepError(context, line_number,
                  "unknown key \"" + key +
                      "\" (expected source, mechanisms, evaluators, seeds, "
-                     "threads, cache_dir, cache_max_bytes, node_timeout_ms)");
+                     "threads, workers, cache_dir, cache_max_bytes, "
+                     "node_timeout_ms)");
     }
   }
   if (spec.seeds.empty()) spec.seeds = {1};

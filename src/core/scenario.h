@@ -97,18 +97,32 @@ struct ScenarioSpec {
   /// Per-node wall-clock watchdog, milliseconds (0 = off). A node whose
   /// execution exceeds this is recorded as failed ("node exceeded
   /// node_timeout" error row) and its dependents are skipped; the rest of
-  /// the grid completes normally. The check is applied at node completion
-  /// — it contains a slow node's blast radius, it does not preempt it
-  /// (preemption needs the multi-process workers of ROADMAP item 2).
+  /// the grid completes normally. In-process the check is applied at node
+  /// completion — it contains a slow node's blast radius, it does not
+  /// preempt it; with `workers` > 0 it becomes the per-request deadline
+  /// of the worker supervisor (core/shard_exec.h), which DOES preempt:
+  /// the worker is killed and the request retried.
   double node_timeout_ms = 0.0;
+  /// Worker PROCESS count for shard-dir sources (0 = in-process). When
+  /// > 0 and the grid is shard-streamable (see EngineStats::
+  /// streamed_shards), mechanism stages run in supervised
+  /// `mobipriv_worker` processes with crash/timeout retry and graceful
+  /// per-stage degradation (core/shard_exec.h). Reports are
+  /// byte-identical at any value — a resource/robustness knob, never a
+  /// semantic one. Ignored (in-process fallback) when the source is not
+  /// shard-streamable or the worker binary cannot be found.
+  std::size_t workers = 0;
+  /// Worker executable override; empty = the `mobipriv_worker` next to
+  /// the current executable (DefaultWorkerBinary()).
+  std::string worker_binary;
 };
 
 /// Parses a sweep-config text (the `anonymize_csv --sweep` file format;
 /// docs/FORMAT.md, "Sweep config files") into a ScenarioSpec. Line
 /// oriented `key = value`; '#' starts a comment; blank lines are ignored.
-/// Keys: source, mechanisms, evaluators, seeds, threads, cache_dir,
-/// cache_max_bytes, node_timeout_ms (mechanism/evaluator accepted as
-/// singular aliases). List values split on top-level commas, so chain and
+/// Keys: source, mechanisms, evaluators, seeds, threads, workers,
+/// cache_dir, cache_max_bytes, node_timeout_ms (mechanism/evaluator
+/// accepted as singular aliases). List values split on top-level commas, so chain and
 /// bracket parameters pass through intact. Unknown keys and malformed
 /// values throw util::SpecError with the offending line number; `context`
 /// (typically the file name) prefixes every message.

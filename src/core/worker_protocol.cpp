@@ -1,0 +1,172 @@
+#include "core/worker_protocol.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MOBIPRIV_HAVE_POSIX_PIPES 1
+#endif
+
+#include "util/string_utils.h"
+
+namespace mobipriv::core::wp {
+
+namespace {
+
+void PutU32Le(char* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t GetU32Le(const char* p) noexcept {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+bool WriteAll(int fd, const char* data, std::size_t n) noexcept {
+#if MOBIPRIV_HAVE_POSIX_PIPES
+  while (n > 0) {
+    const ::ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+#else
+  (void)fd;
+  (void)data;
+  (void)n;
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::string StageShardPath(const std::string& out_dir, const std::string& stem,
+                           std::size_t shard) {
+  char suffix[40];
+  std::snprintf(suffix, sizeof(suffix), "-shard-%05zu.mpc", shard);
+  return out_dir + "/" + stem + suffix;
+}
+
+std::string EncodeRequest(const WorkerRequest& request) {
+  std::string out;
+  out += "dir=" + request.dir + "\n";
+  out += "out_dir=" + request.out_dir + "\n";
+  out += "stem=" + request.stem + "\n";
+  out += "spec=" + request.spec_text + "\n";
+  out += "prefix=" + request.prefix_name + "\n";
+  out += "seed=" + std::to_string(request.seed) + "\n";
+  out += "attempt=" + std::to_string(request.attempt) + "\n";
+  out += "shards=";
+  for (std::size_t i = 0; i < request.shards.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(request.shards[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+bool DecodeRequest(std::string_view payload, WorkerRequest* request,
+                   std::string* error) {
+  WorkerRequest out;
+  bool have_shards = false;
+  std::size_t start = 0;
+  while (start < payload.size()) {
+    std::size_t end = payload.find('\n', start);
+    if (end == std::string_view::npos) end = payload.size();
+    const std::string_view line = payload.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      *error = "request line without '=': " + std::string(line);
+      return false;
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    if (key == "dir") {
+      out.dir = std::string(value);
+    } else if (key == "out_dir") {
+      out.out_dir = std::string(value);
+    } else if (key == "stem") {
+      out.stem = std::string(value);
+    } else if (key == "spec") {
+      out.spec_text = std::string(value);
+    } else if (key == "prefix") {
+      out.prefix_name = std::string(value);
+    } else if (key == "seed" || key == "attempt") {
+      const auto parsed = util::ParseInt(value);
+      if (!parsed || *parsed < 0) {
+        *error = "malformed " + std::string(key) + ": " + std::string(value);
+        return false;
+      }
+      (key == "seed" ? out.seed : out.attempt) =
+          static_cast<std::uint64_t>(*parsed);
+    } else if (key == "shards") {
+      have_shards = true;
+      std::size_t s = 0;
+      while (s <= value.size() && !value.empty()) {
+        std::size_t comma = value.find(',', s);
+        if (comma == std::string_view::npos) comma = value.size();
+        const auto parsed = util::ParseInt(value.substr(s, comma - s));
+        if (!parsed || *parsed < 0) {
+          *error = "malformed shard index: " + std::string(value);
+          return false;
+        }
+        out.shards.push_back(static_cast<std::size_t>(*parsed));
+        s = comma + 1;
+        if (s > value.size()) break;
+      }
+    } else {
+      *error = "unknown request key: " + std::string(key);
+      return false;
+    }
+  }
+  if (out.dir.empty() || out.out_dir.empty() || out.stem.empty() ||
+      out.spec_text.empty() || out.prefix_name.empty() || !have_shards) {
+    *error = "incomplete request";
+    return false;
+  }
+  *request = std::move(out);
+  return true;
+}
+
+bool WriteFrame(int fd, char type, std::string_view payload) noexcept {
+  if (payload.size() > kMaxFramePayload) return false;
+  char header[5];
+  PutU32Le(header, static_cast<std::uint32_t>(payload.size()));
+  header[4] = type;
+  return WriteAll(fd, header, sizeof(header)) &&
+         WriteAll(fd, payload.data(), payload.size());
+}
+
+void FrameReader::Feed(const char* data, std::size_t n) {
+  if (corrupt_) return;
+  buffer_.append(data, n);
+}
+
+bool FrameReader::Next(char* type, std::string* payload) {
+  if (corrupt_ || buffer_.size() < 5) return false;
+  const std::uint32_t n = GetU32Le(buffer_.data());
+  if (n > kMaxFramePayload) {
+    corrupt_ = true;
+    return false;
+  }
+  if (buffer_.size() < 5 + static_cast<std::size_t>(n)) return false;
+  *type = buffer_[4];
+  payload->assign(buffer_.data() + 5, n);
+  buffer_.erase(0, 5 + static_cast<std::size_t>(n));
+  return true;
+}
+
+}  // namespace mobipriv::core::wp

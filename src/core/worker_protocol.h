@@ -1,0 +1,98 @@
+// Wire protocol between the shard-execution supervisor and the
+// `mobipriv_worker` processes it spawns (core/shard_exec.h).
+//
+// Framing is length-prefixed so a half-written frame is detectable, not
+// misparsed: every frame is
+//
+//   [u32 LE payload length n] [1 type byte] [n payload bytes]
+//
+// written atomically enough for a pipe (frames are far below PIPE_BUF
+// for control messages; the only large frame is an encoded request,
+// which only the single-writer supervisor sends). Frame types:
+//
+//   'A'  supervisor -> worker: apply one stage to a shard subset
+//        (payload = EncodeRequest text)
+//   'Q'  supervisor -> worker: quit cleanly (empty payload)
+//   'H'  worker -> supervisor: heartbeat / liveness (empty payload)
+//   'R'  worker -> supervisor: request done, results published
+//   'F'  worker -> supervisor: request failed permanently
+//        (payload = machine-independent error text, forwarded verbatim
+//        into the Report's error column)
+//
+// A payload length above kMaxFramePayload marks the stream corrupt —
+// the supervisor treats that like a worker crash (kill + retry) rather
+// than attempting resynchronization.
+//
+// Requests are encoded as `key=value` lines (values must not contain
+// newlines — they are paths, spec strings and decimal integers, none of
+// which do). Workers publish each shard's transformed columns as
+// `<out_dir>/<stem>-shard-NNNNN.mpc` via the atomic WriteColumnar path,
+// so a worker killed mid-write never leaves a torn result under the
+// final name; StageShardPath is the single source of that naming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobipriv::core::wp {
+
+inline constexpr char kFrameApply = 'A';
+inline constexpr char kFrameQuit = 'Q';
+inline constexpr char kFrameHeartbeat = 'H';
+inline constexpr char kFrameOk = 'R';
+inline constexpr char kFrameFail = 'F';
+
+/// Corruption guard: no legitimate frame payload approaches this
+/// (requests are bounded by spec strings + a shard index list).
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 20;
+
+/// One unit of worker work: apply one mechanism stage to a subset of a
+/// shard directory's shards, publishing one result file per shard.
+struct WorkerRequest {
+  std::string dir;          ///< shard directory (ProbeShardStream source)
+  std::string out_dir;      ///< scratch directory for result `.mpc` files
+  std::string stem;         ///< result file stem (see StageShardPath)
+  std::string spec_text;    ///< mechanism spec (mech::CreateMechanism)
+  std::string prefix_name;  ///< stage prefix name (RNG stream + fault key)
+  std::uint64_t seed = 0;   ///< grid seed of the stage
+  std::uint64_t attempt = 0;  ///< 0-based retry attempt (fault keys)
+  std::vector<std::size_t> shards;  ///< owned shard indices, ascending
+};
+
+/// Result path for one (stage, shard): `<out_dir>/<stem>-shard-NNNNN.mpc`.
+[[nodiscard]] std::string StageShardPath(const std::string& out_dir,
+                                         const std::string& stem,
+                                         std::size_t shard);
+
+[[nodiscard]] std::string EncodeRequest(const WorkerRequest& request);
+
+/// Parses an EncodeRequest payload. Returns false (with a description in
+/// `*error`) on unknown keys, malformed numbers or missing fields.
+[[nodiscard]] bool DecodeRequest(std::string_view payload,
+                                 WorkerRequest* request, std::string* error);
+
+/// Writes one frame to `fd`, retrying on EINTR. Returns false on any
+/// write error (a dead peer surfaces as EPIPE once SIGPIPE is ignored) —
+/// callers treat that as peer loss, never as data.
+[[nodiscard]] bool WriteFrame(int fd, char type,
+                              std::string_view payload) noexcept;
+
+/// Incremental frame decoder for the nonblocking read side: Feed() raw
+/// bytes as they arrive, Next() pops complete frames in order. Once a
+/// frame declares an oversized payload the stream is `corrupt()` and
+/// Next() never yields again.
+class FrameReader {
+ public:
+  void Feed(const char* data, std::size_t n);
+  [[nodiscard]] bool Next(char* type, std::string* payload);
+  [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+
+ private:
+  std::string buffer_;
+  bool corrupt_ = false;
+};
+
+}  // namespace mobipriv::core::wp

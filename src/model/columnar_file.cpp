@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -40,6 +41,14 @@ namespace {
 
 [[noreturn]] void Corrupt(const std::string& path, const std::string& what) {
   throw IoError("columnar file " + path + ": " + what);
+}
+
+// Appends the OS-level cause (": No such file or directory", ...) when
+// errno carries one — quarantine reports and supervisor retry logs then
+// say WHY an open failed, not just that it did.
+std::string ErrnoSuffix() {
+  if (errno == 0) return {};
+  return std::string(": ") + std::strerror(errno);
 }
 
 // Payload location of one known section, resolved from the directory.
@@ -214,11 +223,12 @@ std::vector<std::byte> SlurpFile(const std::string& path) {
                   std::string(fault::points::kColumnarReadOpen) +
                   "): cannot open " + path);
   }
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open " + path);
+  if (!in) throw IoError("cannot open " + path + ErrnoSuffix());
   in.seekg(0, std::ios::end);
   const std::streamoff len = in.tellg();
-  if (len < 0) throw IoError("cannot stat " + path);
+  if (len < 0) throw IoError("cannot stat " + path + ErrnoSuffix());
   in.seekg(0);
   std::size_t want = static_cast<std::size_t>(len);
   // Injected short read: hand back only a prefix of the file, exactly
@@ -234,7 +244,7 @@ std::vector<std::byte> SlurpFile(const std::string& path) {
   if (want > 0 &&
       !in.read(reinterpret_cast<char*>(bytes.data()),
                static_cast<std::streamsize>(want))) {
-    throw IoError("cannot read " + path);
+    throw IoError("cannot read " + path + ErrnoSuffix());
   }
   return bytes;
 }
@@ -518,18 +528,21 @@ MappedColumnar MappedColumnar::Open(const std::string& path,
   }
   MappedColumnar mapped;
 #if MOBIPRIV_HAS_MMAP
+  errno = 0;
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) throw IoError("cannot open " + path);
+  if (fd < 0) throw IoError("cannot open " + path + ErrnoSuffix());
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
+    const std::string detail = ErrnoSuffix();
     ::close(fd);
-    throw IoError("cannot stat " + path);
+    throw IoError("cannot stat " + path + detail);
   }
   const std::size_t size = static_cast<std::size_t>(st.st_size);
   if (size > 0) {
     void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    const std::string detail = addr == MAP_FAILED ? ErrnoSuffix() : "";
     ::close(fd);
-    if (addr == MAP_FAILED) throw IoError("cannot mmap " + path);
+    if (addr == MAP_FAILED) throw IoError("cannot mmap " + path + detail);
     mapped.base_ = static_cast<const std::byte*>(addr);
     mapped.size_ = size;
     mapped.is_mmap_ = true;

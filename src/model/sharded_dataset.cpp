@@ -419,7 +419,11 @@ ShardedDataset ShardedDataset::OpenShardsImpl(
     } catch (const IoError& e) {
       if (policy == OpenPolicy::kFailFast) throw;
       shard_failed[s] = true;
-      shard_errors[s] = e.what();
+      // Every quarantine record leads with the failing shard FILE name so
+      // downstream report columns (and the worker supervisor's forwarded
+      // errors) identify the bad file even when the IoError text carries
+      // only an OS-level cause.
+      shard_errors[s] = ShardFileName(s) + ": " + e.what();
     }
   });
   bool any_skipped = false;

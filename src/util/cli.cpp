@@ -3,6 +3,10 @@
 #include <iostream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#endif
+
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 
@@ -111,6 +115,22 @@ void AddRunOptions(CliParser& cli, std::uint64_t default_seed) {
                 "any value)",
                 "0");
   cli.AddOption("seed", "random seed of the run", std::to_string(default_seed));
+}
+
+void IgnoreSigpipe() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action {};
+  action.sa_handler = SIG_IGN;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGPIPE, &action, nullptr);
+#endif
+}
+
+bool FlushStdout(const char* tool) {
+  std::cout.flush();
+  if (std::cout.good()) return true;
+  std::cerr << tool << ": error: writing to stdout failed (broken pipe?)\n";
+  return false;
 }
 
 RunOptions ApplyRunOptions(const CliParser& cli) {

@@ -70,4 +70,18 @@ void AddRunOptions(CliParser& cli, std::uint64_t default_seed);
 /// identical output.
 RunOptions ApplyRunOptions(const CliParser& cli);
 
+/// Ignores SIGPIPE for the process. Every CLI binary calls this first:
+/// a dead pipe peer (supervisor, `head`, a crashed worker) must surface
+/// as a write error the tool can report on stderr and turn into a
+/// nonzero exit — not a silent SIGPIPE death that truncates output.
+/// No-op on platforms without sigaction.
+void IgnoreSigpipe();
+
+/// Flushes std::cout and reports failure. Call before returning from a
+/// CLI that streamed results to stdout: returns false (after printing
+/// "<tool>: error: writing to stdout failed (broken pipe?)" to stderr)
+/// when the flush fails, so the tool can exit nonzero instead of
+/// pretending the truncated output was complete.
+[[nodiscard]] bool FlushStdout(const char* tool);
+
 }  // namespace mobipriv::util

@@ -1,6 +1,7 @@
 #include "util/fault.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -20,8 +21,18 @@ namespace {
 struct ArmedPoint {
   Config config;
   std::uint64_t trips = 0;  // failures / short-ios / delays fired so far
+  std::uint64_t seen = 0;   // kKill: matching evaluations counted so far
   Rng rng{1};               // kFailProbability draw stream
 };
+
+/// key_filter match: exact, or prefix when the filter ends in '*'.
+bool KeyMatches(std::string_view filter, std::string_view key) {
+  if (filter.empty()) return true;
+  if (filter.back() == '*') {
+    return key.substr(0, filter.size() - 1) == filter.substr(0, filter.size() - 1);
+  }
+  return key == filter;
+}
 
 // Registry state behind one mutex. Only touched when a point is armed
 // (Enabled() short-circuits the hot path), so contention is a test-only
@@ -50,7 +61,19 @@ Config ParseOneSpec(std::string_view point, std::string_view spec) {
                                 std::string(point) + "': " + what);
   };
   Config config;
+  // Comma-separated options after the mode ("kill:9@1,key:gaussian#0").
+  // Only `key:` exists today; the split keeps the grammar open.
   std::string_view body = spec;
+  while (true) {
+    const std::size_t comma = body.rfind(',');
+    if (comma == std::string_view::npos) break;
+    const std::string_view option = body.substr(comma + 1);
+    if (!option.starts_with("key:")) {
+      bad("unknown option '" + std::string(option) + "'");
+    }
+    config.key_filter = std::string(option.substr(4));
+    body = body.substr(0, comma);
+  }
   if (body == "once") return config;  // kFailTimes, times = 1
   const std::size_t colon = body.find(':');
   const std::string_view mode = body.substr(0, colon);
@@ -86,6 +109,17 @@ Config ParseOneSpec(std::string_view point, std::string_view spec) {
       require_arg();
       config.mode = Mode::kDelay;
       config.delay_ms = std::stoull(std::string(arg));
+    } else if (mode == "kill") {
+      require_arg();
+      config.mode = Mode::kKill;
+      std::string text(arg);
+      const std::size_t at = text.find('@');
+      if (at != std::string::npos) {
+        config.times = std::stoull(text.substr(at + 1));
+        text.resize(at);
+      }
+      config.kill_signal = static_cast<int>(std::stoul(text));
+      if (config.times == 0) bad("kill ordinal must be >= 1");
     } else {
       bad("unknown mode '" + std::string(mode) + "'");
     }
@@ -156,6 +190,7 @@ Decision Evaluate(std::string_view point, std::string_view key) noexcept {
   Decision decision;
   if (!Enabled()) return decision;
   std::uint64_t delay_ms = 0;
+  int kill_signal = 0;
   {
     Registry& registry = TheRegistry();
     const std::lock_guard<std::mutex> lock(registry.mutex);
@@ -163,7 +198,7 @@ Decision Evaluate(std::string_view point, std::string_view key) noexcept {
     if (it == registry.points.end()) return decision;
     ArmedPoint& armed = it->second;
     const Config& config = armed.config;
-    if (!config.key_filter.empty() && key != config.key_filter) {
+    if (!KeyMatches(config.key_filter, key)) {
       return decision;
     }
     switch (config.mode) {
@@ -190,12 +225,22 @@ Decision Evaluate(std::string_view point, std::string_view key) noexcept {
         ++armed.trips;
         delay_ms = config.delay_ms;
         break;
+      case Mode::kKill:
+        if (++armed.seen == config.times) {
+          ++armed.trips;
+          kill_signal = config.kill_signal;
+        }
+        break;
     }
   }
-  // Sleep outside the registry lock so a delay fault cannot serialize
-  // unrelated points.
+  // Sleep / raise outside the registry lock so a delay fault cannot
+  // serialize unrelated points (and a catchable signal's handler cannot
+  // deadlock on the registry).
   if (delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (kill_signal != 0) {
+    std::raise(kill_signal);
   }
   return decision;
 }
@@ -217,7 +262,8 @@ std::span<const std::string_view> AllPoints() noexcept {
       points::kShardOpenRead,      points::kCacheReadLoad,
       points::kCacheWriteSpill,    points::kCsvReadOpen,
       points::kCsvReadShort,       points::kEngineMechanismRun,
-      points::kEngineEvaluatorRun,
+      points::kEngineEvaluatorRun, points::kWorkerApply,
+      points::kWorkerResultWrite,  points::kSupervisorResultValidate,
   };
   return kAll;
 }

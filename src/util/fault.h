@@ -26,11 +26,17 @@
 //       short:N     short I/O: the operation transfers at most N bytes,
 //                   then fails (torn-write / truncated-read simulation)
 //       delay:MS    sleep MS milliseconds, then pass (watchdog testing)
+//       kill:SIG@N  raise signal number SIG on the Nth matching
+//                   evaluation (N optional, default 1) — the crash lever
+//                   of the worker-supervision test matrix
+//     Any spec may append `,key:K` to set the key filter from the
+//     environment (e.g. "worker.apply=kill:9@1,key:gaussian#0").
 //
 // A Config may carry a `key_filter`: the point then only trips for
 // evaluations whose key matches (e.g. fail exactly the "gaussian[...]"
 // mechanism node of an engine grid, deterministically at any thread
-// count).
+// count). A filter ending in '*' matches any key with that prefix
+// ("gaussian#*" trips every retry attempt of one worker request).
 //
 // The canonical list of points lives below in `fault::points` — one named
 // constant per injection site. docs/ROBUSTNESS.md documents each point in
@@ -54,18 +60,25 @@ enum class Mode {
   kFailProbability,  ///< fail with probability `probability` (seeded draw)
   kShortIo,          ///< cap the operation at `bytes` bytes, then fail
   kDelay,            ///< sleep `delay_ms`, then pass (never fails)
+  kKill,             ///< raise(`kill_signal`) on matching evaluation #`times`
 };
 
 struct Config {
   Mode mode = Mode::kFailTimes;
-  std::uint64_t times = 1;     ///< kFailTimes / kShortIo trip budget
+  /// kFailTimes / kShortIo: trip budget. kKill: the 1-based ordinal of
+  /// the matching evaluation that raises the signal (evaluations before
+  /// and after it pass untouched).
+  std::uint64_t times = 1;
   double probability = 0.0;    ///< kFailProbability
   std::uint64_t seed = 1;      ///< kFailProbability draw stream
   std::size_t bytes = 0;       ///< kShortIo: max bytes transferred
   std::uint64_t delay_ms = 0;  ///< kDelay
-  /// When non-empty, only evaluations whose key equals this trip (other
+  int kill_signal = 9;         ///< kKill: signal number to raise (SIGKILL)
+  /// When non-empty, only evaluations whose key matches this trip (other
   /// keys pass untouched). Keys are site-defined: the engine passes the
-  /// canonical mechanism/evaluator name, shard opens pass the file name.
+  /// canonical mechanism/evaluator name, shard opens pass the file name,
+  /// worker-side points pass "<prefix>#<attempt>". A filter ending in
+  /// '*' matches any key starting with the part before the '*'.
   std::string key_filter;
 };
 
@@ -142,6 +155,18 @@ inline constexpr std::string_view kCsvReadShort = "csv.read.short";
 // canonical mechanism / evaluator name.
 inline constexpr std::string_view kEngineMechanismRun = "engine.mechanism.run";
 inline constexpr std::string_view kEngineEvaluatorRun = "engine.evaluator.run";
+
+// Multi-process shard execution (core/shard_exec.cpp supervisor and the
+// mobipriv_worker binary). The worker-side points are evaluated inside
+// the worker PROCESS — arm them via MOBIPRIV_FAULTS, which the
+// supervisor's environment passes through to every worker it spawns.
+// Keys are "<stage prefix name>#<attempt>" (worker side, one evaluation
+// per owned shard / per result write) and the stage prefix name
+// (supervisor-side validation).
+inline constexpr std::string_view kWorkerApply = "worker.apply";
+inline constexpr std::string_view kWorkerResultWrite = "worker.result.write";
+inline constexpr std::string_view kSupervisorResultValidate =
+    "supervisor.result.validate";
 
 }  // namespace points
 

@@ -39,6 +39,7 @@ TEST(SweepConfig, ParsesEveryField) {
       "evaluator = uncertainty\n"
       "seeds = 3, 5\n"
       "threads = 2\n"
+      "workers = 4\n"
       "cache_dir = /tmp/sweep-cache\n"
       "cache_max_bytes = 1048576\n"
       "node_timeout_ms = 250.5\n",
@@ -57,6 +58,7 @@ TEST(SweepConfig, ParsesEveryField) {
   EXPECT_EQ(spec.evaluators[2], "uncertainty");
   EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{3, 5}));
   EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.workers, 4u);
   EXPECT_EQ(spec.mechanism_cache_dir, "/tmp/sweep-cache");
   EXPECT_EQ(spec.mechanism_cache_max_bytes, 1048576u);
   EXPECT_DOUBLE_EQ(spec.node_timeout_ms, 250.5);
@@ -99,8 +101,8 @@ TEST(SweepConfig, PinnedLineNumberedErrors) {
             "non-negative number");
   EXPECT_EQ(ErrorOf("mechanizms = identity\n"),
             "sweep config cfg, line 1: unknown key \"mechanizms\" (expected "
-            "source, mechanisms, evaluators, seeds, threads, cache_dir, "
-            "cache_max_bytes, node_timeout_ms)");
+            "source, mechanisms, evaluators, seeds, threads, workers, "
+            "cache_dir, cache_max_bytes, node_timeout_ms)");
   EXPECT_EQ(ErrorOf("source = synth:agents=lots\n"),
             "sweep config cfg, line 1: synth parameter \"agents=lots\" is "
             "not key=<non-negative integer>");
